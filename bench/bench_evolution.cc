@@ -1,0 +1,114 @@
+// A3: schema evolution and remapping costs (paper Section 3): full data
+// migration between physical mappings, the single-to-multi-valued
+// attribute change, and version rollback (which is free — prior versions
+// stay materialized).
+
+#include <benchmark/benchmark.h>
+
+#include "evolution/evolution.h"
+#include "workload/figure4.h"
+
+namespace erbium {
+namespace {
+
+Figure4Config EvolutionScale() {
+  Figure4Config config;
+  config.num_r = 3000;
+  config.num_s = 900;
+  return config;
+}
+
+void BM_A3_RemapMigration(benchmark::State& state, const MappingSpec& from,
+                          const MappingSpec& to) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto schema = MakeFigure4Schema();
+    auto db = VersionedDatabase::Create(std::move(schema).value(), from);
+    if (!db.ok()) {
+      state.SkipWithError(db.status().ToString().c_str());
+      return;
+    }
+    Status populated = PopulateFigure4((*db)->current(), EvolutionScale());
+    if (!populated.ok()) {
+      state.SkipWithError(populated.ToString().c_str());
+      return;
+    }
+    state.ResumeTiming();
+    Status st = (*db)->Remap(to, "bench remap");
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+}
+BENCHMARK_CAPTURE(BM_A3_RemapMigration, M1_to_M2, Figure4M1(), Figure4M2())
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_A3_RemapMigration, M1_to_M4, Figure4M1(), Figure4M4())
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_A3_RemapMigration, M1_to_M6, Figure4M1(), Figure4M6())
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_A3_RemapMigration, M4_to_M1, Figure4M4(), Figure4M1())
+    ->Unit(benchmark::kMillisecond);
+
+void BM_A3_MakeMultiValuedMigration(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto schema = MakeFigure4Schema();
+    auto db =
+        VersionedDatabase::Create(std::move(schema).value(), Figure4M1());
+    if (!db.ok()) {
+      state.SkipWithError(db.status().ToString().c_str());
+      return;
+    }
+    Status populated = PopulateFigure4((*db)->current(), EvolutionScale());
+    if (!populated.ok()) {
+      state.SkipWithError(populated.ToString().c_str());
+      return;
+    }
+    state.ResumeTiming();
+    Status st = (*db)->Evolve(
+        [](ERSchema* s) {
+          return evolution::MakeAttributeMultiValued(s, "R", "r_a3");
+        },
+        "bench evolve");
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+}
+BENCHMARK(BM_A3_MakeMultiValuedMigration)->Unit(benchmark::kMillisecond);
+
+void BM_A3_RollbackIsConstantTime(benchmark::State& state) {
+  auto schema = MakeFigure4Schema();
+  auto db = VersionedDatabase::Create(std::move(schema).value(), Figure4M1());
+  if (!db.ok()) {
+    state.SkipWithError(db.status().ToString().c_str());
+    return;
+  }
+  Status populated = PopulateFigure4((*db)->current(), EvolutionScale());
+  if (!populated.ok()) {
+    state.SkipWithError(populated.ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    Status remapped = (*db)->Remap(Figure4M2(), "bench");
+    if (!remapped.ok()) {
+      state.SkipWithError(remapped.ToString().c_str());
+      return;
+    }
+    state.ResumeTiming();
+    Status st = (*db)->Rollback();
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+}
+BENCHMARK(BM_A3_RollbackIsConstantTime);
+
+}  // namespace
+}  // namespace erbium
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Experiments E5–E6 (paper Section 6, hierarchy block): the three
+// hierarchy representations M1 (class/delta tables), M3 (single table +
+// discriminator), M4 (disjoint full-width tables).
+//
+//   E5  all information for R3 entities — paper: M1 needs a 3-way join
+//       and is ~5x slower than M3; M3 is ~2.7x slower than M4 (scans the
+//       whole hierarchy's rows instead of just R3's).
+//   E6  join R with S with predicates on both — paper: M1 ≈ M4 despite
+//       M4's 5-way union on the R side.
+//   E6b a more complex variant (join + hierarchy attributes + aggregate)
+//       where the paper says the gap between the three widens.
+
+#include "bench/bench_util.h"
+
+namespace erbium {
+namespace bench {
+namespace {
+
+void BM_E5_LeafClassFullScan(benchmark::State& state,
+                             const MappingSpec& spec) {
+  RunQueryBenchmark(state, spec,
+                    "SELECT r_id, r_a1, r_a2, r_a3, r_a4, r1_a1, r1_a2, "
+                    "r3_a1, r3_a2 FROM R3");
+}
+BENCHMARK_CAPTURE(BM_E5_LeafClassFullScan, M1, Figure4M1());
+BENCHMARK_CAPTURE(BM_E5_LeafClassFullScan, M3, Figure4M3());
+BENCHMARK_CAPTURE(BM_E5_LeafClassFullScan, M4, Figure4M4());
+
+void BM_E5_MidClassScan(benchmark::State& state, const MappingSpec& spec) {
+  // R1 scan: M4 must union R1, R3, R4.
+  RunQueryBenchmark(state, spec, "SELECT r_id, r1_a1, r1_a2 FROM R1");
+}
+BENCHMARK_CAPTURE(BM_E5_MidClassScan, M1, Figure4M1());
+BENCHMARK_CAPTURE(BM_E5_MidClassScan, M3, Figure4M3());
+BENCHMARK_CAPTURE(BM_E5_MidClassScan, M4, Figure4M4());
+
+void BM_E6_JoinRWithS(benchmark::State& state, const MappingSpec& spec) {
+  RunQueryBenchmark(state, spec,
+                    "SELECT r.r_id, s.s_id FROM R r JOIN S s ON RS "
+                    "WHERE r.r_a4 < 50 AND s.s_a1 < 5000");
+}
+BENCHMARK_CAPTURE(BM_E6_JoinRWithS, M1, Figure4M1());
+BENCHMARK_CAPTURE(BM_E6_JoinRWithS, M3, Figure4M3());
+BENCHMARK_CAPTURE(BM_E6_JoinRWithS, M4, Figure4M4());
+
+void BM_E6b_ComplexHierarchyJoin(benchmark::State& state,
+                                 const MappingSpec& spec) {
+  // Joins the leaf class (3-way join under M1), reaches inherited and
+  // leaf attributes, and aggregates — the "more complex query" where the
+  // paper reports the representations diverge further.
+  RunQueryBenchmark(state, spec,
+                    "SELECT r.r_a4, count(*) AS n, avg(r.r3_a1) AS m "
+                    "FROM R3 r JOIN S s ON RS WHERE r.r1_a1 < 900");
+}
+BENCHMARK_CAPTURE(BM_E6b_ComplexHierarchyJoin, M1, Figure4M1());
+BENCHMARK_CAPTURE(BM_E6b_ComplexHierarchyJoin, M3, Figure4M3());
+BENCHMARK_CAPTURE(BM_E6b_ComplexHierarchyJoin, M4, Figure4M4());
+
+}  // namespace
+}  // namespace bench
+}  // namespace erbium
+
+BENCHMARK_MAIN();

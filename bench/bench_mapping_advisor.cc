@@ -1,0 +1,154 @@
+// A1: the workload-aware mapping advisor (paper Section 4's "natural
+// optimization problem"). For two opposing workloads, measures the cost
+// of the advisor-chosen mapping against fixed M1/M2 baselines, and times
+// the advisor search itself.
+
+#include "bench/bench_util.h"
+#include "mapping/advisor.h"
+
+namespace erbium {
+namespace bench {
+namespace {
+
+Workload MvPointWorkload() {
+  Workload w;
+  for (int id : {10, 77, 140, 250, 333, 512, 790, 1200}) {
+    w.queries.push_back(
+        {"SELECT r_id, r_mv1, r_mv2, r_mv3 FROM R WHERE r_id = " +
+             std::to_string(id),
+         1.0, "mv-point"});
+  }
+  return w;
+}
+
+Workload IntersectionWorkload() {
+  Workload w;
+  w.queries.push_back(
+      {"SELECT r_id, array_intersect(r_mv1, r_mv2) AS c FROM R", 1.0,
+       "intersect"});
+  w.queries.push_back(
+      {"SELECT r_id, r_a1 FROM R WHERE r_a1 < 100", 0.2, "filter"});
+  return w;
+}
+
+/// Runs a workload once against a database (total wall time per
+/// iteration).
+void RunWorkload(benchmark::State& state, const MappingSpec& spec,
+                 const Workload& workload) {
+  MappedDatabase* db = GetDatabase(spec);
+  std::vector<erql::CompiledQuery> compiled;
+  for (const WorkloadQuery& wq : workload.queries) {
+    auto c = erql::QueryEngine::Compile(db, wq.erql);
+    if (!c.ok()) {
+      state.SkipWithError(c.status().ToString().c_str());
+      return;
+    }
+    compiled.push_back(std::move(c).value());
+  }
+  for (auto _ : state) {
+    for (erql::CompiledQuery& c : compiled) {
+      Status st = c.plan->Open();
+      if (!st.ok()) {
+        state.SkipWithError(st.ToString().c_str());
+        return;
+      }
+      Row row;
+      while (c.plan->Next(&row)) {
+        benchmark::DoNotOptimize(row);
+      }
+    }
+  }
+}
+
+/// The advisor picks a mapping on a small sample, then the chosen
+/// mapping runs the workload at benchmark scale.
+const MappingSpec& AdvisedSpecFor(const Workload& workload,
+                                  const char* cache_key) {
+  static std::map<std::string, MappingSpec>& cache =
+      *new std::map<std::string, MappingSpec>();
+  auto it = cache.find(cache_key);
+  if (it == cache.end()) {
+    auto schema_result = MakeFigure4Schema();
+    static std::vector<std::shared_ptr<ERSchema>>& keep_alive =
+        *new std::vector<std::shared_ptr<ERSchema>>();
+    auto schema =
+        std::make_shared<ERSchema>(std::move(schema_result).value());
+    keep_alive.push_back(schema);
+    Figure4Config sample;
+    sample.num_r = 1500;
+    sample.num_s = 400;
+    auto candidates = MappingAdvisor::EnumerateCandidates(*schema, 24);
+    auto advice = MappingAdvisor::Advise(
+        schema.get(), candidates,
+        [&sample](MappedDatabase* db) { return PopulateFigure4(db, sample); },
+        workload, 2);
+    MappingSpec chosen = advice.ok() ? advice->best() : Figure4M1();
+    chosen.name = std::string("advised_") + cache_key;
+    it = cache.emplace(cache_key, std::move(chosen)).first;
+    fprintf(stderr, "[advisor] workload %s -> %s\n", cache_key,
+            it->second.ToString().c_str());
+  }
+  return it->second;
+}
+
+void BM_A1_MvPoint_FixedM1(benchmark::State& state) {
+  RunWorkload(state, Figure4M1(), MvPointWorkload());
+}
+BENCHMARK(BM_A1_MvPoint_FixedM1);
+
+void BM_A1_MvPoint_FixedM2(benchmark::State& state) {
+  RunWorkload(state, Figure4M2(), MvPointWorkload());
+}
+BENCHMARK(BM_A1_MvPoint_FixedM2);
+
+void BM_A1_MvPoint_Advised(benchmark::State& state) {
+  RunWorkload(state, AdvisedSpecFor(MvPointWorkload(), "mv_point"),
+              MvPointWorkload());
+}
+BENCHMARK(BM_A1_MvPoint_Advised);
+
+void BM_A1_Intersect_FixedM1(benchmark::State& state) {
+  RunWorkload(state, Figure4M1(), IntersectionWorkload());
+}
+BENCHMARK(BM_A1_Intersect_FixedM1);
+
+void BM_A1_Intersect_FixedM2(benchmark::State& state) {
+  RunWorkload(state, Figure4M2(), IntersectionWorkload());
+}
+BENCHMARK(BM_A1_Intersect_FixedM2);
+
+void BM_A1_Intersect_Advised(benchmark::State& state) {
+  RunWorkload(state, AdvisedSpecFor(IntersectionWorkload(), "intersect"),
+              IntersectionWorkload());
+}
+BENCHMARK(BM_A1_Intersect_Advised);
+
+void BM_A1_AdvisorSearchTime(benchmark::State& state) {
+  // Cost of the advisor itself (enumerate + sample + measure) at a
+  // small sample size — the background-auto-tuning price.
+  auto schema_result = MakeFigure4Schema();
+  auto schema = std::make_shared<ERSchema>(std::move(schema_result).value());
+  Workload workload = MvPointWorkload();
+  Figure4Config sample;
+  sample.num_r = 600;
+  sample.num_s = 150;
+  for (auto _ : state) {
+    auto candidates = MappingAdvisor::EnumerateCandidates(*schema, 12);
+    auto advice = MappingAdvisor::Advise(
+        schema.get(), candidates,
+        [&sample](MappedDatabase* db) { return PopulateFigure4(db, sample); },
+        workload, 1);
+    if (!advice.ok()) {
+      state.SkipWithError(advice.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(advice->best_index);
+  }
+}
+BENCHMARK(BM_A1_AdvisorSearchTime)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace erbium
+
+BENCHMARK_MAIN();

@@ -1,0 +1,149 @@
+// Experiments E1–E4 (paper Section 6, first block): multi-valued
+// attribute storage, M1 (separate side tables) vs M2 (array columns).
+//
+//   E1  all three MV attrs for all R entities   — paper: M2 ~22x faster
+//   E2  all values of one MV attr               — paper: M1 ~30% faster
+//   E3  one MV attr for a given r_id            — paper: M2 ~145x faster
+//   E4  intersect r_mv1 ∩ r_mv2 per tuple       — paper: M1 ~3.6x faster
+//       (E4 is benchmarked both as the single logical ERQL query and as
+//       the mapping-native physical plans PostgreSQL's optimizer would
+//       pick: a side-table equi-join for M1 vs array intersection for
+//       M2.)
+
+#include "bench/bench_util.h"
+#include "exec/join.h"
+
+namespace erbium {
+namespace bench {
+namespace {
+
+// ---- E1: all three multi-valued attributes for every R ---------------------
+
+void BM_E1_AllMvAttrs(benchmark::State& state, const MappingSpec& spec) {
+  RunQueryBenchmark(state, spec,
+                    "SELECT r_id, r_mv1, r_mv2, r_mv3 FROM R");
+}
+BENCHMARK_CAPTURE(BM_E1_AllMvAttrs, M1, Figure4M1());
+BENCHMARK_CAPTURE(BM_E1_AllMvAttrs, M2, Figure4M2());
+
+// ---- E2: all values of r_mv1 -------------------------------------------------
+
+void BM_E2_UnnestOneMv(benchmark::State& state, const MappingSpec& spec) {
+  RunQueryBenchmark(state, spec, "SELECT r_id, unnest(r_mv1) AS v FROM R");
+}
+BENCHMARK_CAPTURE(BM_E2_UnnestOneMv, M1, Figure4M1());
+BENCHMARK_CAPTURE(BM_E2_UnnestOneMv, M2, Figure4M2());
+
+// ---- E3: r_mv1 for a given r_id (point lookup) -------------------------------
+
+void BM_E3_PointLookup(benchmark::State& state, const MappingSpec& spec) {
+  MappedDatabase* db = GetDatabase(spec);
+  int64_t num_r = BenchConfig().num_r;
+  int64_t id = 1;
+  size_t rows = 0;
+  for (auto _ : state) {
+    // A fresh compile per iteration mirrors one application request
+    // (plan + index lookup); the id cycles to defeat caching.
+    std::string query =
+        "SELECT r_id, r_mv1 FROM R WHERE r_id = " + std::to_string(id);
+    id = id % num_r + 7;
+    auto result = erql::QueryEngine::Execute(db, query);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    rows += result->rows.size();
+  }
+  benchmark::DoNotOptimize(rows);
+}
+BENCHMARK_CAPTURE(BM_E3_PointLookup, M1, Figure4M1());
+BENCHMARK_CAPTURE(BM_E3_PointLookup, M2, Figure4M2());
+
+// The paper's 145x gap came from PostgreSQL lacking an index on the M1
+// side table ("likely due to it not being able to use an index on M1").
+// ErbiumDB indexes side tables by key, so the logical query is fast on
+// both mappings; this variant reproduces the unindexed plan PostgreSQL
+// executed — a full scan of the side table per lookup.
+void BM_E3_PointLookup_M1_NoIndex(benchmark::State& state) {
+  MappedDatabase* db = GetDatabase(Figure4M1());
+  const Table* side = db->catalog().GetTable("R_r_mv1");
+  int64_t num_r = BenchConfig().num_r;
+  int64_t id = 1;
+  for (auto _ : state) {
+    id = id % num_r + 7;
+    FilterOp scan(std::make_unique<SeqScan>(side),
+                  MakeCompare(CompareOp::kEq, MakeColumnRef(0, "r_id"),
+                              MakeLiteral(Value::Int64(id))));
+    Status st = scan.Open();
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    Row row;
+    size_t n = 0;
+    while (scan.Next(&row)) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_E3_PointLookup_M1_NoIndex);
+
+// ---- E4a: intersection, same logical ERQL query on both mappings -------------
+
+void BM_E4a_IntersectLogical(benchmark::State& state,
+                             const MappingSpec& spec) {
+  RunQueryBenchmark(
+      state, spec,
+      "SELECT r_id, array_intersect(r_mv1, r_mv2) AS common FROM R");
+}
+BENCHMARK_CAPTURE(BM_E4a_IntersectLogical, M1, Figure4M1());
+BENCHMARK_CAPTURE(BM_E4a_IntersectLogical, M2, Figure4M2());
+
+// ---- E4b: intersection with mapping-native physical plans --------------------
+// M1: equi-join of the two (r_id, value) side-table streams — no
+// unnesting, the plan PostgreSQL would choose on the normalized schema.
+// M2: scan + array_intersect, which pays the array traversal. This is
+// the form in which the paper's "M1 3.6x faster" materializes.
+
+void BM_E4b_IntersectNative_M1(benchmark::State& state) {
+  MappedDatabase* db = GetDatabase(Figure4M1());
+  for (auto _ : state) {
+    auto mv1 = db->ScanMultiValued("R", "r_mv1");
+    auto mv2 = db->ScanMultiValued("R", "r_mv2");
+    if (!mv1.ok() || !mv2.ok()) {
+      state.SkipWithError("scan failed");
+      return;
+    }
+    // Join on (r_id, value): the pairs present in both side tables.
+    std::vector<ExprPtr> keys_left{MakeColumnRef(0, "r_id"),
+                                   MakeColumnRef(1, "v")};
+    std::vector<ExprPtr> keys_right{MakeColumnRef(0, "r_id"),
+                                    MakeColumnRef(1, "v")};
+    HashJoinOp join(std::move(mv1).value(), std::move(mv2).value(),
+                    std::move(keys_left), std::move(keys_right));
+    // Drain the join directly (pairs may repeat only if side tables hold
+    // duplicates, which the generator does not produce per key).
+    Status st = join.Open();
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    Row row;
+    size_t n = 0;
+    while (join.Next(&row)) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_E4b_IntersectNative_M1);
+
+void BM_E4b_IntersectNative_M2(benchmark::State& state) {
+  RunQueryBenchmark(
+      state, Figure4M2(),
+      "SELECT r_id, array_intersect(r_mv1, r_mv2) AS common FROM R");
+}
+BENCHMARK(BM_E4b_IntersectNative_M2);
+
+}  // namespace
+}  // namespace bench
+}  // namespace erbium
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+#ifndef ERBIUM_BENCH_BENCH_UTIL_H_
+#define ERBIUM_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "erql/query_engine.h"
+#include "workload/figure4.h"
+
+namespace erbium {
+namespace bench {
+
+/// Benchmark data scale. The paper's database held ~5M rows in
+/// PostgreSQL; the in-memory engine runs the same experiments at a
+/// scaled-down size (override with ERBIUM_BENCH_SCALE=<num_r>). Ratios
+/// between mappings — the result the paper reports — are stable across
+/// scales in this range.
+inline Figure4Config BenchConfig() {
+  Figure4Config config;
+  config.num_r = 20000;
+  config.num_s = 6000;
+  config.rs_per_r = 2;
+  if (const char* scale = std::getenv("ERBIUM_BENCH_SCALE")) {
+    config.num_r = std::atoi(scale);
+    config.num_s = config.num_r * 3 / 10;
+  }
+  return config;
+}
+
+/// Databases are expensive to build; cache one per mapping per process.
+struct CachedDatabase {
+  std::shared_ptr<ERSchema> schema;
+  std::unique_ptr<MappedDatabase> db;
+};
+
+inline MappedDatabase* GetDatabase(const MappingSpec& spec) {
+  static std::map<std::string, CachedDatabase>& cache =
+      *new std::map<std::string, CachedDatabase>();
+  auto it = cache.find(spec.name);
+  if (it == cache.end()) {
+    CachedDatabase entry;
+    auto db = MakeFigure4Database(spec, BenchConfig(), &entry.schema);
+    if (!db.ok()) {
+      fprintf(stderr, "failed to build %s: %s\n", spec.name.c_str(),
+              db.status().ToString().c_str());
+      std::abort();
+    }
+    entry.db = std::move(db).value();
+    it = cache.emplace(spec.name, std::move(entry)).first;
+  }
+  return it->second.db.get();
+}
+
+/// Runs one ERQL query to completion, reporting rows/iteration.
+inline void RunQueryBenchmark(benchmark::State& state,
+                              const MappingSpec& spec,
+                              const std::string& query) {
+  MappedDatabase* db = GetDatabase(spec);
+  auto compiled = erql::QueryEngine::Compile(db, query);
+  if (!compiled.ok()) {
+    state.SkipWithError(compiled.status().ToString().c_str());
+    return;
+  }
+  size_t rows = 0;
+  for (auto _ : state) {
+    Status st = compiled->plan->Open();
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    Row row;
+    rows = 0;
+    while (compiled->plan->Next(&row)) {
+      benchmark::DoNotOptimize(row);
+      ++rows;
+    }
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+}  // namespace bench
+}  // namespace erbium
+
+#endif  // ERBIUM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,243 @@
+// Interactive ErbiumDB shell: type DDL to build an E/R schema, ERQL to
+// query, and backslash commands to inspect the system. A tiny REPL over
+// the full stack (DDL layer -> mapping -> translation -> execution),
+// handy for exploring how mappings change plans.
+//
+//   ./build/examples/erbium_shell            # empty schema, M1 mapping
+//   ./build/examples/erbium_shell --figure4  # preloaded paper schema+data
+//
+// Commands:
+//   CREATE ENTITY ... ;            extend the schema (rebuilds the DB)
+//   SELECT ... ;                   run an ERQL query
+//   INSERT <Entity> {json-ish} ;   not supported — use the C++ API
+//   \tables            list physical tables of the current mapping
+//   \mapping           show the active mapping spec (JSON)
+//   \mappings          list selectable mapping presets
+//   \remap <name>      switch mapping preset (m1..m6, m6pg) + migrate
+//   \plan SELECT ...   show the physical plan without running it
+//   \schema            dump the E/R schema
+//   \graph             dump the E/R graph as graphviz
+//   \cover             show the current mapping as a cover of the graph
+//   \quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "er/ddl_parser.h"
+#include "er/er_graph.h"
+#include "erql/query_engine.h"
+#include "evolution/evolution.h"
+#include "workload/figure4.h"
+
+namespace {
+
+using erbium::ERGraph;
+using erbium::ERSchema;
+using erbium::MappedDatabase;
+using erbium::MappingSpec;
+using erbium::Status;
+
+struct Shell {
+  std::shared_ptr<ERSchema> schema = std::make_shared<ERSchema>();
+  std::unique_ptr<MappedDatabase> db;
+  MappingSpec spec = MappingSpec::Normalized("m1");
+
+  Status Rebuild() {
+    // Re-create the database under the current schema+spec and migrate
+    // whatever data the old instance held.
+    auto fresh = MappedDatabase::Create(schema.get(), spec);
+    if (!fresh.ok()) return fresh.status();
+    if (db != nullptr) {
+      Status migrated =
+          erbium::evolution::MigrateData(db.get(), fresh->get());
+      if (!migrated.ok()) return migrated;
+    }
+    db = std::move(fresh).value();
+    return Status::OK();
+  }
+
+  MappingSpec PresetByName(const std::string& name) {
+    if (name == "m2") return erbium::Figure4M2();
+    if (name == "m3") return erbium::Figure4M3();
+    if (name == "m4") return erbium::Figure4M4();
+    if (name == "m5") return erbium::Figure4M5();
+    if (name == "m6") return erbium::Figure4M6();
+    if (name == "m6pg") return erbium::Figure4M6Pg();
+    return MappingSpec::Normalized("m1");
+  }
+
+  void HandleCommand(const std::string& line) {
+    auto starts = [&](const char* prefix) {
+      return line.rfind(prefix, 0) == 0;
+    };
+    if (starts("\\tables")) {
+      for (const auto& table : db->mapping().tables()) {
+        std::printf("  %s\n", table.ToString().c_str());
+      }
+      for (const auto& pair : db->mapping().pairs()) {
+        std::printf("  [pair] %s (left of %s)\n", pair.name.c_str(),
+                    pair.relationship.c_str());
+      }
+      return;
+    }
+    if (starts("\\mappings")) {
+      std::printf("  m1 m2 m3 m4 m5 m6 m6pg   (\\remap <name>)\n");
+      return;
+    }
+    if (starts("\\mapping")) {
+      std::printf("%s\n", db->mapping().spec().ToJson().c_str());
+      return;
+    }
+    if (starts("\\remap ")) {
+      MappingSpec next = PresetByName(line.substr(7));
+      MappingSpec old = spec;
+      spec = next;
+      Status st = Rebuild();
+      if (!st.ok()) {
+        std::printf("remap failed: %s\n", st.ToString().c_str());
+        spec = old;
+        return;
+      }
+      std::printf("remapped to %s (data migrated)\n",
+                  spec.ToString().c_str());
+      return;
+    }
+    if (starts("\\plan ")) {
+      auto compiled =
+          erbium::erql::QueryEngine::Compile(db.get(), line.substr(6));
+      if (!compiled.ok()) {
+        std::printf("%s\n", compiled.status().ToString().c_str());
+        return;
+      }
+      std::printf("%s", erbium::PrintPlan(*compiled->plan).c_str());
+      return;
+    }
+    if (starts("\\schema")) {
+      std::printf("%s", schema->ToString().c_str());
+      return;
+    }
+    if (starts("\\graph")) {
+      auto graph = ERGraph::Build(*schema);
+      if (graph.ok()) std::printf("%s", graph->ToDot().c_str());
+      return;
+    }
+    if (starts("\\cover")) {
+      auto graph = ERGraph::Build(*schema);
+      if (!graph.ok()) return;
+      auto cover = db->mapping().Cover(*graph);
+      if (!cover.ok()) {
+        std::printf("%s\n", cover.status().ToString().c_str());
+        return;
+      }
+      for (size_t i = 0; i < cover->size(); ++i) {
+        std::printf("  structure %2zu: {", i);
+        bool first = true;
+        for (int node : (*cover)[i]) {
+          std::printf("%s%s", first ? "" : ", ",
+                      graph->nodes()[node].name.c_str());
+          first = false;
+        }
+        std::printf("}\n");
+      }
+      return;
+    }
+    std::printf("unknown command: %s\n", line.c_str());
+  }
+
+  void HandleStatement(const std::string& statement) {
+    std::string lowered;
+    for (char c : statement) {
+      lowered.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+    if (lowered.rfind("create", 0) == 0) {
+      ERSchema next = *schema;
+      Status st = erbium::DdlParser::Execute(statement + ";", &next);
+      if (!st.ok()) {
+        std::printf("%s\n", st.ToString().c_str());
+        return;
+      }
+      *schema = std::move(next);
+      st = Rebuild();
+      if (!st.ok()) {
+        std::printf("rebuild failed: %s\n", st.ToString().c_str());
+        return;
+      }
+      std::printf("ok (%zu physical tables)\n",
+                  db->mapping().tables().size());
+      return;
+    }
+    if (lowered.rfind("select", 0) == 0) {
+      auto result = erbium::erql::QueryEngine::Execute(db.get(), statement);
+      if (!result.ok()) {
+        std::printf("%s\n", result.status().ToString().c_str());
+        return;
+      }
+      std::printf("%s", result->ToTable(25).c_str());
+      std::printf("(%zu rows)\n", result->rows.size());
+      return;
+    }
+    std::printf(
+        "only CREATE ... / SELECT ... statements and \\commands are "
+        "supported\n");
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  bool figure4 = argc > 1 && std::string(argv[1]) == "--figure4";
+  if (figure4) {
+    auto schema = erbium::MakeFigure4Schema();
+    if (!schema.ok()) return 1;
+    *shell.schema = std::move(schema).value();
+  }
+  Status st = shell.Rebuild();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (figure4) {
+    erbium::Figure4Config config;
+    config.num_r = 1000;
+    config.num_s = 300;
+    st = erbium::PopulateFigure4(shell.db.get(), config);
+    if (!st.ok()) return 1;
+    std::printf("Loaded the paper's Figure 4 schema with sample data.\n");
+  }
+  std::printf("ErbiumDB shell — \\tables \\mapping \\remap \\plan \\schema "
+              "\\graph \\cover \\quit; end statements with ';'\n");
+  std::string buffer;
+  std::string line;
+  std::printf("erbium> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    if (!line.empty() && line[0] == '\\') {
+      if (line.rfind("\\quit", 0) == 0 || line.rfind("\\q", 0) == 0) break;
+      shell.HandleCommand(line);
+      std::printf("erbium> ");
+      std::fflush(stdout);
+      continue;
+    }
+    buffer += line;
+    buffer += "\n";
+    size_t semi = buffer.find(';');
+    while (semi != std::string::npos) {
+      std::string statement = buffer.substr(0, semi);
+      buffer.erase(0, semi + 1);
+      // Trim.
+      size_t begin = statement.find_first_not_of(" \t\r\n");
+      if (begin != std::string::npos) {
+        statement = statement.substr(begin);
+        shell.HandleStatement(statement);
+      }
+      semi = buffer.find(';');
+    }
+    std::printf("erbium> ");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Data-governance walkthrough (paper Section 1.1(2)): PII tagging in
+// the DDL, GDPR-style subject access (export everything about a person)
+// and subject erasure (delete everything about a person) as single
+// entity-centric operations — regardless of how many physical tables
+// the mapping scattered the data over.
+//
+// Build & run:  cmake --build build && ./build/examples/governance
+
+#include <cstdio>
+
+#include "api/entity_store.h"
+#include "er/ddl_parser.h"
+#include "erql/query_engine.h"
+#include "mapping/database.h"
+
+namespace {
+
+const char* kDdl = R"(
+CREATE ENTITY Customer (
+  customer_id INT KEY,
+  name STRING NOT NULL PII DESCRIPTION 'legal name',
+  email STRING PII,
+  phone STRING MULTIVALUED PII,
+  segment STRING DESCRIPTION 'marketing segment, not personal data'
+);
+CREATE WEAK ENTITY Address OWNED BY Customer (
+  addr_no INT PARTIAL KEY,
+  street STRING PII,
+  city STRING PII,
+  country STRING
+);
+CREATE ENTITY Product ( sku STRING KEY, title STRING );
+CREATE RELATIONSHIP purchased
+  BETWEEN Customer (MANY) AND Product (MANY) WITH ( quantity INT );
+)";
+
+using erbium::EntityStore;
+using erbium::MappedDatabase;
+using erbium::MappingSpec;
+using erbium::Value;
+
+Value I(int64_t v) { return Value::Int64(v); }
+Value S(const char* s) { return Value::String(s); }
+
+}  // namespace
+
+int main() {
+  erbium::ERSchema schema;
+  erbium::Status st = erbium::DdlParser::Execute(kDdl, &schema);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto db = MappedDatabase::Create(&schema, MappingSpec::Normalized());
+  if (!db.ok()) return 1;
+  EntityStore store(db->get());
+
+  // ---- Load a little data ------------------------------------------------
+  st = store.Put("Customer",
+                 Value::Struct({{"customer_id", I(1)},
+                                {"name", S("Ada Lovelace")},
+                                {"email", S("ada@example.org")},
+                                {"phone", Value::Array({S("555-0100"),
+                                                        S("555-0101")})},
+                                {"segment", S("premium")}}));
+  if (!st.ok()) return 1;
+  st = store.Put("Customer",
+                 Value::Struct({{"customer_id", I(2)},
+                                {"name", S("Charles Babbage")},
+                                {"email", S("cb@example.org")},
+                                {"segment", S("standard")}}));
+  if (!st.ok()) return 1;
+  for (int addr = 1; addr <= 2; ++addr) {
+    st = store.Put("Address",
+                   Value::Struct({{"customer_id", I(1)},
+                                  {"addr_no", I(addr)},
+                                  {"street", S(addr == 1 ? "12 Analytical Way"
+                                                         : "1 Engine Court")},
+                                  {"city", S("London")},
+                                  {"country", S("UK")}}));
+    if (!st.ok()) return 1;
+  }
+  for (const char* sku : {"B-0001", "B-0002"}) {
+    st = store.Put("Product", Value::Struct({{"sku", S(sku)},
+                                             {"title", S("Brass Gear")}}));
+    if (!st.ok()) return 1;
+  }
+  st = db->get()->InsertRelationship("purchased", {I(1)}, {S("B-0001")},
+                                     Value::Struct({{"quantity", I(3)}}));
+  if (!st.ok()) return 1;
+  st = db->get()->InsertRelationship("purchased", {I(1)}, {S("B-0002")},
+                                     Value::Struct({{"quantity", I(1)}}));
+  if (!st.ok()) return 1;
+
+  // ---- PII inventory -------------------------------------------------------
+  auto pii = store.PiiAttributes("Customer");
+  std::printf("PII attributes of Customer:");
+  for (const std::string& name : *pii) std::printf(" %s", name.c_str());
+  std::printf("\n\n");
+
+  // ---- Subject access request (GDPR Art. 15) -------------------------------
+  auto exported = store.ExportSubject("Customer", {I(1)});
+  if (!exported.ok()) return 1;
+  std::printf("Subject export for customer 1 (JSON):\n%s\n\n",
+              erbium::ToJson(*exported).c_str());
+
+  // ---- Redacted view for non-privileged consumers ---------------------------
+  auto entity = store.Get("Customer", {I(1)});
+  auto redacted = store.Redact("Customer", *entity);
+  std::printf("Redacted view:\n%s\n\n", erbium::ToJson(*redacted).c_str());
+
+  // ---- Subject erasure (GDPR Art. 17) ---------------------------------------
+  // One call removes the customer row(s), the multi-valued phone rows,
+  // both addresses (weak entities), and all purchase edges.
+  st = store.EraseSubject("Customer", {I(1)});
+  if (!st.ok()) return 1;
+  std::printf("Erased customer 1. Verifying...\n");
+  auto gone = store.Get("Customer", {I(1)});
+  std::printf("  Get(Customer, 1): %s\n", gone.status().ToString().c_str());
+  auto remaining = erbium::erql::QueryEngine::Execute(
+      db->get(), "SELECT customer_id, addr_no FROM Address");
+  std::printf("  remaining addresses: %zu\n", remaining->rows.size());
+  auto purchases = db->get()->CountRelationships("purchased");
+  std::printf("  remaining purchase edges: %zu\n", *purchases);
+  auto others = erbium::erql::QueryEngine::Execute(
+      db->get(), "SELECT customer_id, name FROM Customer");
+  std::printf("  other customers untouched:\n%s\n",
+              others->ToTable().c_str());
+  return 0;
+}

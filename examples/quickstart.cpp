@@ -1,0 +1,252 @@
+// Quickstart: the paper's Figure 1 end to end.
+//
+//   1. Define the university E/R schema (entities, a specialization,
+//      a weak entity set, relationships) with the DDL of Figure 1(ii).
+//   2. Create a database under the fully-normalized mapping, load data.
+//   3. Run ERQL queries, including the Figure 1(iii)-style query with a
+//      relationship join, an aggregate with inferred GROUP BY, and a
+//      hierarchical (nested) output.
+//   4. Switch the physical mapping and re-run the SAME queries — the
+//      logical-data-independence demonstration.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "er/ddl_parser.h"
+#include "erql/query_engine.h"
+#include "mapping/database.h"
+
+namespace {
+
+const char* kDdl = R"(
+CREATE ENTITY Person (
+  id INT KEY,
+  name STRING NOT NULL PII,
+  address STRUCT(street STRING, city STRING, zip STRING) PII,
+  phone STRING MULTIVALUED PII
+);
+CREATE ENTITY Instructor EXTENDS Person ( rank STRING, salary FLOAT )
+  SPECIALIZATION (PARTIAL, DISJOINT);
+CREATE ENTITY Student EXTENDS Person ( tot_credits INT );
+CREATE ENTITY Course ( course_id STRING KEY, title STRING, credits INT );
+CREATE WEAK ENTITY Section OWNED BY Course (
+  sec_id STRING PARTIAL KEY, semester STRING PARTIAL KEY, year INT
+);
+CREATE RELATIONSHIP advisor
+  BETWEEN Instructor (ONE) AND Student (MANY) WITH ( since INT );
+CREATE RELATIONSHIP takes BETWEEN Student (MANY) AND Section (MANY)
+  WITH ( grade STRING );
+)";
+
+using erbium::Cardinality;
+using erbium::ERSchema;
+using erbium::IndexKey;
+using erbium::MappedDatabase;
+using erbium::MappingSpec;
+using erbium::Status;
+using erbium::Value;
+
+#define CHECK_OK(expr)                                             \
+  do {                                                             \
+    ::erbium::Status _st = (expr);                                 \
+    if (!_st.ok()) {                                               \
+      std::fprintf(stderr, "FAILED: %s\n", _st.ToString().c_str()); \
+      return 1;                                                    \
+    }                                                              \
+  } while (0)
+
+Value Str(const char* s) { return Value::String(s); }
+Value I(int64_t v) { return Value::Int64(v); }
+
+int Populate(MappedDatabase* db) {
+  // People: two instructors, three students.
+  struct PersonRow {
+    int64_t id;
+    const char* cls;
+    const char* name;
+    const char* city;
+    std::vector<const char*> phones;
+    const char* rank;        // instructors
+    double salary;
+    int64_t credits;         // students
+  };
+  const PersonRow people[] = {
+      {1, "Instructor", "Katz", "Storrs", {"555-0101"}, "Professor",
+       125000, 0},
+      {2, "Instructor", "Srinivasan", "Hartford", {"555-0102", "555-0103"},
+       "Associate", 95000, 0},
+      {3, "Student", "Shankar", "Storrs", {"555-0201"}, nullptr, 0, 32},
+      {4, "Student", "Zhang", "Mansfield", {}, nullptr, 0, 102},
+      {5, "Student", "Brown", "Storrs", {"555-0203"}, nullptr, 0, 80},
+  };
+  for (const PersonRow& p : people) {
+    Value::StructData fields;
+    fields.emplace_back("id", I(p.id));
+    fields.emplace_back("name", Str(p.name));
+    fields.emplace_back(
+        "address", Value::Struct({{"street", Str("1 Main St")},
+                                  {"city", Str(p.city)},
+                                  {"zip", Str("06269")}}));
+    Value::ArrayData phones;
+    for (const char* phone : p.phones) phones.push_back(Str(phone));
+    fields.emplace_back("phone", Value::Array(std::move(phones)));
+    if (p.rank != nullptr) {
+      fields.emplace_back("rank", Str(p.rank));
+      fields.emplace_back("salary", Value::Float64(p.salary));
+    } else {
+      fields.emplace_back("tot_credits", I(p.credits));
+    }
+    Status st = db->InsertEntity(p.cls, Value::Struct(std::move(fields)));
+    if (!st.ok()) {
+      std::fprintf(stderr, "insert: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  // Courses and sections.
+  Status st = db->InsertEntity(
+      "Course", Value::Struct({{"course_id", Str("CS-101")},
+                               {"title", Str("Intro to Databases")},
+                               {"credits", I(4)}}));
+  if (!st.ok()) return 1;
+  st = db->InsertEntity(
+      "Course", Value::Struct({{"course_id", Str("CS-347")},
+                               {"title", Str("Transaction Processing")},
+                               {"credits", I(3)}}));
+  if (!st.ok()) return 1;
+  for (const char* course : {"CS-101", "CS-347"}) {
+    st = db->InsertEntity(
+        "Section", Value::Struct({{"course_id", Str(course)},
+                                  {"sec_id", Str("1")},
+                                  {"semester", Str("Fall")},
+                                  {"year", I(2025)}}));
+    if (!st.ok()) return 1;
+  }
+  // Advising (1:N) and enrollment (M:N with a grade).
+  if (!db->InsertRelationship("advisor", {I(1)}, {I(3)},
+                              Value::Struct({{"since", I(2023)}}))
+           .ok() ||
+      !db->InsertRelationship("advisor", {I(1)}, {I(4)},
+                              Value::Struct({{"since", I(2024)}}))
+           .ok() ||
+      !db->InsertRelationship("advisor", {I(2)}, {I(5)},
+                              Value::Struct({{"since", I(2022)}}))
+           .ok()) {
+    return 1;
+  }
+  const struct {
+    int64_t student;
+    const char* course;
+    const char* grade;
+  } enrollments[] = {{3, "CS-101", "A"},  {3, "CS-347", "B+"},
+                     {4, "CS-101", "A-"}, {5, "CS-347", "B"}};
+  for (const auto& e : enrollments) {
+    st = db->InsertRelationship(
+        "takes", {I(e.student)},
+        {Str(e.course), Str("1"), Str("Fall")},
+        Value::Struct({{"grade", Str(e.grade)}}));
+    if (!st.ok()) {
+      std::fprintf(stderr, "takes: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int RunQueries(MappedDatabase* db, const char* label) {
+  std::printf("==== queries under mapping: %s ====\n\n", label);
+  const char* queries[] = {
+      // Figure 1(iii) flavour: relationship join + aggregate with the
+      // GROUP BY inferred from the select list.
+      "SELECT i.name, count(*) AS advisees, avg(s.tot_credits) AS "
+      "avg_credits FROM Instructor i JOIN Student s ON advisor",
+      // Multi-valued attribute access.
+      "SELECT name, phone FROM Person WHERE id = 2",
+      // Hierarchical output: each student's enrollments nested as an
+      // array of (course, grade) structs.
+      "SELECT s.name, array_agg(struct(course: sec.course_id, grade: "
+      "grade)) AS enrollment FROM Student s JOIN Section sec ON takes",
+      // Weak entity access through the identifying relationship.
+      "SELECT c.title, sec.sec_id, sec.semester FROM Course c "
+      "JOIN Section sec ON Course_Section",
+  };
+  for (const char* query : queries) {
+    std::printf("erql> %s\n", query);
+    auto result = erbium::erql::QueryEngine::Execute(db, query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", result->ToTable().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  ERSchema schema;
+  CHECK_OK(erbium::DdlParser::Execute(kDdl, &schema));
+  std::printf("Parsed schema:\n%s\n", schema.ToString().c_str());
+
+  // 1) Fully normalized mapping (the classic relational design).
+  auto normalized =
+      MappedDatabase::Create(&schema, MappingSpec::Normalized("normalized"));
+  if (!normalized.ok()) {
+    std::fprintf(stderr, "%s\n", normalized.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Physical tables under the normalized mapping:\n");
+  for (const auto& table : (*normalized)->mapping().tables()) {
+    std::printf("  %s\n", table.ToString().c_str());
+  }
+  std::printf("\n");
+  if (Populate(normalized->get()) != 0) return 1;
+  if (RunQueries(normalized->get(), "normalized") != 0) return 1;
+
+  // Show a physical plan to make the translation tangible.
+  auto compiled = erbium::erql::QueryEngine::Compile(
+      normalized->get(),
+      "SELECT i.name, count(*) AS advisees FROM Instructor i JOIN Student "
+      "s ON advisor");
+  if (compiled.ok()) {
+    std::printf("physical plan under 'normalized':\n%s\n",
+                erbium::PrintPlan(*compiled->plan).c_str());
+  }
+
+  // 2) A document-flavoured mapping: arrays for multi-valued attributes,
+  //    the hierarchy in one table, sections folded into courses. The
+  //    SAME DDL and the SAME queries keep working.
+  MappingSpec document;
+  document.name = "document_style";
+  document.default_multi_valued = erbium::MultiValuedStorage::kArray;
+  document.hierarchy_overrides["Person"] =
+      erbium::HierarchyStorage::kSingleTable;
+  document.weak_overrides["Section"] =
+      erbium::WeakEntityStorage::kFoldedArray;
+  auto doc_db = MappedDatabase::Create(&schema, document);
+  if (!doc_db.ok()) {
+    std::fprintf(stderr, "%s\n", doc_db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Physical tables under the document-style mapping:\n");
+  for (const auto& table : (*doc_db)->mapping().tables()) {
+    std::printf("  %s\n", table.ToString().c_str());
+  }
+  std::printf("\n");
+  if (Populate(doc_db->get()) != 0) return 1;
+  if (RunQueries(doc_db->get(), "document_style") != 0) return 1;
+
+  compiled = erbium::erql::QueryEngine::Compile(
+      doc_db->get(),
+      "SELECT i.name, count(*) AS advisees FROM Instructor i JOIN Student "
+      "s ON advisor");
+  if (compiled.ok()) {
+    std::printf("physical plan under 'document_style':\n%s\n",
+                erbium::PrintPlan(*compiled->plan).c_str());
+  }
+  std::printf(
+      "Same schema, same queries, two very different physical layouts.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+#ifndef ERBIUM_API_ENTITY_STORE_H_
+#define ERBIUM_API_ENTITY_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "mapping/database.h"
+
+namespace erbium {
+
+/// Renders a Value as JSON (structs as objects, arrays as arrays, string
+/// escaping per RFC 8259). The serialization layer of the paper's
+/// RESTful API plans (Section 5) without the network stack.
+std::string ToJson(const Value& v);
+
+/// Entity-centric application-facing facade (paper Figure 3's API layer):
+/// nested-document CRUD over the E/R model plus the data-governance
+/// operations of Section 1.1(2) — PII tagging, subject export (GDPR
+/// access requests), and subject erasure (GDPR deletion) — which are
+/// single calls here because the model is entity-centric, independent of
+/// how many physical tables the mapping spread the data over.
+class EntityStore {
+ public:
+  explicit EntityStore(MappedDatabase* db) : db_(db) {}
+
+  // ---- CRUD -------------------------------------------------------------
+
+  /// Inserts an entity given as a nested struct (multi-valued attributes
+  /// as arrays, composites as structs; weak entities include the owner
+  /// key fields).
+  Status Put(const std::string& class_name, const Value& entity);
+
+  /// The entity's attributes as a struct (includes "_class").
+  Result<Value> Get(const std::string& class_name, const IndexKey& key);
+
+  /// Like Get, but with owned weak entities nested as arrays of structs
+  /// and relationship partners listed per relationship (one hop).
+  Result<Value> GetExpanded(const std::string& class_name,
+                            const IndexKey& key);
+
+  Result<std::string> GetJson(const std::string& class_name,
+                              const IndexKey& key);
+
+  Status Delete(const std::string& class_name, const IndexKey& key);
+
+  // ---- Governance --------------------------------------------------------
+
+  /// Attributes visible on the class that are tagged PII (inherited
+  /// attributes included).
+  Result<std::vector<std::string>> PiiAttributes(
+      const std::string& class_name) const;
+
+  /// GDPR access request: everything held about the subject — the
+  /// expanded entity plus PII annotations.
+  Result<Value> ExportSubject(const std::string& class_name,
+                              const IndexKey& key);
+
+  /// GDPR erasure: removes the entity, its weak entities, and all its
+  /// relationship instances in one entity-centric operation.
+  Status EraseSubject(const std::string& class_name, const IndexKey& key);
+
+  /// Returns a copy of an entity struct with PII attribute values
+  /// replaced by null (for non-privileged consumers).
+  Result<Value> Redact(const std::string& class_name,
+                       const Value& entity) const;
+
+ private:
+  MappedDatabase* db_;
+};
+
+}  // namespace erbium
+
+#endif  // ERBIUM_API_ENTITY_STORE_H_

@@ -1,0 +1,130 @@
+#ifndef ERBIUM_COMMON_STATUS_H_
+#define ERBIUM_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace erbium {
+
+/// Error categories used across the library. Mirrors the coarse error
+/// taxonomy of embedded database engines: the category tells the caller
+/// whether the failure is a usage error (InvalidArgument), a schema/query
+/// analysis error, a constraint violation, or an internal invariant breach.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kConstraintViolation,
+  kParseError,
+  kAnalysisError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A Status carries either success (OK) or an error code plus message.
+/// This library does not throw exceptions across API boundaries; every
+/// fallible operation returns Status or Result<T>.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status AnalysisError(std::string msg) {
+    return Status(StatusCode::kAnalysisError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or an error Status. Modeled after
+/// arrow::Result; accessors on an error Result are programming errors and
+/// abort in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error Status keeps call
+  /// sites terse (`return value;` / `return Status::...;`).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOkStatus = Status::OK();
+    if (ok()) return kOkStatus;
+    return std::get<Status>(data_);
+  }
+
+  T& value() & { return std::get<T>(data_); }
+  const T& value() const& { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK Status from an expression, RETURN_NOT_OK(expr).
+#define ERBIUM_RETURN_NOT_OK(expr)                   \
+  do {                                               \
+    ::erbium::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// assigns the value to `lhs`.
+#define ERBIUM_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                 \
+  if (!var.ok()) return var.status();                 \
+  lhs = std::move(var).value()
+
+#define ERBIUM_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define ERBIUM_ASSIGN_OR_RETURN_NAME(x, y) ERBIUM_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define ERBIUM_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  ERBIUM_ASSIGN_OR_RETURN_IMPL(                                              \
+      ERBIUM_ASSIGN_OR_RETURN_NAME(_erbium_result_, __COUNTER__), lhs, rexpr)
+
+}  // namespace erbium
+
+#endif  // ERBIUM_COMMON_STATUS_H_

@@ -1,0 +1,155 @@
+#include "common/type.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace erbium {
+
+const char* TypeKindToString(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kNull:
+      return "null";
+    case TypeKind::kBool:
+      return "bool";
+    case TypeKind::kInt64:
+      return "int64";
+    case TypeKind::kFloat64:
+      return "float64";
+    case TypeKind::kString:
+      return "string";
+    case TypeKind::kArray:
+      return "array";
+    case TypeKind::kStruct:
+      return "struct";
+  }
+  return "unknown";
+}
+
+namespace {
+
+TypePtr MakeScalar(TypeKind kind) { return std::make_shared<Type>(kind); }
+
+}  // namespace
+
+TypePtr Type::Null() {
+  static const TypePtr kType = MakeScalar(TypeKind::kNull);
+  return kType;
+}
+
+TypePtr Type::Bool() {
+  static const TypePtr kType = MakeScalar(TypeKind::kBool);
+  return kType;
+}
+
+TypePtr Type::Int64() {
+  static const TypePtr kType = MakeScalar(TypeKind::kInt64);
+  return kType;
+}
+
+TypePtr Type::Float64() {
+  static const TypePtr kType = MakeScalar(TypeKind::kFloat64);
+  return kType;
+}
+
+TypePtr Type::String() {
+  static const TypePtr kType = MakeScalar(TypeKind::kString);
+  return kType;
+}
+
+TypePtr Type::Array(TypePtr element) {
+  auto type = std::make_shared<Type>(TypeKind::kArray);
+  type->element_ = std::move(element);
+  return type;
+}
+
+TypePtr Type::Struct(std::vector<Field> fields) {
+  auto type = std::make_shared<Type>(TypeKind::kStruct);
+  type->fields_ = std::move(fields);
+  return type;
+}
+
+int Type::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Type::Equals(const Type& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case TypeKind::kArray:
+      return TypeEquals(element_, other.element_);
+    case TypeKind::kStruct: {
+      if (fields_.size() != other.fields_.size()) return false;
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (fields_[i].name != other.fields_[i].name) return false;
+        if (!TypeEquals(fields_[i].type, other.fields_[i].type)) return false;
+      }
+      return true;
+    }
+    default:
+      return true;
+  }
+}
+
+std::string Type::ToString() const {
+  switch (kind_) {
+    case TypeKind::kArray:
+      return "array<" + (element_ ? element_->ToString() : "?") + ">";
+    case TypeKind::kStruct: {
+      std::string out = "struct<";
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += fields_[i].name + ": " +
+               (fields_[i].type ? fields_[i].type->ToString() : "?");
+      }
+      out += ">";
+      return out;
+    }
+    default:
+      return TypeKindToString(kind_);
+  }
+}
+
+bool TypeEquals(const TypePtr& a, const TypePtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  return a->Equals(*b);
+}
+
+Result<TypePtr> ParseTypeName(const std::string& name) {
+  std::string lower(name.size(), '\0');
+  std::transform(name.begin(), name.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  // Trim whitespace.
+  size_t begin = lower.find_first_not_of(" \t");
+  size_t end = lower.find_last_not_of(" \t");
+  if (begin == std::string::npos) {
+    return Status::ParseError("empty type name");
+  }
+  lower = lower.substr(begin, end - begin + 1);
+
+  if (lower == "int" || lower == "int64" || lower == "bigint" ||
+      lower == "integer") {
+    return Type::Int64();
+  }
+  if (lower == "float" || lower == "float64" || lower == "double" ||
+      lower == "real") {
+    return Type::Float64();
+  }
+  if (lower == "string" || lower == "text" || lower == "varchar") {
+    return Type::String();
+  }
+  if (lower == "bool" || lower == "boolean") {
+    return Type::Bool();
+  }
+  if (lower.rfind("array<", 0) == 0 && lower.back() == '>') {
+    std::string inner = lower.substr(6, lower.size() - 7);
+    ERBIUM_ASSIGN_OR_RETURN(TypePtr element, ParseTypeName(inner));
+    return Type::Array(std::move(element));
+  }
+  return Status::ParseError("unknown type name: " + name);
+}
+
+}  // namespace erbium

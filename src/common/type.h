@@ -1,0 +1,91 @@
+#ifndef ERBIUM_COMMON_TYPE_H_
+#define ERBIUM_COMMON_TYPE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace erbium {
+
+/// Physical/logical type kinds. Array and Struct nest recursively, which
+/// is what lets a single type system describe 1NF columns, array columns
+/// (multi-valued attributes), and composite values (composite attributes,
+/// folded weak entities, and hierarchical query outputs).
+enum class TypeKind {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kFloat64,
+  kString,
+  kArray,   // element_type()
+  kStruct,  // fields()
+};
+
+const char* TypeKindToString(TypeKind kind);
+
+class Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+/// A named field of a struct type.
+struct Field {
+  std::string name;
+  TypePtr type;
+};
+
+/// Immutable type descriptor. Construct through the factory functions
+/// (Type::Int64(), Type::Array(...), ...); scalar types are interned.
+class Type {
+ public:
+  static TypePtr Null();
+  static TypePtr Bool();
+  static TypePtr Int64();
+  static TypePtr Float64();
+  static TypePtr String();
+  static TypePtr Array(TypePtr element);
+  static TypePtr Struct(std::vector<Field> fields);
+
+  TypeKind kind() const { return kind_; }
+  bool is_scalar() const {
+    return kind_ != TypeKind::kArray && kind_ != TypeKind::kStruct;
+  }
+  bool is_numeric() const {
+    return kind_ == TypeKind::kInt64 || kind_ == TypeKind::kFloat64;
+  }
+
+  /// For kArray: the element type. Null for other kinds.
+  const TypePtr& element_type() const { return element_; }
+
+  /// For kStruct: the ordered fields. Empty for other kinds.
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// For kStruct: index of a field by name, or -1.
+  int FieldIndex(const std::string& name) const;
+
+  /// Structural equality.
+  bool Equals(const Type& other) const;
+
+  /// "int64", "array<string>", "struct<a: int64, b: array<float64>>".
+  std::string ToString() const;
+
+  // Public only for std::make_shared inside the factories; use the static
+  // factory functions instead of constructing directly.
+  explicit Type(TypeKind kind) : kind_(kind) {}
+
+ private:
+  TypeKind kind_;
+  TypePtr element_;
+  std::vector<Field> fields_;
+};
+
+/// Structural equality on shared type pointers (either may be null).
+bool TypeEquals(const TypePtr& a, const TypePtr& b);
+
+/// Parses a type name as used by the DDL: "int", "int64", "float", "string",
+/// "bool", "text", plus "array<...>" recursively.
+Result<TypePtr> ParseTypeName(const std::string& name);
+
+}  // namespace erbium
+
+#endif  // ERBIUM_COMMON_TYPE_H_

@@ -1,0 +1,247 @@
+#include "er/ddl_parser.h"
+
+#include "common/lexer.h"
+#include "common/string_util.h"
+
+namespace erbium {
+
+namespace {
+
+/// Parses a type: scalar name or STRUCT(field type, ...).
+Result<TypePtr> ParseType(TokenStream* ts) {
+  if (ts->ConsumeKeyword("struct")) {
+    ERBIUM_RETURN_NOT_OK(ts->ExpectSymbol("("));
+    std::vector<Field> fields;
+    while (true) {
+      ERBIUM_ASSIGN_OR_RETURN(std::string field_name,
+                              ts->ExpectIdentifier("struct field name"));
+      ERBIUM_ASSIGN_OR_RETURN(TypePtr field_type, ParseType(ts));
+      fields.push_back(Field{std::move(field_name), std::move(field_type)});
+      if (ts->ConsumeSymbol(",")) continue;
+      ERBIUM_RETURN_NOT_OK(ts->ExpectSymbol(")"));
+      break;
+    }
+    return Type::Struct(std::move(fields));
+  }
+  ERBIUM_ASSIGN_OR_RETURN(std::string name, ts->ExpectIdentifier("type name"));
+  return ParseTypeName(name);
+}
+
+struct ParsedAttribute {
+  AttributeDef def;
+  bool key = false;
+  bool partial_key = false;
+};
+
+/// Parses one attribute declaration:
+///   name type [MULTIVALUED] [KEY | PARTIAL KEY] [NOT NULL] [PII]
+///   [DESCRIPTION '<text>']
+Result<ParsedAttribute> ParseAttribute(TokenStream* ts) {
+  ParsedAttribute out;
+  ERBIUM_ASSIGN_OR_RETURN(out.def.name,
+                          ts->ExpectIdentifier("attribute name"));
+  ERBIUM_ASSIGN_OR_RETURN(out.def.type, ParseType(ts));
+  while (true) {
+    if (ts->ConsumeKeyword("multivalued")) {
+      out.def.multi_valued = true;
+      continue;
+    }
+    if (ts->ConsumeKeyword("key")) {
+      out.key = true;
+      out.def.nullable = false;
+      continue;
+    }
+    if (ts->ConsumeKeyword("partial")) {
+      ERBIUM_RETURN_NOT_OK(ts->ExpectKeyword("key"));
+      out.partial_key = true;
+      out.def.nullable = false;
+      continue;
+    }
+    if (ts->ConsumeKeyword("not")) {
+      ERBIUM_RETURN_NOT_OK(ts->ExpectKeyword("null"));
+      out.def.nullable = false;
+      continue;
+    }
+    if (ts->ConsumeKeyword("pii")) {
+      out.def.pii = true;
+      continue;
+    }
+    if (ts->ConsumeKeyword("description")) {
+      if (ts->Peek().kind != TokenKind::kString) {
+        return ts->ErrorHere("expected string literal after DESCRIPTION");
+      }
+      out.def.description = ts->Advance().text;
+      continue;
+    }
+    break;
+  }
+  return out;
+}
+
+/// Parses "( attr decls )" into an entity/relationship attribute list.
+Status ParseAttributeList(TokenStream* ts, std::vector<AttributeDef>* attrs,
+                          std::vector<std::string>* keys,
+                          std::vector<std::string>* partial_keys) {
+  ERBIUM_RETURN_NOT_OK(ts->ExpectSymbol("("));
+  while (true) {
+    ERBIUM_ASSIGN_OR_RETURN(ParsedAttribute attr, ParseAttribute(ts));
+    if (attr.key) {
+      if (keys == nullptr) {
+        return Status::ParseError("KEY not allowed here (attribute " +
+                                  attr.def.name + ")");
+      }
+      keys->push_back(attr.def.name);
+    }
+    if (attr.partial_key) {
+      if (partial_keys == nullptr) {
+        return Status::ParseError("PARTIAL KEY not allowed here (attribute " +
+                                  attr.def.name + ")");
+      }
+      partial_keys->push_back(attr.def.name);
+    }
+    attrs->push_back(std::move(attr.def));
+    if (ts->ConsumeSymbol(",")) continue;
+    ERBIUM_RETURN_NOT_OK(ts->ExpectSymbol(")"));
+    break;
+  }
+  return Status::OK();
+}
+
+Status ParseCreateEntity(TokenStream* ts, bool weak, ERSchema* schema) {
+  EntitySetDef def;
+  def.weak = weak;
+  ERBIUM_ASSIGN_OR_RETURN(def.name, ts->ExpectIdentifier("entity set name"));
+  if (ts->ConsumeKeyword("extends")) {
+    ERBIUM_ASSIGN_OR_RETURN(def.parent,
+                            ts->ExpectIdentifier("parent entity set name"));
+  }
+  if (weak) {
+    ERBIUM_RETURN_NOT_OK(ts->ExpectKeyword("owned"));
+    ERBIUM_RETURN_NOT_OK(ts->ExpectKeyword("by"));
+    ERBIUM_ASSIGN_OR_RETURN(def.owner,
+                            ts->ExpectIdentifier("owner entity set name"));
+  }
+  ERBIUM_RETURN_NOT_OK(ParseAttributeList(ts, &def.attributes, &def.key,
+                                          &def.partial_key));
+  SpecializationConstraint spec;
+  bool has_spec = false;
+  while (true) {
+    if (ts->ConsumeKeyword("specialization")) {
+      has_spec = true;
+      ERBIUM_RETURN_NOT_OK(ts->ExpectSymbol("("));
+      while (true) {
+        if (ts->ConsumeKeyword("total")) {
+          spec.total = true;
+        } else if (ts->ConsumeKeyword("partial")) {
+          spec.total = false;
+        } else if (ts->ConsumeKeyword("disjoint")) {
+          spec.disjoint = true;
+        } else if (ts->ConsumeKeyword("overlapping")) {
+          spec.disjoint = false;
+        } else {
+          return ts->ErrorHere(
+              "expected TOTAL, PARTIAL, DISJOINT, or OVERLAPPING");
+        }
+        if (ts->ConsumeSymbol(",")) continue;
+        ERBIUM_RETURN_NOT_OK(ts->ExpectSymbol(")"));
+        break;
+      }
+      continue;
+    }
+    if (ts->ConsumeKeyword("description")) {
+      if (ts->Peek().kind != TokenKind::kString) {
+        return ts->ErrorHere("expected string literal after DESCRIPTION");
+      }
+      def.description = ts->Advance().text;
+      continue;
+    }
+    break;
+  }
+  std::string parent = def.parent;
+  ERBIUM_RETURN_NOT_OK(schema->AddEntitySet(std::move(def)));
+  if (has_spec) {
+    EntitySetDef* target =
+        parent.empty() ? nullptr : schema->MutableEntitySet(parent);
+    if (target == nullptr) {
+      return Status::ParseError(
+          "SPECIALIZATION clause requires EXTENDS (it annotates the parent)");
+    }
+    target->specialization = spec;
+  }
+  return Status::OK();
+}
+
+Result<Participant> ParseParticipant(TokenStream* ts) {
+  Participant p;
+  ERBIUM_ASSIGN_OR_RETURN(p.entity, ts->ExpectIdentifier("entity set name"));
+  if (ts->ConsumeKeyword("as")) {
+    ERBIUM_ASSIGN_OR_RETURN(p.role, ts->ExpectIdentifier("role name"));
+  }
+  ERBIUM_RETURN_NOT_OK(ts->ExpectSymbol("("));
+  if (ts->ConsumeKeyword("one")) {
+    p.cardinality = Cardinality::kOne;
+  } else if (ts->ConsumeKeyword("many")) {
+    p.cardinality = Cardinality::kMany;
+  } else {
+    return ts->ErrorHere("expected ONE or MANY");
+  }
+  if (ts->ConsumeSymbol(",")) {
+    ERBIUM_RETURN_NOT_OK(ts->ExpectKeyword("total"));
+    p.total = true;
+  }
+  ERBIUM_RETURN_NOT_OK(ts->ExpectSymbol(")"));
+  return p;
+}
+
+Status ParseCreateRelationship(TokenStream* ts, ERSchema* schema) {
+  RelationshipSetDef def;
+  ERBIUM_ASSIGN_OR_RETURN(def.name,
+                          ts->ExpectIdentifier("relationship set name"));
+  ERBIUM_RETURN_NOT_OK(ts->ExpectKeyword("between"));
+  ERBIUM_ASSIGN_OR_RETURN(def.left, ParseParticipant(ts));
+  ERBIUM_RETURN_NOT_OK(ts->ExpectKeyword("and"));
+  ERBIUM_ASSIGN_OR_RETURN(def.right, ParseParticipant(ts));
+  if (ts->ConsumeKeyword("with")) {
+    ERBIUM_RETURN_NOT_OK(
+        ParseAttributeList(ts, &def.attributes, nullptr, nullptr));
+  }
+  if (ts->ConsumeKeyword("description")) {
+    if (ts->Peek().kind != TokenKind::kString) {
+      return ts->ErrorHere("expected string literal after DESCRIPTION");
+    }
+    def.description = ts->Advance().text;
+  }
+  return schema->AddRelationshipSet(std::move(def));
+}
+
+Status ParseStatement(TokenStream* ts, ERSchema* schema) {
+  ERBIUM_RETURN_NOT_OK(ts->ExpectKeyword("create"));
+  if (ts->ConsumeKeyword("entity")) {
+    return ParseCreateEntity(ts, /*weak=*/false, schema);
+  }
+  if (ts->ConsumeKeyword("weak")) {
+    ERBIUM_RETURN_NOT_OK(ts->ExpectKeyword("entity"));
+    return ParseCreateEntity(ts, /*weak=*/true, schema);
+  }
+  if (ts->ConsumeKeyword("relationship")) {
+    return ParseCreateRelationship(ts, schema);
+  }
+  return ts->ErrorHere("expected ENTITY, WEAK ENTITY, or RELATIONSHIP");
+}
+
+}  // namespace
+
+Status DdlParser::Execute(const std::string& ddl, ERSchema* schema) {
+  ERBIUM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer::Tokenize(ddl));
+  TokenStream ts(std::move(tokens));
+  while (!ts.AtEnd()) {
+    if (ts.ConsumeSymbol(";")) continue;  // empty statement
+    ERBIUM_RETURN_NOT_OK(ParseStatement(&ts, schema));
+    if (!ts.AtEnd()) {
+      ERBIUM_RETURN_NOT_OK(ts.ExpectSymbol(";"));
+    }
+  }
+  return schema->Validate();
+}
+
+}  // namespace erbium

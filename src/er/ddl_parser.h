@@ -1,0 +1,50 @@
+#ifndef ERBIUM_ER_DDL_PARSER_H_
+#define ERBIUM_ER_DDL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "er/er_schema.h"
+
+namespace erbium {
+
+/// Parser for the entity/relationship DDL (paper Figure 1(ii)). Grammar:
+///
+///   CREATE ENTITY <name> [EXTENDS <parent>] (
+///       <attr> <type> [MULTIVALUED] [KEY] [NOT NULL] [PII]
+///                     [DESCRIPTION '<text>'], ...
+///   ) [SPECIALIZATION ( TOTAL|PARTIAL , DISJOINT|OVERLAPPING )]
+///     [DESCRIPTION '<text>'] ;
+///
+///   CREATE WEAK ENTITY <name> OWNED BY <owner> (
+///       <attr> <type> [MULTIVALUED] [PARTIAL KEY] ...,  ...
+///   ) [DESCRIPTION '<text>'] ;
+///
+///   CREATE RELATIONSHIP <name>
+///       BETWEEN <entity> [AS <role>] ( ONE|MANY [, TOTAL] )
+///       AND     <entity> [AS <role>] ( ONE|MANY [, TOTAL] )
+///       [WITH ( <attr> <type> ..., ... )]
+///       [DESCRIPTION '<text>'] ;
+///
+///   <type> := INT | BIGINT | INTEGER | FLOAT | DOUBLE | REAL
+///           | STRING | TEXT | VARCHAR | BOOL | BOOLEAN
+///           | STRUCT ( <field> <type>, ... )          -- composite
+///
+/// MULTIVALUED marks the E/R multi-valued attribute variety; the declared
+/// type is the element type. SPECIALIZATION on a subclass records the
+/// total/disjoint annotation on its parent's specialization.
+///
+/// Statements are ';'-separated; '--' starts a line comment. Keywords are
+/// case-insensitive.
+class DdlParser {
+ public:
+  /// Parses and applies every statement in `ddl` to `schema`, then
+  /// validates the resulting schema. On error the schema may contain a
+  /// prefix of the statements (no rollback — mirror of the prototype's
+  /// "DDL layer keeps the E/R graph up to date per statement").
+  static Status Execute(const std::string& ddl, ERSchema* schema);
+};
+
+}  // namespace erbium
+
+#endif  // ERBIUM_ER_DDL_PARSER_H_

@@ -1,0 +1,113 @@
+#include "er/er_graph.h"
+
+namespace erbium {
+
+int ERGraph::AddNode(ERNodeKind kind, const std::string& name,
+                     const std::string& owner) {
+  int id = static_cast<int>(nodes_.size());
+  std::string qualified = owner.empty() ? name : owner + "." + name;
+  nodes_.push_back(ERNode{id, kind, qualified, owner});
+  adjacency_.emplace_back();
+  by_name_[qualified] = id;
+  return id;
+}
+
+void ERGraph::AddEdge(int from, int to, EREdgeKind kind) {
+  edges_.push_back(EREdge{from, to, kind});
+  adjacency_[from].push_back(to);
+  adjacency_[to].push_back(from);
+}
+
+Result<ERGraph> ERGraph::Build(const ERSchema& schema) {
+  ERBIUM_RETURN_NOT_OK(schema.Validate());
+  ERGraph graph;
+  // Entity nodes + their attribute nodes.
+  for (const std::string& name : schema.EntitySetNames()) {
+    const EntitySetDef* def = schema.FindEntitySet(name);
+    int entity_id = graph.AddNode(ERNodeKind::kEntity, name, "");
+    for (const AttributeDef& attr : def->attributes) {
+      int attr_id = graph.AddNode(ERNodeKind::kAttribute, attr.name, name);
+      graph.AddEdge(entity_id, attr_id, EREdgeKind::kHasAttribute);
+    }
+  }
+  // ISA and identifying edges (entity nodes all exist now).
+  for (const std::string& name : schema.EntitySetNames()) {
+    const EntitySetDef* def = schema.FindEntitySet(name);
+    int entity_id = graph.FindNode(name);
+    if (def->is_subclass()) {
+      graph.AddEdge(entity_id, graph.FindNode(def->parent), EREdgeKind::kIsA);
+    }
+    if (def->weak) {
+      graph.AddEdge(entity_id, graph.FindNode(def->owner),
+                    EREdgeKind::kIdentifies);
+    }
+  }
+  // Relationship nodes, their attributes, and participation edges.
+  for (const std::string& name : schema.RelationshipSetNames()) {
+    const RelationshipSetDef* rel = schema.FindRelationshipSet(name);
+    int rel_id = graph.AddNode(ERNodeKind::kRelationship, name, "");
+    graph.AddEdge(rel_id, graph.FindNode(rel->left.entity),
+                  EREdgeKind::kParticipates);
+    graph.AddEdge(rel_id, graph.FindNode(rel->right.entity),
+                  EREdgeKind::kParticipates);
+    for (const AttributeDef& attr : rel->attributes) {
+      int attr_id = graph.AddNode(ERNodeKind::kAttribute, attr.name, name);
+      graph.AddEdge(rel_id, attr_id, EREdgeKind::kHasAttribute);
+    }
+  }
+  return graph;
+}
+
+int ERGraph::FindNode(const std::string& qualified_name) const {
+  auto it = by_name_.find(qualified_name);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+const std::vector<int>& ERGraph::Neighbors(int node_id) const {
+  return adjacency_[node_id];
+}
+
+bool ERGraph::IsConnected(const std::set<int>& node_ids) const {
+  if (node_ids.empty()) return false;
+  std::set<int> visited;
+  std::vector<int> stack{*node_ids.begin()};
+  while (!stack.empty()) {
+    int node = stack.back();
+    stack.pop_back();
+    if (!visited.insert(node).second) continue;
+    for (int neighbor : adjacency_[node]) {
+      if (node_ids.count(neighbor) > 0 && visited.count(neighbor) == 0) {
+        stack.push_back(neighbor);
+      }
+    }
+  }
+  return visited.size() == node_ids.size();
+}
+
+std::set<int> ERGraph::AllNodeIds() const {
+  std::set<int> out;
+  for (const ERNode& node : nodes_) out.insert(node.id);
+  return out;
+}
+
+std::string ERGraph::ToDot() const {
+  std::string out = "graph er {\n";
+  for (const ERNode& node : nodes_) {
+    const char* shape = "ellipse";
+    if (node.kind == ERNodeKind::kEntity) shape = "box";
+    if (node.kind == ERNodeKind::kRelationship) shape = "diamond";
+    out += "  n" + std::to_string(node.id) + " [label=\"" + node.name +
+           "\", shape=" + shape + "];\n";
+  }
+  for (const EREdge& edge : edges_) {
+    out += "  n" + std::to_string(edge.from) + " -- n" +
+           std::to_string(edge.to);
+    if (edge.kind == EREdgeKind::kIsA) out += " [label=\"isa\"]";
+    if (edge.kind == EREdgeKind::kIdentifies) out += " [label=\"owns\"]";
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace erbium

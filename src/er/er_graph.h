@@ -1,0 +1,82 @@
+#ifndef ERBIUM_ER_ER_GRAPH_H_
+#define ERBIUM_ER_ER_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "er/er_schema.h"
+
+namespace erbium {
+
+/// Node kinds in the E/R graph of paper Figure 2: every entity set,
+/// relationship set, and attribute is a node.
+enum class ERNodeKind { kEntity, kRelationship, kAttribute };
+
+enum class EREdgeKind {
+  kHasAttribute,   // entity/relationship -> attribute
+  kParticipates,   // relationship -> entity (both sides)
+  kIsA,            // subclass -> superclass
+  kIdentifies,     // weak entity -> owner
+};
+
+struct ERNode {
+  int id;
+  ERNodeKind kind;
+  /// Entity/relationship name, or "owner.attr" for attribute nodes.
+  std::string name;
+  /// For attribute nodes: the owning entity/relationship set.
+  std::string owner;
+};
+
+struct EREdge {
+  int from;
+  int to;
+  EREdgeKind kind;
+};
+
+/// The E/R diagram viewed as a graph (paper Section 4, Figure 2). A
+/// logical-to-physical mapping is a cover of this graph by connected
+/// subgraphs; this class provides construction from an ERSchema plus the
+/// connectivity/coverage queries that cover validation needs.
+class ERGraph {
+ public:
+  /// Builds the graph for a (validated) schema.
+  static Result<ERGraph> Build(const ERSchema& schema);
+
+  const std::vector<ERNode>& nodes() const { return nodes_; }
+  const std::vector<EREdge>& edges() const { return edges_; }
+
+  /// Node id by qualified name: entity/relationship name, or
+  /// "<set>.<attribute>". Returns -1 when absent.
+  int FindNode(const std::string& qualified_name) const;
+
+  /// Neighbors of a node (undirected view).
+  const std::vector<int>& Neighbors(int node_id) const;
+
+  /// True if the node set induces a connected subgraph (singleton sets are
+  /// connected; the empty set is not).
+  bool IsConnected(const std::set<int>& node_ids) const;
+
+  /// All node ids, for coverage checks.
+  std::set<int> AllNodeIds() const;
+
+  /// Graphviz rendering for documentation/examples.
+  std::string ToDot() const;
+
+ private:
+  int AddNode(ERNodeKind kind, const std::string& name,
+              const std::string& owner);
+  void AddEdge(int from, int to, EREdgeKind kind);
+
+  std::vector<ERNode> nodes_;
+  std::vector<EREdge> edges_;
+  std::vector<std::vector<int>> adjacency_;
+  std::map<std::string, int> by_name_;
+};
+
+}  // namespace erbium
+
+#endif  // ERBIUM_ER_ER_GRAPH_H_

@@ -1,0 +1,393 @@
+#include "er/er_schema.h"
+
+#include <set>
+
+namespace erbium {
+
+const AttributeDef* FindAttribute(const std::vector<AttributeDef>& attrs,
+                                  const std::string& name) {
+  for (const AttributeDef& attr : attrs) {
+    if (attr.name == name) return &attr;
+  }
+  return nullptr;
+}
+
+Status ERSchema::AddEntitySet(EntitySetDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("entity set name must be non-empty");
+  }
+  if (entities_.count(def.name) > 0) {
+    return Status::AlreadyExists("entity set " + def.name + " already exists");
+  }
+  if (relationships_.count(def.name) > 0) {
+    return Status::AlreadyExists("name " + def.name +
+                                 " already used by a relationship set");
+  }
+  if (def.weak && def.identifying_relationship.empty()) {
+    def.identifying_relationship = def.owner + "_" + def.name;
+  }
+  entities_.emplace(def.name, std::move(def));
+  return Status::OK();
+}
+
+Status ERSchema::AddRelationshipSet(RelationshipSetDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("relationship set name must be non-empty");
+  }
+  if (relationships_.count(def.name) > 0) {
+    return Status::AlreadyExists("relationship set " + def.name +
+                                 " already exists");
+  }
+  if (entities_.count(def.name) > 0) {
+    return Status::AlreadyExists("name " + def.name +
+                                 " already used by an entity set");
+  }
+  if (def.left.role.empty()) def.left.role = def.left.entity;
+  if (def.right.role.empty()) def.right.role = def.right.entity;
+  relationships_.emplace(def.name, std::move(def));
+  return Status::OK();
+}
+
+Status ERSchema::DropEntitySet(const std::string& name) {
+  auto it = entities_.find(name);
+  if (it == entities_.end()) {
+    return Status::NotFound("no entity set named " + name);
+  }
+  // Refuse dangling references.
+  if (!DirectSubclasses(name).empty()) {
+    return Status::InvalidArgument("entity set " + name +
+                                   " still has subclasses");
+  }
+  if (!WeakEntitiesOwnedBy(name).empty()) {
+    return Status::InvalidArgument("entity set " + name +
+                                   " still owns weak entity sets");
+  }
+  for (const auto& [rel_name, rel] : relationships_) {
+    if (rel.left.entity == name || rel.right.entity == name) {
+      return Status::InvalidArgument("entity set " + name +
+                                     " still participates in relationship " +
+                                     rel_name);
+    }
+  }
+  entities_.erase(it);
+  return Status::OK();
+}
+
+Status ERSchema::DropRelationshipSet(const std::string& name) {
+  if (relationships_.erase(name) == 0) {
+    return Status::NotFound("no relationship set named " + name);
+  }
+  return Status::OK();
+}
+
+const EntitySetDef* ERSchema::FindEntitySet(const std::string& name) const {
+  auto it = entities_.find(name);
+  return it == entities_.end() ? nullptr : &it->second;
+}
+
+const RelationshipSetDef* ERSchema::FindRelationshipSet(
+    const std::string& name) const {
+  auto it = relationships_.find(name);
+  return it == relationships_.end() ? nullptr : &it->second;
+}
+
+EntitySetDef* ERSchema::MutableEntitySet(const std::string& name) {
+  auto it = entities_.find(name);
+  return it == entities_.end() ? nullptr : &it->second;
+}
+
+RelationshipSetDef* ERSchema::MutableRelationshipSet(const std::string& name) {
+  auto it = relationships_.find(name);
+  return it == relationships_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ERSchema::EntitySetNames() const {
+  std::vector<std::string> names;
+  names.reserve(entities_.size());
+  for (const auto& [name, def] : entities_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> ERSchema::RelationshipSetNames() const {
+  std::vector<std::string> names;
+  names.reserve(relationships_.size());
+  for (const auto& [name, def] : relationships_) names.push_back(name);
+  return names;
+}
+
+Result<std::string> ERSchema::HierarchyRoot(const std::string& name) const {
+  const EntitySetDef* def = FindEntitySet(name);
+  if (def == nullptr) return Status::NotFound("no entity set named " + name);
+  std::set<std::string> seen;
+  while (def->is_subclass()) {
+    if (!seen.insert(def->name).second) {
+      return Status::Internal("hierarchy cycle at " + def->name);
+    }
+    const EntitySetDef* parent = FindEntitySet(def->parent);
+    if (parent == nullptr) {
+      return Status::NotFound("missing parent " + def->parent + " of " +
+                              def->name);
+    }
+    def = parent;
+  }
+  return def->name;
+}
+
+std::vector<std::string> ERSchema::DirectSubclasses(
+    const std::string& name) const {
+  std::vector<std::string> out;
+  for (const auto& [child_name, def] : entities_) {
+    if (def.parent == name) out.push_back(child_name);
+  }
+  return out;
+}
+
+std::vector<std::string> ERSchema::AllDescendants(
+    const std::string& name) const {
+  std::vector<std::string> out;
+  for (const std::string& child : DirectSubclasses(name)) {
+    out.push_back(child);
+    std::vector<std::string> below = AllDescendants(child);
+    out.insert(out.end(), below.begin(), below.end());
+  }
+  return out;
+}
+
+std::vector<std::string> ERSchema::SelfAndDescendants(
+    const std::string& name) const {
+  std::vector<std::string> out{name};
+  std::vector<std::string> below = AllDescendants(name);
+  out.insert(out.end(), below.begin(), below.end());
+  return out;
+}
+
+Result<std::vector<std::string>> ERSchema::AncestryChain(
+    const std::string& name) const {
+  std::vector<std::string> chain;
+  const EntitySetDef* def = FindEntitySet(name);
+  if (def == nullptr) return Status::NotFound("no entity set named " + name);
+  std::set<std::string> seen;
+  while (true) {
+    if (!seen.insert(def->name).second) {
+      return Status::Internal("hierarchy cycle at " + def->name);
+    }
+    chain.insert(chain.begin(), def->name);
+    if (!def->is_subclass()) break;
+    const EntitySetDef* parent = FindEntitySet(def->parent);
+    if (parent == nullptr) {
+      return Status::NotFound("missing parent " + def->parent + " of " +
+                              def->name);
+    }
+    def = parent;
+  }
+  return chain;
+}
+
+bool ERSchema::IsSelfOrDescendant(const std::string& descendant,
+                                  const std::string& ancestor) const {
+  const EntitySetDef* def = FindEntitySet(descendant);
+  std::set<std::string> seen;
+  while (def != nullptr) {
+    if (def->name == ancestor) return true;
+    if (!def->is_subclass()) return false;
+    if (!seen.insert(def->name).second) return false;
+    def = FindEntitySet(def->parent);
+  }
+  return false;
+}
+
+Result<std::vector<AttributeDef>> ERSchema::AllAttributes(
+    const std::string& name) const {
+  ERBIUM_ASSIGN_OR_RETURN(std::vector<std::string> chain, AncestryChain(name));
+  std::vector<AttributeDef> out;
+  for (const std::string& set_name : chain) {
+    const EntitySetDef* def = FindEntitySet(set_name);
+    out.insert(out.end(), def->attributes.begin(), def->attributes.end());
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> ERSchema::FullKey(
+    const std::string& name) const {
+  const EntitySetDef* def = FindEntitySet(name);
+  if (def == nullptr) return Status::NotFound("no entity set named " + name);
+  if (def->weak) {
+    ERBIUM_ASSIGN_OR_RETURN(std::vector<std::string> owner_key,
+                            FullKey(def->owner));
+    owner_key.insert(owner_key.end(), def->partial_key.begin(),
+                     def->partial_key.end());
+    return owner_key;
+  }
+  ERBIUM_ASSIGN_OR_RETURN(std::string root, HierarchyRoot(name));
+  const EntitySetDef* root_def = FindEntitySet(root);
+  return root_def->key;
+}
+
+std::vector<std::string> ERSchema::RelationshipsOf(
+    const std::string& entity) const {
+  std::vector<std::string> out;
+  for (const auto& [rel_name, rel] : relationships_) {
+    if (IsSelfOrDescendant(entity, rel.left.entity) ||
+        IsSelfOrDescendant(entity, rel.right.entity)) {
+      out.push_back(rel_name);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ERSchema::WeakEntitiesOwnedBy(
+    const std::string& name) const {
+  std::vector<std::string> out;
+  for (const auto& [weak_name, def] : entities_) {
+    if (def.weak && def.owner == name) out.push_back(weak_name);
+  }
+  return out;
+}
+
+Status ERSchema::Validate() const {
+  for (const auto& [name, def] : entities_) {
+    // Parent checks.
+    if (def.is_subclass()) {
+      if (FindEntitySet(def.parent) == nullptr) {
+        return Status::AnalysisError("entity set " + name +
+                                     " extends unknown entity set " +
+                                     def.parent);
+      }
+      if (!def.key.empty()) {
+        return Status::AnalysisError("subclass " + name +
+                                     " must not declare its own key");
+      }
+      if (def.weak) {
+        return Status::AnalysisError("entity set " + name +
+                                     " cannot be both weak and a subclass");
+      }
+    }
+    // Hierarchy acyclicity (also verifies the chain resolves).
+    Result<std::vector<std::string>> chain = AncestryChain(name);
+    if (!chain.ok()) return chain.status();
+    // No attribute shadowing along the chain.
+    {
+      std::set<std::string> seen;
+      for (const std::string& set_name : chain.value()) {
+        for (const AttributeDef& attr : FindEntitySet(set_name)->attributes) {
+          if (!seen.insert(attr.name).second) {
+            return Status::AnalysisError("attribute " + attr.name +
+                                         " redefined along hierarchy of " +
+                                         name);
+          }
+        }
+      }
+    }
+    if (def.weak) {
+      const EntitySetDef* owner = FindEntitySet(def.owner);
+      if (owner == nullptr) {
+        return Status::AnalysisError("weak entity set " + name +
+                                     " has unknown owner " + def.owner);
+      }
+      if (def.partial_key.empty()) {
+        return Status::AnalysisError("weak entity set " + name +
+                                     " must declare a partial key");
+      }
+      for (const std::string& key_attr : def.partial_key) {
+        if (FindAttribute(def.attributes, key_attr) == nullptr) {
+          return Status::AnalysisError("partial key attribute " + key_attr +
+                                       " not found in weak entity set " +
+                                       name);
+        }
+      }
+    } else if (!def.is_subclass()) {
+      if (def.key.empty()) {
+        return Status::AnalysisError("strong entity set " + name +
+                                     " must declare a key");
+      }
+      for (const std::string& key_attr : def.key) {
+        const AttributeDef* attr = FindAttribute(def.attributes, key_attr);
+        if (attr == nullptr) {
+          return Status::AnalysisError("key attribute " + key_attr +
+                                       " not found in entity set " + name);
+        }
+        if (attr->multi_valued) {
+          return Status::AnalysisError("key attribute " + key_attr +
+                                       " of " + name +
+                                       " cannot be multi-valued");
+        }
+      }
+    }
+    for (const AttributeDef& attr : def.attributes) {
+      if (attr.type == nullptr) {
+        return Status::AnalysisError("attribute " + attr.name + " of " +
+                                     name + " has no type");
+      }
+    }
+  }
+  for (const auto& [name, rel] : relationships_) {
+    for (const Participant* p : {&rel.left, &rel.right}) {
+      if (FindEntitySet(p->entity) == nullptr) {
+        return Status::AnalysisError("relationship set " + name +
+                                     " references unknown entity set " +
+                                     p->entity);
+      }
+    }
+    if (rel.left.role == rel.right.role) {
+      return Status::AnalysisError("relationship set " + name +
+                                   " needs distinct role names for its "
+                                   "participants (self-relationship?)");
+    }
+  }
+  return Status::OK();
+}
+
+std::string ERSchema::ToString() const {
+  std::string out;
+  for (const auto& [name, def] : entities_) {
+    out += def.weak ? "weak entity " : "entity ";
+    out += name;
+    if (def.is_subclass()) out += " extends " + def.parent;
+    if (def.weak) out += " owned by " + def.owner;
+    out += " (";
+    for (size_t i = 0; i < def.attributes.size(); ++i) {
+      const AttributeDef& attr = def.attributes[i];
+      if (i > 0) out += ", ";
+      out += attr.name + ": " + attr.type->ToString();
+      if (attr.multi_valued) out += " multivalued";
+      if (attr.pii) out += " pii";
+    }
+    out += ")";
+    if (!def.key.empty()) {
+      out += " key(";
+      for (size_t i = 0; i < def.key.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += def.key[i];
+      }
+      out += ")";
+    }
+    if (!def.partial_key.empty()) {
+      out += " partial key(";
+      for (size_t i = 0; i < def.partial_key.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += def.partial_key[i];
+      }
+      out += ")";
+    }
+    out += "\n";
+  }
+  for (const auto& [name, rel] : relationships_) {
+    out += "relationship " + name + " between " + rel.left.entity + " (" +
+           (rel.left.cardinality == Cardinality::kOne ? "one" : "many") +
+           ") and " + rel.right.entity + " (" +
+           (rel.right.cardinality == Cardinality::kOne ? "one" : "many") +
+           ")";
+    if (!rel.attributes.empty()) {
+      out += " with (";
+      for (size_t i = 0; i < rel.attributes.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += rel.attributes[i].name;
+      }
+      out += ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace erbium

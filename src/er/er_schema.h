@@ -1,0 +1,182 @@
+#ifndef ERBIUM_ER_ER_SCHEMA_H_
+#define ERBIUM_ER_ER_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/type.h"
+
+namespace erbium {
+
+/// An attribute of an entity set or relationship set. Covers the extended
+/// E/R attribute varieties (paper Section 2):
+///   - simple: scalar `type`
+///   - composite: `type` is a struct (e.g. address(street, city, zip))
+///   - multi-valued: `multi_valued` set; the declared `type` is the
+///     element type (e.g. phones: string multivalued)
+/// Attributes carry descriptive text and a PII tag used by the governance
+/// API (paper Section 1.1 (2)).
+struct AttributeDef {
+  std::string name;
+  TypePtr type;
+  bool multi_valued = false;
+  bool nullable = true;
+  bool pii = false;
+  std::string description;
+
+  bool composite() const {
+    return type != nullptr && type->kind() == TypeKind::kStruct;
+  }
+};
+
+/// Total/partial and disjoint/overlapping annotations on a specialization
+/// (stored on the superclass; applies to all its direct subclasses).
+struct SpecializationConstraint {
+  bool total = false;      // every superclass instance is in some subclass
+  bool disjoint = false;   // subclasses are mutually exclusive
+};
+
+/// An entity set: strong, weak (owner + partial key), or a subclass
+/// (parent set). Subclasses inherit all ancestor attributes and the
+/// hierarchy root's key.
+struct EntitySetDef {
+  std::string name;
+  std::vector<AttributeDef> attributes;  // own (non-inherited) attributes
+  std::vector<std::string> key;          // own key attrs (strong roots only)
+
+  // Specialization (ISA): empty parent means not a subclass.
+  std::string parent;
+  SpecializationConstraint specialization;  // meaningful on superclasses
+
+  // Weak entity sets: identified by `owner`'s key plus `partial_key`.
+  bool weak = false;
+  std::string owner;                   // owning (identifying) entity set
+  std::string identifying_relationship;  // auto-derived name if empty
+  std::vector<std::string> partial_key;
+
+  std::string description;
+
+  bool is_subclass() const { return !parent.empty(); }
+};
+
+/// Cardinality annotation of one side of a relationship. `kOne` on a
+/// participant means every instance of the *other* participant relates to
+/// at most one instance of this participant (the "1" end of a 1:N edge).
+enum class Cardinality { kOne, kMany };
+
+struct Participant {
+  std::string entity;       // entity set name
+  std::string role;         // role name; defaults to entity name
+  Cardinality cardinality = Cardinality::kMany;
+  bool total = false;       // total participation constraint
+};
+
+/// A (binary) relationship set with optional descriptive attributes.
+/// Identifying relationships of weak entity sets are represented
+/// implicitly by EntitySetDef::owner, not as RelationshipSetDefs.
+struct RelationshipSetDef {
+  std::string name;
+  Participant left;
+  Participant right;
+  std::vector<AttributeDef> attributes;
+  std::string description;
+
+  bool many_to_many() const {
+    return left.cardinality == Cardinality::kMany &&
+           right.cardinality == Cardinality::kMany;
+  }
+  bool one_to_one() const {
+    return left.cardinality == Cardinality::kOne &&
+           right.cardinality == Cardinality::kOne;
+  }
+  /// For 1:N relationships: the participant whose instances each relate
+  /// to many of the other (the FK would live on this side's entity).
+  const Participant& many_side() const {
+    return left.cardinality == Cardinality::kMany ? left : right;
+  }
+  const Participant& one_side() const {
+    return left.cardinality == Cardinality::kMany ? right : left;
+  }
+};
+
+/// The logical schema: entity sets + relationship sets, with the
+/// derivation helpers the mapping and query layers rely on (hierarchy
+/// walks, inherited attributes, full keys of weak entities).
+class ERSchema {
+ public:
+  ERSchema() = default;
+
+  Status AddEntitySet(EntitySetDef def);
+  Status AddRelationshipSet(RelationshipSetDef def);
+  Status DropEntitySet(const std::string& name);
+  Status DropRelationshipSet(const std::string& name);
+
+  const EntitySetDef* FindEntitySet(const std::string& name) const;
+  const RelationshipSetDef* FindRelationshipSet(const std::string& name) const;
+  EntitySetDef* MutableEntitySet(const std::string& name);
+  RelationshipSetDef* MutableRelationshipSet(const std::string& name);
+
+  std::vector<std::string> EntitySetNames() const;
+  std::vector<std::string> RelationshipSetNames() const;
+
+  /// Root of the ISA hierarchy containing `name` (itself if not a
+  /// subclass).
+  Result<std::string> HierarchyRoot(const std::string& name) const;
+
+  /// Direct subclasses of an entity set.
+  std::vector<std::string> DirectSubclasses(const std::string& name) const;
+
+  /// All descendants (not including `name` itself), pre-order.
+  std::vector<std::string> AllDescendants(const std::string& name) const;
+
+  /// `name` plus all descendants, pre-order.
+  std::vector<std::string> SelfAndDescendants(const std::string& name) const;
+
+  /// Chain from the hierarchy root down to `name`, inclusive.
+  Result<std::vector<std::string>> AncestryChain(const std::string& name) const;
+
+  /// True if `descendant` is `ancestor` or below it in the hierarchy.
+  bool IsSelfOrDescendant(const std::string& descendant,
+                          const std::string& ancestor) const;
+
+  /// All attributes visible on an entity set: inherited (root first) then
+  /// own. For weak entity sets this does NOT include the owner's key.
+  Result<std::vector<AttributeDef>> AllAttributes(
+      const std::string& name) const;
+
+  /// The identifying key attribute names of an entity set:
+  ///   strong root: its declared key;
+  ///   subclass: the hierarchy root's key;
+  ///   weak: owner's key (recursively expanded) followed by partial key.
+  Result<std::vector<std::string>> FullKey(const std::string& name) const;
+
+  /// Relationship sets in which the entity (or any of its ancestors,
+  /// since a subclass participates wherever its superclass does) appears.
+  std::vector<std::string> RelationshipsOf(const std::string& entity) const;
+
+  /// Weak entity sets owned (directly) by the given entity set.
+  std::vector<std::string> WeakEntitiesOwnedBy(const std::string& name) const;
+
+  /// Structural validation: referenced sets exist, keys exist, no
+  /// attribute shadowing across the hierarchy, no hierarchy cycles, weak
+  /// entities have owners and partial keys, relationship participants
+  /// exist.
+  Status Validate() const;
+
+  /// Human-readable dump of the whole schema (round-trippable DDL-like).
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, EntitySetDef> entities_;
+  std::map<std::string, RelationshipSetDef> relationships_;
+};
+
+/// Finds an attribute by name in a list; nullptr when absent.
+const AttributeDef* FindAttribute(const std::vector<AttributeDef>& attrs,
+                                  const std::string& name);
+
+}  // namespace erbium
+
+#endif  // ERBIUM_ER_ER_SCHEMA_H_

@@ -1,0 +1,87 @@
+#ifndef ERBIUM_ERQL_AST_H_
+#define ERBIUM_ERQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace erbium {
+namespace erql {
+
+/// Untyped expression AST produced by the parser; the translator binds it
+/// against the E/R schema and the chosen mapping.
+struct ExprAst;
+using ExprAstPtr = std::shared_ptr<ExprAst>;
+
+struct ExprAst {
+  enum class Kind {
+    kIdent,      // [qualifier.]name
+    kLiteral,    // literal
+    kBinary,     // op in {=,!=,<,<=,>,>=,+,-,*,/,%,and,or}
+    kNot,        // NOT child
+    kIsNull,     // child IS [NOT] NULL (negated)
+    kInList,     // child IN (literals...) (negated for NOT IN)
+    kFunction,   // name(children...) — scalar builtin or aggregate
+    kStar,       // * (only inside count(*))
+    kStruct,     // struct(name: expr, ...) for nested outputs
+  };
+
+  Kind kind;
+  std::string qualifier;            // kIdent
+  std::string name;                 // kIdent / kFunction
+  Value literal;                    // kLiteral
+  std::string op;                   // kBinary
+  std::vector<ExprAstPtr> children;
+  std::vector<std::string> field_names;  // kStruct
+  std::vector<Value> in_values;     // kInList
+  bool negated = false;             // kIsNull / kInList
+  bool distinct = false;            // kFunction aggregates
+
+  std::string ToString() const;
+};
+
+struct SelectItem {
+  ExprAstPtr expr;
+  std::string alias;  // empty -> derived name
+};
+
+struct FromItem {
+  std::string entity;
+  std::string alias;  // defaults to entity name
+};
+
+struct JoinClause {
+  FromItem item;
+  /// Exactly one of relationship / on_expr is set: `JOIN x ON <name>`
+  /// joins through the named relationship set (or a weak entity's
+  /// identifying relationship); `JOIN x ON <expr>` is a theta join.
+  std::string relationship;
+  ExprAstPtr on_expr;
+};
+
+struct OrderItem {
+  ExprAstPtr expr;
+  bool ascending = true;
+};
+
+/// One parsed ERQL SELECT query (paper Figure 1(iii) dialect): SQL with
+/// relationship joins, nested outputs via struct()/array_agg, unnest in
+/// the select list, and GROUP BY inference.
+struct Query {
+  bool distinct = false;
+  std::vector<SelectItem> select;
+  FromItem from;
+  std::vector<JoinClause> joins;
+  ExprAstPtr where;                   // may be null
+  std::vector<ExprAstPtr> group_by;   // empty -> inferred
+  bool explicit_group_by = false;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;                 // -1 -> none
+};
+
+}  // namespace erql
+}  // namespace erbium
+
+#endif  // ERBIUM_ERQL_AST_H_

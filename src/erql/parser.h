@@ -1,0 +1,35 @@
+#ifndef ERBIUM_ERQL_PARSER_H_
+#define ERBIUM_ERQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "erql/ast.h"
+
+namespace erbium {
+namespace erql {
+
+/// Recursive-descent parser for the ERQL dialect:
+///
+///   SELECT [DISTINCT] item [AS name], ...
+///   FROM <entity> [alias]
+///     [JOIN <entity> [alias] ON <relationship-name or expr>] ...
+///   [WHERE expr]
+///   [GROUP BY expr, ...]          -- optional: inferred from SELECT
+///   [ORDER BY expr [ASC|DESC], ...]
+///   [LIMIT n]
+///
+/// Expressions: comparison/arithmetic/boolean operators, IS [NOT] NULL,
+/// IN (literal, ...), function calls (scalar builtins, aggregates with
+/// optional DISTINCT, unnest), struct(name: expr, ...) constructors for
+/// nested outputs, count(*), literals ('str', 123, 4.5, true, false,
+/// null), and [lit, lit, ...] array literals.
+class Parser {
+ public:
+  static Result<Query> Parse(const std::string& text);
+};
+
+}  // namespace erql
+}  // namespace erbium
+
+#endif  // ERBIUM_ERQL_PARSER_H_

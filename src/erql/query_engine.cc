@@ -1,0 +1,110 @@
+#include "erql/query_engine.h"
+
+#include <algorithm>
+
+#include "erql/parser.h"
+
+namespace erbium {
+namespace erql {
+
+namespace {
+
+Value SortArraysDeep(const Value& v) {
+  if (v.kind() == TypeKind::kArray) {
+    Value::ArrayData elements;
+    elements.reserve(v.array().size());
+    for (const Value& e : v.array()) elements.push_back(SortArraysDeep(e));
+    std::sort(elements.begin(), elements.end());
+    return Value::Array(std::move(elements));
+  }
+  if (v.kind() == TypeKind::kStruct) {
+    Value::StructData fields;
+    for (const auto& [name, value] : v.struct_fields()) {
+      fields.emplace_back(name, SortArraysDeep(value));
+    }
+    return Value::Struct(std::move(fields));
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string QueryResult::ToTable(size_t max_rows) const {
+  std::vector<size_t> widths(columns.size());
+  std::vector<std::vector<std::string>> cells;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    widths[i] = columns[i].size();
+  }
+  size_t shown = std::min(rows.size(), max_rows);
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> row_cells;
+    for (size_t i = 0; i < columns.size(); ++i) {
+      std::string cell = rows[r][i].ToString();
+      if (cell.size() > 40) cell = cell.substr(0, 37) + "...";
+      widths[i] = std::max(widths[i], cell.size());
+      row_cells.push_back(std::move(cell));
+    }
+    cells.push_back(std::move(row_cells));
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row_cells) {
+    out += "|";
+    for (size_t i = 0; i < columns.size(); ++i) {
+      out += " " + row_cells[i] +
+             std::string(widths[i] - row_cells[i].size(), ' ') + " |";
+    }
+    out += "\n";
+  };
+  std::vector<std::string> header(columns.begin(), columns.end());
+  emit_row(header);
+  out += "|";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    out += std::string(widths[i] + 2, '-') + "|";
+  }
+  out += "\n";
+  for (const auto& row_cells : cells) emit_row(row_cells);
+  if (rows.size() > shown) {
+    out += "... (" + std::to_string(rows.size()) + " rows total)\n";
+  }
+  return out;
+}
+
+std::string QueryResult::ToCanonicalString() const {
+  std::vector<std::string> rendered;
+  rendered.reserve(rows.size());
+  for (const Row& row : rows) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) line += " | ";
+      line += SortArraysDeep(row[i]).ToString();
+    }
+    rendered.push_back(std::move(line));
+  }
+  std::sort(rendered.begin(), rendered.end());
+  std::string out;
+  for (const std::string& line : rendered) {
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+Result<CompiledQuery> QueryEngine::Compile(MappedDatabase* db,
+                                           const std::string& text) {
+  ERBIUM_ASSIGN_OR_RETURN(Query query, Parser::Parse(text));
+  return Translator::Translate(db, query);
+}
+
+Result<QueryResult> QueryEngine::Execute(MappedDatabase* db,
+                                         const std::string& text) {
+  ERBIUM_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(db, text));
+  ERBIUM_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                          CollectRows(compiled.plan.get()));
+  QueryResult result;
+  result.columns = std::move(compiled.columns);
+  result.rows = std::move(rows);
+  return result;
+}
+
+}  // namespace erql
+}  // namespace erbium

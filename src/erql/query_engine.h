@@ -1,0 +1,44 @@
+#ifndef ERBIUM_ERQL_QUERY_ENGINE_H_
+#define ERBIUM_ERQL_QUERY_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "erql/translator.h"
+#include "mapping/database.h"
+
+namespace erbium {
+namespace erql {
+
+/// Materialized query output.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+
+  /// Pretty-prints as a bordered text table (examples / debugging).
+  std::string ToTable(size_t max_rows = 20) const;
+
+  /// Deterministic rendering for equivalence checks: rows sorted, arrays
+  /// within cells sorted.
+  std::string ToCanonicalString() const;
+};
+
+/// Facade over parse + translate + execute.
+class QueryEngine {
+ public:
+  /// Compiles a query without running it (plan inspection, benchmarks
+  /// that amortize compilation).
+  static Result<CompiledQuery> Compile(MappedDatabase* db,
+                                       const std::string& text);
+
+  /// Parses, compiles, executes, and materializes.
+  static Result<QueryResult> Execute(MappedDatabase* db,
+                                     const std::string& text);
+};
+
+}  // namespace erql
+}  // namespace erbium
+
+#endif  // ERBIUM_ERQL_QUERY_ENGINE_H_

@@ -1,0 +1,50 @@
+#ifndef ERBIUM_ERQL_TRANSLATOR_H_
+#define ERBIUM_ERQL_TRANSLATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "erql/ast.h"
+#include "exec/operator.h"
+#include "mapping/database.h"
+
+namespace erbium {
+namespace erql {
+
+/// A bound, executable query: the physical plan plus output column names.
+struct CompiledQuery {
+  OperatorPtr plan;
+  std::vector<std::string> columns;
+};
+
+/// Compiles a parsed ERQL query against a database's E/R schema and its
+/// chosen physical mapping. This is the logical-data-independence layer:
+/// the same Query compiles into different operator trees under different
+/// mappings (index lookups vs. scans, extra joins vs. array reads,
+/// unions over subclass tables vs. discriminator filters) while always
+/// producing the same logical result.
+///
+/// Supported shapes (see Parser for the grammar):
+///   - entity scans with attribute access (inherited attributes resolve
+///     through the hierarchy; multi-valued attributes evaluate as arrays)
+///   - relationship joins (`JOIN x ON <relationship>`), including weak
+///     entities' identifying relationships, plus theta joins on
+///     expressions (hash join when the predicate is an equi-conjunction)
+///   - WHERE with per-alias predicate pushdown and full-key point
+///     lookups through indexes
+///   - aggregates (count/sum/avg/min/max/array_agg, DISTINCT) with
+///     explicit or inferred GROUP BY; array_agg(struct(...)) builds
+///     hierarchical outputs
+///   - unnest(<array expr>) in the select list
+///   - DISTINCT, ORDER BY over output columns, LIMIT
+class Translator {
+ public:
+  static Result<CompiledQuery> Translate(MappedDatabase* db,
+                                         const Query& query);
+};
+
+}  // namespace erql
+}  // namespace erbium
+
+#endif  // ERBIUM_ERQL_TRANSLATOR_H_

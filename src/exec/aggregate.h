@@ -1,0 +1,88 @@
+#ifndef ERBIUM_EXEC_AGGREGATE_H_
+#define ERBIUM_EXEC_AGGREGATE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace erbium {
+
+enum class AggKind {
+  kCountStar,
+  kCount,     // non-null inputs
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kArrayAgg,  // collects inputs (nulls skipped) into an array
+};
+
+const char* AggKindName(AggKind kind);
+Result<AggKind> AggKindByName(const std::string& name);
+
+/// One aggregate computation: kind + input expression (null for COUNT(*))
+/// + output column name. `distinct` applies to kCount/kSum/kArrayAgg.
+struct AggregateSpec {
+  AggKind kind;
+  ExprPtr input;  // nullptr only for kCountStar
+  std::string output_name;
+  bool distinct = false;
+};
+
+/// Running state of one aggregate. Shared between HashAggregateOp and the
+/// factorized push-down aggregate.
+class AggAccumulator {
+ public:
+  /// Feeds one input value (pass any value for kCountStar).
+  void Update(const AggregateSpec& spec, const Value& v);
+  /// Produces the result; the accumulator is consumed (array_agg moves).
+  Value Finalize(const AggregateSpec& spec);
+
+ private:
+  int64_t count_ = 0;
+  double sum_ = 0;
+  bool sum_is_int_ = true;
+  int64_t int_sum_ = 0;
+  Value min_;
+  Value max_;
+  Value::ArrayData collected_;
+  std::unique_ptr<std::unordered_set<Value, ValueHash>> distinct_seen_;
+};
+
+/// Hash aggregation: groups by the given key expressions and computes the
+/// aggregate specs per group. Output columns: group keys (named by
+/// `group_names`) followed by one column per aggregate. With no group
+/// keys, emits exactly one row (global aggregate), even over empty input.
+/// kArrayAgg is also how nested outputs are assembled (paper Section 2:
+/// "a chain of array_agg and group by's", here as a single operator).
+class HashAggregateOp : public Operator {
+ public:
+  HashAggregateOp(OperatorPtr child, std::vector<ExprPtr> group_exprs,
+                  std::vector<std::string> group_names,
+                  std::vector<AggregateSpec> aggregates);
+  ~HashAggregateOp() override;
+
+  Status Open() override;
+  bool Next(Row* out) override;
+  std::string name() const override;
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  struct GroupState;
+  struct Groups;
+
+  OperatorPtr child_;
+  std::vector<ExprPtr> group_exprs_;
+  std::vector<AggregateSpec> aggregates_;
+  std::unique_ptr<Groups> groups_;
+  size_t next_group_ = 0;
+};
+
+}  // namespace erbium
+
+#endif  // ERBIUM_EXEC_AGGREGATE_H_

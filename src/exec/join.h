@@ -1,0 +1,110 @@
+#ifndef ERBIUM_EXEC_JOIN_H_
+#define ERBIUM_EXEC_JOIN_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace erbium {
+
+enum class JoinType { kInner, kLeftOuter };
+
+/// Hash join: builds on the right child, probes with the left. Left-outer
+/// pads the right side with nulls when no match — used heavily for
+/// normalized mappings (subclass delta tables, multi-valued side tables).
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(OperatorPtr left, OperatorPtr right,
+             std::vector<ExprPtr> left_keys, std::vector<ExprPtr> right_keys,
+             JoinType join_type = JoinType::kInner);
+
+  Status Open() override;
+  bool Next(Row* out) override;
+  std::string name() const override;
+  std::vector<const Operator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<ExprPtr> left_keys_;
+  std::vector<ExprPtr> right_keys_;
+  JoinType join_type_;
+
+  std::unordered_map<std::vector<Value>, std::vector<Row>, ValueVectorHash,
+                     ValueVectorEq>
+      hash_table_;
+  Row current_left_;
+  const std::vector<Row>* current_matches_ = nullptr;
+  size_t match_index_ = 0;
+  size_t right_arity_ = 0;
+};
+
+/// Nested-loop join with an arbitrary predicate over the concatenated row;
+/// the fallback for non-equi joins. Materializes the right child.
+class NestedLoopJoinOp : public Operator {
+ public:
+  NestedLoopJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr predicate,
+                   JoinType join_type = JoinType::kInner);
+
+  Status Open() override;
+  bool Next(Row* out) override;
+  std::string name() const override;
+  std::vector<const Operator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  ExprPtr predicate_;
+  JoinType join_type_;
+
+  std::vector<Row> right_rows_;
+  bool right_materialized_ = false;
+  Row current_left_;
+  bool has_left_ = false;
+  bool left_matched_ = false;
+  size_t right_index_ = 0;
+  size_t right_arity_ = 0;
+};
+
+/// Index nested-loop join: for each left row, evaluates key expressions
+/// and probes the right *table* through Table::LookupEqual (index-backed
+/// when an index on those columns exists). The physical analogue of a
+/// foreign-key dereference.
+class IndexJoinOp : public Operator {
+ public:
+  IndexJoinOp(OperatorPtr left, const Table* right,
+              std::vector<ExprPtr> left_keys,
+              std::vector<int> right_key_columns,
+              JoinType join_type = JoinType::kInner);
+
+  Status Open() override;
+  bool Next(Row* out) override;
+  std::string name() const override;
+  std::vector<const Operator*> children() const override {
+    return {left_.get()};
+  }
+
+ private:
+  OperatorPtr left_;
+  const Table* right_;
+  std::vector<ExprPtr> left_keys_;
+  std::vector<int> right_key_columns_;
+  JoinType join_type_;
+
+  Row current_left_;
+  std::vector<RowId> matches_;
+  size_t match_index_ = 0;
+  bool has_left_ = false;
+  size_t right_arity_ = 0;
+};
+
+}  // namespace erbium
+
+#endif  // ERBIUM_EXEC_JOIN_H_

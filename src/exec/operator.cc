@@ -1,0 +1,271 @@
+#include "exec/operator.h"
+
+#include <unordered_set>
+
+namespace erbium {
+
+namespace {
+
+void PrintPlanRec(const Operator& op, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(op.name());
+  out->push_back('\n');
+  for (const Operator* child : op.children()) {
+    PrintPlanRec(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string PrintPlan(const Operator& root) {
+  std::string out;
+  PrintPlanRec(root, 0, &out);
+  return out;
+}
+
+Result<std::vector<Row>> CollectRows(Operator* op) {
+  ERBIUM_RETURN_NOT_OK(op->Open());
+  std::vector<Row> rows;
+  Row row;
+  while (op->Next(&row)) rows.push_back(std::move(row));
+  return rows;
+}
+
+// ---- SeqScan ----------------------------------------------------------------
+
+SeqScan::SeqScan(const Table* table) : table_(table) {
+  output_ = table->schema().columns();
+}
+
+Status SeqScan::Open() {
+  next_ = 0;
+  return Status::OK();
+}
+
+bool SeqScan::Next(Row* out) {
+  while (next_ < table_->slot_count()) {
+    RowId id = next_++;
+    if (table_->IsLive(id)) {
+      *out = table_->row(id);
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---- IndexLookup ------------------------------------------------------------
+
+IndexLookup::IndexLookup(const Table* table, std::vector<int> column_indexes,
+                         IndexKey key)
+    : table_(table),
+      column_indexes_(std::move(column_indexes)),
+      key_(std::move(key)) {
+  output_ = table->schema().columns();
+}
+
+Status IndexLookup::Open() {
+  matches_.clear();
+  next_ = 0;
+  table_->LookupEqual(column_indexes_, key_, &matches_);
+  return Status::OK();
+}
+
+bool IndexLookup::Next(Row* out) {
+  if (next_ >= matches_.size()) return false;
+  *out = table_->row(matches_[next_++]);
+  return true;
+}
+
+// ---- ValuesOp ---------------------------------------------------------------
+
+ValuesOp::ValuesOp(std::vector<Column> columns, std::vector<Row> rows)
+    : rows_(std::move(rows)) {
+  output_ = std::move(columns);
+}
+
+Status ValuesOp::Open() {
+  next_ = 0;
+  return Status::OK();
+}
+
+bool ValuesOp::Next(Row* out) {
+  if (next_ >= rows_.size()) return false;
+  *out = rows_[next_++];
+  return true;
+}
+
+// ---- FilterOp ---------------------------------------------------------------
+
+FilterOp::FilterOp(OperatorPtr child, ExprPtr predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {
+  output_ = child_->output_columns();
+}
+
+Status FilterOp::Open() { return child_->Open(); }
+
+bool FilterOp::Next(Row* out) {
+  while (child_->Next(out)) {
+    if (EvalPredicate(*predicate_, *out)) return true;
+  }
+  return false;
+}
+
+// ---- ProjectOp --------------------------------------------------------------
+
+ProjectOp::ProjectOp(OperatorPtr child, std::vector<Column> output,
+                     std::vector<ExprPtr> exprs)
+    : child_(std::move(child)), exprs_(std::move(exprs)) {
+  output_ = std::move(output);
+}
+
+Status ProjectOp::Open() { return child_->Open(); }
+
+bool ProjectOp::Next(Row* out) {
+  Row input;
+  if (!child_->Next(&input)) return false;
+  out->clear();
+  out->reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) out->push_back(e->Eval(input));
+  return true;
+}
+
+std::string ProjectOp::name() const {
+  std::string out = "Project(";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += output_[i].name;
+  }
+  out += ")";
+  return out;
+}
+
+// ---- LimitOp ----------------------------------------------------------------
+
+LimitOp::LimitOp(OperatorPtr child, size_t limit)
+    : child_(std::move(child)), limit_(limit) {
+  output_ = child_->output_columns();
+}
+
+Status LimitOp::Open() {
+  produced_ = 0;
+  return child_->Open();
+}
+
+bool LimitOp::Next(Row* out) {
+  if (produced_ >= limit_) return false;
+  if (!child_->Next(out)) return false;
+  ++produced_;
+  return true;
+}
+
+// ---- DistinctOp -------------------------------------------------------------
+
+struct DistinctOp::SeenSet {
+  std::unordered_set<std::vector<Value>, ValueVectorHash, ValueVectorEq> rows;
+};
+
+DistinctOp::DistinctOp(OperatorPtr child) : child_(std::move(child)) {
+  output_ = child_->output_columns();
+}
+
+DistinctOp::~DistinctOp() = default;
+
+Status DistinctOp::Open() {
+  seen_ = std::make_unique<SeenSet>();
+  return child_->Open();
+}
+
+bool DistinctOp::Next(Row* out) {
+  while (child_->Next(out)) {
+    if (seen_->rows.insert(*out).second) return true;
+  }
+  return false;
+}
+
+// ---- UnnestOp ---------------------------------------------------------------
+
+UnnestOp::UnnestOp(OperatorPtr child, int array_column,
+                   std::string element_name, bool outer)
+    : child_(std::move(child)), array_column_(array_column), outer_(outer) {
+  output_ = child_->output_columns();
+  Column& col = output_[array_column_];
+  col.name = std::move(element_name);
+  if (col.type && col.type->kind() == TypeKind::kArray) {
+    col.type = col.type->element_type();
+  }
+  col.nullable = true;
+}
+
+Status UnnestOp::Open() {
+  has_current_ = false;
+  element_index_ = 0;
+  return child_->Open();
+}
+
+bool UnnestOp::Next(Row* out) {
+  while (true) {
+    if (!has_current_) {
+      if (!child_->Next(&current_)) return false;
+      has_current_ = true;
+      element_index_ = 0;
+      const Value& arr = current_[array_column_];
+      bool empty = arr.kind() != TypeKind::kArray || arr.array().empty();
+      if (empty) {
+        has_current_ = false;
+        if (outer_) {
+          *out = current_;
+          (*out)[array_column_] = Value::Null();
+          return true;
+        }
+        continue;
+      }
+    }
+    const Value& arr = current_[array_column_];
+    const Value::ArrayData& elements = arr.array();
+    if (element_index_ < elements.size()) {
+      *out = current_;
+      (*out)[array_column_] = elements[element_index_];
+      ++element_index_;
+      if (element_index_ >= elements.size()) has_current_ = false;
+      return true;
+    }
+    has_current_ = false;
+  }
+}
+
+std::string UnnestOp::name() const {
+  return std::string(outer_ ? "OuterUnnest(" : "Unnest(") +
+         output_[array_column_].name + ")";
+}
+
+// ---- UnionAllOp -------------------------------------------------------------
+
+UnionAllOp::UnionAllOp(std::vector<OperatorPtr> children)
+    : children_(std::move(children)) {
+  output_ = children_.front()->output_columns();
+}
+
+Status UnionAllOp::Open() {
+  current_ = 0;
+  for (const OperatorPtr& child : children_) {
+    ERBIUM_RETURN_NOT_OK(child->Open());
+  }
+  return Status::OK();
+}
+
+bool UnionAllOp::Next(Row* out) {
+  while (current_ < children_.size()) {
+    if (children_[current_]->Next(out)) return true;
+    ++current_;
+  }
+  return false;
+}
+
+std::vector<const Operator*> UnionAllOp::children() const {
+  std::vector<const Operator*> out;
+  out.reserve(children_.size());
+  for (const OperatorPtr& child : children_) out.push_back(child.get());
+  return out;
+}
+
+}  // namespace erbium

@@ -1,0 +1,223 @@
+#ifndef ERBIUM_EXEC_OPERATOR_H_
+#define ERBIUM_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "exec/expr.h"
+#include "storage/table.h"
+
+namespace erbium {
+
+/// Volcano-style pull operator. Usage: Open(), then Next() until it
+/// returns false. Open() may be called again to re-execute. Runtime errors
+/// cannot occur after successful construction (plans are bound/validated
+/// by the translator), so Next is a plain bool.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  /// Names/types of the produced columns, for resolution and printing.
+  const std::vector<Column>& output_columns() const { return output_; }
+
+  virtual Status Open() = 0;
+  virtual bool Next(Row* out) = 0;
+
+  /// One-line description of this node (no children).
+  virtual std::string name() const = 0;
+  virtual std::vector<const Operator*> children() const { return {}; }
+
+ protected:
+  Operator() = default;
+  std::vector<Column> output_;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Renders an indented plan tree.
+std::string PrintPlan(const Operator& root);
+
+/// Drains an operator into a vector of rows. Returns the status of Open().
+Result<std::vector<Row>> CollectRows(Operator* op);
+
+// ---- Leaf operators --------------------------------------------------------
+
+/// Full scan over the live rows of a table.
+class SeqScan : public Operator {
+ public:
+  explicit SeqScan(const Table* table);
+
+  Status Open() override;
+  bool Next(Row* out) override;
+  std::string name() const override { return "SeqScan(" + table_->name() + ")"; }
+
+ private:
+  const Table* table_;
+  RowId next_ = 0;
+};
+
+/// Point lookup of one key through the table's index on the given columns
+/// (falls back to scan inside Table::LookupEqual if no index exists).
+class IndexLookup : public Operator {
+ public:
+  IndexLookup(const Table* table, std::vector<int> column_indexes,
+              IndexKey key);
+
+  Status Open() override;
+  bool Next(Row* out) override;
+  std::string name() const override {
+    return "IndexLookup(" + table_->name() + ")";
+  }
+
+ private:
+  const Table* table_;
+  std::vector<int> column_indexes_;
+  IndexKey key_;
+  std::vector<RowId> matches_;
+  size_t next_ = 0;
+};
+
+/// Emits a fixed list of rows (IN-lists of keys, tests, VALUES clauses).
+class ValuesOp : public Operator {
+ public:
+  ValuesOp(std::vector<Column> columns, std::vector<Row> rows);
+
+  Status Open() override;
+  bool Next(Row* out) override;
+  std::string name() const override {
+    return "Values(" + std::to_string(rows_.size()) + " rows)";
+  }
+
+ private:
+  std::vector<Row> rows_;
+  size_t next_ = 0;
+};
+
+// ---- Unary operators -------------------------------------------------------
+
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr child, ExprPtr predicate);
+
+  Status Open() override;
+  bool Next(Row* out) override;
+  std::string name() const override {
+    return "Filter(" + predicate_->ToString() + ")";
+  }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<Column> output,
+            std::vector<ExprPtr> exprs);
+
+  Status Open() override;
+  bool Next(Row* out) override;
+  std::string name() const override;
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> exprs_;
+};
+
+class LimitOp : public Operator {
+ public:
+  LimitOp(OperatorPtr child, size_t limit);
+
+  Status Open() override;
+  bool Next(Row* out) override;
+  std::string name() const override {
+    return "Limit(" + std::to_string(limit_) + ")";
+  }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OperatorPtr child_;
+  size_t limit_;
+  size_t produced_ = 0;
+};
+
+/// Hash-based duplicate elimination over the full row.
+class DistinctOp : public Operator {
+ public:
+  explicit DistinctOp(OperatorPtr child);
+  ~DistinctOp() override;
+
+  Status Open() override;
+  bool Next(Row* out) override;
+  std::string name() const override { return "Distinct"; }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  struct SeenSet;
+  OperatorPtr child_;
+  std::unique_ptr<SeenSet> seen_;
+};
+
+/// Expands an array column: one output row per element, with the array
+/// column replaced by the element value. With `outer` set, rows whose
+/// array is null/empty are emitted once with a null element (mirrors a
+/// left join against a side table).
+class UnnestOp : public Operator {
+ public:
+  UnnestOp(OperatorPtr child, int array_column, std::string element_name,
+           bool outer = false);
+
+  Status Open() override;
+  bool Next(Row* out) override;
+  std::string name() const override;
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OperatorPtr child_;
+  int array_column_;
+  bool outer_;
+  Row current_;
+  bool has_current_ = false;
+  size_t element_index_ = 0;
+};
+
+// ---- N-ary operators -------------------------------------------------------
+
+/// Bag union of children with identical arity; output columns come from
+/// the first child. Children whose tables lack some columns must be
+/// padded with null projections by the planner (M4 superclass scans).
+class UnionAllOp : public Operator {
+ public:
+  explicit UnionAllOp(std::vector<OperatorPtr> children);
+
+  Status Open() override;
+  bool Next(Row* out) override;
+  std::string name() const override { return "UnionAll"; }
+  std::vector<const Operator*> children() const override;
+
+ private:
+  std::vector<OperatorPtr> children_;
+  size_t current_ = 0;
+};
+
+}  // namespace erbium
+
+#endif  // ERBIUM_EXEC_OPERATOR_H_

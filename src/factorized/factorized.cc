@@ -1,0 +1,295 @@
+#include "factorized/factorized.h"
+
+#include <algorithm>
+
+#include "storage/table.h"
+
+namespace erbium {
+
+FactorizedPair::FactorizedPair(std::string name,
+                               std::vector<Column> left_columns,
+                               std::vector<int> left_key,
+                               std::vector<Column> right_columns,
+                               std::vector<int> right_key)
+    : name_(std::move(name)),
+      left_columns_(std::move(left_columns)),
+      right_columns_(std::move(right_columns)),
+      left_key_(std::move(left_key)),
+      right_key_(std::move(right_key)) {}
+
+IndexKey FactorizedPair::ExtractKey(const Row& row,
+                                    const std::vector<int>& cols) const {
+  IndexKey key;
+  key.reserve(cols.size());
+  for (int c : cols) key.push_back(row[c]);
+  return key;
+}
+
+Result<uint32_t> FactorizedPair::InsertLeft(Row row) {
+  if (row.size() != left_columns_.size()) {
+    return Status::InvalidArgument("left row arity mismatch in " + name_);
+  }
+  IndexKey key = ExtractKey(row, left_key_);
+  if (left_index_.count(key) > 0) {
+    return Status::ConstraintViolation("duplicate left key in " + name_);
+  }
+  uint32_t index = static_cast<uint32_t>(left_rows_.size());
+  left_index_.emplace(std::move(key), index);
+  left_rows_.push_back(std::move(row));
+  left_live_.push_back(true);
+  left_to_right_.emplace_back();
+  return index;
+}
+
+Result<uint32_t> FactorizedPair::InsertRight(Row row) {
+  if (row.size() != right_columns_.size()) {
+    return Status::InvalidArgument("right row arity mismatch in " + name_);
+  }
+  IndexKey key = ExtractKey(row, right_key_);
+  if (right_index_.count(key) > 0) {
+    return Status::ConstraintViolation("duplicate right key in " + name_);
+  }
+  uint32_t index = static_cast<uint32_t>(right_rows_.size());
+  right_index_.emplace(std::move(key), index);
+  right_rows_.push_back(std::move(row));
+  right_live_.push_back(true);
+  right_to_left_.emplace_back();
+  return index;
+}
+
+Status FactorizedPair::Connect(const IndexKey& left_key,
+                               const IndexKey& right_key) {
+  int64_t l = FindLeft(left_key);
+  int64_t r = FindRight(right_key);
+  if (l < 0 || r < 0) {
+    return Status::NotFound("connect with unknown key in " + name_);
+  }
+  auto& edges = left_to_right_[l];
+  if (std::find(edges.begin(), edges.end(), static_cast<uint32_t>(r)) !=
+      edges.end()) {
+    return Status::AlreadyExists("edge already present in " + name_);
+  }
+  edges.push_back(static_cast<uint32_t>(r));
+  right_to_left_[r].push_back(static_cast<uint32_t>(l));
+  ++edge_count_;
+  return Status::OK();
+}
+
+Status FactorizedPair::Disconnect(const IndexKey& left_key,
+                                  const IndexKey& right_key) {
+  int64_t l = FindLeft(left_key);
+  int64_t r = FindRight(right_key);
+  if (l < 0 || r < 0) {
+    return Status::NotFound("disconnect with unknown key in " + name_);
+  }
+  auto& lr = left_to_right_[l];
+  auto it = std::find(lr.begin(), lr.end(), static_cast<uint32_t>(r));
+  if (it == lr.end()) {
+    return Status::NotFound("edge not present in " + name_);
+  }
+  lr.erase(it);
+  auto& rl = right_to_left_[r];
+  rl.erase(std::find(rl.begin(), rl.end(), static_cast<uint32_t>(l)));
+  --edge_count_;
+  return Status::OK();
+}
+
+Status FactorizedPair::EraseLeft(const IndexKey& key) {
+  int64_t l = FindLeft(key);
+  if (l < 0) return Status::NotFound("no left row with given key in " + name_);
+  for (uint32_t r : left_to_right_[l]) {
+    auto& rl = right_to_left_[r];
+    rl.erase(std::find(rl.begin(), rl.end(), static_cast<uint32_t>(l)));
+    --edge_count_;
+  }
+  left_to_right_[l].clear();
+  left_live_[l] = false;
+  left_rows_[l].clear();
+  left_index_.erase(key);
+  return Status::OK();
+}
+
+Status FactorizedPair::EraseRight(const IndexKey& key) {
+  int64_t r = FindRight(key);
+  if (r < 0) {
+    return Status::NotFound("no right row with given key in " + name_);
+  }
+  for (uint32_t l : right_to_left_[r]) {
+    auto& lr = left_to_right_[l];
+    lr.erase(std::find(lr.begin(), lr.end(), static_cast<uint32_t>(r)));
+    --edge_count_;
+  }
+  right_to_left_[r].clear();
+  right_live_[r] = false;
+  right_rows_[r].clear();
+  right_index_.erase(key);
+  return Status::OK();
+}
+
+int64_t FactorizedPair::FindLeft(const IndexKey& key) const {
+  auto it = left_index_.find(key);
+  return it == left_index_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+int64_t FactorizedPair::FindRight(const IndexKey& key) const {
+  auto it = right_index_.find(key);
+  return it == right_index_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+Status FactorizedPair::UpdateLeft(const IndexKey& key, Row row) {
+  int64_t l = FindLeft(key);
+  if (l < 0) return Status::NotFound("no left row with given key in " + name_);
+  if (row.size() != left_columns_.size()) {
+    return Status::InvalidArgument("left row arity mismatch in " + name_);
+  }
+  if (!ValueVectorEq()(ExtractKey(row, left_key_), key)) {
+    return Status::InvalidArgument(
+        "key change not allowed through UpdateLeft in " + name_);
+  }
+  left_rows_[l] = std::move(row);
+  return Status::OK();
+}
+
+Status FactorizedPair::UpdateRight(const IndexKey& key, Row row) {
+  int64_t r = FindRight(key);
+  if (r < 0) {
+    return Status::NotFound("no right row with given key in " + name_);
+  }
+  if (row.size() != right_columns_.size()) {
+    return Status::InvalidArgument("right row arity mismatch in " + name_);
+  }
+  if (!ValueVectorEq()(ExtractKey(row, right_key_), key)) {
+    return Status::InvalidArgument(
+        "key change not allowed through UpdateRight in " + name_);
+  }
+  right_rows_[r] = std::move(row);
+  return Status::OK();
+}
+
+size_t FactorizedPair::ApproximateDataBytes() const {
+  size_t total = 0;
+  for (size_t i = 0; i < left_rows_.size(); ++i) {
+    if (!left_live_[i]) continue;
+    for (const Value& v : left_rows_[i]) total += ApproximateValueBytes(v);
+    total += left_to_right_[i].size() * sizeof(uint32_t);
+  }
+  for (size_t i = 0; i < right_rows_.size(); ++i) {
+    if (!right_live_[i]) continue;
+    for (const Value& v : right_rows_[i]) total += ApproximateValueBytes(v);
+    total += right_to_left_[i].size() * sizeof(uint32_t);
+  }
+  return total;
+}
+
+// ---- FactorizedJoinScan ------------------------------------------------------
+
+FactorizedJoinScan::FactorizedJoinScan(const FactorizedPair* pair,
+                                       bool left_outer)
+    : pair_(pair), left_outer_(left_outer) {
+  output_ = pair->left_columns();
+  output_.insert(output_.end(), pair->right_columns().begin(),
+                 pair->right_columns().end());
+}
+
+Status FactorizedJoinScan::Open() {
+  left_index_ = 0;
+  edge_index_ = 0;
+  return Status::OK();
+}
+
+bool FactorizedJoinScan::Next(Row* out) {
+  while (left_index_ < pair_->left_rows_.size()) {
+    if (!pair_->left_live_[left_index_]) {
+      ++left_index_;
+      edge_index_ = 0;
+      continue;
+    }
+    const std::vector<uint32_t>& edges = pair_->left_to_right_[left_index_];
+    if (edges.empty() && left_outer_ && edge_index_ == 0) {
+      *out = pair_->left_rows_[left_index_];
+      out->resize(out->size() + pair_->right_columns().size(), Value::Null());
+      ++left_index_;
+      edge_index_ = 0;
+      return true;
+    }
+    if (edge_index_ < edges.size()) {
+      const Row& left = pair_->left_rows_[left_index_];
+      const Row& right = pair_->right_rows_[edges[edge_index_]];
+      *out = left;
+      out->insert(out->end(), right.begin(), right.end());
+      ++edge_index_;
+      return true;
+    }
+    ++left_index_;
+    edge_index_ = 0;
+  }
+  return false;
+}
+
+// ---- FactorizedSideScan ------------------------------------------------------
+
+FactorizedSideScan::FactorizedSideScan(const FactorizedPair* pair,
+                                       bool left_side)
+    : pair_(pair), left_side_(left_side) {
+  output_ = left_side ? pair->left_columns() : pair->right_columns();
+}
+
+Status FactorizedSideScan::Open() {
+  index_ = 0;
+  return Status::OK();
+}
+
+bool FactorizedSideScan::Next(Row* out) {
+  const std::vector<Row>& rows =
+      left_side_ ? pair_->left_rows_ : pair_->right_rows_;
+  const std::vector<bool>& live =
+      left_side_ ? pair_->left_live_ : pair_->right_live_;
+  while (index_ < rows.size()) {
+    size_t i = index_++;
+    if (live[i]) {
+      *out = rows[i];
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---- FactorizedGroupAggregate ------------------------------------------------
+
+FactorizedGroupAggregate::FactorizedGroupAggregate(
+    const FactorizedPair* pair, std::vector<AggregateSpec> aggregates)
+    : pair_(pair), aggregates_(std::move(aggregates)) {
+  output_ = pair->left_columns();
+  for (const AggregateSpec& spec : aggregates_) {
+    output_.push_back(Column{spec.output_name, Type::Null(), true});
+  }
+}
+
+Status FactorizedGroupAggregate::Open() {
+  left_index_ = 0;
+  return Status::OK();
+}
+
+bool FactorizedGroupAggregate::Next(Row* out) {
+  while (left_index_ < pair_->left_rows_.size()) {
+    size_t l = left_index_++;
+    if (!pair_->left_live_[l]) continue;
+    std::vector<AggAccumulator> accumulators(aggregates_.size());
+    for (uint32_t r : pair_->left_to_right_[l]) {
+      const Row& right = pair_->right_rows_[r];
+      for (size_t i = 0; i < aggregates_.size(); ++i) {
+        const AggregateSpec& spec = aggregates_[i];
+        Value v = spec.input ? spec.input->Eval(right) : Value::Null();
+        accumulators[i].Update(spec, v);
+      }
+    }
+    *out = pair_->left_rows_[l];
+    for (size_t i = 0; i < aggregates_.size(); ++i) {
+      out->push_back(accumulators[i].Finalize(aggregates_[i]));
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace erbium

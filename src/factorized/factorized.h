@@ -1,0 +1,167 @@
+#ifndef ERBIUM_FACTORIZED_FACTORIZED_H_
+#define ERBIUM_FACTORIZED_FACTORIZED_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "exec/aggregate.h"
+#include "exec/operator.h"
+#include "storage/schema.h"
+
+namespace erbium {
+
+/// Multi-relational compressed (factorized) representation of the join of
+/// two relations (paper Section 4, third physical target family): each
+/// side's rows are stored exactly once and connected by physical pointers
+/// (adjacency lists), so
+///   - the join can be enumerated by pointer chasing, with no hash table
+///     built at query time;
+///   - either side can be scanned without duplication (unlike a
+///     materialized join view); and
+///   - aggregates over one side grouped by the other can be pushed down
+///     through the join without materializing it.
+/// This also mirrors graph-database adjacency storage, which is the
+/// unification argument the paper makes for this representation.
+class FactorizedPair {
+ public:
+  /// `left`/`right` describe the stored row shapes. `left_key` / `right_key`
+  /// are column positions of the (logical) keys used to connect rows.
+  FactorizedPair(std::string name, std::vector<Column> left_columns,
+                 std::vector<int> left_key, std::vector<Column> right_columns,
+                 std::vector<int> right_key);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& left_columns() const { return left_columns_; }
+  const std::vector<Column>& right_columns() const { return right_columns_; }
+  size_t left_size() const { return left_rows_.size(); }
+  size_t right_size() const { return right_rows_.size(); }
+  size_t edge_count() const { return edge_count_; }
+
+  const Row& left_row(size_t i) const { return left_rows_[i]; }
+  const Row& right_row(size_t i) const { return right_rows_[i]; }
+  const std::vector<uint32_t>& right_neighbors(size_t left_index) const {
+    return left_to_right_[left_index];
+  }
+  const std::vector<uint32_t>& left_neighbors(size_t right_index) const {
+    return right_to_left_[right_index];
+  }
+
+  /// Inserts a row on one side; duplicate keys are rejected (sides hold
+  /// entities, which are keyed). Returns the side-local index.
+  Result<uint32_t> InsertLeft(Row row);
+  Result<uint32_t> InsertRight(Row row);
+
+  /// Connects existing rows by key (the relationship instance).
+  Status Connect(const IndexKey& left_key, const IndexKey& right_key);
+  Status Disconnect(const IndexKey& left_key, const IndexKey& right_key);
+
+  /// Removes a row and all its incident edges.
+  Status EraseLeft(const IndexKey& key);
+  Status EraseRight(const IndexKey& key);
+
+  /// Side-local index by key; -1 when absent.
+  int64_t FindLeft(const IndexKey& key) const;
+  int64_t FindRight(const IndexKey& key) const;
+
+  /// Update attributes of an existing row (key columns must be unchanged).
+  Status UpdateLeft(const IndexKey& key, Row row);
+  Status UpdateRight(const IndexKey& key, Row row);
+
+  /// Approximate bytes (rows + adjacency), for storage comparisons
+  /// against materialized join views.
+  size_t ApproximateDataBytes() const;
+
+ private:
+  friend class FactorizedJoinScan;
+  friend class FactorizedSideScan;
+  friend class FactorizedGroupAggregate;
+
+  IndexKey ExtractKey(const Row& row, const std::vector<int>& cols) const;
+
+  std::string name_;
+  std::vector<Column> left_columns_;
+  std::vector<Column> right_columns_;
+  std::vector<int> left_key_;
+  std::vector<int> right_key_;
+
+  std::vector<Row> left_rows_;
+  std::vector<Row> right_rows_;
+  std::vector<bool> left_live_;
+  std::vector<bool> right_live_;
+  std::vector<std::vector<uint32_t>> left_to_right_;
+  std::vector<std::vector<uint32_t>> right_to_left_;
+  size_t edge_count_ = 0;
+
+  std::unordered_map<IndexKey, uint32_t, ValueVectorHash, ValueVectorEq>
+      left_index_;
+  std::unordered_map<IndexKey, uint32_t, ValueVectorHash, ValueVectorEq>
+      right_index_;
+};
+
+/// Operator that enumerates the stored join by pointer chasing: output is
+/// left columns ++ right columns. Inner semantics (unmatched rows are
+/// skipped); `left_outer` pads instead.
+class FactorizedJoinScan : public Operator {
+ public:
+  explicit FactorizedJoinScan(const FactorizedPair* pair,
+                              bool left_outer = false);
+
+  Status Open() override;
+  bool Next(Row* out) override;
+  std::string name() const override {
+    return "FactorizedJoinScan(" + pair_->name() + ")";
+  }
+
+ private:
+  const FactorizedPair* pair_;
+  bool left_outer_;
+  size_t left_index_ = 0;
+  size_t edge_index_ = 0;
+};
+
+/// Scans one side of the factorized pair without duplication.
+class FactorizedSideScan : public Operator {
+ public:
+  FactorizedSideScan(const FactorizedPair* pair, bool left_side);
+
+  Status Open() override;
+  bool Next(Row* out) override;
+  std::string name() const override {
+    return std::string("FactorizedSideScan(") + pair_->name() +
+           (left_side_ ? ", left)" : ", right)");
+  }
+
+ private:
+  const FactorizedPair* pair_;
+  bool left_side_;
+  size_t index_ = 0;
+};
+
+/// Pushed-down aggregate: for every left row, aggregates an expression
+/// over its adjacent right rows (group-by-left without materializing the
+/// join). Output: left columns ++ one column per aggregate. The aggregate
+/// input expressions are evaluated against the *right* row only.
+class FactorizedGroupAggregate : public Operator {
+ public:
+  FactorizedGroupAggregate(const FactorizedPair* pair,
+                           std::vector<AggregateSpec> aggregates);
+
+  Status Open() override;
+  bool Next(Row* out) override;
+  std::string name() const override {
+    return "FactorizedGroupAggregate(" + pair_->name() + ")";
+  }
+
+ private:
+  const FactorizedPair* pair_;
+  std::vector<AggregateSpec> aggregates_;
+  size_t left_index_ = 0;
+};
+
+}  // namespace erbium
+
+#endif  // ERBIUM_FACTORIZED_FACTORIZED_H_

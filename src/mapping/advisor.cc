@@ -1,0 +1,163 @@
+#include "mapping/advisor.h"
+
+#include <chrono>
+#include <limits>
+
+#include "erql/query_engine.h"
+
+namespace erbium {
+
+std::vector<MappingSpec> MappingAdvisor::EnumerateCandidates(
+    const ERSchema& schema, size_t limit) {
+  // Feature axes present in this schema.
+  bool has_multi_valued = false;
+  bool has_weak = false;
+  std::vector<std::string> hierarchy_roots;
+  std::vector<std::string> many_many_rels;
+  for (const std::string& name : schema.EntitySetNames()) {
+    const EntitySetDef* def = schema.FindEntitySet(name);
+    for (const AttributeDef& attr : def->attributes) {
+      if (attr.multi_valued) has_multi_valued = true;
+    }
+    if (def->weak) has_weak = true;
+    if (!def->is_subclass() && !schema.DirectSubclasses(name).empty()) {
+      hierarchy_roots.push_back(name);
+    }
+  }
+  for (const std::string& name : schema.RelationshipSetNames()) {
+    if (schema.FindRelationshipSet(name)->many_to_many()) {
+      many_many_rels.push_back(name);
+    }
+  }
+
+  std::vector<MappingSpec> base{MappingSpec::Normalized("c0")};
+  auto expand = [&](auto&& apply, size_t variants) {
+    std::vector<MappingSpec> next;
+    for (const MappingSpec& spec : base) {
+      for (size_t v = 0; v < variants; ++v) {
+        MappingSpec candidate = spec;
+        apply(&candidate, v);
+        next.push_back(std::move(candidate));
+      }
+    }
+    base = std::move(next);
+  };
+  if (has_multi_valued) {
+    expand(
+        [](MappingSpec* spec, size_t v) {
+          spec->default_multi_valued = v == 0
+                                           ? MultiValuedStorage::kSeparateTable
+                                           : MultiValuedStorage::kArray;
+        },
+        2);
+  }
+  for (const std::string& root : hierarchy_roots) {
+    expand(
+        [&root](MappingSpec* spec, size_t v) {
+          static const HierarchyStorage kChoices[] = {
+              HierarchyStorage::kClassTable, HierarchyStorage::kSingleTable,
+              HierarchyStorage::kDisjointTables};
+          spec->hierarchy_overrides[root] = kChoices[v];
+        },
+        3);
+  }
+  if (has_weak) {
+    expand(
+        [](MappingSpec* spec, size_t v) {
+          spec->default_weak = v == 0 ? WeakEntityStorage::kOwnTable
+                                      : WeakEntityStorage::kFoldedArray;
+        },
+        2);
+  }
+  // One factorized relationship at a time on top of each combination.
+  std::vector<MappingSpec> with_rels = base;
+  for (const std::string& rel : many_many_rels) {
+    for (const MappingSpec& spec : base) {
+      MappingSpec candidate = spec;
+      candidate.relationship_overrides[rel] = RelationshipStorage::kFactorized;
+      with_rels.push_back(std::move(candidate));
+    }
+  }
+  // Filter to valid specs and assign names.
+  std::vector<MappingSpec> out;
+  for (MappingSpec& spec : with_rels) {
+    if (out.size() >= limit) break;
+    Result<PhysicalMapping> compiled = PhysicalMapping::Compile(&schema, spec);
+    if (!compiled.ok()) continue;
+    spec.name = "cand" + std::to_string(out.size());
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+Result<MappingAdvisor::Advice> MappingAdvisor::Advise(
+    const ERSchema* schema, const std::vector<MappingSpec>& candidates,
+    const std::function<Status(MappedDatabase*)>& populate,
+    const Workload& workload, int repetitions) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidate mappings to evaluate");
+  }
+  Advice advice;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const MappingSpec& spec : candidates) {
+    Candidate candidate;
+    candidate.spec = spec;
+    Result<std::unique_ptr<MappedDatabase>> db =
+        MappedDatabase::Create(schema, spec);
+    if (!db.ok()) {
+      candidate.valid = false;
+      candidate.invalid_reason = db.status().ToString();
+      advice.candidates.push_back(std::move(candidate));
+      continue;
+    }
+    Status populated = populate(db->get());
+    if (!populated.ok()) {
+      candidate.valid = false;
+      candidate.invalid_reason = populated.ToString();
+      advice.candidates.push_back(std::move(candidate));
+      continue;
+    }
+    candidate.storage_bytes = (*db)->ApproximateDataBytes();
+    bool all_ok = true;
+    for (const WorkloadQuery& wq : workload.queries) {
+      Result<erql::CompiledQuery> compiled =
+          erql::QueryEngine::Compile(db->get(), wq.erql);
+      if (!compiled.ok()) {
+        candidate.valid = false;
+        candidate.invalid_reason =
+            "query '" + wq.erql + "': " + compiled.status().ToString();
+        all_ok = false;
+        break;
+      }
+      double best_ms = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < repetitions; ++rep) {
+        auto start = std::chrono::steady_clock::now();
+        Result<std::vector<Row>> rows = CollectRows(compiled->plan.get());
+        auto end = std::chrono::steady_clock::now();
+        if (!rows.ok()) {
+          candidate.valid = false;
+          candidate.invalid_reason = rows.status().ToString();
+          all_ok = false;
+          break;
+        }
+        double ms = std::chrono::duration<double, std::milli>(end - start)
+                        .count();
+        best_ms = std::min(best_ms, ms);
+      }
+      if (!all_ok) break;
+      candidate.per_query_ms.push_back(best_ms);
+      candidate.total_cost_ms += wq.weight * best_ms;
+    }
+    if (all_ok && candidate.total_cost_ms < best_cost) {
+      best_cost = candidate.total_cost_ms;
+      advice.best_index = advice.candidates.size();
+    }
+    advice.candidates.push_back(std::move(candidate));
+  }
+  if (best_cost == std::numeric_limits<double>::infinity()) {
+    return Status::InvalidArgument("no candidate completed the workload");
+  }
+  return advice;
+}
+
+}  // namespace erbium

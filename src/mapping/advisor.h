@@ -1,0 +1,71 @@
+#ifndef ERBIUM_MAPPING_ADVISOR_H_
+#define ERBIUM_MAPPING_ADVISOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "er/er_schema.h"
+#include "mapping/database.h"
+#include "mapping/mapping_spec.h"
+
+namespace erbium {
+
+/// A weighted query workload description for the advisor.
+struct WorkloadQuery {
+  std::string erql;
+  double weight = 1.0;
+  std::string label;
+};
+
+struct Workload {
+  std::vector<WorkloadQuery> queries;
+};
+
+/// The workload-aware mapping search the paper calls "the natural
+/// optimization problem" (Section 4): enumerate valid covers of the E/R
+/// graph (as MappingSpecs), cost each against the workload, return the
+/// best. The cost model here is *empirical*: each candidate mapping is
+/// instantiated on sampled data and the workload is actually executed —
+/// slow but honest, and exactly what a background auto-tuner can afford
+/// on a sample.
+class MappingAdvisor {
+ public:
+  struct Candidate {
+    MappingSpec spec;
+    double total_cost_ms = 0;      // weighted sum over the workload
+    size_t storage_bytes = 0;
+    std::vector<double> per_query_ms;
+    bool valid = true;
+    std::string invalid_reason;
+  };
+
+  struct Advice {
+    size_t best_index = 0;
+    std::vector<Candidate> candidates;
+
+    const MappingSpec& best() const { return candidates[best_index].spec; }
+  };
+
+  /// Enumerates candidate specs: the cartesian product of the
+  /// per-feature storage choices (multi-valued × hierarchy × weak), each
+  /// optionally combined with factorizing or materializing one
+  /// many-to-many relationship. Invalid combinations (per
+  /// PhysicalMapping::Compile) are filtered out. Capped at `limit`.
+  static std::vector<MappingSpec> EnumerateCandidates(const ERSchema& schema,
+                                                      size_t limit = 64);
+
+  /// Costs every candidate: builds a database per candidate, fills it
+  /// via `populate` (sampled data), executes every workload query
+  /// `repetitions` times (keeping the minimum), and returns all
+  /// measurements with the cheapest candidate marked.
+  static Result<Advice> Advise(
+      const ERSchema* schema, const std::vector<MappingSpec>& candidates,
+      const std::function<Status(MappedDatabase*)>& populate,
+      const Workload& workload, int repetitions = 3);
+};
+
+}  // namespace erbium
+
+#endif  // ERBIUM_MAPPING_ADVISOR_H_

@@ -1,0 +1,326 @@
+#include "mapping/mapping_spec.h"
+
+#include <cctype>
+
+namespace erbium {
+
+Result<MultiValuedStorage> MultiValuedStorageFromString(const std::string& s) {
+  if (s == "separate_table") return MultiValuedStorage::kSeparateTable;
+  if (s == "array") return MultiValuedStorage::kArray;
+  return Status::ParseError("unknown multi-valued storage: " + s);
+}
+
+Result<HierarchyStorage> HierarchyStorageFromString(const std::string& s) {
+  if (s == "class_table") return HierarchyStorage::kClassTable;
+  if (s == "single_table") return HierarchyStorage::kSingleTable;
+  if (s == "disjoint_tables") return HierarchyStorage::kDisjointTables;
+  return Status::ParseError("unknown hierarchy storage: " + s);
+}
+
+Result<WeakEntityStorage> WeakEntityStorageFromString(const std::string& s) {
+  if (s == "own_table") return WeakEntityStorage::kOwnTable;
+  if (s == "folded_array") return WeakEntityStorage::kFoldedArray;
+  return Status::ParseError("unknown weak-entity storage: " + s);
+}
+
+Result<RelationshipStorage> RelationshipStorageFromString(
+    const std::string& s) {
+  if (s == "foreign_key") return RelationshipStorage::kForeignKey;
+  if (s == "join_table") return RelationshipStorage::kJoinTable;
+  if (s == "materialized_join") return RelationshipStorage::kMaterializedJoin;
+  if (s == "factorized") return RelationshipStorage::kFactorized;
+  return Status::ParseError("unknown relationship storage: " + s);
+}
+
+const char* ToString(MultiValuedStorage v) {
+  switch (v) {
+    case MultiValuedStorage::kSeparateTable:
+      return "separate_table";
+    case MultiValuedStorage::kArray:
+      return "array";
+  }
+  return "?";
+}
+
+const char* ToString(HierarchyStorage v) {
+  switch (v) {
+    case HierarchyStorage::kClassTable:
+      return "class_table";
+    case HierarchyStorage::kSingleTable:
+      return "single_table";
+    case HierarchyStorage::kDisjointTables:
+      return "disjoint_tables";
+  }
+  return "?";
+}
+
+const char* ToString(WeakEntityStorage v) {
+  switch (v) {
+    case WeakEntityStorage::kOwnTable:
+      return "own_table";
+    case WeakEntityStorage::kFoldedArray:
+      return "folded_array";
+  }
+  return "?";
+}
+
+const char* ToString(RelationshipStorage v) {
+  switch (v) {
+    case RelationshipStorage::kForeignKey:
+      return "foreign_key";
+    case RelationshipStorage::kJoinTable:
+      return "join_table";
+    case RelationshipStorage::kMaterializedJoin:
+      return "materialized_join";
+    case RelationshipStorage::kFactorized:
+      return "factorized";
+  }
+  return "?";
+}
+
+MappingSpec MappingSpec::Normalized(std::string name) {
+  MappingSpec spec;
+  spec.name = std::move(name);
+  return spec;
+}
+
+MultiValuedStorage MappingSpec::multi_valued_storage(
+    const std::string& entity, const std::string& attr) const {
+  auto it = multi_valued_overrides.find(entity + "." + attr);
+  return it == multi_valued_overrides.end() ? default_multi_valued
+                                            : it->second;
+}
+
+HierarchyStorage MappingSpec::hierarchy_storage(const std::string& root) const {
+  auto it = hierarchy_overrides.find(root);
+  return it == hierarchy_overrides.end() ? default_hierarchy : it->second;
+}
+
+WeakEntityStorage MappingSpec::weak_storage(
+    const std::string& weak_entity) const {
+  auto it = weak_overrides.find(weak_entity);
+  return it == weak_overrides.end() ? default_weak : it->second;
+}
+
+RelationshipStorage MappingSpec::relationship_storage(
+    const RelationshipSetDef& rel) const {
+  auto it = relationship_overrides.find(rel.name);
+  if (it != relationship_overrides.end()) return it->second;
+  if (rel.many_to_many() || rel.one_to_one()) return default_many_many;
+  return default_many_one;
+}
+
+std::string MappingSpec::ToString() const {
+  std::string out = name + "{mv=" + erbium::ToString(default_multi_valued);
+  out += ", hier=";
+  if (hierarchy_overrides.empty()) {
+    out += erbium::ToString(default_hierarchy);
+  } else {
+    bool first = true;
+    for (const auto& [root, storage] : hierarchy_overrides) {
+      if (!first) out += "/";
+      first = false;
+      out += root + ":" + erbium::ToString(storage);
+    }
+  }
+  out += ", weak=";
+  out += erbium::ToString(default_weak);
+  for (const auto& [weak, storage] : weak_overrides) {
+    out += "," + weak + ":" + erbium::ToString(storage);
+  }
+  for (const auto& [rel, storage] : relationship_overrides) {
+    out += ", " + rel + "=" + erbium::ToString(storage);
+  }
+  out += "}";
+  return out;
+}
+
+std::string MappingSpec::ToJson() const {
+  auto quote = [](const std::string& s) { return "\"" + s + "\""; };
+  std::string out = "{";
+  out += quote("name") + ": " + quote(name);
+  out += ", " + quote("default_multi_valued") + ": " +
+         quote(erbium::ToString(default_multi_valued));
+  out += ", " + quote("default_hierarchy") + ": " +
+         quote(erbium::ToString(default_hierarchy));
+  out += ", " + quote("default_weak") + ": " +
+         quote(erbium::ToString(default_weak));
+  out += ", " + quote("default_many_many") + ": " +
+         quote(erbium::ToString(default_many_many));
+  out += ", " + quote("default_many_one") + ": " +
+         quote(erbium::ToString(default_many_one));
+  auto emit_map = [&](const char* key, const auto& map) {
+    out += ", " + quote(key) + ": {";
+    bool first = true;
+    for (const auto& [k, v] : map) {
+      if (!first) out += ", ";
+      first = false;
+      out += quote(k) + ": " + quote(erbium::ToString(v));
+    }
+    out += "}";
+  };
+  emit_map("multi_valued_overrides", multi_valued_overrides);
+  emit_map("hierarchy_overrides", hierarchy_overrides);
+  emit_map("weak_overrides", weak_overrides);
+  emit_map("relationship_overrides", relationship_overrides);
+  out += "}";
+  return out;
+}
+
+namespace {
+
+/// Minimal parser for the flat JSON shape ToJson emits: one object of
+/// string values and string->string sub-objects.
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(const std::string& text) : text_(text) {}
+
+  Status Parse(std::map<std::string, std::string>* scalars,
+               std::map<std::string, std::map<std::string, std::string>>*
+                   objects) {
+    SkipSpace();
+    ERBIUM_RETURN_NOT_OK(Expect('{'));
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      ERBIUM_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipSpace();
+      ERBIUM_RETURN_NOT_OK(Expect(':'));
+      SkipSpace();
+      if (Peek() == '{') {
+        ++pos_;
+        std::map<std::string, std::string> nested;
+        SkipSpace();
+        if (Peek() != '}') {
+          while (true) {
+            ERBIUM_ASSIGN_OR_RETURN(std::string nested_key, ParseString());
+            SkipSpace();
+            ERBIUM_RETURN_NOT_OK(Expect(':'));
+            SkipSpace();
+            ERBIUM_ASSIGN_OR_RETURN(std::string nested_value, ParseString());
+            nested[nested_key] = nested_value;
+            SkipSpace();
+            if (Peek() == ',') {
+              ++pos_;
+              SkipSpace();
+              continue;
+            }
+            break;
+          }
+        }
+        ERBIUM_RETURN_NOT_OK(Expect('}'));
+        (*objects)[key] = std::move(nested);
+      } else {
+        ERBIUM_ASSIGN_OR_RETURN(std::string value, ParseString());
+        (*scalars)[key] = value;
+      }
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        SkipSpace();
+        continue;
+      }
+      break;
+    }
+    return Expect('}');
+  }
+
+ private:
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Expect(char c) {
+    if (Peek() != c) {
+      return Status::ParseError(std::string("expected '") + c +
+                                "' in mapping JSON at offset " +
+                                std::to_string(pos_));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<std::string> ParseString() {
+    ERBIUM_RETURN_NOT_OK(Expect('"'));
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      out.push_back(text_[pos_++]);
+    }
+    ERBIUM_RETURN_NOT_OK(Expect('"'));
+    return out;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<MappingSpec> MappingSpec::FromJson(const std::string& json) {
+  std::map<std::string, std::string> scalars;
+  std::map<std::string, std::map<std::string, std::string>> objects;
+  FlatJsonParser parser(json);
+  ERBIUM_RETURN_NOT_OK(parser.Parse(&scalars, &objects));
+  MappingSpec spec;
+  auto scalar = [&](const char* key) -> Result<std::string> {
+    auto it = scalars.find(key);
+    if (it == scalars.end()) {
+      return Status::ParseError(std::string("mapping JSON missing ") + key);
+    }
+    return it->second;
+  };
+  ERBIUM_ASSIGN_OR_RETURN(spec.name, scalar("name"));
+  {
+    ERBIUM_ASSIGN_OR_RETURN(std::string v, scalar("default_multi_valued"));
+    ERBIUM_ASSIGN_OR_RETURN(spec.default_multi_valued,
+                            MultiValuedStorageFromString(v));
+  }
+  {
+    ERBIUM_ASSIGN_OR_RETURN(std::string v, scalar("default_hierarchy"));
+    ERBIUM_ASSIGN_OR_RETURN(spec.default_hierarchy,
+                            HierarchyStorageFromString(v));
+  }
+  {
+    ERBIUM_ASSIGN_OR_RETURN(std::string v, scalar("default_weak"));
+    ERBIUM_ASSIGN_OR_RETURN(spec.default_weak,
+                            WeakEntityStorageFromString(v));
+  }
+  {
+    ERBIUM_ASSIGN_OR_RETURN(std::string v, scalar("default_many_many"));
+    ERBIUM_ASSIGN_OR_RETURN(spec.default_many_many,
+                            RelationshipStorageFromString(v));
+  }
+  {
+    ERBIUM_ASSIGN_OR_RETURN(std::string v, scalar("default_many_one"));
+    ERBIUM_ASSIGN_OR_RETURN(spec.default_many_one,
+                            RelationshipStorageFromString(v));
+  }
+  for (const auto& [key, value] : objects["multi_valued_overrides"]) {
+    ERBIUM_ASSIGN_OR_RETURN(spec.multi_valued_overrides[key],
+                            MultiValuedStorageFromString(value));
+  }
+  for (const auto& [key, value] : objects["hierarchy_overrides"]) {
+    ERBIUM_ASSIGN_OR_RETURN(spec.hierarchy_overrides[key],
+                            HierarchyStorageFromString(value));
+  }
+  for (const auto& [key, value] : objects["weak_overrides"]) {
+    ERBIUM_ASSIGN_OR_RETURN(spec.weak_overrides[key],
+                            WeakEntityStorageFromString(value));
+  }
+  for (const auto& [key, value] : objects["relationship_overrides"]) {
+    ERBIUM_ASSIGN_OR_RETURN(spec.relationship_overrides[key],
+                            RelationshipStorageFromString(value));
+  }
+  return spec;
+}
+
+}  // namespace erbium

@@ -1,0 +1,112 @@
+#ifndef ERBIUM_MAPPING_MAPPING_SPEC_H_
+#define ERBIUM_MAPPING_MAPPING_SPEC_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "er/er_schema.h"
+
+namespace erbium {
+
+/// Physical storage of a multi-valued attribute (paper Figure 2 / M1 vs
+/// M2): a separate (full-key, value) side table, or an array column on
+/// the owning entity's table.
+enum class MultiValuedStorage { kSeparateTable, kArray };
+
+/// Physical storage of an ISA hierarchy (paper Section 3 / M1, M3, M4):
+///   kClassTable      root table with common attributes + one delta table
+///                    per subclass holding key + subclass-only attributes;
+///   kSingleTable     one table for the whole hierarchy with a type
+///                    discriminator column (requires disjoint
+///                    specializations);
+///   kDisjointTables  one full-width table per class, each holding only
+///                    the entities whose most-specific class it is
+///                    (requires disjoint specializations).
+enum class HierarchyStorage { kClassTable, kSingleTable, kDisjointTables };
+
+/// Physical storage of a weak entity set (M1 vs M5): its own table keyed
+/// by owner key + partial key, or folded into the owner's table as an
+/// array of composite values.
+enum class WeakEntityStorage { kOwnTable, kFoldedArray };
+
+/// Physical storage of a relationship set (M1 vs M6):
+///   kForeignKey        1:N only; key of the one side folded into the
+///                      many side's table;
+///   kJoinTable         a separate (left key, right key, attrs) table;
+///   kMaterializedJoin  both entities' own segments stored together in a
+///                      single wide table, one row per relationship
+///                      instance (full-outer so lone entities survive) —
+///                      the PostgreSQL-style M6 with its duplication;
+///   kFactorized        both segments stored once in a compressed
+///                      multi-relational structure connected by physical
+///                      pointers (the representation the paper argues is
+///                      needed to make M6 viable).
+enum class RelationshipStorage {
+  kForeignKey,
+  kJoinTable,
+  kMaterializedJoin,
+  kFactorized,
+};
+
+const char* ToString(MultiValuedStorage v);
+const char* ToString(HierarchyStorage v);
+const char* ToString(WeakEntityStorage v);
+const char* ToString(RelationshipStorage v);
+
+/// A logical-to-physical mapping choice for every feature of an E/R
+/// schema: defaults plus per-feature overrides. A MappingSpec plus an
+/// ERSchema compiles (PhysicalMapping::Compile) into concrete table
+/// schemas and a cover of the E/R graph.
+struct MappingSpec {
+  std::string name = "custom";
+
+  MultiValuedStorage default_multi_valued = MultiValuedStorage::kSeparateTable;
+  /// Keyed by "<entity>.<attr>".
+  std::map<std::string, MultiValuedStorage> multi_valued_overrides;
+
+  HierarchyStorage default_hierarchy = HierarchyStorage::kClassTable;
+  /// Keyed by hierarchy root entity set name.
+  std::map<std::string, HierarchyStorage> hierarchy_overrides;
+
+  WeakEntityStorage default_weak = WeakEntityStorage::kOwnTable;
+  std::map<std::string, WeakEntityStorage> weak_overrides;
+
+  /// Default for many-to-many (and 1:1) relationship sets.
+  RelationshipStorage default_many_many = RelationshipStorage::kJoinTable;
+  /// Default for 1:N relationship sets.
+  RelationshipStorage default_many_one = RelationshipStorage::kForeignKey;
+  std::map<std::string, RelationshipStorage> relationship_overrides;
+
+  /// Fully normalized baseline (paper M1).
+  static MappingSpec Normalized(std::string name = "M1");
+
+  MultiValuedStorage multi_valued_storage(const std::string& entity,
+                                          const std::string& attr) const;
+  HierarchyStorage hierarchy_storage(const std::string& root) const;
+  WeakEntityStorage weak_storage(const std::string& weak_entity) const;
+  RelationshipStorage relationship_storage(const RelationshipSetDef& rel) const;
+
+  /// One-line summary for logs/benchmark labels.
+  std::string ToString() const;
+
+  /// JSON serialization, persisted in the mapping catalog table (the
+  /// paper stores the chosen mapping "in a table in the database as a
+  /// JSON object").
+  std::string ToJson() const;
+
+  /// Parses the ToJson format back into a spec (used when a database is
+  /// re-initialized from its catalog).
+  static Result<MappingSpec> FromJson(const std::string& json);
+};
+
+/// Parses a storage-kind name emitted by ToString(...) back to its enum.
+Result<MultiValuedStorage> MultiValuedStorageFromString(const std::string& s);
+Result<HierarchyStorage> HierarchyStorageFromString(const std::string& s);
+Result<WeakEntityStorage> WeakEntityStorageFromString(const std::string& s);
+Result<RelationshipStorage> RelationshipStorageFromString(
+    const std::string& s);
+
+}  // namespace erbium
+
+#endif  // ERBIUM_MAPPING_MAPPING_SPEC_H_

@@ -1,0 +1,894 @@
+#include "mapping/physical_mapping.h"
+
+#include <algorithm>
+#include <set>
+
+namespace erbium {
+
+namespace {
+
+/// True when the class belongs to a non-trivial ISA hierarchy.
+bool InHierarchy(const ERSchema& schema, const std::string& class_name) {
+  const EntitySetDef* def = schema.FindEntitySet(class_name);
+  if (def == nullptr) return false;
+  if (def->is_subclass()) return true;
+  return !schema.DirectSubclasses(class_name).empty();
+}
+
+/// All specializations from `root` down are disjoint.
+bool SubtreeDisjoint(const ERSchema& schema, const std::string& root) {
+  for (const std::string& name : schema.SelfAndDescendants(root)) {
+    if (!schema.DirectSubclasses(name).empty() &&
+        !schema.FindEntitySet(name)->specialization.disjoint) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TypePtr PhysicalMapping::PhysicalAttrType(const AttributeDef& attr,
+                                          bool as_array) {
+  TypePtr type = attr.type;
+  if (as_array) type = Type::Array(type);
+  return type;
+}
+
+Result<PhysicalMapping> PhysicalMapping::Compile(const ERSchema* schema,
+                                                 MappingSpec spec) {
+  ERBIUM_RETURN_NOT_OK(schema->Validate());
+  PhysicalMapping mapping(schema, std::move(spec));
+  ERBIUM_RETURN_NOT_OK(mapping.Validate());
+  ERBIUM_RETURN_NOT_OK(mapping.BuildTables());
+  return mapping;
+}
+
+std::string PhysicalMapping::SwallowingRelationship(
+    const std::string& class_name) const {
+  for (const std::string& rel_name : schema_->RelationshipSetNames()) {
+    const RelationshipSetDef* rel = schema_->FindRelationshipSet(rel_name);
+    RelationshipStorage storage = spec_.relationship_storage(*rel);
+    if (storage != RelationshipStorage::kFactorized &&
+        storage != RelationshipStorage::kMaterializedJoin) {
+      continue;
+    }
+    if (rel->left.entity == class_name || rel->right.entity == class_name) {
+      return rel_name;
+    }
+  }
+  return "";
+}
+
+SegmentLocation PhysicalMapping::segment_location(
+    const std::string& class_name) const {
+  const EntitySetDef* def = schema_->FindEntitySet(class_name);
+  if (def != nullptr && def->weak &&
+      spec_.weak_storage(class_name) == WeakEntityStorage::kFoldedArray) {
+    return SegmentLocation::kFoldedInOwner;
+  }
+  std::string swallowed_by = SwallowingRelationship(class_name);
+  if (!swallowed_by.empty()) {
+    const RelationshipSetDef* rel =
+        schema_->FindRelationshipSet(swallowed_by);
+    bool left = rel->left.entity == class_name;
+    if (spec_.relationship_storage(*rel) == RelationshipStorage::kFactorized) {
+      return left ? SegmentLocation::kPairLeft : SegmentLocation::kPairRight;
+    }
+    return left ? SegmentLocation::kMaterializedLeft
+                : SegmentLocation::kMaterializedRight;
+  }
+  if (InHierarchy(*schema_, class_name)) {
+    std::string root = schema_->HierarchyRoot(class_name).value();
+    switch (spec_.hierarchy_storage(root)) {
+      case HierarchyStorage::kClassTable:
+        return SegmentLocation::kOwnTable;
+      case HierarchyStorage::kSingleTable:
+        return SegmentLocation::kHierarchySingle;
+      case HierarchyStorage::kDisjointTables:
+        return SegmentLocation::kHierarchyDisjoint;
+    }
+  }
+  return SegmentLocation::kOwnTable;
+}
+
+std::string PhysicalMapping::SegmentTableName(
+    const std::string& class_name) const {
+  switch (segment_location(class_name)) {
+    case SegmentLocation::kOwnTable:
+      return class_name;
+    case SegmentLocation::kHierarchySingle:
+      return schema_->HierarchyRoot(class_name).value();
+    case SegmentLocation::kMaterializedLeft:
+    case SegmentLocation::kMaterializedRight:
+      return MaterializedTableName(SwallowingRelationship(class_name));
+    default:
+      return "";
+  }
+}
+
+std::string PhysicalMapping::SegmentPairName(
+    const std::string& class_name) const {
+  SegmentLocation loc = segment_location(class_name);
+  if (loc == SegmentLocation::kPairLeft ||
+      loc == SegmentLocation::kPairRight) {
+    return PairName(SwallowingRelationship(class_name));
+  }
+  return "";
+}
+
+Result<std::vector<Column>> PhysicalMapping::KeyColumns(
+    const std::string& class_name) const {
+  const EntitySetDef* def = schema_->FindEntitySet(class_name);
+  if (def == nullptr) {
+    return Status::NotFound("no entity set named " + class_name);
+  }
+  std::vector<Column> out;
+  if (def->weak) {
+    ERBIUM_ASSIGN_OR_RETURN(std::vector<Column> owner_key,
+                            KeyColumns(def->owner));
+    out = std::move(owner_key);
+    for (const std::string& attr_name : def->partial_key) {
+      const AttributeDef* attr = FindAttribute(def->attributes, attr_name);
+      if (attr == nullptr) {
+        return Status::Internal("missing partial key attribute " + attr_name);
+      }
+      out.push_back(Column{attr->name, attr->type, /*nullable=*/false});
+    }
+    return out;
+  }
+  ERBIUM_ASSIGN_OR_RETURN(std::string root,
+                          schema_->HierarchyRoot(class_name));
+  const EntitySetDef* root_def = schema_->FindEntitySet(root);
+  for (const std::string& attr_name : root_def->key) {
+    const AttributeDef* attr = FindAttribute(root_def->attributes, attr_name);
+    if (attr == nullptr) {
+      return Status::Internal("missing key attribute " + attr_name);
+    }
+    out.push_back(Column{attr->name, attr->type, /*nullable=*/false});
+  }
+  return out;
+}
+
+Result<std::vector<Column>> PhysicalMapping::OwnSegmentColumns(
+    const std::string& class_name) const {
+  const EntitySetDef* def = schema_->FindEntitySet(class_name);
+  if (def == nullptr) {
+    return Status::NotFound("no entity set named " + class_name);
+  }
+  ERBIUM_ASSIGN_OR_RETURN(std::vector<Column> out, KeyColumns(class_name));
+  std::set<std::string> present;
+  for (const Column& c : out) present.insert(c.name);
+  for (const AttributeDef& attr : def->attributes) {
+    if (present.count(attr.name) > 0) continue;  // key attrs already there
+    if (attr.multi_valued) {
+      if (spec_.multi_valued_storage(class_name, attr.name) ==
+          MultiValuedStorage::kArray) {
+        out.push_back(Column{attr.name, PhysicalAttrType(attr, true), true});
+      }
+      continue;  // separate table
+    }
+    out.push_back(
+        Column{attr.name, PhysicalAttrType(attr, false), attr.nullable});
+  }
+  return out;
+}
+
+Result<std::vector<PhysicalMapping::FkPlacement>>
+PhysicalMapping::FkPlacements(const std::string& class_name) const {
+  std::vector<FkPlacement> out;
+  for (const std::string& rel_name : schema_->RelationshipSetNames()) {
+    const RelationshipSetDef* rel = schema_->FindRelationshipSet(rel_name);
+    if (spec_.relationship_storage(*rel) != RelationshipStorage::kForeignKey) {
+      continue;
+    }
+    if (rel->many_side().entity != class_name) continue;
+    const std::string& one_entity = rel->one_side().entity;
+    ERBIUM_ASSIGN_OR_RETURN(std::vector<Column> one_key,
+                            KeyColumns(one_entity));
+    FkPlacement placement;
+    placement.relationship = rel_name;
+    for (const Column& key_col : one_key) {
+      placement.columns.push_back(Column{FkColumnName(rel_name, key_col.name),
+                                         key_col.type, /*nullable=*/true});
+    }
+    // Descriptive attributes of a 1:N relationship fold into the many
+    // side next to the FK.
+    for (const AttributeDef& attr : rel->attributes) {
+      placement.columns.push_back(Column{FkColumnName(rel_name, attr.name),
+                                         PhysicalAttrType(attr, false),
+                                         true});
+    }
+    out.push_back(std::move(placement));
+  }
+  return out;
+}
+
+Result<TypePtr> PhysicalMapping::FoldedStructType(
+    const std::string& weak_entity) const {
+  const EntitySetDef* def = schema_->FindEntitySet(weak_entity);
+  if (def == nullptr || !def->weak) {
+    return Status::InvalidArgument(weak_entity + " is not a weak entity set");
+  }
+  std::vector<Field> fields;
+  for (const AttributeDef& attr : def->attributes) {
+    fields.push_back(
+        Field{attr.name, PhysicalAttrType(attr, attr.multi_valued)});
+  }
+  return Type::Struct(std::move(fields));
+}
+
+Status PhysicalMapping::Validate() const {
+  // Keys must be scalar.
+  for (const std::string& name : schema_->EntitySetNames()) {
+    ERBIUM_ASSIGN_OR_RETURN(std::vector<Column> key, KeyColumns(name));
+    for (const Column& c : key) {
+      if (c.type == nullptr || !c.type->is_scalar()) {
+        return Status::AnalysisError("key attribute " + c.name + " of " +
+                                     name + " must be scalar");
+      }
+    }
+  }
+  // Hierarchy storage constraints.
+  for (const std::string& name : schema_->EntitySetNames()) {
+    const EntitySetDef* def = schema_->FindEntitySet(name);
+    if (def->is_subclass()) continue;
+    if (schema_->DirectSubclasses(name).empty()) continue;
+    HierarchyStorage hs = spec_.hierarchy_storage(name);
+    if (hs != HierarchyStorage::kClassTable && !SubtreeDisjoint(*schema_, name)) {
+      return Status::AnalysisError(
+          "hierarchy at " + name + " uses " + erbium::ToString(hs) +
+          " storage, which requires disjoint specializations (a single "
+          "discriminator cannot represent overlapping membership)");
+    }
+    if (hs == HierarchyStorage::kSingleTable) {
+      // Attribute names must be unique across the whole subtree: they
+      // share one table.
+      std::set<std::string> seen;
+      for (const std::string& cls : schema_->SelfAndDescendants(name)) {
+        for (const AttributeDef& attr :
+             schema_->FindEntitySet(cls)->attributes) {
+          if (!seen.insert(attr.name).second) {
+            return Status::AnalysisError(
+                "single-table hierarchy at " + name +
+                " has colliding attribute name " + attr.name);
+          }
+        }
+      }
+    }
+  }
+  // Relationship constraints.
+  std::map<std::string, std::string> swallowed;  // class -> rel
+  for (const std::string& rel_name : schema_->RelationshipSetNames()) {
+    const RelationshipSetDef* rel = schema_->FindRelationshipSet(rel_name);
+    for (const AttributeDef& attr : rel->attributes) {
+      if (attr.multi_valued) {
+        return Status::AnalysisError(
+            "multi-valued attribute " + attr.name + " on relationship " +
+            rel_name + " is not supported; model it as a weak entity");
+      }
+    }
+    RelationshipStorage storage = spec_.relationship_storage(*rel);
+    if (storage == RelationshipStorage::kForeignKey) {
+      if (rel->many_to_many()) {
+        return Status::AnalysisError(
+            "relationship " + rel_name +
+            " is many-to-many and cannot use foreign-key storage");
+      }
+      const std::string& many = rel->many_side().entity;
+      const EntitySetDef* many_def = schema_->FindEntitySet(many);
+      if (many_def->weak &&
+          spec_.weak_storage(many) == WeakEntityStorage::kFoldedArray) {
+        return Status::AnalysisError(
+            "relationship " + rel_name + " folds a foreign key into " + many +
+            ", which is itself folded into its owner; use join-table "
+            "storage");
+      }
+      if (!SwallowingRelationship(many).empty()) {
+        return Status::AnalysisError(
+            "relationship " + rel_name + " folds a foreign key into " + many +
+            ", whose segment is stored inside a joined structure; use "
+            "join-table storage");
+      }
+      continue;
+    }
+    if (storage == RelationshipStorage::kFactorized ||
+        storage == RelationshipStorage::kMaterializedJoin) {
+      if (storage == RelationshipStorage::kFactorized &&
+          !rel->attributes.empty()) {
+        return Status::AnalysisError(
+            "factorized storage of " + rel_name +
+            " does not support relationship attributes yet");
+      }
+      for (const Participant* p : {&rel->left, &rel->right}) {
+        const std::string& cls = p->entity;
+        auto [it, inserted] = swallowed.emplace(cls, rel_name);
+        if (!inserted) {
+          return Status::AnalysisError(
+              "entity set " + cls + " cannot be stored inside both " +
+              it->second + " and " + rel_name);
+        }
+        if (!schema_->DirectSubclasses(cls).empty()) {
+          return Status::AnalysisError(
+              "entity set " + cls + " has subclasses and cannot be stored "
+              "inside relationship " + rel_name);
+        }
+        const EntitySetDef* def = schema_->FindEntitySet(cls);
+        if (def->is_subclass()) {
+          std::string root = schema_->HierarchyRoot(cls).value();
+          if (spec_.hierarchy_storage(root) != HierarchyStorage::kClassTable) {
+            return Status::AnalysisError(
+                "entity set " + cls + " can only be stored inside " +
+                rel_name + " when its hierarchy uses class-table storage");
+          }
+        }
+        if (def->weak &&
+            spec_.weak_storage(cls) == WeakEntityStorage::kFoldedArray) {
+          return Status::AnalysisError(
+              "entity set " + cls + " is folded into its owner and cannot "
+              "also be stored inside relationship " + rel_name);
+        }
+        if (!schema_->WeakEntitiesOwnedBy(cls).empty()) {
+          for (const std::string& weak : schema_->WeakEntitiesOwnedBy(cls)) {
+            if (spec_.weak_storage(weak) == WeakEntityStorage::kFoldedArray) {
+              return Status::AnalysisError(
+                  "entity set " + cls + " folds weak entity " + weak +
+                  " and cannot be stored inside relationship " + rel_name);
+            }
+          }
+        }
+      }
+    }
+  }
+  // FK relationships cannot target swallowed many sides (checked above),
+  // and swallowed classes cannot be the many side of an FK relationship.
+  for (const std::string& rel_name : schema_->RelationshipSetNames()) {
+    const RelationshipSetDef* rel = schema_->FindRelationshipSet(rel_name);
+    if (spec_.relationship_storage(*rel) != RelationshipStorage::kForeignKey) {
+      continue;
+    }
+    if (swallowed.count(rel->many_side().entity) > 0) {
+      return Status::AnalysisError(
+          "relationship " + rel_name + " cannot fold a foreign key into " +
+          rel->many_side().entity + " (stored inside " +
+          swallowed[rel->many_side().entity] + ")");
+    }
+  }
+  // Folded weak entities.
+  for (const std::string& name : schema_->EntitySetNames()) {
+    const EntitySetDef* def = schema_->FindEntitySet(name);
+    if (!def->weak ||
+        spec_.weak_storage(name) != WeakEntityStorage::kFoldedArray) {
+      continue;
+    }
+    if (!schema_->WeakEntitiesOwnedBy(name).empty()) {
+      return Status::AnalysisError(
+          "weak entity set " + name +
+          " owns weak entity sets and cannot be folded into its owner");
+    }
+    SegmentLocation owner_loc = segment_location(def->owner);
+    if (owner_loc != SegmentLocation::kOwnTable &&
+        owner_loc != SegmentLocation::kHierarchySingle &&
+        owner_loc != SegmentLocation::kHierarchyDisjoint) {
+      return Status::AnalysisError(
+          "weak entity set " + name + " cannot be folded into " + def->owner +
+          " whose own segment is not a plain table");
+    }
+  }
+  return Status::OK();
+}
+
+Status PhysicalMapping::BuildTables() {
+  std::set<std::string> table_names;
+  auto add_table = [&](TableSchema schema) -> Status {
+    if (!table_names.insert(schema.name()).second) {
+      return Status::AnalysisError("physical table name collision: " +
+                                   schema.name());
+    }
+    tables_.push_back(std::move(schema));
+    return Status::OK();
+  };
+  auto key_index = [&](const std::string& table,
+                       const std::vector<Column>& key_cols, bool unique) {
+    std::vector<std::string> names;
+    for (const Column& c : key_cols) names.push_back(c.name);
+    indexes_.push_back(IndexDef{table, table + "_pk", names, unique});
+  };
+
+  // Folded weak entity columns attach to the owner's own-attribute
+  // location; collect them first.
+  std::map<std::string, std::vector<Column>> folded_columns;  // owner -> cols
+  for (const std::string& name : schema_->EntitySetNames()) {
+    const EntitySetDef* def = schema_->FindEntitySet(name);
+    if (def->weak &&
+        spec_.weak_storage(name) == WeakEntityStorage::kFoldedArray) {
+      ERBIUM_ASSIGN_OR_RETURN(TypePtr folded, FoldedStructType(name));
+      folded_columns[def->owner].push_back(
+          Column{name, Type::Array(folded), true});
+    }
+  }
+
+  auto own_payload = [&](const std::string& cls,
+                         std::vector<Column>* cols) -> Status {
+    // FK placements, then folded weak arrays for this class.
+    ERBIUM_ASSIGN_OR_RETURN(std::vector<FkPlacement> fks, FkPlacements(cls));
+    for (const FkPlacement& fk : fks) {
+      cols->insert(cols->end(), fk.columns.begin(), fk.columns.end());
+    }
+    auto folded_it = folded_columns.find(cls);
+    if (folded_it != folded_columns.end()) {
+      cols->insert(cols->end(), folded_it->second.begin(),
+                   folded_it->second.end());
+    }
+    return Status::OK();
+  };
+
+  // ---- Entity storage -------------------------------------------------------
+  for (const std::string& name : schema_->EntitySetNames()) {
+    const EntitySetDef* def = schema_->FindEntitySet(name);
+    if (def->is_subclass()) continue;  // handled with the root below
+    if (def->weak) {
+      SegmentLocation loc = segment_location(name);
+      if (loc == SegmentLocation::kOwnTable) {
+        ERBIUM_ASSIGN_OR_RETURN(std::vector<Column> cols,
+                                OwnSegmentColumns(name));
+        ERBIUM_RETURN_NOT_OK(own_payload(name, &cols));
+        ERBIUM_ASSIGN_OR_RETURN(std::vector<Column> key, KeyColumns(name));
+        std::vector<int> key_positions;
+        for (size_t i = 0; i < key.size(); ++i) {
+          key_positions.push_back(static_cast<int>(i));
+        }
+        ERBIUM_RETURN_NOT_OK(
+            add_table(TableSchema(name, cols, key_positions)));
+        key_index(name, key, /*unique=*/true);
+        // Secondary index on the owner-key prefix, for owner->weak walks.
+        ERBIUM_ASSIGN_OR_RETURN(std::vector<Column> owner_key,
+                                KeyColumns(def->owner));
+        std::vector<std::string> owner_key_names;
+        for (const Column& c : owner_key) owner_key_names.push_back(c.name);
+        indexes_.push_back(
+            IndexDef{name, name + "_owner", owner_key_names, false});
+      }
+      // kFoldedInOwner handled via folded_columns; pair/materialized below.
+      continue;
+    }
+    // Strong hierarchy root (possibly trivial).
+    HierarchyStorage hs = spec_.hierarchy_storage(name);
+    std::vector<std::string> subtree = schema_->SelfAndDescendants(name);
+    bool trivial = subtree.size() == 1;
+    if (trivial || hs == HierarchyStorage::kClassTable) {
+      for (const std::string& cls : subtree) {
+        if (segment_location(cls) != SegmentLocation::kOwnTable) {
+          continue;  // swallowed into a pair/materialized table
+        }
+        ERBIUM_ASSIGN_OR_RETURN(std::vector<Column> cols,
+                                OwnSegmentColumns(cls));
+        ERBIUM_RETURN_NOT_OK(own_payload(cls, &cols));
+        ERBIUM_ASSIGN_OR_RETURN(std::vector<Column> key, KeyColumns(cls));
+        std::vector<int> key_positions;
+        for (size_t i = 0; i < key.size(); ++i) {
+          key_positions.push_back(static_cast<int>(i));
+        }
+        ERBIUM_RETURN_NOT_OK(add_table(TableSchema(cls, cols, key_positions)));
+        key_index(cls, key, /*unique=*/true);
+      }
+    } else if (hs == HierarchyStorage::kSingleTable) {
+      ERBIUM_ASSIGN_OR_RETURN(std::vector<Column> cols, KeyColumns(name));
+      size_t key_size = cols.size();
+      cols.push_back(Column{kTypeColumn, Type::String(), false});
+      for (const std::string& cls : subtree) {
+        const EntitySetDef* cls_def = schema_->FindEntitySet(cls);
+        for (const AttributeDef& attr : cls_def->attributes) {
+          bool is_key = false;
+          for (size_t i = 0; i < key_size; ++i) {
+            if (cols[i].name == attr.name) is_key = true;
+          }
+          if (is_key) continue;
+          if (attr.multi_valued) {
+            if (spec_.multi_valued_storage(cls, attr.name) ==
+                MultiValuedStorage::kArray) {
+              cols.push_back(
+                  Column{attr.name, PhysicalAttrType(attr, true), true});
+            }
+            continue;
+          }
+          // Subclass attributes are nullable in the single table.
+          cols.push_back(Column{attr.name, PhysicalAttrType(attr, false),
+                                true});
+        }
+        ERBIUM_RETURN_NOT_OK(own_payload(cls, &cols));
+      }
+      std::vector<int> key_positions;
+      for (size_t i = 0; i < key_size; ++i) {
+        key_positions.push_back(static_cast<int>(i));
+      }
+      ERBIUM_RETURN_NOT_OK(add_table(TableSchema(name, cols, key_positions)));
+      ERBIUM_ASSIGN_OR_RETURN(std::vector<Column> key, KeyColumns(name));
+      key_index(name, key, /*unique=*/true);
+    } else {  // kDisjointTables
+      for (const std::string& cls : subtree) {
+        ERBIUM_ASSIGN_OR_RETURN(std::vector<Column> cols, KeyColumns(cls));
+        size_t key_size = cols.size();
+        ERBIUM_ASSIGN_OR_RETURN(std::vector<std::string> chain,
+                                schema_->AncestryChain(cls));
+        for (const std::string& ancestor : chain) {
+          const EntitySetDef* a_def = schema_->FindEntitySet(ancestor);
+          for (const AttributeDef& attr : a_def->attributes) {
+            bool is_key = false;
+            for (size_t i = 0; i < key_size; ++i) {
+              if (cols[i].name == attr.name) is_key = true;
+            }
+            if (is_key) continue;
+            if (attr.multi_valued) {
+              if (spec_.multi_valued_storage(ancestor, attr.name) ==
+                  MultiValuedStorage::kArray) {
+                cols.push_back(
+                    Column{attr.name, PhysicalAttrType(attr, true), true});
+              }
+              continue;
+            }
+            cols.push_back(Column{attr.name, PhysicalAttrType(attr, false),
+                                  attr.nullable});
+          }
+          ERBIUM_RETURN_NOT_OK(own_payload(ancestor == cls ? cls : ancestor,
+                                           &cols));
+        }
+        std::vector<int> key_positions;
+        for (size_t i = 0; i < key_size; ++i) {
+          key_positions.push_back(static_cast<int>(i));
+        }
+        ERBIUM_RETURN_NOT_OK(add_table(TableSchema(cls, cols, key_positions)));
+        ERBIUM_ASSIGN_OR_RETURN(std::vector<Column> key, KeyColumns(cls));
+        key_index(cls, key, /*unique=*/true);
+      }
+    }
+  }
+
+  // ---- Multi-valued side tables ----------------------------------------------
+  for (const std::string& name : schema_->EntitySetNames()) {
+    const EntitySetDef* def = schema_->FindEntitySet(name);
+    bool folded = def->weak && spec_.weak_storage(name) ==
+                                   WeakEntityStorage::kFoldedArray;
+    if (folded) continue;  // multi-valued attrs live inside the struct
+    for (const AttributeDef& attr : def->attributes) {
+      if (!attr.multi_valued) continue;
+      if (spec_.multi_valued_storage(name, attr.name) !=
+          MultiValuedStorage::kSeparateTable) {
+        continue;
+      }
+      ERBIUM_ASSIGN_OR_RETURN(std::vector<Column> cols, KeyColumns(name));
+      size_t key_size = cols.size();
+      cols.push_back(Column{attr.name, PhysicalAttrType(attr, false), false});
+      std::string table_name = MvTableName(name, attr.name);
+      ERBIUM_RETURN_NOT_OK(add_table(TableSchema(table_name, cols, {})));
+      std::vector<std::string> key_names;
+      for (size_t i = 0; i < key_size; ++i) key_names.push_back(cols[i].name);
+      indexes_.push_back(
+          IndexDef{table_name, table_name + "_key", key_names, false});
+    }
+  }
+
+  // ---- Relationship storage ----------------------------------------------------
+  for (const std::string& rel_name : schema_->RelationshipSetNames()) {
+    const RelationshipSetDef* rel = schema_->FindRelationshipSet(rel_name);
+    RelationshipStorage storage = spec_.relationship_storage(*rel);
+    if (storage == RelationshipStorage::kForeignKey) {
+      // Columns already placed; add a (non-unique) index on the FK columns
+      // of every table that carries them.
+      ERBIUM_ASSIGN_OR_RETURN(std::vector<Column> one_key,
+                              KeyColumns(rel->one_side().entity));
+      std::vector<std::string> fk_names;
+      for (const Column& c : one_key) {
+        fk_names.push_back(FkColumnName(rel_name, c.name));
+      }
+      const std::string& many = rel->many_side().entity;
+      std::vector<std::string> carrier_tables;
+      switch (segment_location(many)) {
+        case SegmentLocation::kOwnTable:
+          carrier_tables.push_back(many);
+          break;
+        case SegmentLocation::kHierarchySingle:
+          carrier_tables.push_back(SegmentTableName(many));
+          break;
+        case SegmentLocation::kHierarchyDisjoint:
+          for (const std::string& cls : schema_->SelfAndDescendants(many)) {
+            carrier_tables.push_back(cls);
+          }
+          break;
+        default:
+          return Status::Internal("FK carrier for " + many +
+                                  " has no physical table");
+      }
+      for (const std::string& table : carrier_tables) {
+        indexes_.push_back(IndexDef{table, table + "_" + rel_name + "_fk",
+                                    fk_names, rel->one_to_one()});
+      }
+      continue;
+    }
+    // Key columns for both sides, role-prefixed.
+    ERBIUM_ASSIGN_OR_RETURN(std::vector<Column> left_key,
+                            KeyColumns(rel->left.entity));
+    ERBIUM_ASSIGN_OR_RETURN(std::vector<Column> right_key,
+                            KeyColumns(rel->right.entity));
+    auto prefixed = [](const std::string& role,
+                       const std::vector<Column>& cols) {
+      std::vector<Column> out;
+      for (const Column& c : cols) {
+        out.push_back(
+            Column{RoleColumnName(role, c.name), c.type, /*nullable=*/false});
+      }
+      return out;
+    };
+    if (storage == RelationshipStorage::kJoinTable) {
+      std::vector<Column> cols = prefixed(rel->left.role, left_key);
+      std::vector<Column> right_cols = prefixed(rel->right.role, right_key);
+      size_t left_size = cols.size();
+      cols.insert(cols.end(), right_cols.begin(), right_cols.end());
+      for (const AttributeDef& attr : rel->attributes) {
+        cols.push_back(
+            Column{attr.name, PhysicalAttrType(attr, false), true});
+      }
+      ERBIUM_RETURN_NOT_OK(add_table(TableSchema(rel_name, cols, {})));
+      std::vector<std::string> left_names, right_names;
+      for (size_t i = 0; i < left_size; ++i) left_names.push_back(cols[i].name);
+      for (size_t i = left_size; i < left_size + right_key.size(); ++i) {
+        right_names.push_back(cols[i].name);
+      }
+      // The "one" side of a 1:N relationship admits at most one partner
+      // per instance of the other side: unique index there.
+      bool left_unique = rel->right.cardinality == Cardinality::kOne;
+      bool right_unique = rel->left.cardinality == Cardinality::kOne;
+      indexes_.push_back(IndexDef{rel_name, rel_name + "_left", left_names,
+                                  left_unique});
+      indexes_.push_back(IndexDef{rel_name, rel_name + "_right", right_names,
+                                  right_unique});
+      continue;
+    }
+    // Materialized join or factorized pair: both own segments together.
+    ERBIUM_ASSIGN_OR_RETURN(std::vector<Column> left_seg,
+                            OwnSegmentColumns(rel->left.entity));
+    ERBIUM_ASSIGN_OR_RETURN(std::vector<Column> right_seg,
+                            OwnSegmentColumns(rel->right.entity));
+    if (storage == RelationshipStorage::kMaterializedJoin) {
+      std::vector<Column> cols = prefixed(rel->left.role, left_seg);
+      for (Column& c : cols) c.nullable = true;  // full-outer rows
+      size_t left_size = cols.size();
+      std::vector<Column> right_cols = prefixed(rel->right.role, right_seg);
+      for (Column& c : right_cols) c.nullable = true;
+      cols.insert(cols.end(), right_cols.begin(), right_cols.end());
+      for (const AttributeDef& attr : rel->attributes) {
+        cols.push_back(
+            Column{attr.name, PhysicalAttrType(attr, false), true});
+      }
+      std::string table_name = MaterializedTableName(rel_name);
+      ERBIUM_RETURN_NOT_OK(add_table(TableSchema(table_name, cols, {})));
+      std::vector<std::string> left_names, right_names;
+      for (size_t i = 0; i < left_key.size(); ++i) {
+        left_names.push_back(cols[i].name);
+      }
+      for (size_t i = 0; i < right_key.size(); ++i) {
+        right_names.push_back(cols[left_size + i].name);
+      }
+      indexes_.push_back(
+          IndexDef{table_name, table_name + "_left", left_names, false});
+      indexes_.push_back(
+          IndexDef{table_name, table_name + "_right", right_names, false});
+      continue;
+    }
+    // kFactorized.
+    PairDef pair;
+    pair.name = PairName(rel_name);
+    pair.relationship = rel_name;
+    pair.left_columns = left_seg;
+    pair.right_columns = right_seg;
+    for (size_t i = 0; i < left_key.size(); ++i) {
+      pair.left_key.push_back(static_cast<int>(i));
+    }
+    for (size_t i = 0; i < right_key.size(); ++i) {
+      pair.right_key.push_back(static_cast<int>(i));
+    }
+    pairs_.push_back(std::move(pair));
+  }
+  return Status::OK();
+}
+
+// ---- Cover -------------------------------------------------------------------
+
+namespace {
+
+/// Adds the nodes that make a structure holding `class_name`'s key
+/// connected in the E/R graph: the class itself, its ancestry chain up to
+/// the root, the root's key attribute nodes; for weak entities also the
+/// owner's closure and the partial key attribute nodes.
+Status AddKeyClosure(const ERSchema& schema, const ERGraph& graph,
+                     const std::string& class_name, std::set<int>* nodes) {
+  const EntitySetDef* def = schema.FindEntitySet(class_name);
+  if (def == nullptr) {
+    return Status::NotFound("no entity set named " + class_name);
+  }
+  ERBIUM_ASSIGN_OR_RETURN(std::vector<std::string> chain,
+                          schema.AncestryChain(class_name));
+  for (const std::string& cls : chain) nodes->insert(graph.FindNode(cls));
+  if (def->weak) {
+    for (const std::string& key_attr : def->partial_key) {
+      nodes->insert(graph.FindNode(class_name + "." + key_attr));
+    }
+    return AddKeyClosure(schema, graph, def->owner, nodes);
+  }
+  const std::string& root = chain.front();
+  const EntitySetDef* root_def = schema.FindEntitySet(root);
+  for (const std::string& key_attr : root_def->key) {
+    nodes->insert(graph.FindNode(root + "." + key_attr));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<std::set<int>>> PhysicalMapping::Cover(
+    const ERGraph& graph) const {
+  std::vector<std::set<int>> cover;
+  auto attr_node = [&](const std::string& owner, const std::string& attr) {
+    return graph.FindNode(owner + "." + attr);
+  };
+
+  // Per-class "own segment" node groups (class + stored own attrs).
+  auto own_segment_nodes = [&](const std::string& cls,
+                               std::set<int>* nodes) -> Status {
+    const EntitySetDef* def = schema_->FindEntitySet(cls);
+    nodes->insert(graph.FindNode(cls));
+    for (const AttributeDef& attr : def->attributes) {
+      if (attr.multi_valued &&
+          !def->weak &&
+          spec_.multi_valued_storage(cls, attr.name) ==
+              MultiValuedStorage::kSeparateTable) {
+        continue;  // covered by its side table
+      }
+      if (attr.multi_valued && def->weak &&
+          spec_.weak_storage(cls) != WeakEntityStorage::kFoldedArray &&
+          spec_.multi_valued_storage(cls, attr.name) ==
+              MultiValuedStorage::kSeparateTable) {
+        continue;
+      }
+      nodes->insert(attr_node(cls, attr.name));
+    }
+    // FK relationships folded here cover the relationship node + attrs.
+    ERBIUM_ASSIGN_OR_RETURN(std::vector<FkPlacement> fks, FkPlacements(cls));
+    for (const FkPlacement& fk : fks) {
+      nodes->insert(graph.FindNode(fk.relationship));
+      const RelationshipSetDef* rel =
+          schema_->FindRelationshipSet(fk.relationship);
+      for (const AttributeDef& attr : rel->attributes) {
+        nodes->insert(attr_node(fk.relationship, attr.name));
+      }
+      // The one side's key closure keeps the subgraph connected through
+      // the relationship node.
+      ERBIUM_RETURN_NOT_OK(AddKeyClosure(*schema_, graph,
+                                         rel->one_side().entity, nodes));
+    }
+    return Status::OK();
+  };
+
+  for (const TableSchema& table : tables_) {
+    const std::string& name = table.name();
+    std::set<int> nodes;
+    // Entity own-segment table (class-table storage or plain entity)?
+    const EntitySetDef* def = schema_->FindEntitySet(name);
+    if (def != nullptr) {
+      SegmentLocation loc = segment_location(name);
+      if (loc == SegmentLocation::kOwnTable) {
+        ERBIUM_RETURN_NOT_OK(AddKeyClosure(*schema_, graph, name, &nodes));
+        ERBIUM_RETURN_NOT_OK(own_segment_nodes(name, &nodes));
+      } else if (loc == SegmentLocation::kHierarchySingle) {
+        for (const std::string& cls : schema_->SelfAndDescendants(name)) {
+          ERBIUM_RETURN_NOT_OK(AddKeyClosure(*schema_, graph, cls, &nodes));
+          ERBIUM_RETURN_NOT_OK(own_segment_nodes(cls, &nodes));
+        }
+      } else if (loc == SegmentLocation::kHierarchyDisjoint) {
+        ERBIUM_ASSIGN_OR_RETURN(std::vector<std::string> chain,
+                                schema_->AncestryChain(name));
+        for (const std::string& cls : chain) {
+          ERBIUM_RETURN_NOT_OK(AddKeyClosure(*schema_, graph, cls, &nodes));
+          ERBIUM_RETURN_NOT_OK(own_segment_nodes(cls, &nodes));
+        }
+      }
+      // Folded weak entities stored on this table.
+      for (const std::string& weak : schema_->WeakEntitiesOwnedBy(name)) {
+        if (spec_.weak_storage(weak) == WeakEntityStorage::kFoldedArray) {
+          nodes.insert(graph.FindNode(weak));
+          const EntitySetDef* weak_def = schema_->FindEntitySet(weak);
+          for (const AttributeDef& attr : weak_def->attributes) {
+            nodes.insert(attr_node(weak, attr.name));
+          }
+        }
+      }
+      cover.push_back(std::move(nodes));
+      continue;
+    }
+    // Multi-valued side table?
+    bool handled = false;
+    for (const std::string& entity : schema_->EntitySetNames()) {
+      const EntitySetDef* e_def = schema_->FindEntitySet(entity);
+      for (const AttributeDef& attr : e_def->attributes) {
+        if (attr.multi_valued && MvTableName(entity, attr.name) == name) {
+          ERBIUM_RETURN_NOT_OK(AddKeyClosure(*schema_, graph, entity, &nodes));
+          nodes.insert(attr_node(entity, attr.name));
+          cover.push_back(std::move(nodes));
+          handled = true;
+          break;
+        }
+      }
+      if (handled) break;
+    }
+    if (handled) continue;
+    // Join table or materialized join table.
+    for (const std::string& rel_name : schema_->RelationshipSetNames()) {
+      const RelationshipSetDef* rel = schema_->FindRelationshipSet(rel_name);
+      RelationshipStorage storage = spec_.relationship_storage(*rel);
+      bool join_table =
+          storage == RelationshipStorage::kJoinTable && rel_name == name;
+      bool materialized = storage == RelationshipStorage::kMaterializedJoin &&
+                          MaterializedTableName(rel_name) == name;
+      if (!join_table && !materialized) continue;
+      nodes.insert(graph.FindNode(rel_name));
+      for (const AttributeDef& attr : rel->attributes) {
+        nodes.insert(attr_node(rel_name, attr.name));
+      }
+      ERBIUM_RETURN_NOT_OK(
+          AddKeyClosure(*schema_, graph, rel->left.entity, &nodes));
+      ERBIUM_RETURN_NOT_OK(
+          AddKeyClosure(*schema_, graph, rel->right.entity, &nodes));
+      if (materialized) {
+        ERBIUM_RETURN_NOT_OK(own_segment_nodes(rel->left.entity, &nodes));
+        ERBIUM_RETURN_NOT_OK(own_segment_nodes(rel->right.entity, &nodes));
+      }
+      cover.push_back(std::move(nodes));
+      handled = true;
+      break;
+    }
+    if (!handled) {
+      return Status::Internal("cover derivation missed table " + name);
+    }
+  }
+  for (const PairDef& pair : pairs_) {
+    const RelationshipSetDef* rel =
+        schema_->FindRelationshipSet(pair.relationship);
+    std::set<int> nodes;
+    nodes.insert(graph.FindNode(pair.relationship));
+    ERBIUM_RETURN_NOT_OK(
+        AddKeyClosure(*schema_, graph, rel->left.entity, &nodes));
+    ERBIUM_RETURN_NOT_OK(
+        AddKeyClosure(*schema_, graph, rel->right.entity, &nodes));
+    ERBIUM_RETURN_NOT_OK(own_segment_nodes(rel->left.entity, &nodes));
+    ERBIUM_RETURN_NOT_OK(own_segment_nodes(rel->right.entity, &nodes));
+    cover.push_back(std::move(nodes));
+  }
+  return cover;
+}
+
+Status PhysicalMapping::ValidateCover(const ERGraph& graph,
+                                      const std::vector<std::set<int>>& cover) {
+  std::set<int> covered;
+  for (size_t i = 0; i < cover.size(); ++i) {
+    if (cover[i].count(-1) > 0) {
+      return Status::Internal("cover subgraph " + std::to_string(i) +
+                              " references an unknown node");
+    }
+    if (!graph.IsConnected(cover[i])) {
+      return Status::AnalysisError(
+          "cover subgraph " + std::to_string(i) +
+          " is not connected (mapping requirement, paper Section 4)");
+    }
+    covered.insert(cover[i].begin(), cover[i].end());
+  }
+  for (int node : graph.AllNodeIds()) {
+    if (covered.count(node) == 0) {
+      return Status::AnalysisError("E/R graph node '" +
+                                   graph.nodes()[node].name +
+                                   "' is not covered by any structure");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace erbium

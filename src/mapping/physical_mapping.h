@@ -1,0 +1,164 @@
+#ifndef ERBIUM_MAPPING_PHYSICAL_MAPPING_H_
+#define ERBIUM_MAPPING_PHYSICAL_MAPPING_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "er/er_graph.h"
+#include "er/er_schema.h"
+#include "mapping/mapping_spec.h"
+#include "storage/schema.h"
+
+namespace erbium {
+
+/// Where an entity class's *own segment* (its full key + the attributes
+/// declared on that class) physically lives.
+enum class SegmentLocation {
+  kOwnTable,          // a table named after the class
+  kHierarchySingle,   // the hierarchy root's single table (discriminator)
+  kHierarchyDisjoint, // spread over the self+descendant full-width tables
+  kFoldedInOwner,     // array-of-struct column on the owner's table (weak)
+  kPairLeft,          // left side of a factorized pair
+  kPairRight,         // right side of a factorized pair
+  kMaterializedLeft,  // left half of a materialized join table
+  kMaterializedRight, // right half of a materialized join table
+};
+
+/// A mapping compiled against a concrete schema: the physical table
+/// schemas, factorized pair definitions, index definitions, resolution
+/// helpers used by the runtime, and the induced cover of the E/R graph
+/// (paper Figure 2). Compile() also validates the spec against the
+/// schema (e.g. single-table hierarchies require disjoint
+/// specializations; factorized sides must be leaf classes).
+class PhysicalMapping {
+ public:
+  /// Discriminator column used by single-table hierarchies; holds the
+  /// instance's most-specific class name.
+  static constexpr const char* kTypeColumn = "_type";
+
+  struct PairDef {
+    std::string name;          // "<rel>_pair"
+    std::string relationship;
+    std::vector<Column> left_columns;
+    std::vector<int> left_key;   // positions of the left full key
+    std::vector<Column> right_columns;
+    std::vector<int> right_key;
+  };
+
+  struct IndexDef {
+    std::string table;
+    std::string index_name;
+    std::vector<std::string> columns;
+    bool unique;
+  };
+
+  static Result<PhysicalMapping> Compile(const ERSchema* schema,
+                                         MappingSpec spec);
+
+  const ERSchema& schema() const { return *schema_; }
+  const MappingSpec& spec() const { return spec_; }
+
+  const std::vector<TableSchema>& tables() const { return tables_; }
+  const std::vector<PairDef>& pairs() const { return pairs_; }
+  const std::vector<IndexDef>& indexes() const { return indexes_; }
+
+  // ---- Naming conventions ---------------------------------------------------
+
+  /// Side table for a separately-stored multi-valued attribute.
+  static std::string MvTableName(const std::string& entity,
+                                 const std::string& attr) {
+    return entity + "_" + attr;
+  }
+  /// Join table of a kJoinTable relationship is named after it; a
+  /// materialized join table appends "_joined"; a pair appends "_pair".
+  static std::string MaterializedTableName(const std::string& rel) {
+    return rel + "_joined";
+  }
+  static std::string PairName(const std::string& rel) { return rel + "_pair"; }
+  /// FK column for one key attribute of the one side.
+  static std::string FkColumnName(const std::string& rel,
+                                  const std::string& key_attr) {
+    return rel + "_" + key_attr;
+  }
+  /// Role-prefixed key column in join/materialized tables.
+  static std::string RoleColumnName(const std::string& role,
+                                    const std::string& attr) {
+    return role + "_" + attr;
+  }
+
+  // ---- Resolution helpers ---------------------------------------------------
+
+  /// Location of a class's own segment under this mapping.
+  SegmentLocation segment_location(const std::string& class_name) const;
+
+  /// Name of the table holding the class's own segment. Meaningful for
+  /// kOwnTable (the class name), kHierarchySingle (the root name), and
+  /// kMaterialized* (the joined table); empty otherwise.
+  std::string SegmentTableName(const std::string& class_name) const;
+
+  /// For kPairLeft/kPairRight: the pair name.
+  std::string SegmentPairName(const std::string& class_name) const;
+
+  /// The relationship that swallowed this class's segment (factorized or
+  /// materialized); empty if none.
+  std::string SwallowingRelationship(const std::string& class_name) const;
+
+  /// Physical key columns of a class: names are the key attribute names,
+  /// types their scalar types. For weak entities the owner key comes
+  /// first (recursively expanded).
+  Result<std::vector<Column>> KeyColumns(const std::string& class_name) const;
+
+  /// The columns of a class's own segment: full key followed by own
+  /// single-valued attributes (composites as structs) and own
+  /// multi-valued attributes chosen as arrays. Excludes FK columns.
+  Result<std::vector<Column>> OwnSegmentColumns(
+      const std::string& class_name) const;
+
+  /// All FK column names that live on a given class's own-attribute
+  /// location because of kForeignKey relationships where the class (or an
+  /// ancestor, for disjoint tables) is the many side. Pairs of
+  /// (relationship name, columns).
+  struct FkPlacement {
+    std::string relationship;
+    std::vector<Column> columns;  // one per key attr of the one side
+  };
+  Result<std::vector<FkPlacement>> FkPlacements(
+      const std::string& class_name) const;
+
+  /// The struct type used when folding a weak entity into its owner:
+  /// partial key fields + own attributes (multi-valued as arrays).
+  Result<TypePtr> FoldedStructType(const std::string& weak_entity) const;
+
+  // ---- Cover of the E/R graph (Figure 2) -------------------------------------
+
+  /// Node-id sets, one per physical structure, in table/pair order.
+  Result<std::vector<std::set<int>>> Cover(const ERGraph& graph) const;
+
+  /// Checks the paper's structural requirements on a cover: every
+  /// subgraph connected, every node covered.
+  static Status ValidateCover(const ERGraph& graph,
+                              const std::vector<std::set<int>>& cover);
+
+  /// Physical type of an attribute: struct for composites, wrapped in
+  /// array when stored multi-valued.
+  static TypePtr PhysicalAttrType(const AttributeDef& attr, bool as_array);
+
+ private:
+  PhysicalMapping(const ERSchema* schema, MappingSpec spec)
+      : schema_(schema), spec_(std::move(spec)) {}
+
+  Status Validate() const;
+  Status BuildTables();
+
+  const ERSchema* schema_;
+  MappingSpec spec_;
+  std::vector<TableSchema> tables_;
+  std::vector<PairDef> pairs_;
+  std::vector<IndexDef> indexes_;
+};
+
+}  // namespace erbium
+
+#endif  // ERBIUM_MAPPING_PHYSICAL_MAPPING_H_

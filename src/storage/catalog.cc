@@ -1,0 +1,54 @@
+#include "storage/catalog.h"
+
+namespace erbium {
+
+Result<Table*> Catalog::CreateTable(TableSchema schema) {
+  // Copy: `schema` is moved into the Table before the map key is used.
+  std::string name = schema.name();
+  if (name.empty()) {
+    return Status::InvalidArgument("table name must be non-empty");
+  }
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
+  auto table = std::make_unique<Table>(std::move(schema));
+  Table* raw = table.get();
+  tables_.emplace(name, std::move(table));
+  return raw;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named " + name);
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Table* Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+size_t Catalog::ApproximateDataBytes() const {
+  size_t total = 0;
+  for (const auto& [name, table] : tables_) {
+    total += table->ApproximateDataBytes();
+  }
+  return total;
+}
+
+}  // namespace erbium

@@ -1,0 +1,47 @@
+#ifndef ERBIUM_STORAGE_CATALOG_H_
+#define ERBIUM_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace erbium {
+
+/// Owns the physical tables of one database instance. Table names are
+/// unique; lookups return borrowed pointers valid until the table is
+/// dropped.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Result<Table*> CreateTable(TableSchema schema);
+  Status DropTable(const std::string& name);
+
+  /// Returns nullptr if the table does not exist.
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  std::vector<std::string> TableNames() const;
+  size_t size() const { return tables_.size(); }
+
+  /// Total approximate bytes across all tables (storage-size reporting).
+  size_t ApproximateDataBytes() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace erbium
+
+#endif  // ERBIUM_STORAGE_CATALOG_H_

@@ -1,0 +1,82 @@
+#include "storage/index.h"
+
+namespace erbium {
+
+bool Index::IsIndexableKey(const IndexKey& key) {
+  for (const Value& v : key) {
+    if (v.is_null()) return false;
+  }
+  return true;
+}
+
+Status HashIndex::Insert(const IndexKey& key, RowId id) {
+  if (!IsIndexableKey(key)) return Status::OK();
+  if (unique() && map_.count(key) > 0) {
+    return Status::ConstraintViolation("duplicate key in unique index " +
+                                       name());
+  }
+  map_.emplace(key, id);
+  return Status::OK();
+}
+
+void HashIndex::Erase(const IndexKey& key, RowId id) {
+  auto [begin, end] = map_.equal_range(key);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == id) {
+      map_.erase(it);
+      return;
+    }
+  }
+}
+
+void HashIndex::Lookup(const IndexKey& key, std::vector<RowId>* out) const {
+  auto [begin, end] = map_.equal_range(key);
+  for (auto it = begin; it != end; ++it) out->push_back(it->second);
+}
+
+bool HashIndex::Contains(const IndexKey& key) const {
+  return map_.count(key) > 0;
+}
+
+Status OrderedIndex::Insert(const IndexKey& key, RowId id) {
+  if (!IsIndexableKey(key)) return Status::OK();
+  if (unique() && map_.count(key) > 0) {
+    return Status::ConstraintViolation("duplicate key in unique index " +
+                                       name());
+  }
+  map_.emplace(key, id);
+  return Status::OK();
+}
+
+void OrderedIndex::Erase(const IndexKey& key, RowId id) {
+  auto [begin, end] = map_.equal_range(key);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == id) {
+      map_.erase(it);
+      return;
+    }
+  }
+}
+
+void OrderedIndex::Lookup(const IndexKey& key, std::vector<RowId>* out) const {
+  auto [begin, end] = map_.equal_range(key);
+  for (auto it = begin; it != end; ++it) out->push_back(it->second);
+}
+
+bool OrderedIndex::Contains(const IndexKey& key) const {
+  return map_.count(key) > 0;
+}
+
+void OrderedIndex::LookupRange(const IndexKey& lo, bool lo_inclusive,
+                               const IndexKey& hi, bool hi_inclusive,
+                               std::vector<RowId>* out) const {
+  auto begin = lo.empty()
+                   ? map_.begin()
+                   : (lo_inclusive ? map_.lower_bound(lo) : map_.upper_bound(lo));
+  auto end = hi.empty()
+                 ? map_.end()
+                 : (hi_inclusive ? map_.upper_bound(hi) : map_.lower_bound(hi));
+  for (auto it = begin; it != end; ++it) out->push_back(it->second);
+}
+
+}  // namespace erbium

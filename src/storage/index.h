@@ -1,0 +1,112 @@
+#ifndef ERBIUM_STORAGE_INDEX_H_
+#define ERBIUM_STORAGE_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace erbium {
+
+/// Stable identifier of a row within one table (slot number; never reused
+/// while the table lives, deleted slots are tombstoned).
+using RowId = uint64_t;
+
+using IndexKey = std::vector<Value>;
+
+/// Abstract secondary/primary index over a subset of a table's columns.
+/// The table drives maintenance: it extracts the key columns and calls
+/// Insert/Erase as rows change.
+class Index {
+ public:
+  Index(std::string name, std::vector<int> columns, bool unique)
+      : name_(std::move(name)), columns_(std::move(columns)), unique_(unique) {}
+  virtual ~Index() = default;
+
+  Index(const Index&) = delete;
+  Index& operator=(const Index&) = delete;
+
+  const std::string& name() const { return name_; }
+  const std::vector<int>& columns() const { return columns_; }
+  bool unique() const { return unique_; }
+
+  /// Adds an entry; fails with ConstraintViolation on duplicate key in a
+  /// unique index. Keys containing nulls are not indexed (SQL semantics:
+  /// null never equals null) and never violate uniqueness.
+  virtual Status Insert(const IndexKey& key, RowId id) = 0;
+  virtual void Erase(const IndexKey& key, RowId id) = 0;
+
+  /// Appends all row ids with the exact key.
+  virtual void Lookup(const IndexKey& key, std::vector<RowId>* out) const = 0;
+
+  /// True if the exact key exists.
+  virtual bool Contains(const IndexKey& key) const = 0;
+
+  virtual size_t size() const = 0;
+
+  /// Whether a key participates in the index (no null components).
+  static bool IsIndexableKey(const IndexKey& key);
+
+ private:
+  std::string name_;
+  std::vector<int> columns_;
+  bool unique_;
+};
+
+/// Hash index: O(1) point lookups, no range support.
+class HashIndex : public Index {
+ public:
+  using Index::Index;
+
+  Status Insert(const IndexKey& key, RowId id) override;
+  void Erase(const IndexKey& key, RowId id) override;
+  void Lookup(const IndexKey& key, std::vector<RowId>* out) const override;
+  bool Contains(const IndexKey& key) const override;
+  size_t size() const override { return map_.size(); }
+
+ private:
+  std::unordered_multimap<IndexKey, RowId, ValueVectorHash, ValueVectorEq>
+      map_;
+};
+
+/// Ordered index: point lookups plus range scans, backed by a multimap
+/// over the Value total order.
+class OrderedIndex : public Index {
+ public:
+  using Index::Index;
+
+  Status Insert(const IndexKey& key, RowId id) override;
+  void Erase(const IndexKey& key, RowId id) override;
+  void Lookup(const IndexKey& key, std::vector<RowId>* out) const override;
+  bool Contains(const IndexKey& key) const override;
+  size_t size() const override { return map_.size(); }
+
+  /// Appends ids for keys in [lo, hi]; either bound may be empty (vector of
+  /// size 0) meaning unbounded on that side. `lo_inclusive`/`hi_inclusive`
+  /// control open vs closed ends.
+  void LookupRange(const IndexKey& lo, bool lo_inclusive, const IndexKey& hi,
+                   bool hi_inclusive, std::vector<RowId>* out) const;
+
+ private:
+  struct KeyLess {
+    bool operator()(const IndexKey& a, const IndexKey& b) const {
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c < 0;
+      }
+      return a.size() < b.size();
+    }
+  };
+
+  std::multimap<IndexKey, RowId, KeyLess> map_;
+};
+
+}  // namespace erbium
+
+#endif  // ERBIUM_STORAGE_INDEX_H_

@@ -1,0 +1,62 @@
+#ifndef ERBIUM_STORAGE_SCHEMA_H_
+#define ERBIUM_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/type.h"
+#include "common/value.h"
+
+namespace erbium {
+
+/// A physical column: name, type, nullability.
+struct Column {
+  std::string name;
+  TypePtr type;
+  bool nullable = true;
+};
+
+/// Schema of one physical table. `key` lists the indexes of the columns
+/// forming the primary key (possibly empty for keyless structures such as
+/// relationship tables before constraints are added).
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<Column> columns,
+              std::vector<int> key = {})
+      : name_(std::move(name)),
+        columns_(std::move(columns)),
+        key_(std::move(key)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  const std::vector<int>& key() const { return key_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(int i) const { return columns_[i]; }
+
+  /// Index of a column by name, or -1.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Validates a row against the schema: arity, types (null allowed when
+  /// nullable), recursively for arrays/structs.
+  Status ValidateRow(const Row& row) const;
+
+  /// "name(col1: type1, col2: type2, ...) key(colA, colB)".
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::vector<int> key_;
+};
+
+/// Checks that a value conforms to a type (nulls conform to everything
+/// when `nullable`). Array elements and struct fields are checked
+/// recursively; struct values must carry exactly the type's field names
+/// in order.
+Status ValidateValue(const Value& value, const TypePtr& type, bool nullable);
+
+}  // namespace erbium
+
+#endif  // ERBIUM_STORAGE_SCHEMA_H_

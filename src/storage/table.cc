@@ -1,0 +1,183 @@
+#include "storage/table.h"
+
+namespace erbium {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+IndexKey Table::ExtractKey(const Row& row,
+                           const std::vector<int>& columns) const {
+  IndexKey key;
+  key.reserve(columns.size());
+  for (int c : columns) key.push_back(row[c]);
+  return key;
+}
+
+Result<RowId> Table::Insert(Row row) {
+  ERBIUM_RETURN_NOT_OK(schema_.ValidateRow(row));
+  // Check unique constraints before mutating anything.
+  for (const auto& index : indexes_) {
+    if (!index->unique()) continue;
+    IndexKey key = ExtractKey(row, index->columns());
+    if (Index::IsIndexableKey(key) && index->Contains(key)) {
+      return Status::ConstraintViolation("duplicate key in unique index " +
+                                         index->name() + " of table " +
+                                         name());
+    }
+  }
+  RowId id = rows_.size();
+  for (const auto& index : indexes_) {
+    ERBIUM_RETURN_NOT_OK(index->Insert(ExtractKey(row, index->columns()), id));
+  }
+  rows_.push_back(std::move(row));
+  live_.push_back(true);
+  ++live_count_;
+  return id;
+}
+
+Status Table::Update(RowId id, Row row) {
+  if (!IsLive(id)) {
+    return Status::NotFound("update of dead or out-of-range row id " +
+                            std::to_string(id) + " in table " + name());
+  }
+  ERBIUM_RETURN_NOT_OK(schema_.ValidateRow(row));
+  const Row& old_row = rows_[id];
+  for (const auto& index : indexes_) {
+    if (!index->unique()) continue;
+    IndexKey new_key = ExtractKey(row, index->columns());
+    IndexKey old_key = ExtractKey(old_row, index->columns());
+    if (!Index::IsIndexableKey(new_key)) continue;
+    if (ValueVectorEq()(new_key, old_key)) continue;
+    if (index->Contains(new_key)) {
+      return Status::ConstraintViolation("duplicate key in unique index " +
+                                         index->name() + " of table " +
+                                         name());
+    }
+  }
+  for (const auto& index : indexes_) {
+    index->Erase(ExtractKey(old_row, index->columns()), id);
+    ERBIUM_RETURN_NOT_OK(index->Insert(ExtractKey(row, index->columns()), id));
+  }
+  rows_[id] = std::move(row);
+  return Status::OK();
+}
+
+Status Table::Delete(RowId id) {
+  if (!IsLive(id)) {
+    return Status::NotFound("delete of dead or out-of-range row id " +
+                            std::to_string(id) + " in table " + name());
+  }
+  for (const auto& index : indexes_) {
+    index->Erase(ExtractKey(rows_[id], index->columns()), id);
+  }
+  live_[id] = false;
+  rows_[id].clear();
+  --live_count_;
+  return Status::OK();
+}
+
+Status Table::CreateIndex(const std::string& index_name,
+                          const std::vector<std::string>& column_names,
+                          bool unique, bool ordered) {
+  if (FindIndexByName(index_name) != nullptr) {
+    return Status::AlreadyExists("index " + index_name + " already exists");
+  }
+  std::vector<int> columns;
+  for (const std::string& column_name : column_names) {
+    int idx = schema_.ColumnIndex(column_name);
+    if (idx < 0) {
+      return Status::InvalidArgument("no column " + column_name +
+                                     " in table " + name());
+    }
+    columns.push_back(idx);
+  }
+  std::unique_ptr<Index> index;
+  if (ordered) {
+    index = std::make_unique<OrderedIndex>(index_name, columns, unique);
+  } else {
+    index = std::make_unique<HashIndex>(index_name, columns, unique);
+  }
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (!live_[id]) continue;
+    ERBIUM_RETURN_NOT_OK(index->Insert(ExtractKey(rows_[id], columns), id));
+  }
+  indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+const Index* Table::FindIndex(const std::vector<int>& column_indexes) const {
+  for (const auto& index : indexes_) {
+    if (index->columns() == column_indexes) return index.get();
+  }
+  return nullptr;
+}
+
+const Index* Table::FindIndexByName(const std::string& index_name) const {
+  for (const auto& index : indexes_) {
+    if (index->name() == index_name) return index.get();
+  }
+  return nullptr;
+}
+
+void Table::LookupEqual(const std::vector<int>& column_indexes,
+                        const IndexKey& key, std::vector<RowId>* out) const {
+  const Index* index = FindIndex(column_indexes);
+  if (index != nullptr) {
+    std::vector<RowId> candidates;
+    index->Lookup(key, &candidates);
+    for (RowId id : candidates) {
+      if (live_[id]) out->push_back(id);
+    }
+    return;
+  }
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (!live_[id]) continue;
+    bool match = true;
+    for (size_t i = 0; i < column_indexes.size(); ++i) {
+      if (rows_[id][column_indexes[i]] != key[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out->push_back(id);
+  }
+}
+
+size_t ApproximateValueBytes(const Value& v) {
+  switch (v.kind()) {
+    case TypeKind::kNull:
+      return 1;
+    case TypeKind::kBool:
+      return 1;
+    case TypeKind::kInt64:
+    case TypeKind::kFloat64:
+      return 8;
+    case TypeKind::kString:
+      return 16 + v.as_string().size();
+    case TypeKind::kArray: {
+      size_t total = 24;
+      for (const Value& element : v.array()) {
+        total += ApproximateValueBytes(element);
+      }
+      return total;
+    }
+    case TypeKind::kStruct: {
+      size_t total = 24;
+      for (const auto& [name, value] : v.struct_fields()) {
+        total += name.size() + ApproximateValueBytes(value);
+      }
+      return total;
+    }
+  }
+  return 0;
+}
+
+size_t Table::ApproximateDataBytes() const {
+  size_t total = 0;
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (!live_[id]) continue;
+    for (const Value& v : rows_[id]) total += ApproximateValueBytes(v);
+  }
+  return total;
+}
+
+}  // namespace erbium

@@ -1,0 +1,85 @@
+#ifndef ERBIUM_STORAGE_TABLE_H_
+#define ERBIUM_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/index.h"
+#include "storage/schema.h"
+
+namespace erbium {
+
+/// An in-memory heap table with stable row ids, tombstoned deletes, and
+/// attached indexes. Single-threaded by design (see DESIGN.md).
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const TableSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name(); }
+
+  /// Number of live rows.
+  size_t size() const { return live_count_; }
+  /// Upper bound on row ids (including tombstones); scan range is [0, ...).
+  size_t slot_count() const { return rows_.size(); }
+
+  bool IsLive(RowId id) const { return id < rows_.size() && live_[id]; }
+  const Row& row(RowId id) const { return rows_[id]; }
+
+  /// Validates the row, checks unique indexes, appends, and maintains
+  /// indexes. Returns the new row's id.
+  Result<RowId> Insert(Row row);
+
+  /// Replaces the row at `id` (must be live). Index entries are updated.
+  Status Update(RowId id, Row row);
+
+  /// Tombstones the row at `id` (must be live) and removes index entries.
+  Status Delete(RowId id);
+
+  /// Creates an index over the named columns, backfilling existing rows.
+  /// `ordered` selects OrderedIndex (range support) over HashIndex.
+  Status CreateIndex(const std::string& index_name,
+                     const std::vector<std::string>& column_names, bool unique,
+                     bool ordered = false);
+
+  /// Finds an index whose column list is exactly `column_indexes`
+  /// (order-sensitive). Returns nullptr if none.
+  const Index* FindIndex(const std::vector<int>& column_indexes) const;
+  /// Finds an index by name. Returns nullptr if none.
+  const Index* FindIndexByName(const std::string& index_name) const;
+
+  const std::vector<std::unique_ptr<Index>>& indexes() const {
+    return indexes_;
+  }
+
+  /// Convenience point lookup through an index on the given columns; falls
+  /// back to a full scan when no matching index exists. Appends live ids.
+  void LookupEqual(const std::vector<int>& column_indexes, const IndexKey& key,
+                   std::vector<RowId>* out) const;
+
+  /// Approximate bytes consumed by live row data (for the cost model and
+  /// storage-size reporting; counts Value payloads, not allocator slack).
+  size_t ApproximateDataBytes() const;
+
+ private:
+  IndexKey ExtractKey(const Row& row, const std::vector<int>& columns) const;
+
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  std::vector<bool> live_;
+  size_t live_count_ = 0;
+  std::vector<std::unique_ptr<Index>> indexes_;
+};
+
+/// Approximate payload size of one value in bytes (recursive).
+size_t ApproximateValueBytes(const Value& v);
+
+}  // namespace erbium
+
+#endif  // ERBIUM_STORAGE_TABLE_H_

@@ -1,0 +1,285 @@
+#include "workload/figure4.h"
+
+#include <random>
+#include <set>
+
+#include "er/ddl_parser.h"
+
+namespace erbium {
+
+const char* Figure4Ddl() {
+  return R"(
+-- Paper Figure 4: synthetic schema for the illustrative experiments.
+CREATE ENTITY R (
+  r_id INT KEY,
+  r_a1 INT,
+  r_a2 FLOAT,
+  r_a3 STRING,
+  r_a4 INT,
+  r_mv1 INT MULTIVALUED,
+  r_mv2 INT MULTIVALUED,
+  r_mv3 STRING MULTIVALUED
+);
+CREATE ENTITY R1 EXTENDS R ( r1_a1 INT, r1_a2 STRING )
+  SPECIALIZATION (PARTIAL, DISJOINT);
+CREATE ENTITY R2 EXTENDS R ( r2_a1 INT, r2_a2 STRING )
+  SPECIALIZATION (PARTIAL, DISJOINT);
+CREATE ENTITY R3 EXTENDS R1 ( r3_a1 INT, r3_a2 FLOAT )
+  SPECIALIZATION (PARTIAL, DISJOINT);
+CREATE ENTITY R4 EXTENDS R1 ( r4_a1 INT )
+  SPECIALIZATION (PARTIAL, DISJOINT);
+CREATE ENTITY S ( s_id INT KEY, s_a1 INT, s_a2 STRING );
+CREATE WEAK ENTITY S1 OWNED BY S (
+  s1_no INT PARTIAL KEY, s1_a1 INT, s1_a2 STRING );
+CREATE WEAK ENTITY S2 OWNED BY S (
+  s2_no INT PARTIAL KEY, s2_a1 FLOAT );
+CREATE RELATIONSHIP RS BETWEEN R (MANY) AND S (MANY) WITH ( rs_a1 INT );
+CREATE RELATIONSHIP R2S1 BETWEEN R2 (MANY) AND S1 (MANY);
+CREATE RELATIONSHIP R1R3
+  BETWEEN R1 AS parent (ONE) AND R3 AS child (MANY);
+)";
+}
+
+Result<ERSchema> MakeFigure4Schema() {
+  ERSchema schema;
+  ERBIUM_RETURN_NOT_OK(DdlParser::Execute(Figure4Ddl(), &schema));
+  return schema;
+}
+
+MappingSpec Figure4M1() { return MappingSpec::Normalized("M1"); }
+
+MappingSpec Figure4M2() {
+  MappingSpec spec = MappingSpec::Normalized("M2");
+  spec.default_multi_valued = MultiValuedStorage::kArray;
+  return spec;
+}
+
+MappingSpec Figure4M3() {
+  MappingSpec spec = MappingSpec::Normalized("M3");
+  spec.hierarchy_overrides["R"] = HierarchyStorage::kSingleTable;
+  return spec;
+}
+
+MappingSpec Figure4M4() {
+  MappingSpec spec = MappingSpec::Normalized("M4");
+  spec.hierarchy_overrides["R"] = HierarchyStorage::kDisjointTables;
+  return spec;
+}
+
+MappingSpec Figure4M5() {
+  MappingSpec spec = MappingSpec::Normalized("M5");
+  spec.weak_overrides["S1"] = WeakEntityStorage::kFoldedArray;
+  spec.weak_overrides["S2"] = WeakEntityStorage::kFoldedArray;
+  return spec;
+}
+
+MappingSpec Figure4M6() {
+  MappingSpec spec = MappingSpec::Normalized("M6");
+  spec.relationship_overrides["R2S1"] = RelationshipStorage::kFactorized;
+  return spec;
+}
+
+MappingSpec Figure4M6Pg() {
+  MappingSpec spec = MappingSpec::Normalized("M6pg");
+  spec.relationship_overrides["R2S1"] = RelationshipStorage::kMaterializedJoin;
+  return spec;
+}
+
+std::vector<MappingSpec> Figure4AllMappings() {
+  return {Figure4M1(), Figure4M2(), Figure4M3(),
+          Figure4M4(), Figure4M5(), Figure4M6()};
+}
+
+namespace {
+
+Value RandomString(std::mt19937_64& rng, const char* prefix, int domain) {
+  return Value::String(std::string(prefix) + "_" +
+                       std::to_string(rng() % domain));
+}
+
+Value RandomIntArray(std::mt19937_64& rng, int min_count, int max_count,
+                     int domain) {
+  int count = min_count +
+              static_cast<int>(rng() % (max_count - min_count + 1));
+  Value::ArrayData elements;
+  elements.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    elements.push_back(Value::Int64(static_cast<int64_t>(rng() % domain)));
+  }
+  return Value::Array(std::move(elements));
+}
+
+Value RandomStringArray(std::mt19937_64& rng, int min_count, int max_count,
+                        int domain) {
+  int count = min_count +
+              static_cast<int>(rng() % (max_count - min_count + 1));
+  Value::ArrayData elements;
+  elements.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    elements.push_back(
+        Value::String("mv_" + std::to_string(rng() % domain)));
+  }
+  return Value::Array(std::move(elements));
+}
+
+}  // namespace
+
+Status PopulateFigure4(MappedDatabase* db, const Figure4Config& config) {
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  // ---- R hierarchy ----------------------------------------------------------
+  std::vector<int64_t> r2_ids;
+  std::vector<int64_t> r3_ids;
+  std::vector<int64_t> r1_family_ids;  // R1 + R3 + R4 (all are R1s)
+  for (int i = 0; i < config.num_r; ++i) {
+    int64_t id = i + 1;
+    double pick = unit(rng);
+    std::string cls;
+    if (pick < config.frac_r1) {
+      cls = "R1";
+    } else if (pick < config.frac_r1 + config.frac_r2) {
+      cls = "R2";
+    } else if (pick < config.frac_r1 + config.frac_r2 + config.frac_r3) {
+      cls = "R3";
+    } else if (pick <
+               config.frac_r1 + config.frac_r2 + config.frac_r3 +
+                   config.frac_r4) {
+      cls = "R4";
+    } else {
+      cls = "R";
+    }
+    Value::StructData fields;
+    fields.emplace_back("r_id", Value::Int64(id));
+    fields.emplace_back("r_a1", Value::Int64(static_cast<int64_t>(rng() % 10000)));
+    fields.emplace_back("r_a2", Value::Float64(unit(rng) * 1000.0));
+    fields.emplace_back("r_a3", RandomString(rng, "r", 5000));
+    fields.emplace_back("r_a4", Value::Int64(static_cast<int64_t>(rng() % 100)));
+    fields.emplace_back("r_mv1", RandomIntArray(rng, config.mv_min,
+                                                config.mv_max,
+                                                config.mv_domain));
+    fields.emplace_back("r_mv2", RandomIntArray(rng, config.mv_min,
+                                                config.mv_max,
+                                                config.mv_domain));
+    fields.emplace_back("r_mv3", RandomStringArray(rng, config.mv_min,
+                                                   config.mv_max,
+                                                   config.mv_domain));
+    if (cls == "R1" || cls == "R3" || cls == "R4") {
+      fields.emplace_back("r1_a1",
+                          Value::Int64(static_cast<int64_t>(rng() % 1000)));
+      fields.emplace_back("r1_a2", RandomString(rng, "r1", 1000));
+      r1_family_ids.push_back(id);
+    }
+    if (cls == "R2") {
+      fields.emplace_back("r2_a1",
+                          Value::Int64(static_cast<int64_t>(rng() % 1000)));
+      fields.emplace_back("r2_a2", RandomString(rng, "r2", 1000));
+      r2_ids.push_back(id);
+    }
+    if (cls == "R3") {
+      fields.emplace_back("r3_a1",
+                          Value::Int64(static_cast<int64_t>(rng() % 1000)));
+      fields.emplace_back("r3_a2", Value::Float64(unit(rng) * 10.0));
+      r3_ids.push_back(id);
+    }
+    if (cls == "R4") {
+      fields.emplace_back("r4_a1",
+                          Value::Int64(static_cast<int64_t>(rng() % 1000)));
+    }
+    ERBIUM_RETURN_NOT_OK(db->InsertEntity(cls, Value::Struct(std::move(fields))));
+  }
+
+  // ---- S and its weak entity sets ---------------------------------------------
+  struct S1Key {
+    int64_t s_id;
+    int64_t s1_no;
+  };
+  std::vector<S1Key> s1_keys;
+  for (int i = 0; i < config.num_s; ++i) {
+    int64_t s_id = i + 1;
+    Value::StructData fields;
+    fields.emplace_back("s_id", Value::Int64(s_id));
+    fields.emplace_back("s_a1", Value::Int64(static_cast<int64_t>(rng() % 10000)));
+    fields.emplace_back("s_a2", RandomString(rng, "s", 2000));
+    ERBIUM_RETURN_NOT_OK(db->InsertEntity("S", Value::Struct(std::move(fields))));
+    int s1_count = static_cast<int>(rng() % (config.s1_max_per_s + 1));
+    for (int k = 0; k < s1_count; ++k) {
+      Value::StructData s1_fields;
+      s1_fields.emplace_back("s_id", Value::Int64(s_id));
+      s1_fields.emplace_back("s1_no", Value::Int64(k + 1));
+      s1_fields.emplace_back("s1_a1",
+                             Value::Int64(static_cast<int64_t>(rng() % 500)));
+      s1_fields.emplace_back("s1_a2", RandomString(rng, "s1", 500));
+      ERBIUM_RETURN_NOT_OK(
+          db->InsertEntity("S1", Value::Struct(std::move(s1_fields))));
+      s1_keys.push_back(S1Key{s_id, k + 1});
+    }
+    int s2_count = static_cast<int>(rng() % (config.s2_max_per_s + 1));
+    for (int k = 0; k < s2_count; ++k) {
+      Value::StructData s2_fields;
+      s2_fields.emplace_back("s_id", Value::Int64(s_id));
+      s2_fields.emplace_back("s2_no", Value::Int64(k + 1));
+      s2_fields.emplace_back("s2_a1", Value::Float64(unit(rng) * 100.0));
+      ERBIUM_RETURN_NOT_OK(
+          db->InsertEntity("S2", Value::Struct(std::move(s2_fields))));
+    }
+  }
+
+  // ---- RS: each R linked to a few random S -------------------------------------
+  if (config.num_s > 0) {
+    for (int i = 0; i < config.num_r; ++i) {
+      int64_t r_id = i + 1;
+      std::set<int64_t> partners;
+      for (int k = 0; k < config.rs_per_r; ++k) {
+        partners.insert(static_cast<int64_t>(rng() % config.num_s) + 1);
+      }
+      for (int64_t s_id : partners) {
+        Value::StructData attrs;
+        attrs.emplace_back("rs_a1",
+                           Value::Int64(static_cast<int64_t>(rng() % 100)));
+        ERBIUM_RETURN_NOT_OK(db->InsertRelationship(
+            "RS", {Value::Int64(r_id)}, {Value::Int64(s_id)},
+            Value::Struct(std::move(attrs))));
+      }
+    }
+  }
+
+  // ---- R2S1: nearly one-to-one ---------------------------------------------------
+  size_t pairs = std::min(r2_ids.size(), s1_keys.size());
+  for (size_t i = 0; i < pairs; ++i) {
+    if (unit(rng) > config.r2s1_link_prob) continue;
+    const S1Key& s1 = s1_keys[i];
+    ERBIUM_RETURN_NOT_OK(db->InsertRelationship(
+        "R2S1", {Value::Int64(r2_ids[i])},
+        {Value::Int64(s1.s_id), Value::Int64(s1.s1_no)}));
+  }
+
+  // ---- R1R3: each R3 gets one R1-family parent -----------------------------------
+  for (int64_t r3_id : r3_ids) {
+    if (unit(rng) > config.r1r3_link_prob) continue;
+    if (r1_family_ids.empty()) break;
+    int64_t parent = r1_family_ids[rng() % r1_family_ids.size()];
+    Status st = db->InsertRelationship("R1R3", {Value::Int64(parent)},
+                                       {Value::Int64(r3_id)});
+    // A random parent may repeat for the same child only if identical
+    // keys collide, which the ConstraintViolation below tolerates.
+    if (!st.ok() && st.code() != StatusCode::kConstraintViolation) {
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<MappedDatabase>> MakeFigure4Database(
+    const MappingSpec& spec, const Figure4Config& config,
+    std::shared_ptr<ERSchema>* schema_out) {
+  ERBIUM_ASSIGN_OR_RETURN(ERSchema schema, MakeFigure4Schema());
+  auto shared_schema = std::make_shared<ERSchema>(std::move(schema));
+  ERBIUM_ASSIGN_OR_RETURN(std::unique_ptr<MappedDatabase> db,
+                          MappedDatabase::Create(shared_schema.get(), spec));
+  ERBIUM_RETURN_NOT_OK(PopulateFigure4(db.get(), config));
+  *schema_out = std::move(shared_schema);
+  return db;
+}
+
+}  // namespace erbium

@@ -1,0 +1,111 @@
+// Tests for the workload-aware mapping advisor: candidate enumeration
+// over valid covers and empirical per-workload selection.
+
+#include <gtest/gtest.h>
+
+#include "mapping/advisor.h"
+#include "workload/figure4.h"
+
+namespace erbium {
+namespace {
+
+class AdvisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = MakeFigure4Schema();
+    ASSERT_TRUE(schema.ok());
+    schema_ = std::make_shared<ERSchema>(std::move(schema).value());
+  }
+
+  std::shared_ptr<ERSchema> schema_;
+};
+
+TEST_F(AdvisorTest, EnumeratesOnlyValidCandidates) {
+  std::vector<MappingSpec> candidates =
+      MappingAdvisor::EnumerateCandidates(*schema_, 64);
+  // mv(2) x hierarchy(3) x weak(2) = 12 base combos, plus factorized
+  // variants for the eligible many-to-many relationships.
+  EXPECT_GE(candidates.size(), 12u);
+  for (const MappingSpec& spec : candidates) {
+    EXPECT_TRUE(PhysicalMapping::Compile(schema_.get(), spec).ok())
+        << spec.ToString();
+  }
+  // Cap respected.
+  EXPECT_LE(MappingAdvisor::EnumerateCandidates(*schema_, 5).size(), 5u);
+}
+
+TEST_F(AdvisorTest, PicksWorkloadAppropriateMapping) {
+  Figure4Config config;
+  config.num_r = 400;
+  config.num_s = 100;
+  auto populate = [&config](MappedDatabase* db) {
+    return PopulateFigure4(db, config);
+  };
+
+  // Workload A: dominated by point lookups of all three MV attrs — the
+  // array mapping (M2-like) should win over separate side tables.
+  Workload mv_heavy;
+  for (int id : {10, 77, 140, 250, 333}) {
+    mv_heavy.queries.push_back(
+        {"SELECT r_id, r_mv1, r_mv2, r_mv3 FROM R WHERE r_id = " +
+             std::to_string(id),
+         1.0, "mv-point"});
+  }
+  std::vector<MappingSpec> candidates;
+  {
+    MappingSpec side = MappingSpec::Normalized("side_tables");
+    MappingSpec arrays = MappingSpec::Normalized("arrays");
+    arrays.default_multi_valued = MultiValuedStorage::kArray;
+    candidates = {side, arrays};
+  }
+  auto advice = MappingAdvisor::Advise(schema_.get(), candidates, populate,
+                                       mv_heavy, 3);
+  ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+  EXPECT_EQ(advice->best().name, "arrays");
+  ASSERT_EQ(advice->candidates.size(), 2u);
+  EXPECT_TRUE(advice->candidates[0].valid);
+  EXPECT_GT(advice->candidates[0].storage_bytes, 0u);
+  EXPECT_EQ(advice->candidates[0].per_query_ms.size(),
+            mv_heavy.queries.size());
+
+  // Workload B: full scans of the leaf class with inherited attributes —
+  // disjoint full-width tables (M4-like) should beat the 3-way join of
+  // class tables.
+  Workload hierarchy_heavy;
+  hierarchy_heavy.queries.push_back(
+      {"SELECT r_id, r_a1, r1_a1, r3_a1 FROM R3", 1.0, "leaf-scan"});
+  {
+    MappingSpec class_tables = MappingSpec::Normalized("class_tables");
+    MappingSpec disjoint = MappingSpec::Normalized("disjoint");
+    disjoint.hierarchy_overrides["R"] = HierarchyStorage::kDisjointTables;
+    candidates = {class_tables, disjoint};
+  }
+  advice = MappingAdvisor::Advise(schema_.get(), candidates, populate,
+                                  hierarchy_heavy, 3);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_EQ(advice->best().name, "disjoint");
+}
+
+TEST_F(AdvisorTest, ReportsInvalidCandidates) {
+  Figure4Config config;
+  config.num_r = 50;
+  config.num_s = 20;
+  auto populate = [&config](MappedDatabase* db) {
+    return PopulateFigure4(db, config);
+  };
+  MappingSpec ok_spec = MappingSpec::Normalized("ok");
+  MappingSpec bad = MappingSpec::Normalized("bad");
+  bad.relationship_overrides["RS"] = RelationshipStorage::kFactorized;
+  Workload workload;
+  workload.queries.push_back({"SELECT r_id FROM R", 1.0, "scan"});
+  auto advice = MappingAdvisor::Advise(schema_.get(), {ok_spec, bad},
+                                       populate, workload, 1);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_EQ(advice->best().name, "ok");
+  EXPECT_TRUE(advice->candidates[0].valid);
+  EXPECT_FALSE(advice->candidates[1].valid);
+  EXPECT_FALSE(advice->candidates[1].invalid_reason.empty());
+}
+
+}  // namespace
+}  // namespace erbium

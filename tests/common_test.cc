@@ -1,0 +1,181 @@
+// Unit tests for the common layer: Status/Result, Type, Value, lexer,
+// string utilities.
+
+#include <gtest/gtest.h>
+
+#include "common/lexer.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/type.h"
+#include "common/value.h"
+
+namespace erbium {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status err = Status::NotFound("missing thing");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.ToString(), "NotFound: missing thing");
+}
+
+TEST(ResultTest, ValueAndStatusAlternatives) {
+  Result<int> ok_result(7);
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(*ok_result, 7);
+  Result<int> err_result(Status::InvalidArgument("bad"));
+  ASSERT_FALSE(err_result.ok());
+  EXPECT_EQ(err_result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::Internal("boom");
+    return 5;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    ERBIUM_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 6);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kInternal);
+}
+
+TEST(TypeTest, ScalarInterningAndEquality) {
+  EXPECT_EQ(Type::Int64().get(), Type::Int64().get());
+  EXPECT_TRUE(TypeEquals(Type::Int64(), Type::Int64()));
+  EXPECT_FALSE(TypeEquals(Type::Int64(), Type::Float64()));
+}
+
+TEST(TypeTest, NestedStructure) {
+  TypePtr t = Type::Array(Type::Struct(
+      {{"a", Type::Int64()}, {"b", Type::Array(Type::String())}}));
+  EXPECT_EQ(t->ToString(), "array<struct<a: int64, b: array<string>>>");
+  TypePtr same = Type::Array(Type::Struct(
+      {{"a", Type::Int64()}, {"b", Type::Array(Type::String())}}));
+  EXPECT_TRUE(TypeEquals(t, same));
+  TypePtr different = Type::Array(Type::Struct(
+      {{"a", Type::Int64()}, {"c", Type::Array(Type::String())}}));
+  EXPECT_FALSE(TypeEquals(t, different));
+}
+
+TEST(TypeTest, FieldIndex) {
+  TypePtr t = Type::Struct({{"x", Type::Int64()}, {"y", Type::String()}});
+  EXPECT_EQ(t->FieldIndex("x"), 0);
+  EXPECT_EQ(t->FieldIndex("y"), 1);
+  EXPECT_EQ(t->FieldIndex("z"), -1);
+}
+
+TEST(TypeTest, ParseTypeNames) {
+  EXPECT_EQ((*ParseTypeName("INT"))->kind(), TypeKind::kInt64);
+  EXPECT_EQ((*ParseTypeName("double"))->kind(), TypeKind::kFloat64);
+  EXPECT_EQ((*ParseTypeName("text"))->kind(), TypeKind::kString);
+  EXPECT_EQ((*ParseTypeName("BOOLEAN"))->kind(), TypeKind::kBool);
+  TypePtr nested = *ParseTypeName("array<array<int>>");
+  EXPECT_EQ(nested->ToString(), "array<array<int64>>");
+  EXPECT_FALSE(ParseTypeName("quux").ok());
+}
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).kind(), TypeKind::kBool);
+  EXPECT_EQ(Value::Int64(3).as_int64(), 3);
+  EXPECT_DOUBLE_EQ(Value::Float64(2.5).as_float64(), 2.5);
+  EXPECT_EQ(Value::String("x").as_string(), "x");
+  Value arr = Value::Array({Value::Int64(1), Value::Int64(2)});
+  EXPECT_EQ(arr.array().size(), 2u);
+  Value s = Value::Struct({{"a", Value::Int64(1)}});
+  ASSERT_NE(s.FindField("a"), nullptr);
+  EXPECT_EQ(s.FindField("b"), nullptr);
+}
+
+TEST(ValueTest, NumericCrossKindComparison) {
+  EXPECT_EQ(Value::Int64(2), Value::Float64(2.0));
+  EXPECT_LT(Value::Int64(2), Value::Float64(2.5));
+  EXPECT_EQ(Value::Int64(2).Hash(), Value::Float64(2.0).Hash());
+}
+
+TEST(ValueTest, TotalOrderAcrossKinds) {
+  // null < bool < numeric < string < array < struct.
+  std::vector<Value> ordered = {
+      Value::Null(),      Value::Bool(false),      Value::Int64(0),
+      Value::String(""),  Value::Array({}),        Value::Struct({})};
+  for (size_t i = 0; i + 1 < ordered.size(); ++i) {
+    EXPECT_LT(ordered[i], ordered[i + 1]) << i;
+  }
+}
+
+TEST(ValueTest, ArrayLexicographicComparison) {
+  Value a = Value::Array({Value::Int64(1), Value::Int64(2)});
+  Value b = Value::Array({Value::Int64(1), Value::Int64(3)});
+  Value c = Value::Array({Value::Int64(1)});
+  EXPECT_LT(a, b);
+  EXPECT_LT(c, a);
+  EXPECT_EQ(a, Value::Array({Value::Int64(1), Value::Int64(2)}));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  Value v = Value::Struct(
+      {{"name", Value::String("bob")},
+       {"tags", Value::Array({Value::Int64(1), Value::Null()})}});
+  EXPECT_EQ(v.ToString(), "{name: 'bob', tags: [1, null]}");
+}
+
+TEST(ValueTest, VectorHashAndEq) {
+  std::vector<Value> a{Value::Int64(1), Value::String("x")};
+  std::vector<Value> b{Value::Int64(1), Value::String("x")};
+  std::vector<Value> c{Value::Int64(1), Value::String("y")};
+  EXPECT_TRUE(ValueVectorEq()(a, b));
+  EXPECT_FALSE(ValueVectorEq()(a, c));
+  EXPECT_EQ(ValueVectorHash()(a), ValueVectorHash()(b));
+}
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Lexer::Tokenize("SELECT a.b, 'it''s' 12 3.5 >= <> -- c\nx");
+  ASSERT_TRUE(tokens.ok());
+  const std::vector<Token>& t = *tokens;
+  EXPECT_TRUE(t[0].IsKeyword("select"));
+  EXPECT_EQ(t[1].text, "a");
+  EXPECT_TRUE(t[2].IsSymbol("."));
+  EXPECT_EQ(t[3].text, "b");
+  EXPECT_TRUE(t[4].IsSymbol(","));
+  EXPECT_EQ(t[5].kind, TokenKind::kString);
+  EXPECT_EQ(t[5].text, "it's");
+  EXPECT_EQ(t[6].int_value, 12);
+  EXPECT_DOUBLE_EQ(t[7].float_value, 3.5);
+  EXPECT_TRUE(t[8].IsSymbol(">="));
+  EXPECT_TRUE(t[9].IsSymbol("<>"));
+  EXPECT_EQ(t[10].text, "x");  // comment skipped
+  EXPECT_EQ(t[11].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Lexer::Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Lexer::Tokenize("@").ok());
+}
+
+TEST(TokenStreamTest, ExpectHelpers) {
+  auto tokens = Lexer::Tokenize("create entity Foo");
+  ASSERT_TRUE(tokens.ok());
+  TokenStream ts(std::move(tokens).value());
+  EXPECT_TRUE(ts.ExpectKeyword("CREATE").ok());
+  EXPECT_TRUE(ts.ConsumeKeyword("entity"));
+  auto ident = ts.ExpectIdentifier("entity name");
+  ASSERT_TRUE(ident.ok());
+  EXPECT_EQ(*ident, "Foo");
+  EXPECT_TRUE(ts.AtEnd());
+  EXPECT_FALSE(ts.ExpectSymbol("(").ok());
+}
+
+TEST(StringUtilTest, Basics) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(Trim("  x \t"), "x");
+  EXPECT_EQ(Split("a, b ,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Join({"a", "b"}, "-"), "a-b");
+  EXPECT_TRUE(EqualsIgnoreCase("Select", "SELECT"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+}
+
+}  // namespace
+}  // namespace erbium

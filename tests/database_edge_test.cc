@@ -1,0 +1,246 @@
+// Edge-case CRUD tests: M6pg (materialized-join) storage semantics —
+// lone rows, duplication-aware updates, edge deletion splitting rows —
+// plus composite attributes end-to-end, GetEntity metadata, and
+// miscellaneous error paths.
+
+#include <gtest/gtest.h>
+
+#include "er/ddl_parser.h"
+#include "workload/figure4.h"
+
+namespace erbium {
+namespace {
+
+Value I(int64_t v) { return Value::Int64(v); }
+
+class M6PgCrudTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Figure4Config config;
+    config.num_r = 0;  // start empty; we drive CRUD by hand
+    config.num_s = 0;
+    auto db = MakeFigure4Database(Figure4M6Pg(), config, &schema_);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+    // Two R2 entities and one S with two S1s.
+    for (int64_t id : {1, 2}) {
+      Value::StructData fields;
+      fields.emplace_back("r_id", I(id));
+      fields.emplace_back("r2_a1", I(id * 10));
+      fields.emplace_back("r2_a2", Value::String("x"));
+      ASSERT_TRUE(
+          db_->InsertEntity("R2", Value::Struct(std::move(fields))).ok());
+    }
+    ASSERT_TRUE(db_->InsertEntity(
+                       "S", Value::Struct({{"s_id", I(1)},
+                                           {"s_a1", I(5)},
+                                           {"s_a2", Value::String("s")}}))
+                    .ok());
+    for (int64_t no : {1, 2}) {
+      ASSERT_TRUE(db_->InsertEntity(
+                         "S1", Value::Struct({{"s_id", I(1)},
+                                              {"s1_no", I(no)},
+                                              {"s1_a1", I(no * 100)},
+                                              {"s1_a2", Value::String("w")}}))
+                      .ok());
+    }
+  }
+
+  size_t JoinedRowCount() {
+    return db_->catalog().GetTable("R2S1_joined")->size();
+  }
+
+  std::shared_ptr<ERSchema> schema_;
+  std::unique_ptr<MappedDatabase> db_;
+};
+
+TEST_F(M6PgCrudTest, LoneRowsMergeOnConnect) {
+  // 2 lone R2 rows + 2 lone S1 rows.
+  EXPECT_EQ(JoinedRowCount(), 4u);
+  ASSERT_TRUE(db_->InsertRelationship("R2S1", {I(1)}, {I(1), I(1)}).ok());
+  // Lone R2(1) and lone S1(1,1) merged into one row.
+  EXPECT_EQ(JoinedRowCount(), 3u);
+  EXPECT_EQ(db_->CountRelationships("R2S1").value(), 1u);
+  // Entities are all still visible.
+  EXPECT_EQ(db_->CountEntities("R2").value(), 2u);
+  EXPECT_EQ(db_->CountEntities("S1").value(), 2u);
+}
+
+TEST_F(M6PgCrudTest, ManyToManyDuplicatesSegments) {
+  ASSERT_TRUE(db_->InsertRelationship("R2S1", {I(1)}, {I(1), I(1)}).ok());
+  ASSERT_TRUE(db_->InsertRelationship("R2S1", {I(1)}, {I(1), I(2)}).ok());
+  ASSERT_TRUE(db_->InsertRelationship("R2S1", {I(2)}, {I(1), I(1)}).ok());
+  // R2(1) appears on two rows, S1(1,1) on two rows: duplication.
+  // Rows: (1,(1,1)), (1,(1,2)), (2,(1,1)) = 3, no lone rows left.
+  EXPECT_EQ(JoinedRowCount(), 3u);
+  // Entity scans still deduplicate.
+  EXPECT_EQ(db_->CountEntities("R2").value(), 2u);
+  EXPECT_EQ(db_->CountEntities("S1").value(), 2u);
+  // An attribute update must hit every duplicated copy.
+  ASSERT_TRUE(db_->UpdateAttribute("R2", {I(1)}, "r2_a1", I(-7)).ok());
+  auto scan = db_->ScanEntity("R2", {"r2_a1"});
+  ASSERT_TRUE(scan.ok());
+  auto rows = CollectRows(scan->get());
+  ASSERT_TRUE(rows.ok());
+  for (const Row& row : *rows) {
+    if (row[0] == I(1)) {
+      EXPECT_EQ(row[1], I(-7));
+    }
+  }
+  // And the joined scan sees the new value everywhere too.
+  auto joined = db_->ScanRelationshipJoined("R2S1", {"r2_a1"}, {});
+  ASSERT_TRUE(joined.ok());
+  auto joined_rows = CollectRows(joined->get());
+  ASSERT_TRUE(joined_rows.ok());
+  for (const Row& row : *joined_rows) {
+    if (row[0] == I(1)) {
+      EXPECT_EQ(row[1], I(-7));
+    }
+  }
+}
+
+TEST_F(M6PgCrudTest, EdgeDeletePreservesLoneEntities) {
+  ASSERT_TRUE(db_->InsertRelationship("R2S1", {I(1)}, {I(1), I(1)}).ok());
+  ASSERT_TRUE(db_->DeleteRelationship("R2S1", {I(1)}, {I(1), I(1)}).ok());
+  EXPECT_EQ(db_->CountRelationships("R2S1").value(), 0u);
+  // Both entities survive as lone rows.
+  EXPECT_TRUE(db_->EntityExists("R2", {I(1)}).value());
+  EXPECT_TRUE(db_->EntityExists("S1", {I(1), I(1)}).value());
+  EXPECT_EQ(JoinedRowCount(), 4u);
+}
+
+TEST_F(M6PgCrudTest, EntityDeleteRemovesAllCopies) {
+  ASSERT_TRUE(db_->InsertRelationship("R2S1", {I(1)}, {I(1), I(1)}).ok());
+  ASSERT_TRUE(db_->InsertRelationship("R2S1", {I(1)}, {I(1), I(2)}).ok());
+  ASSERT_TRUE(db_->DeleteEntity("R2", {I(1)}).ok());
+  EXPECT_FALSE(db_->EntityExists("R2", {I(1)}).value());
+  EXPECT_FALSE(db_->EntityExists("R", {I(1)}).value());
+  EXPECT_EQ(db_->CountRelationships("R2S1").value(), 0u);
+  // The S1 partners survive (as lone rows).
+  EXPECT_EQ(db_->CountEntities("S1").value(), 2u);
+}
+
+TEST(CompositeAttributeTest, RoundTripsThroughStorage) {
+  ERSchema schema;
+  ASSERT_TRUE(DdlParser::Execute(R"(
+    CREATE ENTITY Place (
+      id INT KEY,
+      location STRUCT(lat FLOAT, lon FLOAT),
+      tags STRING MULTIVALUED
+    );)",
+                                 &schema)
+                  .ok());
+  for (MultiValuedStorage mv :
+       {MultiValuedStorage::kSeparateTable, MultiValuedStorage::kArray}) {
+    MappingSpec spec = MappingSpec::Normalized();
+    spec.default_multi_valued = mv;
+    auto db = MappedDatabase::Create(&schema, spec);
+    ASSERT_TRUE(db.ok());
+    Value location = Value::Struct(
+        {{"lat", Value::Float64(38.99)}, {"lon", Value::Float64(-76.94)}});
+    ASSERT_TRUE(
+        (*db)->InsertEntity(
+                 "Place",
+                 Value::Struct({{"id", I(1)},
+                                {"location", location},
+                                {"tags", Value::Array({Value::String("a"),
+                                                       Value::String("b")})}}))
+            .ok());
+    auto entity = (*db)->GetEntity("Place", {I(1)});
+    ASSERT_TRUE(entity.ok());
+    const Value* loc = entity->FindField("location");
+    ASSERT_NE(loc, nullptr);
+    EXPECT_EQ(*loc, location);
+    const Value* tags = entity->FindField("tags");
+    ASSERT_NE(tags, nullptr);
+    EXPECT_EQ(tags->array().size(), 2u);
+    // Struct field mismatch is rejected by validation.
+    Status st = (*db)->InsertEntity(
+        "Place",
+        Value::Struct({{"id", I(2)},
+                       {"location", Value::Struct({{"lon", Value::Float64(0)},
+                                                   {"lat", Value::Float64(0)}})}}));
+    EXPECT_EQ(st.code(), StatusCode::kConstraintViolation) << st.ToString();
+  }
+}
+
+TEST(GetEntityMetadataTest, IncludesSpecificClass) {
+  Figure4Config config;
+  config.num_r = 60;
+  config.num_s = 20;
+  std::shared_ptr<ERSchema> schema;
+  auto db = MakeFigure4Database(Figure4M1(), config, &schema);
+  ASSERT_TRUE(db.ok());
+  auto scan = (*db)->ScanEntity("R4", {});
+  ASSERT_TRUE(scan.ok());
+  auto rows = CollectRows(scan->get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_FALSE(rows->empty());
+  auto entity = (*db)->GetEntity("R", {rows->front()[0]});
+  ASSERT_TRUE(entity.ok());
+  const Value* cls = entity->FindField("_class");
+  ASSERT_NE(cls, nullptr);
+  EXPECT_EQ(*cls, Value::String("R4"));
+  // R4-specific attribute is present, sibling attributes are not.
+  EXPECT_NE(entity->FindField("r4_a1"), nullptr);
+  EXPECT_EQ(entity->FindField("r2_a1"), nullptr);
+}
+
+TEST(ErrorPathTest, UsefulErrorsForBadCalls) {
+  Figure4Config config;
+  config.num_r = 30;
+  config.num_s = 10;
+  std::shared_ptr<ERSchema> schema;
+  auto db = MakeFigure4Database(Figure4M1(), config, &schema);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->InsertEntity("Nope", Value::Struct({})).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ((*db)->InsertEntity("R", Value::Int64(3)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*db)->InsertEntity("R", Value::Struct({})).code(),
+            StatusCode::kConstraintViolation);  // missing key
+  EXPECT_EQ((*db)->GetEntity("R", {I(999999)}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ((*db)->UpdateAttribute("R", {I(1)}, "r_id", I(2)).code(),
+            StatusCode::kInvalidArgument);  // key update
+  EXPECT_EQ((*db)->UpdateAttribute("R", {I(1)}, "ghost", I(2)).code(),
+            StatusCode::kAnalysisError);
+  EXPECT_EQ((*db)->ScanEntity("R", {"ghost"}).status().code(),
+            StatusCode::kAnalysisError);
+  EXPECT_EQ((*db)->ScanRelationship("ghost").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ((*db)->LookupEntity("R", {I(1), I(2)}, {}).status().code(),
+            StatusCode::kInvalidArgument);  // key arity
+  // Weak entity without its owner.
+  EXPECT_EQ((*db)->InsertEntity(
+                     "S1", Value::Struct({{"s_id", I(424242)},
+                                          {"s1_no", I(1)}}))
+                .code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST(WorkloadDeterminismTest, SameSeedSameData) {
+  Figure4Config config;
+  config.num_r = 80;
+  config.num_s = 25;
+  std::shared_ptr<ERSchema> s1, s2;
+  auto a = MakeFigure4Database(Figure4M1(), config, &s1);
+  auto b = MakeFigure4Database(Figure4M1(), config, &s2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto ea = (*a)->GetEntity("R", {I(11)});
+  auto eb = (*b)->GetEntity("R", {I(11)});
+  ASSERT_TRUE(ea.ok());
+  ASSERT_TRUE(eb.ok());
+  EXPECT_EQ(ea->ToString(), eb->ToString());
+  config.seed = 43;
+  std::shared_ptr<ERSchema> s3;
+  auto c = MakeFigure4Database(Figure4M1(), config, &s3);
+  ASSERT_TRUE(c.ok());
+  auto ec = (*c)->GetEntity("R", {I(11)});
+  ASSERT_TRUE(ec.ok());
+  EXPECT_NE(ea->ToString(), ec->ToString());
+}
+
+}  // namespace
+}  // namespace erbium

@@ -1,0 +1,214 @@
+// Unit tests for the E/R model core: schema construction/validation,
+// DDL parsing (Figure 1(ii)), hierarchy helpers, and the E/R graph
+// (Figure 2 node/edge view).
+
+#include <gtest/gtest.h>
+
+#include "er/ddl_parser.h"
+#include "er/er_graph.h"
+#include "er/er_schema.h"
+
+namespace erbium {
+namespace {
+
+/// The paper's Figure 1 university schema (adapted from Silberschatz et
+/// al.): Person with Instructor/Student subclasses, weak entity Section
+/// of Course, and advisor/takes/teaches relationships.
+const char* kUniversityDdl = R"(
+CREATE ENTITY Person (
+  id INT KEY,
+  name STRING NOT NULL PII,
+  address STRUCT(street STRING, city STRING, zip STRING) PII,
+  phone STRING MULTIVALUED PII DESCRIPTION 'contact phone numbers'
+) DESCRIPTION 'anyone affiliated with the university';
+CREATE ENTITY Instructor EXTENDS Person ( rank STRING, salary FLOAT PII )
+  SPECIALIZATION (PARTIAL, OVERLAPPING);
+CREATE ENTITY Student EXTENDS Person ( tot_credits INT );
+CREATE ENTITY Course ( course_id STRING KEY, title STRING, credits INT );
+CREATE WEAK ENTITY Section OWNED BY Course (
+  sec_id STRING PARTIAL KEY, semester STRING PARTIAL KEY, year INT PARTIAL KEY
+);
+CREATE RELATIONSHIP advisor
+  BETWEEN Instructor (ONE) AND Student (MANY) WITH ( since INT );
+CREATE RELATIONSHIP takes BETWEEN Student (MANY) AND Section (MANY)
+  WITH ( grade STRING );
+CREATE RELATIONSHIP teaches BETWEEN Instructor (MANY) AND Section (MANY);
+)";
+
+ERSchema University() {
+  ERSchema schema;
+  Status st = DdlParser::Execute(kUniversityDdl, &schema);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return schema;
+}
+
+TEST(DdlParserTest, ParsesFigure1Schema) {
+  ERSchema schema = University();
+  EXPECT_EQ(schema.EntitySetNames().size(), 5u);
+  EXPECT_EQ(schema.RelationshipSetNames().size(), 3u);
+
+  const EntitySetDef* person = schema.FindEntitySet("Person");
+  ASSERT_NE(person, nullptr);
+  EXPECT_EQ(person->key, std::vector<std::string>{"id"});
+  EXPECT_EQ(person->description, "anyone affiliated with the university");
+  const AttributeDef* phone = FindAttribute(person->attributes, "phone");
+  ASSERT_NE(phone, nullptr);
+  EXPECT_TRUE(phone->multi_valued);
+  EXPECT_TRUE(phone->pii);
+  EXPECT_EQ(phone->description, "contact phone numbers");
+  const AttributeDef* address = FindAttribute(person->attributes, "address");
+  ASSERT_NE(address, nullptr);
+  EXPECT_TRUE(address->composite());
+  EXPECT_EQ(address->type->fields().size(), 3u);
+
+  // Specialization annotation lands on the parent.
+  EXPECT_FALSE(person->specialization.disjoint);
+  EXPECT_FALSE(person->specialization.total);
+
+  const EntitySetDef* section = schema.FindEntitySet("Section");
+  ASSERT_NE(section, nullptr);
+  EXPECT_TRUE(section->weak);
+  EXPECT_EQ(section->owner, "Course");
+  EXPECT_EQ(section->partial_key.size(), 3u);
+  EXPECT_EQ(section->identifying_relationship, "Course_Section");
+
+  const RelationshipSetDef* advisor = schema.FindRelationshipSet("advisor");
+  ASSERT_NE(advisor, nullptr);
+  EXPECT_EQ(advisor->left.cardinality, Cardinality::kOne);
+  EXPECT_EQ(advisor->right.cardinality, Cardinality::kMany);
+  EXPECT_EQ(advisor->many_side().entity, "Student");
+  EXPECT_EQ(advisor->attributes.size(), 1u);
+}
+
+TEST(DdlParserTest, RejectsMalformedDdl) {
+  ERSchema schema;
+  EXPECT_FALSE(DdlParser::Execute("CREATE TABLE x (a int);", &schema).ok());
+  EXPECT_FALSE(
+      DdlParser::Execute("CREATE ENTITY E ( a int", &schema).ok());
+  // Missing key on a strong entity fails validation.
+  ERSchema no_key;
+  Status st = DdlParser::Execute("CREATE ENTITY E ( a INT );", &no_key);
+  EXPECT_EQ(st.code(), StatusCode::kAnalysisError);
+  // SPECIALIZATION without EXTENDS is rejected.
+  ERSchema bad_spec;
+  EXPECT_FALSE(DdlParser::Execute(
+                   "CREATE ENTITY E ( a INT KEY ) "
+                   "SPECIALIZATION (TOTAL, DISJOINT);",
+                   &bad_spec)
+                   .ok());
+}
+
+TEST(ERSchemaTest, HierarchyHelpers) {
+  ERSchema schema = University();
+  EXPECT_EQ(*schema.HierarchyRoot("Student"), "Person");
+  EXPECT_EQ(*schema.HierarchyRoot("Person"), "Person");
+  auto subclasses = schema.DirectSubclasses("Person");
+  EXPECT_EQ(subclasses.size(), 2u);
+  EXPECT_TRUE(schema.IsSelfOrDescendant("Student", "Person"));
+  EXPECT_FALSE(schema.IsSelfOrDescendant("Person", "Student"));
+  auto chain = schema.AncestryChain("Instructor");
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(*chain, (std::vector<std::string>{"Person", "Instructor"}));
+  auto attrs = schema.AllAttributes("Student");
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_NE(FindAttribute(*attrs, "name"), nullptr);       // inherited
+  EXPECT_NE(FindAttribute(*attrs, "tot_credits"), nullptr);  // own
+  EXPECT_EQ(FindAttribute(*attrs, "rank"), nullptr);  // sibling's attr
+}
+
+TEST(ERSchemaTest, FullKeys) {
+  ERSchema schema = University();
+  EXPECT_EQ(*schema.FullKey("Person"), std::vector<std::string>{"id"});
+  EXPECT_EQ(*schema.FullKey("Student"), std::vector<std::string>{"id"});
+  EXPECT_EQ(*schema.FullKey("Section"),
+            (std::vector<std::string>{"course_id", "sec_id", "semester",
+                                      "year"}));
+}
+
+TEST(ERSchemaTest, ValidationCatchesStructuralErrors) {
+  // Subclass declaring a key.
+  {
+    ERSchema schema = University();
+    EntitySetDef bad;
+    bad.name = "Grad";
+    bad.parent = "Student";
+    bad.key = {"gid"};
+    bad.attributes = {AttributeDef{"gid", Type::Int64(), false, false, false,
+                                   ""}};
+    ASSERT_TRUE(schema.AddEntitySet(bad).ok());
+    EXPECT_FALSE(schema.Validate().ok());
+  }
+  // Attribute shadowing along the hierarchy.
+  {
+    ERSchema schema = University();
+    EntitySetDef bad;
+    bad.name = "Grad";
+    bad.parent = "Student";
+    bad.attributes = {AttributeDef{"name", Type::String(), false, true,
+                                   false, ""}};
+    ASSERT_TRUE(schema.AddEntitySet(bad).ok());
+    EXPECT_FALSE(schema.Validate().ok());
+  }
+  // Relationship referencing an unknown entity set.
+  {
+    ERSchema schema = University();
+    RelationshipSetDef bad;
+    bad.name = "broken";
+    bad.left = {"Person", "Person", Cardinality::kMany, false};
+    bad.right = {"Nowhere", "Nowhere", Cardinality::kMany, false};
+    ASSERT_TRUE(schema.AddRelationshipSet(bad).ok());
+    EXPECT_FALSE(schema.Validate().ok());
+  }
+}
+
+TEST(ERSchemaTest, DropRefusesDanglingReferences) {
+  ERSchema schema = University();
+  EXPECT_FALSE(schema.DropEntitySet("Person").ok());   // has subclasses
+  EXPECT_FALSE(schema.DropEntitySet("Course").ok());   // owns Section
+  EXPECT_FALSE(schema.DropEntitySet("Student").ok());  // in relationships
+  ASSERT_TRUE(schema.DropRelationshipSet("advisor").ok());
+  ASSERT_TRUE(schema.DropRelationshipSet("takes").ok());
+  EXPECT_TRUE(schema.DropEntitySet("Student").ok());
+}
+
+TEST(ERGraphTest, NodesAndEdgesMatchFigure2Shape) {
+  ERSchema schema = University();
+  auto graph = ERGraph::Build(schema);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  // 5 entities + 3 relationships + attribute nodes.
+  size_t attr_count = 0;
+  for (const ERNode& node : graph->nodes()) {
+    if (node.kind == ERNodeKind::kAttribute) ++attr_count;
+  }
+  // Person(4) + Instructor(2) + Student(1) + Course(3) + Section(3) +
+  // advisor(1) + takes(1) = 15.
+  EXPECT_EQ(attr_count, 15u);
+  EXPECT_EQ(graph->nodes().size(), 5 + 3 + attr_count);
+
+  int person = graph->FindNode("Person");
+  int student = graph->FindNode("Student");
+  int advisor = graph->FindNode("advisor");
+  ASSERT_GE(person, 0);
+  ASSERT_GE(student, 0);
+  ASSERT_GE(advisor, 0);
+  EXPECT_GE(graph->FindNode("Person.name"), 0);
+  EXPECT_EQ(graph->FindNode("Person.nope"), -1);
+
+  // Connectivity probes.
+  EXPECT_TRUE(graph->IsConnected({person, student}));  // isa edge
+  EXPECT_TRUE(graph->IsConnected({student, advisor}));  // participates
+  EXPECT_FALSE(graph->IsConnected(
+      {graph->FindNode("Person.name"), graph->FindNode("Course.title")}));
+  EXPECT_FALSE(graph->IsConnected({}));
+  EXPECT_TRUE(graph->IsConnected({person}));
+
+  // Weak entity connects to its owner.
+  EXPECT_TRUE(graph->IsConnected(
+      {graph->FindNode("Section"), graph->FindNode("Course")}));
+
+  std::string dot = graph->ToDot();
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace erbium

@@ -1,0 +1,127 @@
+// Unit tests for the ERQL parser (grammar acceptance, AST shapes, and
+// rejection of malformed queries).
+
+#include <gtest/gtest.h>
+
+#include "erql/parser.h"
+
+namespace erbium {
+namespace erql {
+namespace {
+
+Result<Query> P(const std::string& text) { return Parser::Parse(text); }
+
+TEST(ErqlParserTest, MinimalSelect) {
+  auto q = P("SELECT a FROM E");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->select.size(), 1u);
+  EXPECT_EQ(q->select[0].expr->kind, ExprAst::Kind::kIdent);
+  EXPECT_EQ(q->from.entity, "E");
+  EXPECT_EQ(q->from.alias, "E");
+}
+
+TEST(ErqlParserTest, AliasesAndQualifiedNames) {
+  auto q = P("SELECT e.a AS x, b FROM E e");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->select[0].alias, "x");
+  EXPECT_EQ(q->select[0].expr->qualifier, "e");
+  EXPECT_EQ(q->select[0].expr->name, "a");
+  EXPECT_EQ(q->from.alias, "e");
+}
+
+TEST(ErqlParserTest, RelationshipJoinVsThetaJoin) {
+  auto q = P("SELECT 1 FROM A a JOIN B b ON rel JOIN C c ON a.x = c.y");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->joins.size(), 2u);
+  EXPECT_EQ(q->joins[0].relationship, "rel");
+  EXPECT_EQ(q->joins[0].on_expr, nullptr);
+  EXPECT_TRUE(q->joins[1].relationship.empty());
+  ASSERT_NE(q->joins[1].on_expr, nullptr);
+  EXPECT_EQ(q->joins[1].on_expr->op, "=");
+}
+
+TEST(ErqlParserTest, ExpressionPrecedence) {
+  auto q = P("SELECT a FROM E WHERE a + b * 2 < 10 AND NOT c = 3 OR d = 4");
+  ASSERT_TRUE(q.ok());
+  // ((a + (b*2) < 10) AND (NOT (c=3))) OR (d=4)
+  const ExprAst& where = *q->where;
+  EXPECT_EQ(where.op, "or");
+  EXPECT_EQ(where.children[0]->op, "and");
+  const ExprAst& cmp = *where.children[0]->children[0];
+  EXPECT_EQ(cmp.op, "<");
+  EXPECT_EQ(cmp.children[0]->op, "+");
+  EXPECT_EQ(cmp.children[0]->children[1]->op, "*");
+  EXPECT_EQ(where.children[0]->children[1]->kind, ExprAst::Kind::kNot);
+}
+
+TEST(ErqlParserTest, LiteralsAndInList) {
+  auto q = P("SELECT a FROM E WHERE a IN (1, 2.5, 'x', true, null) "
+             "AND b NOT IN (-3) AND c IS NOT NULL");
+  ASSERT_TRUE(q.ok());
+  std::vector<ExprAstPtr> conjuncts;
+  // Flatten manually.
+  const ExprAst* node = q->where.get();
+  EXPECT_EQ(node->op, "and");
+}
+
+TEST(ErqlParserTest, FunctionsAggregatesStar) {
+  auto q = P("SELECT count(*) AS n, sum(x) AS s, count(DISTINCT y) AS d, "
+             "array_agg(struct(a: x, y)) AS items FROM E");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->select[0].expr->children[0]->kind, ExprAst::Kind::kStar);
+  EXPECT_FALSE(q->select[1].expr->distinct);
+  EXPECT_TRUE(q->select[2].expr->distinct);
+  const ExprAst& agg = *q->select[3].expr;
+  ASSERT_EQ(agg.children.size(), 1u);
+  EXPECT_EQ(agg.children[0]->kind, ExprAst::Kind::kStruct);
+  EXPECT_EQ(agg.children[0]->field_names,
+            (std::vector<std::string>{"a", "y"}));
+}
+
+TEST(ErqlParserTest, GroupOrderLimitDistinct) {
+  auto q = P("SELECT DISTINCT a, count(*) AS n FROM E GROUP BY a "
+             "ORDER BY n DESC, a LIMIT 10");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->distinct);
+  EXPECT_TRUE(q->explicit_group_by);
+  ASSERT_EQ(q->group_by.size(), 1u);
+  ASSERT_EQ(q->order_by.size(), 2u);
+  EXPECT_FALSE(q->order_by[0].ascending);
+  EXPECT_TRUE(q->order_by[1].ascending);
+  EXPECT_EQ(q->limit, 10);
+}
+
+TEST(ErqlParserTest, ArrayLiteralsAndUnnest) {
+  auto q = P("SELECT unnest(mv) AS v, array_contains(mv, 3) FROM E "
+             "WHERE tags = [1, 2, 3]");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->select[0].expr->name, "unnest");
+  const ExprAst& where = *q->where;
+  EXPECT_EQ(where.children[1]->kind, ExprAst::Kind::kLiteral);
+  EXPECT_EQ(where.children[1]->literal.array().size(), 3u);
+}
+
+TEST(ErqlParserTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(P("").ok());
+  EXPECT_FALSE(P("SELECT").ok());
+  EXPECT_FALSE(P("SELECT a").ok());                 // missing FROM
+  EXPECT_FALSE(P("SELECT a FROM").ok());
+  EXPECT_FALSE(P("SELECT a FROM E WHERE").ok());
+  EXPECT_FALSE(P("SELECT a FROM E LIMIT x").ok());
+  EXPECT_FALSE(P("SELECT a FROM E JOIN F ON").ok());
+  EXPECT_FALSE(P("SELECT a FROM E trailing junk here").ok());
+  EXPECT_FALSE(P("SELECT f( FROM E").ok());
+}
+
+TEST(ErqlParserTest, ExprToStringRoundTripsShape) {
+  auto q = P("SELECT struct(a: x + 1, b: lower(y)) FROM E "
+             "WHERE x IN (1, 2) AND y IS NULL");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->select[0].expr->ToString(),
+            "struct(a: (x + 1), b: lower(y))");
+  EXPECT_EQ(q->where->ToString(), "(x IN (1, 2) and y IS NULL)");
+}
+
+}  // namespace
+}  // namespace erql
+}  // namespace erbium

@@ -1,0 +1,228 @@
+// Tests for schema evolution (paper Section 3): the single-to-multi-
+// valued change, cardinality relaxation, subclass addition, generic data
+// migration between schema versions AND between physical mappings, and
+// versioning with rollback.
+
+#include <gtest/gtest.h>
+
+#include "erql/query_engine.h"
+#include "evolution/evolution.h"
+#include "workload/figure4.h"
+
+namespace erbium {
+namespace {
+
+Figure4Config TinyConfig() {
+  Figure4Config config;
+  config.num_r = 120;
+  config.num_s = 40;
+  return config;
+}
+
+TEST(EvolutionOpsTest, MakeAttributeMultiValued) {
+  auto schema = MakeFigure4Schema();
+  ASSERT_TRUE(schema.ok());
+  ASSERT_TRUE(
+      evolution::MakeAttributeMultiValued(&schema.value(), "R", "r_a3").ok());
+  const AttributeDef* attr =
+      FindAttribute(schema->FindEntitySet("R")->attributes, "r_a3");
+  ASSERT_NE(attr, nullptr);
+  EXPECT_TRUE(attr->multi_valued);
+  // Key attributes cannot become multi-valued; double change rejected.
+  EXPECT_FALSE(
+      evolution::MakeAttributeMultiValued(&schema.value(), "R", "r_id").ok());
+  EXPECT_FALSE(
+      evolution::MakeAttributeMultiValued(&schema.value(), "R", "r_a3").ok());
+}
+
+TEST(EvolutionOpsTest, AddDropAttribute) {
+  auto schema = MakeFigure4Schema();
+  ASSERT_TRUE(schema.ok());
+  ASSERT_TRUE(evolution::AddAttribute(
+                  &schema.value(), "S",
+                  AttributeDef{"s_new", Type::String(), false, true, false,
+                               ""})
+                  .ok());
+  EXPECT_NE(FindAttribute(schema->FindEntitySet("S")->attributes, "s_new"),
+            nullptr);
+  ASSERT_TRUE(evolution::DropAttribute(&schema.value(), "S", "s_new").ok());
+  EXPECT_EQ(FindAttribute(schema->FindEntitySet("S")->attributes, "s_new"),
+            nullptr);
+  EXPECT_FALSE(evolution::DropAttribute(&schema.value(), "S", "s_id").ok());
+}
+
+TEST(EvolutionOpsTest, CardinalityRelaxOnly) {
+  auto schema = MakeFigure4Schema();
+  ASSERT_TRUE(schema.ok());
+  // R1R3 is 1:N; relaxing to M:N is fine.
+  ASSERT_TRUE(evolution::ChangeRelationshipCardinality(
+                  &schema.value(), "R1R3", Cardinality::kMany,
+                  Cardinality::kMany)
+                  .ok());
+  // Tightening back is rejected.
+  EXPECT_FALSE(evolution::ChangeRelationshipCardinality(
+                   &schema.value(), "R1R3", Cardinality::kOne,
+                   Cardinality::kMany)
+                   .ok());
+}
+
+TEST(EvolutionOpsTest, AddSubclass) {
+  auto schema = MakeFigure4Schema();
+  ASSERT_TRUE(schema.ok());
+  EntitySetDef sub;
+  sub.name = "R5";
+  sub.attributes = {AttributeDef{"r5_a1", Type::Int64(), false, true, false,
+                                 ""}};
+  ASSERT_TRUE(evolution::AddSubclass(&schema.value(), "R2", sub).ok());
+  EXPECT_EQ(*schema->HierarchyRoot("R5"), "R");
+}
+
+class VersionedDatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = MakeFigure4Schema();
+    ASSERT_TRUE(schema.ok());
+    auto db = VersionedDatabase::Create(std::move(schema).value(),
+                                        Figure4M1());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+    ASSERT_TRUE(PopulateFigure4(db_->current(), TinyConfig()).ok());
+  }
+
+  std::unique_ptr<VersionedDatabase> db_;
+};
+
+TEST_F(VersionedDatabaseTest, RemapPreservesQueries) {
+  // The paper's headline: switching the physical mapping requires NO
+  // query change. Run a query, remap M1 -> M2 -> M4, re-run, compare.
+  const char* query = "SELECT r_id, r_mv1, r_a1 FROM R WHERE r_a4 < 50";
+  auto before = erql::QueryEngine::Execute(db_->current(), query);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+
+  ASSERT_TRUE(db_->Remap(Figure4M2(), "arrays for MV attrs").ok());
+  auto after_m2 = erql::QueryEngine::Execute(db_->current(), query);
+  ASSERT_TRUE(after_m2.ok());
+  EXPECT_EQ(before->ToCanonicalString(), after_m2->ToCanonicalString());
+
+  ASSERT_TRUE(db_->Remap(Figure4M4(), "disjoint hierarchy tables").ok());
+  auto after_m4 = erql::QueryEngine::Execute(db_->current(), query);
+  ASSERT_TRUE(after_m4.ok());
+  EXPECT_EQ(before->ToCanonicalString(), after_m4->ToCanonicalString());
+
+  EXPECT_EQ(db_->version(), 2);
+  auto history = db_->History();
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history[1].mapping_name, "M2");
+}
+
+TEST_F(VersionedDatabaseTest, SingleToMultiValuedMigration) {
+  // The paper's Section 3 example: a single-valued attribute becomes
+  // multi-valued. Existing scalars must migrate to 1-element arrays.
+  auto before = erql::QueryEngine::Execute(
+      db_->current(), "SELECT r_id, r_a3 FROM R WHERE r_id = 5");
+  ASSERT_TRUE(before.ok());
+  Value old_scalar = before->rows.front()[1];
+  ASSERT_EQ(old_scalar.kind(), TypeKind::kString);
+
+  ASSERT_TRUE(db_->Evolve(
+                     [](ERSchema* schema) {
+                       return evolution::MakeAttributeMultiValued(schema, "R",
+                                                                  "r_a3");
+                     },
+                     "r_a3 becomes multi-valued")
+                  .ok());
+  auto after = erql::QueryEngine::Execute(
+      db_->current(), "SELECT r_id, r_a3 FROM R WHERE r_id = 5");
+  ASSERT_TRUE(after.ok());
+  const Value& migrated = after->rows.front()[1];
+  ASSERT_EQ(migrated.kind(), TypeKind::kArray);
+  ASSERT_EQ(migrated.array().size(), 1u);
+  EXPECT_EQ(migrated.array()[0], old_scalar);
+  // The localized query change the paper describes: unnest now applies.
+  auto unnested = erql::QueryEngine::Execute(
+      db_->current(), "SELECT r_id, unnest(r_a3) AS city FROM R WHERE "
+                      "r_id = 5");
+  ASSERT_TRUE(unnested.ok());
+  EXPECT_EQ(unnested->rows.front()[1], old_scalar);
+}
+
+TEST_F(VersionedDatabaseTest, CardinalityChangeKeepsAggregateQueryWorking) {
+  // Section 3's instructor/advisee example: the aggregate query needs no
+  // modification when 1:N becomes M:N.
+  const char* query =
+      "SELECT p.r_id, count(*) AS advisees FROM R1 p JOIN R3 c ON R1R3";
+  auto before = erql::QueryEngine::Execute(db_->current(), query);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(db_->Evolve(
+                     [](ERSchema* schema) {
+                       return evolution::ChangeRelationshipCardinality(
+                           schema, "R1R3", Cardinality::kMany,
+                           Cardinality::kMany);
+                     },
+                     "R1R3 becomes many-to-many")
+                  .ok());
+  auto after = erql::QueryEngine::Execute(db_->current(), query);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(before->ToCanonicalString(), after->ToCanonicalString());
+  // And the relaxed schema now admits a second parent (it was 1:N).
+  auto rel = db_->current()->ScanRelationship("R1R3");
+  ASSERT_TRUE(rel.ok());
+  auto rows = CollectRows(rel->get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_FALSE(rows->empty());
+  Value child = rows->front()[1];
+  Value existing_parent = rows->front()[0];
+  // Find a different parent id.
+  auto parents = erql::QueryEngine::Execute(db_->current(),
+                                            "SELECT r_id FROM R1");
+  ASSERT_TRUE(parents.ok());
+  for (const Row& parent : parents->rows) {
+    if (parent[0] != existing_parent) {
+      EXPECT_TRUE(db_->current()
+                      ->InsertRelationship("R1R3", {parent[0]}, {child})
+                      .ok());
+      break;
+    }
+  }
+}
+
+TEST_F(VersionedDatabaseTest, RollbackRestoresPreviousVersion) {
+  size_t before_count = db_->current()->CountEntities("R").value();
+  ASSERT_TRUE(db_->Remap(Figure4M3(), "single-table hierarchy").ok());
+  ASSERT_TRUE(db_->current()->DeleteEntity("R", {Value::Int64(1)}).ok());
+  EXPECT_EQ(db_->current()->CountEntities("R").value(), before_count - 1);
+  ASSERT_TRUE(db_->Rollback().ok());
+  EXPECT_EQ(db_->version(), 0);
+  // The pre-remap version still has the entity.
+  EXPECT_EQ(db_->current()->CountEntities("R").value(), before_count);
+  EXPECT_FALSE(db_->Rollback().ok());  // nothing earlier
+}
+
+TEST_F(VersionedDatabaseTest, AddSubclassThenInsert) {
+  ASSERT_TRUE(db_->Evolve(
+                     [](ERSchema* schema) {
+                       EntitySetDef sub;
+                       sub.name = "R5";
+                       sub.attributes = {AttributeDef{
+                           "r5_a1", Type::Int64(), false, true, false, ""}};
+                       return evolution::AddSubclass(schema, "R2", sub);
+                     },
+                     "new subclass R5 under R2")
+                  .ok());
+  Value::StructData fields;
+  fields.emplace_back("r_id", Value::Int64(100001));
+  fields.emplace_back("r2_a1", Value::Int64(1));
+  fields.emplace_back("r5_a1", Value::Int64(2));
+  ASSERT_TRUE(db_->current()
+                  ->InsertEntity("R5", Value::Struct(std::move(fields)))
+                  .ok());
+  EXPECT_TRUE(
+      db_->current()->EntityExists("R2", {Value::Int64(100001)}).value());
+  EXPECT_EQ(db_->current()
+                ->SpecificClassOf("R", {Value::Int64(100001)})
+                .value(),
+            "R5");
+}
+
+}  // namespace
+}  // namespace erbium

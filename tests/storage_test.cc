@@ -1,0 +1,181 @@
+// Unit tests for the storage substrate: schemas, tables, indexes,
+// constraints, catalog.
+
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+
+namespace erbium {
+namespace {
+
+TableSchema PersonSchema() {
+  return TableSchema("person",
+                     {Column{"id", Type::Int64(), false},
+                      Column{"name", Type::String(), true},
+                      Column{"tags", Type::Array(Type::Int64()), true}},
+                     {0});
+}
+
+TEST(TableSchemaTest, ColumnLookupAndValidation) {
+  TableSchema schema = PersonSchema();
+  EXPECT_EQ(schema.ColumnIndex("name"), 1);
+  EXPECT_EQ(schema.ColumnIndex("nope"), -1);
+  EXPECT_TRUE(schema
+                  .ValidateRow({Value::Int64(1), Value::String("a"),
+                                Value::Array({Value::Int64(2)})})
+                  .ok());
+  // Arity mismatch.
+  EXPECT_FALSE(schema.ValidateRow({Value::Int64(1)}).ok());
+  // Null in non-null column.
+  EXPECT_EQ(schema
+                .ValidateRow({Value::Null(), Value::Null(), Value::Null()})
+                .code(),
+            StatusCode::kConstraintViolation);
+  // Type mismatch.
+  EXPECT_FALSE(schema
+                   .ValidateRow({Value::String("x"), Value::Null(),
+                                 Value::Null()})
+                   .ok());
+  // Array element type mismatch.
+  EXPECT_FALSE(schema
+                   .ValidateRow({Value::Int64(1), Value::Null(),
+                                 Value::Array({Value::String("x")})})
+                   .ok());
+}
+
+TEST(ValidateValueTest, StructShape) {
+  TypePtr t = Type::Struct({{"a", Type::Int64()}, {"b", Type::String()}});
+  EXPECT_TRUE(ValidateValue(Value::Struct({{"a", Value::Int64(1)},
+                                           {"b", Value::String("x")}}),
+                            t, false)
+                  .ok());
+  // Wrong field order/name.
+  EXPECT_FALSE(ValidateValue(Value::Struct({{"b", Value::String("x")},
+                                            {"a", Value::Int64(1)}}),
+                             t, false)
+                   .ok());
+  // Missing field.
+  EXPECT_FALSE(
+      ValidateValue(Value::Struct({{"a", Value::Int64(1)}}), t, false).ok());
+}
+
+TEST(TableTest, InsertUpdateDelete) {
+  Table table(PersonSchema());
+  ASSERT_TRUE(table.CreateIndex("pk", {"id"}, /*unique=*/true).ok());
+  auto id1 = table.Insert({Value::Int64(1), Value::String("ann"),
+                           Value::Array({})});
+  ASSERT_TRUE(id1.ok());
+  auto id2 = table.Insert({Value::Int64(2), Value::String("bob"),
+                           Value::Array({})});
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(table.size(), 2u);
+
+  // Duplicate key rejected.
+  auto dup = table.Insert({Value::Int64(1), Value::Null(), Value::Null()});
+  EXPECT_EQ(dup.status().code(), StatusCode::kConstraintViolation);
+
+  // Update changes data and index entries.
+  ASSERT_TRUE(table
+                  .Update(*id1, {Value::Int64(10), Value::String("ann"),
+                                 Value::Array({})})
+                  .ok());
+  std::vector<RowId> hits;
+  table.LookupEqual({0}, {Value::Int64(10)}, &hits);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], *id1);
+  hits.clear();
+  table.LookupEqual({0}, {Value::Int64(1)}, &hits);
+  EXPECT_TRUE(hits.empty());
+
+  // Update to an existing key is rejected.
+  Status st = table.Update(*id1, {Value::Int64(2), Value::Null(),
+                                  Value::Null()});
+  EXPECT_EQ(st.code(), StatusCode::kConstraintViolation);
+
+  // Delete tombstones and cleans the index.
+  ASSERT_TRUE(table.Delete(*id2).ok());
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_FALSE(table.IsLive(*id2));
+  hits.clear();
+  table.LookupEqual({0}, {Value::Int64(2)}, &hits);
+  EXPECT_TRUE(hits.empty());
+  EXPECT_EQ(table.Delete(*id2).code(), StatusCode::kNotFound);
+}
+
+TEST(TableTest, NullsNotIndexedAndNotUnique) {
+  Table table(TableSchema("t", {Column{"a", Type::Int64(), true}}, {}));
+  ASSERT_TRUE(table.CreateIndex("a_idx", {"a"}, /*unique=*/true).ok());
+  // Two null keys do not violate uniqueness (SQL semantics).
+  ASSERT_TRUE(table.Insert({Value::Null()}).ok());
+  ASSERT_TRUE(table.Insert({Value::Null()}).ok());
+  // Lookup via index misses nulls; fallback scan path finds them.
+  std::vector<RowId> hits;
+  table.LookupEqual({0}, {Value::Null()}, &hits);
+  EXPECT_TRUE(hits.empty());  // null != null through the index
+}
+
+TEST(TableTest, BackfillingIndexCreation) {
+  Table table(PersonSchema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table
+                    .Insert({Value::Int64(i), Value::String("p"),
+                             Value::Array({})})
+                    .ok());
+  }
+  ASSERT_TRUE(table.CreateIndex("pk", {"id"}, true).ok());
+  std::vector<RowId> hits;
+  table.LookupEqual({0}, {Value::Int64(7)}, &hits);
+  EXPECT_EQ(hits.size(), 1u);
+  // Backfilling a unique index over duplicate data fails.
+  Table dup_table(TableSchema("d", {Column{"a", Type::Int64(), true}}, {}));
+  ASSERT_TRUE(dup_table.Insert({Value::Int64(1)}).ok());
+  ASSERT_TRUE(dup_table.Insert({Value::Int64(1)}).ok());
+  EXPECT_FALSE(dup_table.CreateIndex("u", {"a"}, true).ok());
+}
+
+TEST(OrderedIndexTest, RangeLookups) {
+  OrderedIndex index("ord", {0}, /*unique=*/false);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(index.Insert({Value::Int64(i)}, i).ok());
+  }
+  std::vector<RowId> hits;
+  index.LookupRange({Value::Int64(3)}, true, {Value::Int64(6)}, true, &hits);
+  EXPECT_EQ(hits.size(), 4u);
+  hits.clear();
+  index.LookupRange({Value::Int64(3)}, false, {Value::Int64(6)}, false,
+                    &hits);
+  EXPECT_EQ(hits.size(), 2u);
+  hits.clear();
+  index.LookupRange({}, true, {Value::Int64(2)}, true, &hits);
+  EXPECT_EQ(hits.size(), 3u);
+  hits.clear();
+  index.LookupRange({Value::Int64(8)}, true, {}, true, &hits);
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(CatalogTest, CreateDropLookup) {
+  Catalog catalog;
+  auto t1 = catalog.CreateTable(PersonSchema());
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ((*t1)->name(), "person");
+  EXPECT_TRUE(catalog.HasTable("person"));
+  EXPECT_EQ(catalog.GetTable("person"), *t1);
+  EXPECT_EQ(catalog.CreateTable(PersonSchema()).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(catalog.DropTable("person").ok());
+  EXPECT_FALSE(catalog.HasTable("person"));
+  EXPECT_EQ(catalog.DropTable("person").code(), StatusCode::kNotFound);
+}
+
+TEST(TableTest, ApproximateBytesGrowWithData) {
+  Table table(PersonSchema());
+  size_t empty = table.ApproximateDataBytes();
+  ASSERT_TRUE(table
+                  .Insert({Value::Int64(1), Value::String("somebody"),
+                           Value::Array({Value::Int64(1), Value::Int64(2)})})
+                  .ok());
+  EXPECT_GT(table.ApproximateDataBytes(), empty);
+}
+
+}  // namespace
+}  // namespace erbium

@@ -1,0 +1,183 @@
+// End-to-end test on the paper's Figure 1 university schema — a second,
+// structurally different schema from Figure 4: string keys, a three-part
+// weak-entity partial key, an overlapping-capable specialization, and
+// relationship attributes. Guards against Figure-4-specific assumptions
+// in the mapping and translation layers.
+
+#include <gtest/gtest.h>
+
+#include "api/entity_store.h"
+#include "er/ddl_parser.h"
+#include "erql/query_engine.h"
+#include "mapping/database.h"
+
+namespace erbium {
+namespace {
+
+const char* kDdl = R"(
+CREATE ENTITY Person (
+  id INT KEY, name STRING NOT NULL PII,
+  phone STRING MULTIVALUED PII );
+CREATE ENTITY Instructor EXTENDS Person ( rank STRING, salary FLOAT )
+  SPECIALIZATION (PARTIAL, DISJOINT);
+CREATE ENTITY Student EXTENDS Person ( tot_credits INT );
+CREATE ENTITY Course ( course_id STRING KEY, title STRING, credits INT );
+CREATE WEAK ENTITY Section OWNED BY Course (
+  sec_id STRING PARTIAL KEY, semester STRING PARTIAL KEY, year INT );
+CREATE RELATIONSHIP advisor
+  BETWEEN Instructor (ONE) AND Student (MANY) WITH ( since INT );
+CREATE RELATIONSHIP takes BETWEEN Student (MANY) AND Section (MANY)
+  WITH ( grade STRING );
+)";
+
+Value I(int64_t v) { return Value::Int64(v); }
+Value S(const char* s) { return Value::String(s); }
+
+class UniversityTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(DdlParser::Execute(kDdl, &schema_).ok());
+    MappingSpec spec = MappingSpec::Normalized("normalized");
+    if (GetParam() == 1) {
+      spec.name = "document";
+      spec.default_multi_valued = MultiValuedStorage::kArray;
+      spec.hierarchy_overrides["Person"] = HierarchyStorage::kSingleTable;
+      spec.weak_overrides["Section"] = WeakEntityStorage::kFoldedArray;
+    }
+    if (GetParam() == 2) {
+      spec.name = "disjoint";
+      spec.hierarchy_overrides["Person"] =
+          HierarchyStorage::kDisjointTables;
+    }
+    auto db = MappedDatabase::Create(&schema_, spec);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+    Populate();
+  }
+
+  void Populate() {
+    ASSERT_TRUE(db_->InsertEntity(
+                       "Instructor",
+                       Value::Struct({{"id", I(1)},
+                                      {"name", S("Katz")},
+                                      {"phone", Value::Array({S("x")})},
+                                      {"rank", S("Professor")},
+                                      {"salary", Value::Float64(1.0)}}))
+                    .ok());
+    for (int64_t id : {2, 3}) {
+      ASSERT_TRUE(db_->InsertEntity(
+                         "Student",
+                         Value::Struct({{"id", I(id)},
+                                        {"name", S("Stud")},
+                                        {"tot_credits", I(id * 10)}}))
+                      .ok());
+    }
+    ASSERT_TRUE(db_->InsertEntity(
+                       "Course", Value::Struct({{"course_id", S("CS-101")},
+                                                {"title", S("DB")},
+                                                {"credits", I(4)}}))
+                    .ok());
+    for (const char* semester : {"Fall", "Spring"}) {
+      ASSERT_TRUE(db_->InsertEntity(
+                         "Section",
+                         Value::Struct({{"course_id", S("CS-101")},
+                                        {"sec_id", S("1")},
+                                        {"semester", S(semester)},
+                                        {"year", I(2025)}}))
+                      .ok());
+    }
+    for (int64_t id : {2, 3}) {
+      ASSERT_TRUE(db_->InsertRelationship(
+                         "advisor", {I(1)}, {I(id)},
+                         Value::Struct({{"since", I(2020 + id)}}))
+                      .ok());
+      ASSERT_TRUE(db_->InsertRelationship(
+                         "takes", {I(id)}, {S("CS-101"), S("1"), S("Fall")},
+                         Value::Struct({{"grade", S("A")}}))
+                      .ok());
+    }
+  }
+
+  ERSchema schema_;
+  std::unique_ptr<MappedDatabase> db_;
+};
+
+INSTANTIATE_TEST_SUITE_P(Mappings, UniversityTest, ::testing::Values(0, 1, 2),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return info.param == 0
+                                      ? std::string("normalized")
+                                      : (info.param == 1
+                                             ? std::string("document")
+                                             : std::string("disjoint"));
+                         });
+
+TEST_P(UniversityTest, AdvisorAggregate) {
+  auto result = erql::QueryEngine::Execute(
+      db_.get(),
+      "SELECT i.name, count(*) AS advisees, min(since) AS first_year "
+      "FROM Instructor i JOIN Student s ON advisor");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][1], I(2));
+  EXPECT_EQ(result->rows[0][2], I(2022));
+}
+
+TEST_P(UniversityTest, CompositeWeakKeyJoin) {
+  // Three-part weak key (course_id, sec_id, semester) through both the
+  // identifying relationship and the M:N takes relationship.
+  auto sections = erql::QueryEngine::Execute(
+      db_.get(),
+      "SELECT c.title, sec.semester FROM Course c JOIN Section sec ON "
+      "Course_Section WHERE sec.year = 2025");
+  ASSERT_TRUE(sections.ok()) << sections.status().ToString();
+  EXPECT_EQ(sections->rows.size(), 2u);
+  auto takers = erql::QueryEngine::Execute(
+      db_.get(),
+      "SELECT s.id, sec.semester, grade FROM Student s JOIN Section sec "
+      "ON takes");
+  ASSERT_TRUE(takers.ok()) << takers.status().ToString();
+  EXPECT_EQ(takers->rows.size(), 2u);
+  for (const Row& row : takers->rows) {
+    EXPECT_EQ(row[1], S("Fall"));
+    EXPECT_EQ(row[2], S("A"));
+  }
+}
+
+TEST_P(UniversityTest, StringKeyedPointLookup) {
+  auto result = erql::QueryEngine::Execute(
+      db_.get(),
+      "SELECT title, credits FROM Course WHERE course_id = 'CS-101'");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], S("DB"));
+}
+
+TEST_P(UniversityTest, GovernanceAcrossMappings) {
+  EntityStore store(db_.get());
+  auto pii = store.PiiAttributes("Instructor");
+  ASSERT_TRUE(pii.ok());
+  EXPECT_EQ(*pii, (std::vector<std::string>{"name", "phone"}));
+  ASSERT_TRUE(store.EraseSubject("Person", {I(2)}).ok());
+  EXPECT_FALSE(db_->EntityExists("Student", {I(2)}).value());
+  auto advisees = erql::QueryEngine::Execute(
+      db_.get(), "SELECT s.id FROM Instructor i JOIN Student s ON advisor");
+  ASSERT_TRUE(advisees.ok());
+  EXPECT_EQ(advisees->rows.size(), 1u);
+}
+
+TEST_P(UniversityTest, OneSideCardinalityEnforced) {
+  // A second advisor for student 3 must be rejected (advisor is 1:N).
+  ASSERT_TRUE(db_->InsertEntity(
+                     "Instructor",
+                     Value::Struct({{"id", I(9)},
+                                    {"name", S("Second")},
+                                    {"rank", S("Assistant")},
+                                    {"salary", Value::Float64(2.0)}}))
+                  .ok());
+  Status st = db_->InsertRelationship("advisor", {I(9)}, {I(3)},
+                                      Value::Struct({{"since", I(2026)}}));
+  EXPECT_EQ(st.code(), StatusCode::kConstraintViolation) << st.ToString();
+}
+
+}  // namespace
+}  // namespace erbium
