@@ -238,14 +238,14 @@ bench/CMakeFiles/bench_exec_micro.dir/bench_exec_micro.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/exec/operator.h \
  /root/repo/src/common/status.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/common/value.h \
  /root/repo/src/common/type.h /root/repo/src/exec/expr.h \
  /root/repo/src/storage/table.h /root/repo/src/storage/index.h \
- /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/storage/schema.h \
- /root/repo/src/exec/join.h
+ /root/repo/src/storage/schema.h /root/repo/src/exec/join.h

@@ -223,10 +223,24 @@ bench/CMakeFiles/bench_multivalued.dir/bench_multivalued.cc.o: \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/storage/schema.h \
- /root/repo/src/mapping/database.h /root/repo/src/factorized/factorized.h \
+ /root/repo/src/exec/parallel.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
  /root/repo/src/exec/aggregate.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/exec/join.h \
+ /root/repo/src/mapping/database.h /root/repo/src/factorized/factorized.h \
  /root/repo/src/mapping/physical_mapping.h /root/repo/src/er/er_graph.h \
  /root/repo/src/er/er_schema.h /root/repo/src/mapping/mapping_spec.h \
- /root/repo/src/storage/catalog.h /root/repo/src/workload/figure4.h \
- /root/repo/src/exec/join.h
+ /root/repo/src/storage/catalog.h /root/repo/src/workload/figure4.h

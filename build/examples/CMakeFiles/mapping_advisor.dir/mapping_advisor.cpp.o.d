@@ -220,8 +220,12 @@ examples/CMakeFiles/mapping_advisor.dir/mapping_advisor.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/mapping/database.h /root/repo/src/common/value.h \
- /root/repo/src/exec/operator.h /root/repo/src/exec/expr.h \
- /root/repo/src/storage/table.h /root/repo/src/storage/index.h \
+ /root/repo/src/exec/operator.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/exec/expr.h /root/repo/src/storage/table.h \
+ /usr/include/c++/12/atomic /root/repo/src/storage/index.h \
  /root/repo/src/storage/schema.h /root/repo/src/factorized/factorized.h \
  /root/repo/src/exec/aggregate.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \

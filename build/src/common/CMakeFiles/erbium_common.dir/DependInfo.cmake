@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/lexer.cc" "src/common/CMakeFiles/erbium_common.dir/lexer.cc.o" "gcc" "src/common/CMakeFiles/erbium_common.dir/lexer.cc.o.d"
   "/root/repo/src/common/status.cc" "src/common/CMakeFiles/erbium_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/erbium_common.dir/status.cc.o.d"
   "/root/repo/src/common/string_util.cc" "src/common/CMakeFiles/erbium_common.dir/string_util.cc.o" "gcc" "src/common/CMakeFiles/erbium_common.dir/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/erbium_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/erbium_common.dir/thread_pool.cc.o.d"
   "/root/repo/src/common/type.cc" "src/common/CMakeFiles/erbium_common.dir/type.cc.o" "gcc" "src/common/CMakeFiles/erbium_common.dir/type.cc.o.d"
   "/root/repo/src/common/value.cc" "src/common/CMakeFiles/erbium_common.dir/value.cc.o" "gcc" "src/common/CMakeFiles/erbium_common.dir/value.cc.o.d"
   )

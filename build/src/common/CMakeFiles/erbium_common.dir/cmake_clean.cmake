@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/erbium_common.dir/status.cc.o.d"
   "CMakeFiles/erbium_common.dir/string_util.cc.o"
   "CMakeFiles/erbium_common.dir/string_util.cc.o.d"
+  "CMakeFiles/erbium_common.dir/thread_pool.cc.o"
+  "CMakeFiles/erbium_common.dir/thread_pool.cc.o.d"
   "CMakeFiles/erbium_common.dir/type.cc.o"
   "CMakeFiles/erbium_common.dir/type.cc.o.d"
   "CMakeFiles/erbium_common.dir/value.cc.o"

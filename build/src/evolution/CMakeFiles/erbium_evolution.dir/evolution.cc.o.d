@@ -214,15 +214,16 @@ src/evolution/CMakeFiles/erbium_evolution.dir/evolution.cc.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/type.h \
  /root/repo/src/mapping/database.h /root/repo/src/common/value.h \
- /root/repo/src/exec/operator.h /root/repo/src/exec/expr.h \
- /root/repo/src/storage/table.h /root/repo/src/storage/index.h \
+ /root/repo/src/exec/operator.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/exec/expr.h /root/repo/src/storage/table.h \
+ /usr/include/c++/12/atomic /root/repo/src/storage/index.h \
  /root/repo/src/storage/schema.h /root/repo/src/factorized/factorized.h \
  /root/repo/src/exec/aggregate.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/mapping/physical_mapping.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/er/er_graph.h \
- /root/repo/src/mapping/mapping_spec.h /root/repo/src/storage/catalog.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h
+ /root/repo/src/mapping/mapping_spec.h /root/repo/src/storage/catalog.h

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/exec/expr.cc" "src/exec/CMakeFiles/erbium_exec.dir/expr.cc.o" "gcc" "src/exec/CMakeFiles/erbium_exec.dir/expr.cc.o.d"
   "/root/repo/src/exec/join.cc" "src/exec/CMakeFiles/erbium_exec.dir/join.cc.o" "gcc" "src/exec/CMakeFiles/erbium_exec.dir/join.cc.o.d"
   "/root/repo/src/exec/operator.cc" "src/exec/CMakeFiles/erbium_exec.dir/operator.cc.o" "gcc" "src/exec/CMakeFiles/erbium_exec.dir/operator.cc.o.d"
+  "/root/repo/src/exec/parallel.cc" "src/exec/CMakeFiles/erbium_exec.dir/parallel.cc.o" "gcc" "src/exec/CMakeFiles/erbium_exec.dir/parallel.cc.o.d"
   "/root/repo/src/exec/sort.cc" "src/exec/CMakeFiles/erbium_exec.dir/sort.cc.o" "gcc" "src/exec/CMakeFiles/erbium_exec.dir/sort.cc.o.d"
   )
 

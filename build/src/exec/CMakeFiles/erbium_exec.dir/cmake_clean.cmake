@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/erbium_exec.dir/join.cc.o.d"
   "CMakeFiles/erbium_exec.dir/operator.cc.o"
   "CMakeFiles/erbium_exec.dir/operator.cc.o.d"
+  "CMakeFiles/erbium_exec.dir/parallel.cc.o"
+  "CMakeFiles/erbium_exec.dir/parallel.cc.o.d"
   "CMakeFiles/erbium_exec.dir/sort.cc.o"
   "CMakeFiles/erbium_exec.dir/sort.cc.o.d"
   "liberbium_exec.a"

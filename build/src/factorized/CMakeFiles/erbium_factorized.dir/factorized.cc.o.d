@@ -209,14 +209,15 @@ src/factorized/CMakeFiles/erbium_factorized.dir/factorized.cc.o: \
  /root/repo/src/common/value.h /root/repo/src/common/type.h \
  /root/repo/src/exec/aggregate.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/exec/operator.h \
- /root/repo/src/exec/expr.h /root/repo/src/storage/table.h \
- /root/repo/src/storage/index.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/storage/schema.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/exec/expr.h /root/repo/src/storage/table.h \
+ /usr/include/c++/12/atomic /root/repo/src/storage/index.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/storage/schema.h

@@ -216,8 +216,12 @@ src/mapping/CMakeFiles/erbium_advisor.dir/advisor.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/mapping/database.h /root/repo/src/common/value.h \
- /root/repo/src/exec/operator.h /root/repo/src/exec/expr.h \
- /root/repo/src/storage/table.h /root/repo/src/storage/index.h \
+ /root/repo/src/exec/operator.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/exec/expr.h /root/repo/src/storage/table.h \
+ /usr/include/c++/12/atomic /root/repo/src/storage/index.h \
  /root/repo/src/storage/schema.h /root/repo/src/factorized/factorized.h \
  /root/repo/src/exec/aggregate.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
@@ -230,4 +234,17 @@ src/mapping/CMakeFiles/erbium_advisor.dir/advisor.cc.o: \
  /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/erql/query_engine.h \
- /root/repo/src/erql/translator.h /root/repo/src/erql/ast.h
+ /root/repo/src/erql/translator.h /root/repo/src/erql/ast.h \
+ /root/repo/src/exec/parallel.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/thread /root/repo/src/exec/join.h

@@ -207,9 +207,16 @@ src/mapping/CMakeFiles/erbium_mapping.dir/database_rel.cc.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/common/value.h \
  /root/repo/src/common/type.h /root/repo/src/exec/operator.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/exec/expr.h /root/repo/src/storage/table.h \
- /root/repo/src/storage/index.h /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/atomic /root/repo/src/storage/index.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/storage/schema.h \
  /root/repo/src/factorized/factorized.h /root/repo/src/exec/aggregate.h \

@@ -204,9 +204,11 @@ src/mapping/CMakeFiles/erbium_mapping.dir/database_scan.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
@@ -215,11 +217,10 @@ src/mapping/CMakeFiles/erbium_mapping.dir/database_scan.cc.o: \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/common/value.h \
  /root/repo/src/common/type.h /root/repo/src/exec/expr.h \
- /root/repo/src/storage/table.h /root/repo/src/storage/index.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/storage/schema.h \
+ /root/repo/src/storage/table.h /usr/include/c++/12/atomic \
+ /root/repo/src/storage/index.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/storage/schema.h \
  /root/repo/src/exec/join.h /root/repo/src/mapping/database.h \
  /root/repo/src/factorized/factorized.h \
  /root/repo/src/mapping/physical_mapping.h /root/repo/src/er/er_graph.h \

@@ -206,8 +206,8 @@ src/storage/CMakeFiles/erbium_storage.dir/catalog.cc.o: \
  /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/storage/table.h \
- /root/repo/src/common/value.h /root/repo/src/common/type.h \
- /root/repo/src/storage/index.h /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/atomic /root/repo/src/common/value.h \
+ /root/repo/src/common/type.h /root/repo/src/storage/index.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/storage/schema.h

@@ -208,8 +208,16 @@ src/workload/CMakeFiles/erbium_workload.dir/figure4.cc.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/type.h \
  /root/repo/src/mapping/database.h /root/repo/src/common/value.h \
- /root/repo/src/exec/operator.h /root/repo/src/exec/expr.h \
- /root/repo/src/storage/table.h /root/repo/src/storage/index.h \
+ /root/repo/src/exec/operator.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/exec/expr.h /root/repo/src/storage/table.h \
+ /usr/include/c++/12/atomic /root/repo/src/storage/index.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/storage/schema.h \
@@ -244,7 +252,6 @@ src/workload/CMakeFiles/erbium_workload.dir/figure4.cc.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /usr/include/c++/12/bits/random.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \

@@ -296,6 +296,9 @@ tests/CMakeFiles/api_test.dir/api_test.cc.o: /root/repo/tests/api_test.cc \
  /root/repo/src/api/entity_store.h /root/repo/src/common/status.h \
  /root/repo/src/common/value.h /root/repo/src/common/type.h \
  /root/repo/src/mapping/database.h /root/repo/src/exec/operator.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/exec/expr.h /root/repo/src/storage/table.h \
  /root/repo/src/storage/index.h /root/repo/src/storage/schema.h \
  /root/repo/src/factorized/factorized.h /root/repo/src/exec/aggregate.h \

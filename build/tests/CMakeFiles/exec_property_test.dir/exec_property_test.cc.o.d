@@ -322,6 +322,9 @@ tests/CMakeFiles/exec_property_test.dir/exec_property_test.cc.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/exec/aggregate.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/exec/operator.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/common/status.h /root/repo/src/common/value.h \
  /root/repo/src/common/type.h /root/repo/src/exec/expr.h \
  /root/repo/src/storage/table.h /root/repo/src/storage/index.h \

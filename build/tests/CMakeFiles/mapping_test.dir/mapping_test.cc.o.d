@@ -296,10 +296,14 @@ tests/CMakeFiles/mapping_test.dir/mapping_test.cc.o: \
  /root/repo/src/er/er_graph.h /root/repo/src/common/status.h \
  /root/repo/src/er/er_schema.h /root/repo/src/common/type.h \
  /root/repo/src/mapping/database.h /root/repo/src/common/value.h \
- /root/repo/src/exec/operator.h /root/repo/src/exec/expr.h \
- /root/repo/src/storage/table.h /root/repo/src/storage/index.h \
- /root/repo/src/storage/schema.h /root/repo/src/factorized/factorized.h \
- /root/repo/src/exec/aggregate.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/exec/operator.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/exec/expr.h /root/repo/src/storage/table.h \
+ /root/repo/src/storage/index.h /root/repo/src/storage/schema.h \
+ /root/repo/src/factorized/factorized.h /root/repo/src/exec/aggregate.h \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/mapping/physical_mapping.h \
  /root/repo/src/mapping/mapping_spec.h /root/repo/src/storage/catalog.h \

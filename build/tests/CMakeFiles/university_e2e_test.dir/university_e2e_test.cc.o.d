@@ -296,6 +296,9 @@ tests/CMakeFiles/university_e2e_test.dir/university_e2e_test.cc.o: \
  /root/repo/src/api/entity_store.h /root/repo/src/common/status.h \
  /root/repo/src/common/value.h /root/repo/src/common/type.h \
  /root/repo/src/mapping/database.h /root/repo/src/exec/operator.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/exec/expr.h /root/repo/src/storage/table.h \
  /root/repo/src/storage/index.h /root/repo/src/storage/schema.h \
  /root/repo/src/factorized/factorized.h /root/repo/src/exec/aggregate.h \
@@ -305,4 +308,17 @@ tests/CMakeFiles/university_e2e_test.dir/university_e2e_test.cc.o: \
  /root/repo/src/er/er_schema.h /root/repo/src/mapping/mapping_spec.h \
  /root/repo/src/storage/catalog.h /root/repo/src/er/ddl_parser.h \
  /root/repo/src/erql/query_engine.h /root/repo/src/erql/translator.h \
- /root/repo/src/erql/ast.h
+ /root/repo/src/erql/ast.h /root/repo/src/exec/parallel.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/thread /root/repo/src/exec/join.h

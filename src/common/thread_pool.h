@@ -1,0 +1,54 @@
+#ifndef ERBIUM_COMMON_THREAD_POOL_H_
+#define ERBIUM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace erbium {
+
+/// Fixed set of worker threads draining a FIFO task queue. Tasks must not
+/// wait on other tasks submitted to the same pool — the pool does not grow
+/// to break such cycles. The parallel executor obeys this by submitting
+/// only leaf work and waiting from non-pool threads.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. The future becomes ready after the task returns;
+  /// waiting on it is the only join primitive the executor needs.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Grows the pool to at least `num_threads` workers (never shrinks).
+  /// Lets tests exercise worker counts above the machine's core count.
+  void EnsureWorkers(int num_threads);
+
+  int num_workers() const;
+
+  /// Process-wide pool used by parallel query execution. Sized to the
+  /// hardware concurrency at first use and grown on demand; intentionally
+  /// never destroyed so plans draining at static-destruction time stay
+  /// valid.
+  static ThreadPool* Shared();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace erbium
+
+#endif  // ERBIUM_COMMON_THREAD_POOL_H_

@@ -90,14 +90,16 @@ std::string QueryResult::ToCanonicalString() const {
 }
 
 Result<CompiledQuery> QueryEngine::Compile(MappedDatabase* db,
-                                           const std::string& text) {
+                                           const std::string& text,
+                                           const ExecOptions& opts) {
   ERBIUM_ASSIGN_OR_RETURN(Query query, Parser::Parse(text));
-  return Translator::Translate(db, query);
+  return Translator::Translate(db, query, opts);
 }
 
 Result<QueryResult> QueryEngine::Execute(MappedDatabase* db,
-                                         const std::string& text) {
-  ERBIUM_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(db, text));
+                                         const std::string& text,
+                                         const ExecOptions& opts) {
+  ERBIUM_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(db, text, opts));
   ERBIUM_ASSIGN_OR_RETURN(std::vector<Row> rows,
                           CollectRows(compiled.plan.get()));
   QueryResult result;

@@ -26,16 +26,24 @@ struct QueryResult {
 };
 
 /// Facade over parse + translate + execute.
+///
+/// Both entry points take ExecOptions, defaulting to ExecOptions::Default()
+/// (num_threads from ERBIUM_THREADS or the hardware concurrency). Pass
+/// ExecOptions::Serial() — or set num_threads = 1 — for exactly the
+/// classic single-threaded plans; either way, plans below the parallel
+/// row threshold stay serial (see exec/parallel.h).
 class QueryEngine {
  public:
   /// Compiles a query without running it (plan inspection, benchmarks
   /// that amortize compilation).
-  static Result<CompiledQuery> Compile(MappedDatabase* db,
-                                       const std::string& text);
+  static Result<CompiledQuery> Compile(
+      MappedDatabase* db, const std::string& text,
+      const ExecOptions& opts = ExecOptions::Default());
 
   /// Parses, compiles, executes, and materializes.
-  static Result<QueryResult> Execute(MappedDatabase* db,
-                                     const std::string& text);
+  static Result<QueryResult> Execute(
+      MappedDatabase* db, const std::string& text,
+      const ExecOptions& opts = ExecOptions::Default());
 };
 
 }  // namespace erql

@@ -82,8 +82,9 @@ struct NeededAttrs {
 
 class TranslatorImpl {
  public:
-  TranslatorImpl(MappedDatabase* db, const Query& query)
-      : db_(db), query_(query) {}
+  TranslatorImpl(MappedDatabase* db, const Query& query,
+                 const ExecOptions& opts)
+      : db_(db), query_(query), opts_(opts) {}
 
   Result<CompiledQuery> Run();
 
@@ -119,6 +120,7 @@ class TranslatorImpl {
 
   MappedDatabase* db_;
   const Query& query_;
+  ExecOptions opts_;
   std::vector<AliasDecl> decls_;
 };
 
@@ -476,6 +478,7 @@ Result<CompiledQuery> TranslatorImpl::Run() {
         plan = std::make_unique<ProjectOp>(std::move(plan),
                                            std::move(out_cols),
                                            std::move(out_exprs));
+        plan = MaybeParallelGather(std::move(plan), opts_);
         if (query_.limit >= 0) {
           plan = std::make_unique<LimitOp>(
               std::move(plan), static_cast<size_t>(query_.limit));
@@ -968,9 +971,8 @@ Result<CompiledQuery> TranslatorImpl::Run() {
       }
       aggs.push_back(std::move(spec));
     }
-    plan = std::make_unique<HashAggregateOp>(std::move(plan),
-                                             std::move(group_exprs),
-                                             group_names, std::move(aggs));
+    plan = MakeAggregatePlan(std::move(plan), std::move(group_exprs),
+                             group_names, std::move(aggs), opts_);
     // Final projection maps select items onto the aggregate output.
     std::vector<ExprPtr> out_exprs;
     std::vector<Column> out_cols;
@@ -1040,6 +1042,9 @@ Result<CompiledQuery> TranslatorImpl::Run() {
       plan = std::make_unique<UnnestOp>(std::move(plan), position,
                                         output_names[position]);
     }
+    // Parallelize the scan→filter→project pipeline; Distinct/Sort/Limit
+    // above stay serial consumers of the gathered stream.
+    plan = MaybeParallelGather(std::move(plan), opts_);
   }
 
   if (query_.distinct) {
@@ -1082,8 +1087,9 @@ Result<CompiledQuery> TranslatorImpl::Run() {
 }  // namespace
 
 Result<CompiledQuery> Translator::Translate(MappedDatabase* db,
-                                            const Query& query) {
-  TranslatorImpl impl(db, query);
+                                            const Query& query,
+                                            const ExecOptions& opts) {
+  TranslatorImpl impl(db, query, opts);
   return impl.Run();
 }
 

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "erql/ast.h"
 #include "exec/operator.h"
+#include "exec/parallel.h"
 #include "mapping/database.h"
 
 namespace erbium {
@@ -38,10 +39,16 @@ struct CompiledQuery {
 ///     hierarchical outputs
 ///   - unnest(<array expr>) in the select list
 ///   - DISTINCT, ORDER BY over output columns, LIMIT
+/// With opts.num_threads > 1, plans whose base-table scan volume crosses
+/// opts.parallel_row_threshold get morsel-parallel operators (GatherOp /
+/// ParallelHashAggregateOp from exec/parallel.h) above the per-alias scan
+/// pipelines; smaller plans — and everything at num_threads == 1, the
+/// default — compile to exactly the classic serial operator tree.
 class Translator {
  public:
-  static Result<CompiledQuery> Translate(MappedDatabase* db,
-                                         const Query& query);
+  static Result<CompiledQuery> Translate(
+      MappedDatabase* db, const Query& query,
+      const ExecOptions& opts = ExecOptions::Serial());
 };
 
 }  // namespace erql

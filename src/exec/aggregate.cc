@@ -81,6 +81,54 @@ void AggAccumulator::Update(const AggregateSpec& spec, const Value& v) {
   }
 }
 
+void AggAccumulator::Merge(const AggregateSpec& spec, AggAccumulator&& other) {
+  if (spec.distinct && spec.kind != AggKind::kCountStar) {
+    // Replay the other side's distinct values; Update dedups against this
+    // side's seen-set, so values observed by both partials count once.
+    if (other.distinct_seen_ != nullptr) {
+      for (const Value& v : *other.distinct_seen_) Update(spec, v);
+    }
+    return;
+  }
+  switch (spec.kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      count_ += other.count_;
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      count_ += other.count_;
+      if (sum_is_int_ && other.sum_is_int_) {
+        int_sum_ += other.int_sum_;
+      } else {
+        if (sum_is_int_) {
+          sum_ = static_cast<double>(int_sum_);
+          sum_is_int_ = false;
+        }
+        sum_ += other.sum_is_int_ ? static_cast<double>(other.int_sum_)
+                                  : other.sum_;
+      }
+      break;
+    case AggKind::kMin:
+      if (!other.min_.is_null() &&
+          (min_.is_null() || other.min_.Compare(min_) < 0)) {
+        min_ = std::move(other.min_);
+      }
+      break;
+    case AggKind::kMax:
+      if (!other.max_.is_null() &&
+          (max_.is_null() || other.max_.Compare(max_) > 0)) {
+        max_ = std::move(other.max_);
+      }
+      break;
+    case AggKind::kArrayAgg:
+      collected_.insert(collected_.end(),
+                        std::make_move_iterator(other.collected_.begin()),
+                        std::make_move_iterator(other.collected_.end()));
+      break;
+  }
+}
+
 Value AggAccumulator::Finalize(const AggregateSpec& spec) {
   switch (spec.kind) {
     case AggKind::kCountStar:
@@ -105,29 +153,65 @@ Value AggAccumulator::Finalize(const AggregateSpec& spec) {
   return Value::Null();
 }
 
-struct HashAggregateOp::GroupState {
+void AggGroupTable::Accumulate(const std::vector<ExprPtr>& group_exprs,
+                               const std::vector<AggregateSpec>& aggregates,
+                               const Row& row) {
   std::vector<Value> key;
-  std::vector<AggAccumulator> aggs;
-};
-
-struct HashAggregateOp::Groups {
-  std::unordered_map<std::vector<Value>, size_t, ValueVectorHash,
-                     ValueVectorEq>
-      index;
-  std::vector<GroupState> states;
-};
-
-HashAggregateOp::HashAggregateOp(OperatorPtr child,
-                                 std::vector<ExprPtr> group_exprs,
-                                 std::vector<std::string> group_names,
-                                 std::vector<AggregateSpec> aggregates)
-    : child_(std::move(child)),
-      group_exprs_(std::move(group_exprs)),
-      aggregates_(std::move(aggregates)) {
-  for (size_t i = 0; i < group_exprs_.size(); ++i) {
-    output_.push_back(Column{group_names[i], Type::Null(), true});
+  key.reserve(group_exprs.size());
+  for (const ExprPtr& e : group_exprs) key.push_back(e->Eval(row));
+  auto [it, inserted] = index.emplace(key, states.size());
+  if (inserted) {
+    AggGroupState state;
+    state.key = std::move(key);
+    state.aggs.resize(aggregates.size());
+    states.push_back(std::move(state));
   }
-  for (const AggregateSpec& spec : aggregates_) {
+  AggGroupState& state = states[it->second];
+  for (size_t i = 0; i < aggregates.size(); ++i) {
+    const AggregateSpec& spec = aggregates[i];
+    Value v = spec.input ? spec.input->Eval(row) : Value::Null();
+    state.aggs[i].Update(spec, v);
+  }
+}
+
+void AggGroupTable::Merge(const std::vector<AggregateSpec>& aggregates,
+                          AggGroupTable&& other) {
+  for (AggGroupState& incoming : other.states) {
+    auto [it, inserted] = index.emplace(incoming.key, states.size());
+    if (inserted) {
+      states.push_back(std::move(incoming));
+      continue;
+    }
+    AggGroupState& state = states[it->second];
+    for (size_t i = 0; i < aggregates.size(); ++i) {
+      state.aggs[i].Merge(aggregates[i], std::move(incoming.aggs[i]));
+    }
+  }
+  other.index.clear();
+  other.states.clear();
+}
+
+void AggGroupTable::EmitGroup(size_t i,
+                              const std::vector<AggregateSpec>& aggregates,
+                              Row* out) {
+  AggGroupState& state = states[i];
+  out->clear();
+  out->reserve(state.key.size() + aggregates.size());
+  for (Value& v : state.key) out->push_back(std::move(v));
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    out->push_back(state.aggs[a].Finalize(aggregates[a]));
+  }
+}
+
+std::vector<Column> AggregateOutputColumns(
+    const std::vector<std::string>& group_names,
+    const std::vector<AggregateSpec>& aggregates) {
+  std::vector<Column> out;
+  out.reserve(group_names.size() + aggregates.size());
+  for (const std::string& name : group_names) {
+    out.push_back(Column{name, Type::Null(), true});
+  }
+  for (const AggregateSpec& spec : aggregates) {
     TypePtr type;
     switch (spec.kind) {
       case AggKind::kCountStar:
@@ -141,38 +225,34 @@ HashAggregateOp::HashAggregateOp(OperatorPtr child,
         type = Type::Null();
         break;
     }
-    output_.push_back(Column{spec.output_name, type, true});
+    out.push_back(Column{spec.output_name, type, true});
   }
+  return out;
+}
+
+HashAggregateOp::HashAggregateOp(OperatorPtr child,
+                                 std::vector<ExprPtr> group_exprs,
+                                 std::vector<std::string> group_names,
+                                 std::vector<AggregateSpec> aggregates)
+    : child_(std::move(child)),
+      group_exprs_(std::move(group_exprs)),
+      aggregates_(std::move(aggregates)) {
+  output_ = AggregateOutputColumns(group_names, aggregates_);
 }
 
 HashAggregateOp::~HashAggregateOp() = default;
 
 Status HashAggregateOp::Open() {
-  groups_ = std::make_unique<Groups>();
+  groups_ = std::make_unique<AggGroupTable>();
   next_group_ = 0;
   ERBIUM_RETURN_NOT_OK(child_->Open());
   Row row;
   while (child_->Next(&row)) {
-    std::vector<Value> key;
-    key.reserve(group_exprs_.size());
-    for (const ExprPtr& e : group_exprs_) key.push_back(e->Eval(row));
-    auto [it, inserted] = groups_->index.emplace(key, groups_->states.size());
-    if (inserted) {
-      GroupState state;
-      state.key = std::move(key);
-      state.aggs.resize(aggregates_.size());
-      groups_->states.push_back(std::move(state));
-    }
-    GroupState& state = groups_->states[it->second];
-    for (size_t i = 0; i < aggregates_.size(); ++i) {
-      const AggregateSpec& spec = aggregates_[i];
-      Value v = spec.input ? spec.input->Eval(row) : Value::Null();
-      state.aggs[i].Update(spec, v);
-    }
+    groups_->Accumulate(group_exprs_, aggregates_, row);
   }
   // Global aggregate over empty input still emits one row.
   if (group_exprs_.empty() && groups_->states.empty()) {
-    GroupState state;
+    AggGroupState state;
     state.aggs.resize(aggregates_.size());
     groups_->states.push_back(std::move(state));
   }
@@ -183,13 +263,7 @@ bool HashAggregateOp::Next(Row* out) {
   if (groups_ == nullptr || next_group_ >= groups_->states.size()) {
     return false;
   }
-  GroupState& state = groups_->states[next_group_++];
-  out->clear();
-  out->reserve(state.key.size() + aggregates_.size());
-  for (Value& v : state.key) out->push_back(std::move(v));
-  for (size_t i = 0; i < aggregates_.size(); ++i) {
-    out->push_back(state.aggs[i].Finalize(aggregates_[i]));
-  }
+  groups_->EmitGroup(next_group_++, aggregates_, out);
   return true;
 }
 

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -32,12 +33,17 @@ struct AggregateSpec {
   bool distinct = false;
 };
 
-/// Running state of one aggregate. Shared between HashAggregateOp and the
-/// factorized push-down aggregate.
+/// Running state of one aggregate. Shared between HashAggregateOp, the
+/// factorized push-down aggregate, and parallel partial aggregation.
 class AggAccumulator {
  public:
   /// Feeds one input value (pass any value for kCountStar).
   void Update(const AggregateSpec& spec, const Value& v);
+  /// Folds another accumulator of the same spec into this one; `other` is
+  /// consumed. Combining partial aggregates is exact for every kind except
+  /// float sums, whose rounding depends on merge order (as in any parallel
+  /// sum). kArrayAgg concatenates in merge order.
+  void Merge(const AggregateSpec& spec, AggAccumulator&& other);
   /// Produces the result; the accumulator is consumed (array_agg moves).
   Value Finalize(const AggregateSpec& spec);
 
@@ -51,6 +57,43 @@ class AggAccumulator {
   Value::ArrayData collected_;
   std::unique_ptr<std::unordered_set<Value, ValueHash>> distinct_seen_;
 };
+
+/// One group's key and accumulated aggregate states.
+struct AggGroupState {
+  std::vector<Value> key;
+  std::vector<AggAccumulator> aggs;
+};
+
+/// Hash table of groups in first-seen order, shared between the serial
+/// HashAggregateOp and parallel partial aggregation (each worker fills its
+/// own table; tables are then merged pairwise).
+struct AggGroupTable {
+  std::unordered_map<std::vector<Value>, size_t, ValueVectorHash,
+                     ValueVectorEq>
+      index;
+  std::vector<AggGroupState> states;
+
+  /// Accumulates one input row into its group (creating it if new).
+  void Accumulate(const std::vector<ExprPtr>& group_exprs,
+                  const std::vector<AggregateSpec>& aggregates,
+                  const Row& row);
+
+  /// Folds `other` into this table; `other` is consumed.
+  void Merge(const std::vector<AggregateSpec>& aggregates,
+             AggGroupTable&& other);
+
+  /// Emits group `i` as an output row (group keys then aggregate results);
+  /// the group's state is consumed.
+  void EmitGroup(size_t i, const std::vector<AggregateSpec>& aggregates,
+                 Row* out);
+};
+
+/// Output column layout shared by the serial and parallel aggregate
+/// operators: group keys (named by `group_names`) then one column per
+/// aggregate.
+std::vector<Column> AggregateOutputColumns(
+    const std::vector<std::string>& group_names,
+    const std::vector<AggregateSpec>& aggregates);
 
 /// Hash aggregation: groups by the given key expressions and computes the
 /// aggregate specs per group. Output columns: group keys (named by
@@ -73,13 +116,10 @@ class HashAggregateOp : public Operator {
   }
 
  private:
-  struct GroupState;
-  struct Groups;
-
   OperatorPtr child_;
   std::vector<ExprPtr> group_exprs_;
   std::vector<AggregateSpec> aggregates_;
-  std::unique_ptr<Groups> groups_;
+  std::unique_ptr<AggGroupTable> groups_;
   size_t next_group_ = 0;
 };
 

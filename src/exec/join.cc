@@ -1,5 +1,7 @@
 #include "exec/join.h"
 
+#include "exec/parallel.h"
+
 namespace erbium {
 
 namespace {
@@ -61,6 +63,11 @@ Status HashJoinOp::Open() {
   current_matches_ = nullptr;
   match_index_ = 0;
   ERBIUM_RETURN_NOT_OK(right_->Open());
+  // Pre-size the build table from the child's cardinality estimate to
+  // avoid rehashing during the build (the estimate is an upper bound; a
+  // key-duplicate-heavy build just ends up with spare buckets).
+  size_t build_hint = right_->EstimatedRowCount();
+  if (build_hint > 0) hash_table_.reserve(build_hint);
   Row row;
   while (right_->Next(&row)) {
     std::vector<Value> key = EvalKeys(right_keys_, row);
@@ -93,6 +100,19 @@ bool HashJoinOp::Next(Row* out) {
     current_matches_ = &it->second;
     match_index_ = 0;
   }
+}
+
+OperatorPtr HashJoinOp::CloneForWorker(ParallelContext* ctx) const {
+  // Inside a join-build pipeline a probe would make a pool task wait on
+  // another pool task; decline and let that join run serially.
+  if (!ctx->allow_join_probe()) return nullptr;
+  OperatorPtr probe = left_->CloneForWorker(ctx);
+  if (probe == nullptr) return nullptr;
+  std::shared_ptr<JoinBuildState> state =
+      ctx->JoinStateFor(this, right_.get(), right_keys_);
+  return std::make_unique<HashJoinProbeOp>(
+      std::move(probe), left_keys_, std::move(state), join_type_, output_,
+      right_arity_, "Parallel" + name());
 }
 
 std::string HashJoinOp::name() const {
@@ -210,6 +230,15 @@ bool IndexJoinOp::Next(Row* out) {
     }
     has_left_ = true;
   }
+}
+
+OperatorPtr IndexJoinOp::CloneForWorker(ParallelContext* ctx) const {
+  OperatorPtr left = left_->CloneForWorker(ctx);
+  if (left == nullptr) return nullptr;
+  // Probing the right table is read-only; workers share it directly.
+  ctx->RegisterTable(right_);
+  return std::make_unique<IndexJoinOp>(std::move(left), right_, left_keys_,
+                                       right_key_columns_, join_type_);
 }
 
 std::string IndexJoinOp::name() const {

@@ -27,6 +27,10 @@ class HashJoinOp : public Operator {
   std::vector<const Operator*> children() const override {
     return {left_.get(), right_.get()};
   }
+  OperatorPtr CloneForWorker(ParallelContext* ctx) const override;
+  size_t EstimatedRowCount() const override {
+    return left_->EstimatedRowCount();
+  }
 
  private:
   OperatorPtr left_;
@@ -89,6 +93,10 @@ class IndexJoinOp : public Operator {
   std::string name() const override;
   std::vector<const Operator*> children() const override {
     return {left_.get()};
+  }
+  OperatorPtr CloneForWorker(ParallelContext* ctx) const override;
+  size_t EstimatedRowCount() const override {
+    return left_->EstimatedRowCount();
   }
 
  private:

@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "exec/parallel.h"
+
 namespace erbium {
 
 namespace {
@@ -23,9 +25,19 @@ std::string PrintPlan(const Operator& root) {
   return out;
 }
 
+OperatorPtr Operator::CloneForWorker(ParallelContext* ctx) const {
+  (void)ctx;
+  return nullptr;
+}
+
 Result<std::vector<Row>> CollectRows(Operator* op) {
   ERBIUM_RETURN_NOT_OK(op->Open());
   std::vector<Row> rows;
+  // The estimate is an upper bound (filters may drop rows), so cap the
+  // reservation to keep a selective scan from over-allocating.
+  constexpr size_t kMaxReserve = 1 << 16;
+  size_t hint = op->EstimatedRowCount();
+  if (hint > 0) rows.reserve(std::min(hint, kMaxReserve));
   Row row;
   while (op->Next(&row)) rows.push_back(std::move(row));
   return rows;
@@ -51,6 +63,10 @@ bool SeqScan::Next(Row* out) {
     }
   }
   return false;
+}
+
+OperatorPtr SeqScan::CloneForWorker(ParallelContext* ctx) const {
+  return std::make_unique<ParallelScanOp>(table_, ctx->CursorFor(this, table_));
 }
 
 // ---- IndexLookup ------------------------------------------------------------
@@ -110,6 +126,12 @@ bool FilterOp::Next(Row* out) {
   return false;
 }
 
+OperatorPtr FilterOp::CloneForWorker(ParallelContext* ctx) const {
+  OperatorPtr child = child_->CloneForWorker(ctx);
+  if (child == nullptr) return nullptr;
+  return std::make_unique<FilterOp>(std::move(child), predicate_);
+}
+
 // ---- ProjectOp --------------------------------------------------------------
 
 ProjectOp::ProjectOp(OperatorPtr child, std::vector<Column> output,
@@ -127,6 +149,12 @@ bool ProjectOp::Next(Row* out) {
   out->reserve(exprs_.size());
   for (const ExprPtr& e : exprs_) out->push_back(e->Eval(input));
   return true;
+}
+
+OperatorPtr ProjectOp::CloneForWorker(ParallelContext* ctx) const {
+  OperatorPtr child = child_->CloneForWorker(ctx);
+  if (child == nullptr) return nullptr;
+  return std::make_unique<ProjectOp>(std::move(child), output_, exprs_);
 }
 
 std::string ProjectOp::name() const {
@@ -213,7 +241,7 @@ bool UnnestOp::Next(Row* out) {
       if (empty) {
         has_current_ = false;
         if (outer_) {
-          *out = current_;
+          *out = std::move(current_);
           (*out)[array_column_] = Value::Null();
           return true;
         }
@@ -223,14 +251,30 @@ bool UnnestOp::Next(Row* out) {
     const Value& arr = current_[array_column_];
     const Value::ArrayData& elements = arr.array();
     if (element_index_ < elements.size()) {
+      if (element_index_ + 1 == elements.size()) {
+        // Last element: the buffered row is dead after this, so move it
+        // out. Copy the element first — it lives inside the array value
+        // being overwritten.
+        Value element = elements[element_index_];
+        *out = std::move(current_);
+        (*out)[array_column_] = std::move(element);
+        has_current_ = false;
+        return true;
+      }
       *out = current_;
       (*out)[array_column_] = elements[element_index_];
       ++element_index_;
-      if (element_index_ >= elements.size()) has_current_ = false;
       return true;
     }
     has_current_ = false;
   }
+}
+
+OperatorPtr UnnestOp::CloneForWorker(ParallelContext* ctx) const {
+  OperatorPtr child = child_->CloneForWorker(ctx);
+  if (child == nullptr) return nullptr;
+  return std::make_unique<UnnestOp>(std::move(child), array_column_,
+                                    output_[array_column_].name, outer_);
 }
 
 std::string UnnestOp::name() const {
@@ -266,6 +310,27 @@ std::vector<const Operator*> UnionAllOp::children() const {
   out.reserve(children_.size());
   for (const OperatorPtr& child : children_) out.push_back(child.get());
   return out;
+}
+
+OperatorPtr UnionAllOp::CloneForWorker(ParallelContext* ctx) const {
+  // Each worker unions clones of every child; the children's shared scan
+  // cursors split the rows across workers, preserving bag semantics.
+  std::vector<OperatorPtr> clones;
+  clones.reserve(children_.size());
+  for (const OperatorPtr& child : children_) {
+    OperatorPtr clone = child->CloneForWorker(ctx);
+    if (clone == nullptr) return nullptr;
+    clones.push_back(std::move(clone));
+  }
+  return std::make_unique<UnionAllOp>(std::move(clones));
+}
+
+size_t UnionAllOp::EstimatedRowCount() const {
+  size_t total = 0;
+  for (const OperatorPtr& child : children_) {
+    total += child->EstimatedRowCount();
+  }
+  return total;
 }
 
 }  // namespace erbium

@@ -1,6 +1,7 @@
 #ifndef ERBIUM_EXEC_OPERATOR_H_
 #define ERBIUM_EXEC_OPERATOR_H_
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +12,11 @@
 #include "storage/table.h"
 
 namespace erbium {
+
+class Operator;
+class ParallelContext;  // exec/parallel.h
+
+using OperatorPtr = std::unique_ptr<Operator>;
 
 /// Volcano-style pull operator. Usage: Open(), then Next() until it
 /// returns false. Open() may be called again to re-execute. Runtime errors
@@ -33,12 +39,23 @@ class Operator {
   virtual std::string name() const = 0;
   virtual std::vector<const Operator*> children() const { return {}; }
 
+  /// Morsel-parallel execution support (exec/parallel.h). Returns a fresh
+  /// operator performing this node's work as one of several identical
+  /// worker pipelines: table scans become ParallelScanOp sharing a morsel
+  /// cursor registered in `ctx` (keyed by this node's address), hash joins
+  /// become probe operators over a shared build. Returns nullptr when the
+  /// node cannot run morsel-parallel (the default); `this` stays usable as
+  /// the serial plan either way. The original plan must outlive the clones.
+  virtual OperatorPtr CloneForWorker(ParallelContext* ctx) const;
+
+  /// Estimated number of rows this operator will produce, or 0 if unknown.
+  /// An upper bound is fine; used only for container reservations.
+  virtual size_t EstimatedRowCount() const { return 0; }
+
  protected:
   Operator() = default;
   std::vector<Column> output_;
 };
-
-using OperatorPtr = std::unique_ptr<Operator>;
 
 /// Renders an indented plan tree.
 std::string PrintPlan(const Operator& root);
@@ -56,6 +73,8 @@ class SeqScan : public Operator {
   Status Open() override;
   bool Next(Row* out) override;
   std::string name() const override { return "SeqScan(" + table_->name() + ")"; }
+  OperatorPtr CloneForWorker(ParallelContext* ctx) const override;
+  size_t EstimatedRowCount() const override { return table_->size(); }
 
  private:
   const Table* table_;
@@ -93,6 +112,7 @@ class ValuesOp : public Operator {
   std::string name() const override {
     return "Values(" + std::to_string(rows_.size()) + " rows)";
   }
+  size_t EstimatedRowCount() const override { return rows_.size(); }
 
  private:
   std::vector<Row> rows_;
@@ -113,6 +133,11 @@ class FilterOp : public Operator {
   std::vector<const Operator*> children() const override {
     return {child_.get()};
   }
+  OperatorPtr CloneForWorker(ParallelContext* ctx) const override;
+  // Upper bound: assumes the predicate keeps everything.
+  size_t EstimatedRowCount() const override {
+    return child_->EstimatedRowCount();
+  }
 
  private:
   OperatorPtr child_;
@@ -129,6 +154,10 @@ class ProjectOp : public Operator {
   std::string name() const override;
   std::vector<const Operator*> children() const override {
     return {child_.get()};
+  }
+  OperatorPtr CloneForWorker(ParallelContext* ctx) const override;
+  size_t EstimatedRowCount() const override {
+    return child_->EstimatedRowCount();
   }
 
  private:
@@ -148,6 +177,10 @@ class LimitOp : public Operator {
   std::vector<const Operator*> children() const override {
     return {child_.get()};
   }
+  size_t EstimatedRowCount() const override {
+    size_t child = child_->EstimatedRowCount();
+    return child == 0 ? limit_ : std::min(child, limit_);
+  }
 
  private:
   OperatorPtr child_;
@@ -166,6 +199,9 @@ class DistinctOp : public Operator {
   std::string name() const override { return "Distinct"; }
   std::vector<const Operator*> children() const override {
     return {child_.get()};
+  }
+  size_t EstimatedRowCount() const override {
+    return child_->EstimatedRowCount();
   }
 
  private:
@@ -189,6 +225,7 @@ class UnnestOp : public Operator {
   std::vector<const Operator*> children() const override {
     return {child_.get()};
   }
+  OperatorPtr CloneForWorker(ParallelContext* ctx) const override;
 
  private:
   OperatorPtr child_;
@@ -212,6 +249,8 @@ class UnionAllOp : public Operator {
   bool Next(Row* out) override;
   std::string name() const override { return "UnionAll"; }
   std::vector<const Operator*> children() const override;
+  OperatorPtr CloneForWorker(ParallelContext* ctx) const override;
+  size_t EstimatedRowCount() const override;
 
  private:
   std::vector<OperatorPtr> children_;

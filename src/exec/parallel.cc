@@ -1,0 +1,628 @@
+#include "exec/parallel.h"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <thread>
+
+namespace erbium {
+
+namespace {
+
+// Rows per batch pushed through a GatherOp exchange, and the per-worker
+// bound on queued batches (backpressure when the consumer is slower than
+// the producers).
+constexpr size_t kGatherBatchRows = 1024;
+constexpr size_t kMaxQueuedBatchesPerWorker = 4;
+
+// Partition count for parallel hash-join builds; a small prime so the
+// partition index (hash % count) is independent of the power-of-two
+// bucket choice inside each partition's unordered_map.
+constexpr size_t kJoinBuildPartitions = 61;
+
+void AppendRow(const Row& src, Row* dst) {
+  dst->insert(dst->end(), src.begin(), src.end());
+}
+
+void AppendNulls(size_t n, Row* dst) {
+  for (size_t i = 0; i < n; ++i) dst->push_back(Value::Null());
+}
+
+bool KeyHasNull(const std::vector<Value>& key) {
+  for (const Value& v : key) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+std::vector<Value> EvalKeys(const std::vector<ExprPtr>& exprs,
+                            const Row& row) {
+  std::vector<Value> key;
+  key.reserve(exprs.size());
+  for (const ExprPtr& e : exprs) key.push_back(e->Eval(row));
+  return key;
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  return std::atoi(s);
+}
+
+}  // namespace
+
+ExecOptions ExecOptions::Default() {
+  ExecOptions opts;
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  int threads = EnvInt("ERBIUM_THREADS", hw > 0 ? hw : 1);
+  opts.num_threads = std::min(std::max(threads, 1), 64);
+  int threshold = EnvInt("ERBIUM_PARALLEL_THRESHOLD",
+                         static_cast<int>(opts.parallel_row_threshold));
+  opts.parallel_row_threshold =
+      threshold < 0 ? 0 : static_cast<size_t>(threshold);
+  return opts;
+}
+
+// ---- ParallelContext --------------------------------------------------------
+
+ParallelContext::ParallelContext(ThreadPool* pool, const ExecOptions& opts,
+                                 ParallelContext* parent)
+    : pool_(pool), opts_(opts), parent_(parent) {
+  // Grow the shared pool up-front so tests can run more workers than the
+  // machine has cores.
+  pool_->EnsureWorkers(opts_.num_threads);
+}
+
+ParallelContext::~ParallelContext() {
+  if (leases_held_) ReleaseReadLeases();
+}
+
+std::shared_ptr<MorselCursor> ParallelContext::CursorFor(const void* site,
+                                                         const Table* table) {
+  for (const auto& [s, cursor] : cursors_) {
+    if (s == site) return cursor;
+  }
+  auto cursor = std::make_shared<MorselCursor>(table, opts_.morsel_size);
+  cursors_.emplace_back(site, cursor);
+  RegisterTable(table);
+  return cursor;
+}
+
+std::shared_ptr<JoinBuildState> ParallelContext::JoinStateFor(
+    const void* site, Operator* build_plan,
+    const std::vector<ExprPtr>& build_keys) {
+  for (const auto& [s, state] : join_states_) {
+    if (s == site) return state;
+  }
+  auto state = std::make_shared<JoinBuildState>(this, build_plan, build_keys);
+  join_states_.emplace_back(site, state);
+  return state;
+}
+
+void ParallelContext::RegisterTable(const Table* table) {
+  if (parent_ != nullptr) {
+    parent_->RegisterTable(table);
+    return;
+  }
+  for (const Table* t : tables_) {
+    if (t == table) return;
+  }
+  tables_.push_back(table);
+}
+
+void ParallelContext::ResetForExecution() {
+  for (auto& [site, cursor] : cursors_) cursor->Reset();
+  for (auto& [site, state] : join_states_) state->Invalidate();
+}
+
+size_t ParallelContext::TotalScanSlots() const {
+  size_t total = 0;
+  for (const auto& [site, cursor] : cursors_) {
+    total += cursor->table->slot_count();
+  }
+  for (const auto& [site, state] : join_states_) {
+    total += state->ScanSlots();
+  }
+  return total;
+}
+
+void ParallelContext::AcquireReadLeases() {
+  if (parent_ != nullptr) return;  // root holds the leases
+  if (leases_held_) return;
+  for (const Table* t : tables_) t->BeginConcurrentRead();
+  leases_held_ = true;
+}
+
+void ParallelContext::ReleaseReadLeases() {
+  if (parent_ != nullptr) return;
+  if (!leases_held_) return;
+  for (const Table* t : tables_) t->EndConcurrentRead();
+  leases_held_ = false;
+}
+
+// ---- ParallelScanOp ---------------------------------------------------------
+
+ParallelScanOp::ParallelScanOp(const Table* table,
+                               std::shared_ptr<MorselCursor> cursor)
+    : table_(table), cursor_(std::move(cursor)) {
+  output_ = table_->schema().columns();
+}
+
+Status ParallelScanOp::Open() {
+  // The shared cursor is reset once per execution by the context (the
+  // enclosing Gather/aggregate), not per worker.
+  pos_ = 0;
+  limit_ = 0;
+  return Status::OK();
+}
+
+bool ParallelScanOp::Next(Row* out) {
+  while (true) {
+    while (pos_ < limit_) {
+      RowId id = pos_++;
+      if (table_->IsLive(id)) {
+        *out = table_->row(id);
+        return true;
+      }
+    }
+    if (!cursor_->Claim(&pos_, &limit_)) return false;
+  }
+}
+
+// ---- JoinBuildState ---------------------------------------------------------
+
+JoinBuildState::JoinBuildState(ParallelContext* parent, Operator* build_plan,
+                               std::vector<ExprPtr> build_keys)
+    : build_plan_(build_plan),
+      build_keys_(std::move(build_keys)),
+      num_partitions_(kJoinBuildPartitions) {
+  // Try to parallelize the build itself. Build pipelines run on pool
+  // threads, so they must not contain nested probe operators (a pool task
+  // waiting on another pool task can deadlock); the sub-context's parent
+  // link disables join-probe cloning.
+  sub_ctx_ = std::make_unique<ParallelContext>(parent->pool(),
+                                              parent->options(), parent);
+  for (int i = 0; i < parent->options().num_threads; ++i) {
+    OperatorPtr worker = build_plan_->CloneForWorker(sub_ctx_.get());
+    if (worker == nullptr) {
+      build_workers_.clear();
+      break;
+    }
+    build_workers_.push_back(std::move(worker));
+  }
+}
+
+JoinBuildState::~JoinBuildState() = default;
+
+size_t JoinBuildState::ScanSlots() const { return sub_ctx_->TotalScanSlots(); }
+
+void JoinBuildState::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  built_ = false;
+  partitions_.clear();
+}
+
+void JoinBuildState::InsertBuildRow(Row row) {
+  std::vector<Value> key = EvalKeys(build_keys_, row);
+  if (KeyHasNull(key)) return;  // null never joins
+  size_t h = ValueVectorHash()(key);
+  partitions_[h % num_partitions_][std::move(key)].push_back(std::move(row));
+}
+
+Status JoinBuildState::EnsureBuilt() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (built_) return Status::OK();
+  partitions_.assign(num_partitions_, Partition());
+  if (build_workers_.empty()) {
+    // Serial build through the original child.
+    ERBIUM_RETURN_NOT_OK(build_plan_->Open());
+    Row row;
+    while (build_plan_->Next(&row)) InsertBuildRow(std::move(row));
+    built_ = true;
+    return Status::OK();
+  }
+
+  sub_ctx_->ResetForExecution();
+  for (const OperatorPtr& w : build_workers_) {
+    ERBIUM_RETURN_NOT_OK(w->Open());
+  }
+  // Phase 1: each build worker partitions its share of the rows by key
+  // hash into thread-local buckets.
+  using KeyedRow = std::pair<std::vector<Value>, Row>;
+  std::vector<std::vector<std::vector<KeyedRow>>> scratch(
+      build_workers_.size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(build_workers_.size());
+  for (size_t b = 0; b < build_workers_.size(); ++b) {
+    futures.push_back(sub_ctx_->pool()->Submit([this, b, &scratch] {
+      std::vector<std::vector<KeyedRow>> local(num_partitions_);
+      Row row;
+      while (build_workers_[b]->Next(&row)) {
+        std::vector<Value> key = EvalKeys(build_keys_, row);
+        if (KeyHasNull(key)) continue;
+        size_t h = ValueVectorHash()(key);
+        local[h % num_partitions_].emplace_back(std::move(key),
+                                                std::move(row));
+      }
+      scratch[b] = std::move(local);
+    }));
+  }
+  for (std::future<void>& f : futures) f.wait();
+  futures.clear();
+
+  // Phase 2: merge partition-wise — each partition's hash table touches
+  // only that partition's buckets, so partitions build independently.
+  for (size_t p = 0; p < num_partitions_; ++p) {
+    futures.push_back(sub_ctx_->pool()->Submit([this, p, &scratch] {
+      size_t total = 0;
+      for (const auto& local : scratch) total += local[p].size();
+      if (total == 0) return;
+      partitions_[p].reserve(total);
+      for (auto& local : scratch) {
+        for (KeyedRow& kr : local[p]) {
+          partitions_[p][std::move(kr.first)].push_back(std::move(kr.second));
+        }
+      }
+    }));
+  }
+  for (std::future<void>& f : futures) f.wait();
+  built_ = true;
+  return Status::OK();
+}
+
+const std::vector<Row>* JoinBuildState::Probe(
+    const std::vector<Value>& key) const {
+  size_t h = ValueVectorHash()(key);
+  const Partition& part = partitions_[h % num_partitions_];
+  auto it = part.find(key);
+  return it == part.end() ? nullptr : &it->second;
+}
+
+// ---- HashJoinProbeOp --------------------------------------------------------
+
+HashJoinProbeOp::HashJoinProbeOp(OperatorPtr probe_child,
+                                 std::vector<ExprPtr> probe_keys,
+                                 std::shared_ptr<JoinBuildState> state,
+                                 JoinType join_type,
+                                 std::vector<Column> output,
+                                 size_t build_arity, std::string display_name)
+    : probe_child_(std::move(probe_child)),
+      probe_keys_(std::move(probe_keys)),
+      state_(std::move(state)),
+      join_type_(join_type),
+      build_arity_(build_arity),
+      display_name_(std::move(display_name)) {
+  output_ = std::move(output);
+}
+
+Status HashJoinProbeOp::Open() {
+  current_matches_ = nullptr;
+  match_index_ = 0;
+  ERBIUM_RETURN_NOT_OK(state_->EnsureBuilt());
+  return probe_child_->Open();
+}
+
+bool HashJoinProbeOp::Next(Row* out) {
+  while (true) {
+    if (current_matches_ != nullptr &&
+        match_index_ < current_matches_->size()) {
+      *out = current_left_;
+      AppendRow((*current_matches_)[match_index_++], out);
+      return true;
+    }
+    current_matches_ = nullptr;
+    if (!probe_child_->Next(&current_left_)) return false;
+    std::vector<Value> key = EvalKeys(probe_keys_, current_left_);
+    const std::vector<Row>* matches =
+        KeyHasNull(key) ? nullptr : state_->Probe(key);
+    if (matches == nullptr) {
+      if (join_type_ == JoinType::kLeftOuter) {
+        *out = current_left_;
+        AppendNulls(build_arity_, out);
+        return true;
+      }
+      continue;
+    }
+    current_matches_ = matches;
+    match_index_ = 0;
+  }
+}
+
+// ---- GatherOp ---------------------------------------------------------------
+
+/// Merges per-worker bounded batch queues under one mutex: producers wait
+/// for space in their own queue, the single consumer waits for any batch.
+class GatherOp::Exchange {
+ public:
+  explicit Exchange(size_t num_producers) : slots_(num_producers) {}
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  // Returns false when cancelled (the batch is dropped).
+  bool Push(size_t producer, std::vector<Row> batch) {
+    std::unique_lock<std::mutex> lock(mu_);
+    producer_cv_.wait(lock, [&] {
+      return cancelled() ||
+             slots_[producer].batches.size() < kMaxQueuedBatchesPerWorker;
+    });
+    if (cancelled()) return false;
+    slots_[producer].batches.push_back(std::move(batch));
+    consumer_cv_.notify_one();
+    return true;
+  }
+
+  // Returns true if this producer was the last one to finish.
+  bool MarkDone(size_t producer) {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_[producer].done = true;
+    ++done_count_;
+    consumer_cv_.notify_one();
+    return done_count_ == slots_.size();
+  }
+
+  // Blocks for the next batch; false when every producer is done and all
+  // queues are drained (or the exchange was cancelled).
+  bool PopBatch(std::vector<Row>* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      if (cancelled()) return false;
+      for (size_t i = 0; i < slots_.size(); ++i) {
+        Slot& slot = slots_[(rr_ + i) % slots_.size()];
+        if (!slot.batches.empty()) {
+          *out = std::move(slot.batches.front());
+          slot.batches.pop_front();
+          rr_ = (rr_ + i + 1) % slots_.size();
+          producer_cv_.notify_all();
+          return true;
+        }
+      }
+      if (done_count_ == slots_.size()) return false;
+      consumer_cv_.wait(lock);
+    }
+  }
+
+  void Cancel() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cancelled_.store(true, std::memory_order_relaxed);
+    }
+    producer_cv_.notify_all();
+    consumer_cv_.notify_all();
+  }
+
+ private:
+  struct Slot {
+    std::deque<std::vector<Row>> batches;
+    bool done = false;
+  };
+
+  std::mutex mu_;
+  std::condition_variable producer_cv_;
+  std::condition_variable consumer_cv_;
+  std::vector<Slot> slots_;
+  size_t done_count_ = 0;
+  size_t rr_ = 0;
+  std::atomic<bool> cancelled_{false};
+};
+
+GatherOp::GatherOp(OperatorPtr serial_plan, std::vector<OperatorPtr> workers,
+                   std::shared_ptr<ParallelContext> ctx)
+    : serial_plan_(std::move(serial_plan)),
+      workers_(std::move(workers)),
+      ctx_(std::move(ctx)) {
+  output_ = serial_plan_->output_columns();
+}
+
+GatherOp::~GatherOp() { Shutdown(); }
+
+void GatherOp::Shutdown() {
+  if (exchange_ != nullptr) exchange_->Cancel();
+  for (std::future<void>& f : futures_) {
+    if (f.valid()) f.wait();
+  }
+  futures_.clear();
+  exchange_.reset();
+  // Leases were released by the last worker's MarkDone; this only covers
+  // the Open-failure path where no workers launched.
+  ctx_->ReleaseReadLeases();
+}
+
+Status GatherOp::Open() {
+  Shutdown();
+  ctx_->ResetForExecution();
+  ctx_->AcquireReadLeases();
+  // Worker Opens run serially on the caller thread; the first probe of
+  // each parallelized hash join builds the shared table here.
+  for (const OperatorPtr& w : workers_) {
+    Status s = w->Open();
+    if (!s.ok()) {
+      ctx_->ReleaseReadLeases();
+      return s;
+    }
+  }
+  ctx_->pool()->EnsureWorkers(static_cast<int>(workers_.size()));
+  exchange_ = std::make_unique<Exchange>(workers_.size());
+  futures_.reserve(workers_.size());
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    futures_.push_back(ctx_->pool()->Submit([this, i] { WorkerMain(i); }));
+  }
+  current_batch_.clear();
+  batch_pos_ = 0;
+  return Status::OK();
+}
+
+void GatherOp::WorkerMain(size_t worker) {
+  Exchange* ex = exchange_.get();
+  std::vector<Row> batch;
+  batch.reserve(kGatherBatchRows);
+  Row row;
+  while (!ex->cancelled() && workers_[worker]->Next(&row)) {
+    batch.push_back(std::move(row));
+    if (batch.size() >= kGatherBatchRows) {
+      if (!ex->Push(worker, std::move(batch))) break;
+      batch = std::vector<Row>();
+      batch.reserve(kGatherBatchRows);
+    }
+  }
+  if (!batch.empty()) ex->Push(worker, std::move(batch));
+  // The last producer out closes the read-shared window on the tables.
+  if (ex->MarkDone(worker)) ctx_->ReleaseReadLeases();
+}
+
+bool GatherOp::Next(Row* out) {
+  while (true) {
+    if (batch_pos_ < current_batch_.size()) {
+      *out = std::move(current_batch_[batch_pos_++]);
+      return true;
+    }
+    current_batch_.clear();
+    batch_pos_ = 0;
+    if (exchange_ == nullptr || !exchange_->PopBatch(&current_batch_)) {
+      return false;
+    }
+  }
+}
+
+std::string GatherOp::name() const {
+  return "Gather(threads=" + std::to_string(workers_.size()) +
+         ", morsel=" + std::to_string(ctx_->options().morsel_size) + ")";
+}
+
+// ---- ParallelHashAggregateOp ------------------------------------------------
+
+ParallelHashAggregateOp::ParallelHashAggregateOp(
+    OperatorPtr serial_child, std::vector<OperatorPtr> worker_children,
+    std::vector<ExprPtr> group_exprs, std::vector<std::string> group_names,
+    std::vector<AggregateSpec> aggregates, std::shared_ptr<ParallelContext> ctx)
+    : serial_child_(std::move(serial_child)),
+      worker_children_(std::move(worker_children)),
+      group_exprs_(std::move(group_exprs)),
+      aggregates_(std::move(aggregates)),
+      ctx_(std::move(ctx)) {
+  output_ = AggregateOutputColumns(group_names, aggregates_);
+}
+
+ParallelHashAggregateOp::~ParallelHashAggregateOp() = default;
+
+Status ParallelHashAggregateOp::Open() {
+  merged_ = std::make_unique<AggGroupTable>();
+  next_group_ = 0;
+  ctx_->ResetForExecution();
+  ctx_->AcquireReadLeases();
+  Status status = Status::OK();
+  for (const OperatorPtr& w : worker_children_) {
+    status = w->Open();
+    if (!status.ok()) break;
+  }
+  if (status.ok()) {
+    ctx_->pool()->EnsureWorkers(static_cast<int>(worker_children_.size()));
+    std::vector<AggGroupTable> partials(worker_children_.size());
+    std::vector<std::future<void>> futures;
+    futures.reserve(worker_children_.size());
+    for (size_t i = 0; i < worker_children_.size(); ++i) {
+      futures.push_back(ctx_->pool()->Submit([this, i, &partials] {
+        Row row;
+        while (worker_children_[i]->Next(&row)) {
+          partials[i].Accumulate(group_exprs_, aggregates_, row);
+        }
+      }));
+    }
+    for (std::future<void>& f : futures) f.wait();
+    for (AggGroupTable& partial : partials) {
+      merged_->Merge(aggregates_, std::move(partial));
+    }
+  }
+  ctx_->ReleaseReadLeases();
+  ERBIUM_RETURN_NOT_OK(status);
+  // Global aggregate over empty input still emits one row.
+  if (group_exprs_.empty() && merged_->states.empty()) {
+    AggGroupState state;
+    state.aggs.resize(aggregates_.size());
+    merged_->states.push_back(std::move(state));
+  }
+  return Status::OK();
+}
+
+bool ParallelHashAggregateOp::Next(Row* out) {
+  if (merged_ == nullptr || next_group_ >= merged_->states.size()) {
+    return false;
+  }
+  merged_->EmitGroup(next_group_++, aggregates_, out);
+  return true;
+}
+
+std::string ParallelHashAggregateOp::name() const {
+  std::string out = "ParallelHashAggregate(threads=" +
+                    std::to_string(worker_children_.size()) + "; groups=";
+  for (size_t i = 0; i < group_exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += group_exprs_[i]->ToString();
+  }
+  out += "; aggs=";
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += AggKindName(aggregates_[i].kind);
+  }
+  out += ")";
+  return out;
+}
+
+// ---- Planner hooks ----------------------------------------------------------
+
+namespace {
+
+// Clones `plan` into num_threads worker pipelines sharing `ctx`. Returns
+// an empty vector when the plan is not clonable or too small to benefit.
+std::vector<OperatorPtr> CloneWorkers(const Operator& plan,
+                                      ParallelContext* ctx,
+                                      const ExecOptions& opts) {
+  std::vector<OperatorPtr> workers;
+  workers.reserve(static_cast<size_t>(opts.num_threads));
+  for (int i = 0; i < opts.num_threads; ++i) {
+    OperatorPtr worker = plan.CloneForWorker(ctx);
+    if (worker == nullptr) return {};
+    workers.push_back(std::move(worker));
+  }
+  if (ctx->TotalScanSlots() < opts.parallel_row_threshold) return {};
+  return workers;
+}
+
+}  // namespace
+
+OperatorPtr MaybeParallelGather(OperatorPtr plan, const ExecOptions& opts) {
+  if (opts.num_threads <= 1 || plan == nullptr) return plan;
+  auto ctx = std::make_shared<ParallelContext>(ThreadPool::Shared(), opts);
+  std::vector<OperatorPtr> workers = CloneWorkers(*plan, ctx.get(), opts);
+  if (workers.empty()) return plan;
+  return std::make_unique<GatherOp>(std::move(plan), std::move(workers),
+                                    std::move(ctx));
+}
+
+OperatorPtr MakeAggregatePlan(OperatorPtr child,
+                              std::vector<ExprPtr> group_exprs,
+                              std::vector<std::string> group_names,
+                              std::vector<AggregateSpec> aggregates,
+                              const ExecOptions& opts) {
+  bool eligible = opts.num_threads > 1;
+  for (const AggregateSpec& spec : aggregates) {
+    // array_agg element order would depend on worker scheduling.
+    if (spec.kind == AggKind::kArrayAgg) eligible = false;
+  }
+  if (eligible) {
+    auto ctx = std::make_shared<ParallelContext>(ThreadPool::Shared(), opts);
+    std::vector<OperatorPtr> workers = CloneWorkers(*child, ctx.get(), opts);
+    if (!workers.empty()) {
+      return std::make_unique<ParallelHashAggregateOp>(
+          std::move(child), std::move(workers), std::move(group_exprs),
+          std::move(group_names), std::move(aggregates), std::move(ctx));
+    }
+  }
+  return std::make_unique<HashAggregateOp>(std::move(child),
+                                           std::move(group_exprs),
+                                           std::move(group_names),
+                                           std::move(aggregates));
+}
+
+}  // namespace erbium

@@ -1,0 +1,304 @@
+#ifndef ERBIUM_EXEC_PARALLEL_H_
+#define ERBIUM_EXEC_PARALLEL_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "exec/aggregate.h"
+#include "exec/join.h"
+#include "exec/operator.h"
+
+namespace erbium {
+
+// Morsel-driven parallel execution (Leis et al., SIGMOD'14) over the
+// Volcano operators. A serial plan is cloned into N identical worker
+// pipelines whose leaf scans share an atomic morsel cursor; a GatherOp (or
+// ParallelHashAggregateOp) runs the workers on the shared ThreadPool and
+// merges their output. Tables are read-shared for the duration: no writer
+// may run concurrently (debug-asserted via Table read leases).
+
+/// Knobs for one query execution. Defaults are serial (num_threads = 1),
+/// which produces plans identical to the classic single-threaded engine.
+struct ExecOptions {
+  int num_threads = 1;
+  /// Rows per morsel claimed by a worker from a scan cursor.
+  size_t morsel_size = 2048;
+  /// Minimum total base-table slots feeding a plan before the translator
+  /// inserts parallel operators; smaller plans keep their serial shape.
+  size_t parallel_row_threshold = 8192;
+
+  static ExecOptions Serial() { return ExecOptions(); }
+  /// num_threads from ERBIUM_THREADS (default: hardware concurrency) and
+  /// parallel_row_threshold from ERBIUM_PARALLEL_THRESHOLD.
+  static ExecOptions Default();
+};
+
+/// A table's scan range [0, slot_count) handed out in fixed-size chunks.
+/// Claim() is wait-free; Reset() must not race with claims (the executor
+/// resets all cursors before launching workers).
+struct MorselCursor {
+  MorselCursor(const Table* table, size_t morsel_size)
+      : table(table), end(table->slot_count()), morsel_size(morsel_size) {}
+
+  bool Claim(size_t* lo, size_t* hi) {
+    size_t begin = next.fetch_add(morsel_size, std::memory_order_relaxed);
+    if (begin >= end) return false;
+    *lo = begin;
+    *hi = std::min(begin + morsel_size, end);
+    return true;
+  }
+
+  void Reset() {
+    end = table->slot_count();
+    next.store(0, std::memory_order_relaxed);
+  }
+
+  const Table* table;
+  std::atomic<size_t> next{0};
+  size_t end;
+  size_t morsel_size;
+};
+
+class JoinBuildState;
+
+/// Shared state of one parallelized plan: the morsel cursors and join
+/// build states keyed by the address of the serial node they were cloned
+/// from, plus the set of tables the workers will read (for leases). Built
+/// at plan time by CloneForWorker, reset before each execution.
+class ParallelContext {
+ public:
+  ParallelContext(ThreadPool* pool, const ExecOptions& opts,
+                  ParallelContext* parent = nullptr);
+  ~ParallelContext();
+
+  /// Returns the shared cursor for a scan site, creating it on first use
+  /// (the N worker clones of one SeqScan all land on the same site).
+  std::shared_ptr<MorselCursor> CursorFor(const void* site,
+                                          const Table* table);
+
+  /// Returns the shared build state for a hash-join site, creating it on
+  /// first use. `build_plan` is the serial build child (owned by the
+  /// original plan); `build_keys` are its key expressions.
+  std::shared_ptr<JoinBuildState> JoinStateFor(
+      const void* site, Operator* build_plan,
+      const std::vector<ExprPtr>& build_keys);
+
+  /// Records a table the worker pipelines will read (index-join targets).
+  void RegisterTable(const Table* table);
+
+  /// False inside a join-build sub-context: build pipelines run on pool
+  /// threads and must not wait on a nested build (pool tasks never wait
+  /// on pool tasks), so HashJoinOp declines to clone there.
+  bool allow_join_probe() const { return parent_ == nullptr; }
+
+  /// Re-arms cursors (re-reading slot counts) and invalidates join builds.
+  /// Called by the top operator's Open(); must not race with workers.
+  void ResetForExecution();
+
+  /// Sum of slot counts over all registered scan sites, including build
+  /// sides — the translator's parallelism-threshold input.
+  size_t TotalScanSlots() const;
+
+  /// Begin/end the read-shared window on every registered table.
+  void AcquireReadLeases();
+  void ReleaseReadLeases();
+
+  ThreadPool* pool() const { return pool_; }
+  const ExecOptions& options() const { return opts_; }
+
+ private:
+  ThreadPool* pool_;
+  ExecOptions opts_;
+  ParallelContext* parent_;  // root owns the table set
+  std::vector<std::pair<const void*, std::shared_ptr<MorselCursor>>> cursors_;
+  std::vector<std::pair<const void*, std::shared_ptr<JoinBuildState>>>
+      join_states_;
+  std::vector<const Table*> tables_;
+  bool leases_held_ = false;
+};
+
+/// Scan leaf of a worker pipeline: emits live rows of the morsels it
+/// claims from the shared cursor. The union of all workers' output is
+/// exactly the serial SeqScan's output (in no particular order).
+class ParallelScanOp : public Operator {
+ public:
+  ParallelScanOp(const Table* table, std::shared_ptr<MorselCursor> cursor);
+
+  Status Open() override;
+  bool Next(Row* out) override;
+  std::string name() const override {
+    return "ParallelScan(" + table_->name() + ")";
+  }
+  size_t EstimatedRowCount() const override { return table_->size(); }
+
+ private:
+  const Table* table_;
+  std::shared_ptr<MorselCursor> cursor_;
+  size_t pos_ = 0;
+  size_t limit_ = 0;
+};
+
+/// Build side of a parallelized hash join, shared by the N probe clones.
+/// The build runs once per execution, on the first probe's Open (caller
+/// thread): build rows are partitioned by key hash — in parallel when the
+/// build child is itself clonable — and merged partition-wise into
+/// per-partition hash tables that the probes then read concurrently.
+class JoinBuildState {
+ public:
+  JoinBuildState(ParallelContext* parent, Operator* build_plan,
+                 std::vector<ExprPtr> build_keys);
+  ~JoinBuildState();
+
+  /// Idempotent per execution; serialized by the caller (worker Opens run
+  /// on one thread) with a mutex as backstop.
+  Status EnsureBuilt();
+  void Invalidate();
+
+  /// Slot count of the build side's scans (threshold accounting).
+  size_t ScanSlots() const;
+
+  /// Rows matching `key`, or nullptr. Key must have no null values.
+  const std::vector<Row>* Probe(const std::vector<Value>& key) const;
+
+ private:
+  using Partition = std::unordered_map<std::vector<Value>, std::vector<Row>,
+                                       ValueVectorHash, ValueVectorEq>;
+
+  void InsertBuildRow(Row row);
+
+  Operator* build_plan_;
+  std::vector<ExprPtr> build_keys_;
+  size_t num_partitions_;
+  std::unique_ptr<ParallelContext> sub_ctx_;
+  std::vector<OperatorPtr> build_workers_;  // empty => serial build
+  std::vector<Partition> partitions_;
+  std::mutex mu_;
+  bool built_ = false;
+};
+
+/// Probe side of a parallelized hash join; one per worker pipeline. Same
+/// semantics as HashJoinOp (inner / left-outer, null keys never join) but
+/// probing the shared JoinBuildState.
+class HashJoinProbeOp : public Operator {
+ public:
+  HashJoinProbeOp(OperatorPtr probe_child, std::vector<ExprPtr> probe_keys,
+                  std::shared_ptr<JoinBuildState> state, JoinType join_type,
+                  std::vector<Column> output, size_t build_arity,
+                  std::string display_name);
+
+  Status Open() override;
+  bool Next(Row* out) override;
+  std::string name() const override { return display_name_; }
+  std::vector<const Operator*> children() const override {
+    return {probe_child_.get()};
+  }
+  size_t EstimatedRowCount() const override {
+    return probe_child_->EstimatedRowCount();
+  }
+
+ private:
+  OperatorPtr probe_child_;
+  std::vector<ExprPtr> probe_keys_;
+  std::shared_ptr<JoinBuildState> state_;
+  JoinType join_type_;
+  size_t build_arity_;
+  std::string display_name_;
+
+  Row current_left_;
+  const std::vector<Row>* current_matches_ = nullptr;
+  size_t match_index_ = 0;
+};
+
+/// Exchange at the top of a parallel pipeline segment: runs N worker
+/// pipelines on the thread pool and merges their bounded output queues
+/// into one row stream for the (serial) consumer above. Owns the serial
+/// plan it was built from, which stays the source of truth for build
+/// children and context keys.
+class GatherOp : public Operator {
+ public:
+  GatherOp(OperatorPtr serial_plan, std::vector<OperatorPtr> workers,
+           std::shared_ptr<ParallelContext> ctx);
+  ~GatherOp() override;
+
+  Status Open() override;
+  bool Next(Row* out) override;
+  std::string name() const override;
+  std::vector<const Operator*> children() const override {
+    return {workers_.front().get()};
+  }
+  size_t EstimatedRowCount() const override {
+    return serial_plan_->EstimatedRowCount();
+  }
+
+ private:
+  class Exchange;
+
+  void WorkerMain(size_t worker);
+  void Shutdown();
+
+  OperatorPtr serial_plan_;
+  std::vector<OperatorPtr> workers_;
+  std::shared_ptr<ParallelContext> ctx_;
+  std::unique_ptr<Exchange> exchange_;
+  std::vector<std::future<void>> futures_;
+  std::vector<Row> current_batch_;
+  size_t batch_pos_ = 0;
+};
+
+/// Parallel aggregation: N worker pipelines each build a thread-local
+/// group table (partial aggregation); Open() merges them via
+/// AggAccumulator::Merge and Next() emits the merged groups. Output layout
+/// matches HashAggregateOp exactly. kArrayAgg is excluded by the planner
+/// (element order would depend on scheduling).
+class ParallelHashAggregateOp : public Operator {
+ public:
+  ParallelHashAggregateOp(OperatorPtr serial_child,
+                          std::vector<OperatorPtr> worker_children,
+                          std::vector<ExprPtr> group_exprs,
+                          std::vector<std::string> group_names,
+                          std::vector<AggregateSpec> aggregates,
+                          std::shared_ptr<ParallelContext> ctx);
+  ~ParallelHashAggregateOp() override;
+
+  Status Open() override;
+  bool Next(Row* out) override;
+  std::string name() const override;
+  std::vector<const Operator*> children() const override {
+    return {worker_children_.front().get()};
+  }
+
+ private:
+  OperatorPtr serial_child_;
+  std::vector<OperatorPtr> worker_children_;
+  std::vector<ExprPtr> group_exprs_;
+  std::vector<AggregateSpec> aggregates_;
+  std::shared_ptr<ParallelContext> ctx_;
+  std::unique_ptr<AggGroupTable> merged_;
+  size_t next_group_ = 0;
+};
+
+// ---- Planner hooks ---------------------------------------------------------
+
+/// Wraps `plan` in a GatherOp running opts.num_threads worker pipelines
+/// when the plan is parallel-clonable and its scan volume crosses
+/// opts.parallel_row_threshold; otherwise returns `plan` unchanged (always
+/// the case for num_threads <= 1).
+OperatorPtr MaybeParallelGather(OperatorPtr plan, const ExecOptions& opts);
+
+/// Builds the aggregation stage over `child`: parallel partial aggregation
+/// with a merge when eligible under `opts`, else a serial HashAggregateOp.
+OperatorPtr MakeAggregatePlan(OperatorPtr child,
+                              std::vector<ExprPtr> group_exprs,
+                              std::vector<std::string> group_names,
+                              std::vector<AggregateSpec> aggregates,
+                              const ExecOptions& opts);
+
+}  // namespace erbium
+
+#endif  // ERBIUM_EXEC_PARALLEL_H_

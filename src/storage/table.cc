@@ -1,5 +1,7 @@
 #include "storage/table.h"
 
+#include <cassert>
+
 namespace erbium {
 
 Table::Table(TableSchema schema) : schema_(std::move(schema)) {}
@@ -13,6 +15,7 @@ IndexKey Table::ExtractKey(const Row& row,
 }
 
 Result<RowId> Table::Insert(Row row) {
+  assert(NoConcurrentReaders() && "Insert during a concurrent-read window");
   ERBIUM_RETURN_NOT_OK(schema_.ValidateRow(row));
   // Check unique constraints before mutating anything.
   for (const auto& index : indexes_) {
@@ -35,6 +38,7 @@ Result<RowId> Table::Insert(Row row) {
 }
 
 Status Table::Update(RowId id, Row row) {
+  assert(NoConcurrentReaders() && "Update during a concurrent-read window");
   if (!IsLive(id)) {
     return Status::NotFound("update of dead or out-of-range row id " +
                             std::to_string(id) + " in table " + name());
@@ -62,6 +66,7 @@ Status Table::Update(RowId id, Row row) {
 }
 
 Status Table::Delete(RowId id) {
+  assert(NoConcurrentReaders() && "Delete during a concurrent-read window");
   if (!IsLive(id)) {
     return Status::NotFound("delete of dead or out-of-range row id " +
                             std::to_string(id) + " in table " + name());
@@ -78,6 +83,8 @@ Status Table::Delete(RowId id) {
 Status Table::CreateIndex(const std::string& index_name,
                           const std::vector<std::string>& column_names,
                           bool unique, bool ordered) {
+  assert(NoConcurrentReaders() &&
+         "CreateIndex during a concurrent-read window");
   if (FindIndexByName(index_name) != nullptr) {
     return Status::AlreadyExists("index " + index_name + " already exists");
   }

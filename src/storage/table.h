@@ -1,6 +1,7 @@
 #ifndef ERBIUM_STORAGE_TABLE_H_
 #define ERBIUM_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,7 +14,15 @@
 namespace erbium {
 
 /// An in-memory heap table with stable row ids, tombstoned deletes, and
-/// attached indexes. Single-threaded by design (see DESIGN.md).
+/// attached indexes.
+///
+/// Concurrency contract (see DESIGN.md "Threading model"): the table is
+/// *read-shared*. Any number of threads may call the const accessors
+/// (row, IsLive, LookupEqual, ...) concurrently, but no mutating call
+/// (Insert/Update/Delete/CreateIndex) may overlap with them. Parallel
+/// query execution brackets its read window with BeginConcurrentRead /
+/// EndConcurrentRead; mutations assert (debug builds) that no such
+/// window is open. All other use is single-threaded, as before.
 class Table {
  public:
   explicit Table(TableSchema schema);
@@ -67,14 +76,28 @@ class Table {
   /// storage-size reporting; counts Value payloads, not allocator slack).
   size_t ApproximateDataBytes() const;
 
+  /// Opens/closes a read-shared window: while any lease is held the table
+  /// may be scanned from multiple threads and mutations are forbidden
+  /// (debug-asserted in Insert/Update/Delete/CreateIndex).
+  void BeginConcurrentRead() const {
+    concurrent_readers_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void EndConcurrentRead() const {
+    concurrent_readers_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
  private:
   IndexKey ExtractKey(const Row& row, const std::vector<int>& columns) const;
+  bool NoConcurrentReaders() const {
+    return concurrent_readers_.load(std::memory_order_acquire) == 0;
+  }
 
   TableSchema schema_;
   std::vector<Row> rows_;
   std::vector<bool> live_;
   size_t live_count_ = 0;
   std::vector<std::unique_ptr<Index>> indexes_;
+  mutable std::atomic<int> concurrent_readers_{0};
 };
 
 /// Approximate payload size of one value in bytes (recursive).
