@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_factorized.dir/bench_factorized.cc.o"
+  "CMakeFiles/bench_factorized.dir/bench_factorized.cc.o.d"
+  "bench_factorized"
+  "bench_factorized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_factorized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mapping_advisor.dir/bench_mapping_advisor.cc.o"
+  "CMakeFiles/bench_mapping_advisor.dir/bench_mapping_advisor.cc.o.d"
+  "bench_mapping_advisor"
+  "bench_mapping_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mapping_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multivalued.dir/bench_multivalued.cc.o"
+  "CMakeFiles/bench_multivalued.dir/bench_multivalued.cc.o.d"
+  "bench_multivalued"
+  "bench_multivalued.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multivalued.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_parallel.cc" "bench/CMakeFiles/bench_parallel.dir/bench_parallel.cc.o" "gcc" "bench/CMakeFiles/bench_parallel.dir/bench_parallel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/workload/CMakeFiles/erbium_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/erql/CMakeFiles/erbium_erql.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mapping/CMakeFiles/erbium_mapping.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/er/CMakeFiles/erbium_er.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/factorized/CMakeFiles/erbium_factorized.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/exec/CMakeFiles/erbium_exec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/erbium_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/erbium_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

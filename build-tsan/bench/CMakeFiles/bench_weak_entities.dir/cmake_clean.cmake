@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weak_entities.dir/bench_weak_entities.cc.o"
+  "CMakeFiles/bench_weak_entities.dir/bench_weak_entities.cc.o.d"
+  "bench_weak_entities"
+  "bench_weak_entities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weak_entities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erbium_shell.dir/erbium_shell.cpp.o"
+  "CMakeFiles/erbium_shell.dir/erbium_shell.cpp.o.d"
+  "erbium_shell"
+  "erbium_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erbium_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/governance.dir/governance.cpp.o"
+  "CMakeFiles/governance.dir/governance.cpp.o.d"
+  "governance"
+  "governance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/governance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

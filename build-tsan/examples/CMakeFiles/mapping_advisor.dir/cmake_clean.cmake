@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_advisor.dir/mapping_advisor.cpp.o"
+  "CMakeFiles/mapping_advisor.dir/mapping_advisor.cpp.o.d"
+  "mapping_advisor"
+  "mapping_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

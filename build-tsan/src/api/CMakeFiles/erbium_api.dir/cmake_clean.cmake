@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erbium_api.dir/entity_store.cc.o"
+  "CMakeFiles/erbium_api.dir/entity_store.cc.o.d"
+  "liberbium_api.a"
+  "liberbium_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erbium_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erbium_common.dir/lexer.cc.o"
+  "CMakeFiles/erbium_common.dir/lexer.cc.o.d"
+  "CMakeFiles/erbium_common.dir/status.cc.o"
+  "CMakeFiles/erbium_common.dir/status.cc.o.d"
+  "CMakeFiles/erbium_common.dir/string_util.cc.o"
+  "CMakeFiles/erbium_common.dir/string_util.cc.o.d"
+  "CMakeFiles/erbium_common.dir/thread_pool.cc.o"
+  "CMakeFiles/erbium_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/erbium_common.dir/type.cc.o"
+  "CMakeFiles/erbium_common.dir/type.cc.o.d"
+  "CMakeFiles/erbium_common.dir/value.cc.o"
+  "CMakeFiles/erbium_common.dir/value.cc.o.d"
+  "liberbium_common.a"
+  "liberbium_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erbium_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/er/ddl_parser.cc" "src/er/CMakeFiles/erbium_er.dir/ddl_parser.cc.o" "gcc" "src/er/CMakeFiles/erbium_er.dir/ddl_parser.cc.o.d"
+  "/root/repo/src/er/er_graph.cc" "src/er/CMakeFiles/erbium_er.dir/er_graph.cc.o" "gcc" "src/er/CMakeFiles/erbium_er.dir/er_graph.cc.o.d"
+  "/root/repo/src/er/er_schema.cc" "src/er/CMakeFiles/erbium_er.dir/er_schema.cc.o" "gcc" "src/er/CMakeFiles/erbium_er.dir/er_schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/erbium_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erbium_er.dir/ddl_parser.cc.o"
+  "CMakeFiles/erbium_er.dir/ddl_parser.cc.o.d"
+  "CMakeFiles/erbium_er.dir/er_graph.cc.o"
+  "CMakeFiles/erbium_er.dir/er_graph.cc.o.d"
+  "CMakeFiles/erbium_er.dir/er_schema.cc.o"
+  "CMakeFiles/erbium_er.dir/er_schema.cc.o.d"
+  "liberbium_er.a"
+  "liberbium_er.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erbium_er.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

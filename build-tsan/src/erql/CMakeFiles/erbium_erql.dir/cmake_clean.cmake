@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erbium_erql.dir/parser.cc.o"
+  "CMakeFiles/erbium_erql.dir/parser.cc.o.d"
+  "CMakeFiles/erbium_erql.dir/query_engine.cc.o"
+  "CMakeFiles/erbium_erql.dir/query_engine.cc.o.d"
+  "CMakeFiles/erbium_erql.dir/translator.cc.o"
+  "CMakeFiles/erbium_erql.dir/translator.cc.o.d"
+  "liberbium_erql.a"
+  "liberbium_erql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erbium_erql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

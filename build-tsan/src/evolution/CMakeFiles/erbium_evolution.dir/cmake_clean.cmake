@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erbium_evolution.dir/evolution.cc.o"
+  "CMakeFiles/erbium_evolution.dir/evolution.cc.o.d"
+  "liberbium_evolution.a"
+  "liberbium_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erbium_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/aggregate.cc" "src/exec/CMakeFiles/erbium_exec.dir/aggregate.cc.o" "gcc" "src/exec/CMakeFiles/erbium_exec.dir/aggregate.cc.o.d"
+  "/root/repo/src/exec/expr.cc" "src/exec/CMakeFiles/erbium_exec.dir/expr.cc.o" "gcc" "src/exec/CMakeFiles/erbium_exec.dir/expr.cc.o.d"
+  "/root/repo/src/exec/join.cc" "src/exec/CMakeFiles/erbium_exec.dir/join.cc.o" "gcc" "src/exec/CMakeFiles/erbium_exec.dir/join.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/exec/CMakeFiles/erbium_exec.dir/operator.cc.o" "gcc" "src/exec/CMakeFiles/erbium_exec.dir/operator.cc.o.d"
+  "/root/repo/src/exec/parallel.cc" "src/exec/CMakeFiles/erbium_exec.dir/parallel.cc.o" "gcc" "src/exec/CMakeFiles/erbium_exec.dir/parallel.cc.o.d"
+  "/root/repo/src/exec/sort.cc" "src/exec/CMakeFiles/erbium_exec.dir/sort.cc.o" "gcc" "src/exec/CMakeFiles/erbium_exec.dir/sort.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/storage/CMakeFiles/erbium_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/erbium_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

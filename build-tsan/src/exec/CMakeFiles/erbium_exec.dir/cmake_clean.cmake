@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erbium_exec.dir/aggregate.cc.o"
+  "CMakeFiles/erbium_exec.dir/aggregate.cc.o.d"
+  "CMakeFiles/erbium_exec.dir/expr.cc.o"
+  "CMakeFiles/erbium_exec.dir/expr.cc.o.d"
+  "CMakeFiles/erbium_exec.dir/join.cc.o"
+  "CMakeFiles/erbium_exec.dir/join.cc.o.d"
+  "CMakeFiles/erbium_exec.dir/operator.cc.o"
+  "CMakeFiles/erbium_exec.dir/operator.cc.o.d"
+  "CMakeFiles/erbium_exec.dir/parallel.cc.o"
+  "CMakeFiles/erbium_exec.dir/parallel.cc.o.d"
+  "CMakeFiles/erbium_exec.dir/sort.cc.o"
+  "CMakeFiles/erbium_exec.dir/sort.cc.o.d"
+  "liberbium_exec.a"
+  "liberbium_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erbium_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

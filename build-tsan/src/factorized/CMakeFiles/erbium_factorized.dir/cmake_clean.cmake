@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erbium_factorized.dir/factorized.cc.o"
+  "CMakeFiles/erbium_factorized.dir/factorized.cc.o.d"
+  "liberbium_factorized.a"
+  "liberbium_factorized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erbium_factorized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

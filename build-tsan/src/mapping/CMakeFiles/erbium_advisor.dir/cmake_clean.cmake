@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erbium_advisor.dir/advisor.cc.o"
+  "CMakeFiles/erbium_advisor.dir/advisor.cc.o.d"
+  "liberbium_advisor.a"
+  "liberbium_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erbium_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

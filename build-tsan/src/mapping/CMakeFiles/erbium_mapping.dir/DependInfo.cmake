@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/database.cc" "src/mapping/CMakeFiles/erbium_mapping.dir/database.cc.o" "gcc" "src/mapping/CMakeFiles/erbium_mapping.dir/database.cc.o.d"
+  "/root/repo/src/mapping/database_rel.cc" "src/mapping/CMakeFiles/erbium_mapping.dir/database_rel.cc.o" "gcc" "src/mapping/CMakeFiles/erbium_mapping.dir/database_rel.cc.o.d"
+  "/root/repo/src/mapping/database_scan.cc" "src/mapping/CMakeFiles/erbium_mapping.dir/database_scan.cc.o" "gcc" "src/mapping/CMakeFiles/erbium_mapping.dir/database_scan.cc.o.d"
+  "/root/repo/src/mapping/mapping_spec.cc" "src/mapping/CMakeFiles/erbium_mapping.dir/mapping_spec.cc.o" "gcc" "src/mapping/CMakeFiles/erbium_mapping.dir/mapping_spec.cc.o.d"
+  "/root/repo/src/mapping/physical_mapping.cc" "src/mapping/CMakeFiles/erbium_mapping.dir/physical_mapping.cc.o" "gcc" "src/mapping/CMakeFiles/erbium_mapping.dir/physical_mapping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/er/CMakeFiles/erbium_er.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/factorized/CMakeFiles/erbium_factorized.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/exec/CMakeFiles/erbium_exec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/erbium_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/erbium_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

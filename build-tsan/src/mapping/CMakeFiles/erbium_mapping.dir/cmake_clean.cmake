@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erbium_mapping.dir/database.cc.o"
+  "CMakeFiles/erbium_mapping.dir/database.cc.o.d"
+  "CMakeFiles/erbium_mapping.dir/database_rel.cc.o"
+  "CMakeFiles/erbium_mapping.dir/database_rel.cc.o.d"
+  "CMakeFiles/erbium_mapping.dir/database_scan.cc.o"
+  "CMakeFiles/erbium_mapping.dir/database_scan.cc.o.d"
+  "CMakeFiles/erbium_mapping.dir/mapping_spec.cc.o"
+  "CMakeFiles/erbium_mapping.dir/mapping_spec.cc.o.d"
+  "CMakeFiles/erbium_mapping.dir/physical_mapping.cc.o"
+  "CMakeFiles/erbium_mapping.dir/physical_mapping.cc.o.d"
+  "liberbium_mapping.a"
+  "liberbium_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erbium_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

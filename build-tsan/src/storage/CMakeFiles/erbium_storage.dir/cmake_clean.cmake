@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erbium_storage.dir/catalog.cc.o"
+  "CMakeFiles/erbium_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/erbium_storage.dir/index.cc.o"
+  "CMakeFiles/erbium_storage.dir/index.cc.o.d"
+  "CMakeFiles/erbium_storage.dir/schema.cc.o"
+  "CMakeFiles/erbium_storage.dir/schema.cc.o.d"
+  "CMakeFiles/erbium_storage.dir/table.cc.o"
+  "CMakeFiles/erbium_storage.dir/table.cc.o.d"
+  "liberbium_storage.a"
+  "liberbium_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erbium_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erbium_workload.dir/figure4.cc.o"
+  "CMakeFiles/erbium_workload.dir/figure4.cc.o.d"
+  "liberbium_workload.a"
+  "liberbium_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erbium_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

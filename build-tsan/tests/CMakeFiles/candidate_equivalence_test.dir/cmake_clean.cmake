@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candidate_equivalence_test.dir/candidate_equivalence_test.cc.o"
+  "CMakeFiles/candidate_equivalence_test.dir/candidate_equivalence_test.cc.o.d"
+  "candidate_equivalence_test"
+  "candidate_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candidate_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erql_equivalence_test.dir/erql_equivalence_test.cc.o"
+  "CMakeFiles/erql_equivalence_test.dir/erql_equivalence_test.cc.o.d"
+  "erql_equivalence_test"
+  "erql_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erql_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erql_parser_test.dir/erql_parser_test.cc.o"
+  "CMakeFiles/erql_parser_test.dir/erql_parser_test.cc.o.d"
+  "erql_parser_test"
+  "erql_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erql_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

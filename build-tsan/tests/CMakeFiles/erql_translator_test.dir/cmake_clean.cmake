@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erql_translator_test.dir/erql_translator_test.cc.o"
+  "CMakeFiles/erql_translator_test.dir/erql_translator_test.cc.o.d"
+  "erql_translator_test"
+  "erql_translator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erql_translator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

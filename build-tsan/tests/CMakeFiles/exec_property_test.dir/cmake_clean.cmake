@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_property_test.dir/exec_property_test.cc.o"
+  "CMakeFiles/exec_property_test.dir/exec_property_test.cc.o.d"
+  "exec_property_test"
+  "exec_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

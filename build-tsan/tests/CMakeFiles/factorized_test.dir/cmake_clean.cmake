@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factorized_test.dir/factorized_test.cc.o"
+  "CMakeFiles/factorized_test.dir/factorized_test.cc.o.d"
+  "factorized_test"
+  "factorized_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factorized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_e2e_test.dir/university_e2e_test.cc.o"
+  "CMakeFiles/university_e2e_test.dir/university_e2e_test.cc.o.d"
+  "university_e2e_test"
+  "university_e2e_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
