@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include "evolution/evolution.h"
 #include "workload/figure4.h"
 
@@ -111,4 +113,4 @@ BENCHMARK(BM_A3_RollbackIsConstantTime);
 }  // namespace
 }  // namespace erbium
 
-BENCHMARK_MAIN();
+ERBIUM_BENCH_MAIN("evolution");

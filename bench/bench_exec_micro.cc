@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include <random>
 
 #include "exec/aggregate.h"
@@ -205,4 +207,4 @@ BENCHMARK(BM_PointLookupViaScan);
 }  // namespace
 }  // namespace erbium
 
-BENCHMARK_MAIN();
+ERBIUM_BENCH_MAIN("exec_micro");

@@ -99,4 +99,4 @@ BENCHMARK(BM_E9d_StorageFootprint);
 }  // namespace bench
 }  // namespace erbium
 
-BENCHMARK_MAIN();
+ERBIUM_BENCH_MAIN("factorized");

@@ -60,4 +60,4 @@ BENCHMARK_CAPTURE(BM_E6b_ComplexHierarchyJoin, M4, Figure4M4());
 }  // namespace bench
 }  // namespace erbium
 
-BENCHMARK_MAIN();
+ERBIUM_BENCH_MAIN("hierarchy");

@@ -151,4 +151,4 @@ BENCHMARK(BM_A1_AdvisorSearchTime)->Unit(benchmark::kMillisecond);
 }  // namespace bench
 }  // namespace erbium
 
-BENCHMARK_MAIN();
+ERBIUM_BENCH_MAIN("mapping_advisor");

@@ -146,4 +146,4 @@ BENCHMARK(BM_E4b_IntersectNative_M2);
 }  // namespace bench
 }  // namespace erbium
 
-BENCHMARK_MAIN();
+ERBIUM_BENCH_MAIN("multivalued");

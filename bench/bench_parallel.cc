@@ -27,29 +27,8 @@ ExecOptions ThreadedOpts(int threads) {
 
 void RunThreaded(benchmark::State& state, const MappingSpec& spec,
                  const std::string& query) {
-  MappedDatabase* db = GetDatabase(spec);
   int threads = static_cast<int>(state.range(0));
-  auto compiled =
-      erql::QueryEngine::Compile(db, query, ThreadedOpts(threads));
-  if (!compiled.ok()) {
-    state.SkipWithError(compiled.status().ToString().c_str());
-    return;
-  }
-  size_t rows = 0;
-  for (auto _ : state) {
-    Status st = compiled->plan->Open();
-    if (!st.ok()) {
-      state.SkipWithError(st.ToString().c_str());
-      return;
-    }
-    Row row;
-    rows = 0;
-    while (compiled->plan->Next(&row)) {
-      benchmark::DoNotOptimize(row);
-      ++rows;
-    }
-  }
-  state.counters["rows"] = static_cast<double>(rows);
+  RunQueryBenchmark(state, spec, query, ThreadedOpts(threads));
   state.counters["threads"] = threads;
 }
 
@@ -87,4 +66,4 @@ BENCHMARK(BM_JoinAggregate)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 }  // namespace bench
 }  // namespace erbium
 
-BENCHMARK_MAIN();
+ERBIUM_BENCH_MAIN("parallel");

@@ -3,12 +3,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
 
 #include "erql/query_engine.h"
+#include "obs/metrics.h"
 #include "workload/figure4.h"
 
 namespace erbium {
@@ -55,12 +57,14 @@ inline MappedDatabase* GetDatabase(const MappingSpec& spec) {
   return it->second.db.get();
 }
 
-/// Runs one ERQL query to completion, reporting rows/iteration.
+/// Runs one ERQL query to completion, reporting rows/iteration. Pass
+/// non-default ExecOptions to exercise the parallel path.
 inline void RunQueryBenchmark(benchmark::State& state,
                               const MappingSpec& spec,
-                              const std::string& query) {
+                              const std::string& query,
+                              const ExecOptions& opts = ExecOptions::Serial()) {
   MappedDatabase* db = GetDatabase(spec);
-  auto compiled = erql::QueryEngine::Compile(db, query);
+  auto compiled = erql::QueryEngine::Compile(db, query, opts);
   if (!compiled.ok()) {
     state.SkipWithError(compiled.status().ToString().c_str());
     return;
@@ -80,9 +84,45 @@ inline void RunQueryBenchmark(benchmark::State& state,
     }
   }
   state.counters["rows"] = static_cast<double>(rows);
+  if (opts.num_threads > 1) {
+    state.counters["threads"] = opts.num_threads;
+  }
+}
+
+/// Dumps the process-wide metrics registry to BENCH_<name>.json (in
+/// ERBIUM_BENCH_STATS_DIR, default the working directory): the
+/// machine-readable stats block behind every bench run — table CRUD and
+/// index-probe counts from database construction plus whatever the
+/// benched queries touched.
+inline void WriteMetricsDump(const std::string& bench_name) {
+  std::string path = "BENCH_" + bench_name + ".json";
+  if (const char* dir = std::getenv("ERBIUM_BENCH_STATS_DIR")) {
+    path = std::string(dir) + "/" + path;
+  }
+  std::string json = "{\"bench\": \"" + bench_name + "\", \"metrics\": " +
+                     obs::MetricsRegistry::Global().ToJson() + "}\n";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[metrics] cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "[metrics] wrote %s\n", path.c_str());
 }
 
 }  // namespace bench
 }  // namespace erbium
+
+/// BENCHMARK_MAIN() plus a metrics dump once the benchmarks finish.
+#define ERBIUM_BENCH_MAIN(name)                                         \
+  int main(int argc, char** argv) {                                     \
+    ::benchmark::Initialize(&argc, argv);                               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                              \
+    ::benchmark::Shutdown();                                            \
+    ::erbium::bench::WriteMetricsDump(name);                            \
+    return 0;                                                           \
+  }
 
 #endif  // ERBIUM_BENCH_BENCH_UTIL_H_

@@ -87,4 +87,4 @@ BENCHMARK_CAPTURE(BM_E8b_WeakEntityScan, M5, Figure4M5());
 }  // namespace bench
 }  // namespace erbium
 
-BENCHMARK_MAIN();
+ERBIUM_BENCH_MAIN("weak_entities");

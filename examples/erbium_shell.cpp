@@ -9,6 +9,7 @@
 // Commands:
 //   CREATE ENTITY ... ;            extend the schema (rebuilds the DB)
 //   SELECT ... ;                   run an ERQL query
+//   EXPLAIN [ANALYZE] SELECT ...;  show the annotated physical plan
 //   INSERT <Entity> {json-ish} ;   not supported — use the C++ API
 //   \tables            list physical tables of the current mapping
 //   \mapping           show the active mapping spec (JSON)
@@ -168,10 +169,17 @@ struct Shell {
                   db->mapping().tables().size());
       return;
     }
-    if (lowered.rfind("select", 0) == 0) {
+    if (lowered.rfind("select", 0) == 0 || lowered.rfind("explain", 0) == 0) {
       auto result = erbium::erql::QueryEngine::Execute(db.get(), statement);
       if (!result.ok()) {
         std::printf("%s\n", result.status().ToString().c_str());
+        return;
+      }
+      if (lowered.rfind("explain", 0) == 0) {
+        // Plan output is plain lines; skip the table frame.
+        for (const erbium::Row& row : result->rows) {
+          std::printf("%s\n", row[0].as_string().c_str());
+        }
         return;
       }
       std::printf("%s", result->ToTable(25).c_str());
@@ -179,8 +187,8 @@ struct Shell {
       return;
     }
     std::printf(
-        "only CREATE ... / SELECT ... statements and \\commands are "
-        "supported\n");
+        "only CREATE / SELECT / EXPLAIN [ANALYZE] statements and "
+        "\\commands are supported\n");
   }
 };
 

@@ -66,10 +66,16 @@ struct OrderItem {
   bool ascending = true;
 };
 
+/// EXPLAIN prefix: kPlan prints the physical plan plus the active
+/// mapping's choices without executing; kAnalyze also runs the query and
+/// annotates every operator with collected row counts and timings.
+enum class ExplainMode { kNone, kPlan, kAnalyze };
+
 /// One parsed ERQL SELECT query (paper Figure 1(iii) dialect): SQL with
 /// relationship joins, nested outputs via struct()/array_agg, unnest in
 /// the select list, and GROUP BY inference.
 struct Query {
+  ExplainMode explain = ExplainMode::kNone;
   bool distinct = false;
   std::vector<SelectItem> select;
   FromItem from;

@@ -28,6 +28,10 @@ class QueryParser {
 
   Result<Query> ParseQuery() {
     Query query;
+    if (ts_.ConsumeKeyword("explain")) {
+      query.explain = ts_.ConsumeKeyword("analyze") ? ExplainMode::kAnalyze
+                                                    : ExplainMode::kPlan;
+    }
     ERBIUM_RETURN_NOT_OK(ts_.ExpectKeyword("select"));
     if (ts_.ConsumeKeyword("distinct")) query.distinct = true;
     while (true) {

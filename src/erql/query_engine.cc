@@ -1,8 +1,11 @@
 #include "erql/query_engine.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "erql/parser.h"
+#include "exec/explain.h"
+#include "obs/trace.h"
 
 namespace erbium {
 namespace erql {
@@ -96,10 +99,51 @@ Result<CompiledQuery> QueryEngine::Compile(MappedDatabase* db,
   return Translator::Translate(db, query, opts);
 }
 
+namespace {
+
+/// EXPLAIN [ANALYZE] output as a one-column result, one line per row:
+/// mapping summary, the (annotated) plan tree, then the mapping notes.
+Result<QueryResult> ExplainQuery(CompiledQuery* compiled) {
+  QueryResult result;
+  result.columns = {"plan"};
+  auto add = [&result](std::string line) {
+    result.rows.push_back(Row{Value::String(std::move(line))});
+  };
+  add("mapping: " + compiled->mapping_summary);
+  std::string tree;
+  if (compiled->explain == ExplainMode::kAnalyze) {
+    // Execute under an analyze window so the operator wrappers record
+    // wall/CPU time; the result rows themselves are discarded — their
+    // cardinality shows up as the root span's rows.
+    obs::ScopedAnalyze analyze_window;
+    uint64_t start = obs::MonotonicNowNs();
+    ERBIUM_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                            CollectRows(compiled->plan.get()));
+    uint64_t total_wall = obs::MonotonicNowNs() - start;
+    obs::QueryStats stats = CollectQueryStats(*compiled->plan);
+    stats.total_wall_ns = total_wall;
+    tree = stats.ToString();
+  } else {
+    tree = RenderPlanTree(*compiled->plan);
+  }
+  std::istringstream lines(tree);
+  for (std::string line; std::getline(lines, line);) add(std::move(line));
+  if (!compiled->mapping_notes.empty()) {
+    add("mapping notes:");
+    for (const std::string& note : compiled->mapping_notes) add("  " + note);
+  }
+  return result;
+}
+
+}  // namespace
+
 Result<QueryResult> QueryEngine::Execute(MappedDatabase* db,
                                          const std::string& text,
                                          const ExecOptions& opts) {
   ERBIUM_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(db, text, opts));
+  if (compiled.explain != ExplainMode::kNone) {
+    return ExplainQuery(&compiled);
+  }
   ERBIUM_ASSIGN_OR_RETURN(std::vector<Row> rows,
                           CollectRows(compiled.plan.get()));
   QueryResult result;

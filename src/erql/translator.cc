@@ -1084,13 +1084,104 @@ Result<CompiledQuery> TranslatorImpl::Run() {
   return compiled;
 }
 
+// ---- EXPLAIN mapping notes -------------------------------------------------
+// One note per logical construct the query touches, saying which physical
+// structure the active mapping resolved it to (the M1-vs-M6 distinction
+// the paper's Section 6 experiments revolve around).
+
+std::string SegmentNote(const PhysicalMapping& m, const std::string& entity) {
+  switch (m.segment_location(entity)) {
+    case SegmentLocation::kOwnTable:
+      return "own table '" + m.SegmentTableName(entity) + "'";
+    case SegmentLocation::kHierarchySingle:
+      return "single hierarchy table '" + m.SegmentTableName(entity) +
+             "' (discriminator " + std::string(PhysicalMapping::kTypeColumn) +
+             ")";
+    case SegmentLocation::kHierarchyDisjoint:
+      return "disjoint per-class hierarchy tables";
+    case SegmentLocation::kFoldedInOwner:
+      return "folded into the owner's table as an array of structs";
+    case SegmentLocation::kPairLeft:
+    case SegmentLocation::kPairRight:
+      return "factorized pair '" + m.SegmentPairName(entity) + "' (via " +
+             m.SwallowingRelationship(entity) + ")";
+    case SegmentLocation::kMaterializedLeft:
+    case SegmentLocation::kMaterializedRight:
+      return "materialized join table '" + m.SegmentTableName(entity) +
+             "' (via " + m.SwallowingRelationship(entity) + ")";
+  }
+  return "unknown";
+}
+
+std::string RelationshipNote(const PhysicalMapping& m,
+                             const RelationshipSetDef& rel) {
+  switch (m.spec().relationship_storage(rel)) {
+    case RelationshipStorage::kForeignKey:
+      return "foreign-key columns on the many side";
+    case RelationshipStorage::kJoinTable:
+      return "join table '" + rel.name + "'";
+    case RelationshipStorage::kMaterializedJoin:
+      return "materialized join table '" +
+             PhysicalMapping::MaterializedTableName(rel.name) + "'";
+    case RelationshipStorage::kFactorized:
+      return "factorized pair '" + PhysicalMapping::PairName(rel.name) + "'";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> BuildMappingNotes(const PhysicalMapping& m,
+                                           const Query& query) {
+  std::vector<std::string> notes;
+  std::set<std::string> seen_entities;
+  auto note_entity = [&](const std::string& entity) {
+    if (m.schema().FindEntitySet(entity) == nullptr) return;
+    if (!seen_entities.insert(entity).second) return;
+    notes.push_back("entity " + entity + " -> " + SegmentNote(m, entity));
+    // Multi-valued attributes are the M1-vs-M2 axis: say where each lives.
+    for (const AttributeDef& attr :
+         m.schema().FindEntitySet(entity)->attributes) {
+      if (!attr.multi_valued) continue;
+      if (m.spec().multi_valued_storage(entity, attr.name) ==
+          MultiValuedStorage::kSeparateTable) {
+        notes.push_back("  " + entity + "." + attr.name + " -> side table '" +
+                        PhysicalMapping::MvTableName(entity, attr.name) + "'");
+      } else {
+        notes.push_back("  " + entity + "." + attr.name +
+                        " -> array column on '" + entity + "'");
+      }
+    }
+  };
+  note_entity(query.from.entity);
+  for (const JoinClause& join : query.joins) {
+    note_entity(join.item.entity);
+    if (join.relationship.empty()) continue;
+    const RelationshipSetDef* rel =
+        m.schema().FindRelationshipSet(join.relationship);
+    if (rel != nullptr) {
+      notes.push_back("relationship " + rel->name + " -> " +
+                      RelationshipNote(m, *rel));
+    } else {
+      // Weak-entity identifying join: storage is the entity's own note.
+      notes.push_back("identifying join " + join.relationship +
+                      " -> owner-key columns on the weak entity");
+    }
+  }
+  return notes;
+}
+
 }  // namespace
 
 Result<CompiledQuery> Translator::Translate(MappedDatabase* db,
                                             const Query& query,
                                             const ExecOptions& opts) {
   TranslatorImpl impl(db, query, opts);
-  return impl.Run();
+  ERBIUM_ASSIGN_OR_RETURN(CompiledQuery compiled, impl.Run());
+  compiled.explain = query.explain;
+  if (query.explain != ExplainMode::kNone) {
+    compiled.mapping_summary = db->mapping().spec().ToString();
+    compiled.mapping_notes = BuildMappingNotes(db->mapping(), query);
+  }
+  return compiled;
 }
 
 }  // namespace erql

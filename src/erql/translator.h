@@ -17,6 +17,14 @@ namespace erql {
 struct CompiledQuery {
   OperatorPtr plan;
   std::vector<std::string> columns;
+
+  /// EXPLAIN support, filled by the translator when the query carried an
+  /// EXPLAIN prefix and consumed by QueryEngine::Execute: the mapping's
+  /// one-line summary plus one note per logical construct saying which
+  /// physical structure it resolved to under the active mapping.
+  ExplainMode explain = ExplainMode::kNone;
+  std::string mapping_summary;
+  std::vector<std::string> mapping_notes;
 };
 
 /// Compiles a parsed ERQL query against a database's E/R schema and its

@@ -242,7 +242,7 @@ HashAggregateOp::HashAggregateOp(OperatorPtr child,
 
 HashAggregateOp::~HashAggregateOp() = default;
 
-Status HashAggregateOp::Open() {
+Status HashAggregateOp::OpenImpl() {
   groups_ = std::make_unique<AggGroupTable>();
   next_group_ = 0;
   ERBIUM_RETURN_NOT_OK(child_->Open());
@@ -259,7 +259,7 @@ Status HashAggregateOp::Open() {
   return Status::OK();
 }
 
-bool HashAggregateOp::Next(Row* out) {
+bool HashAggregateOp::NextImpl(Row* out) {
   if (groups_ == nullptr || next_group_ >= groups_->states.size()) {
     return false;
   }

@@ -108,8 +108,8 @@ class HashAggregateOp : public Operator {
                   std::vector<AggregateSpec> aggregates);
   ~HashAggregateOp() override;
 
-  Status Open() override;
-  bool Next(Row* out) override;
+  Status OpenImpl() override;
+  bool NextImpl(Row* out) override;
   std::string name() const override;
   std::vector<const Operator*> children() const override {
     return {child_.get()};

@@ -1,0 +1,26 @@
+#ifndef ERBIUM_EXEC_EXPLAIN_H_
+#define ERBIUM_EXEC_EXPLAIN_H_
+
+#include <string>
+
+#include "exec/operator.h"
+#include "obs/trace.h"
+
+namespace erbium {
+
+/// Collects the plan's span tree, preorder. Parallel segments are
+/// rendered as the serial plan they were cloned from, with each worker
+/// clone's stats merged position-wise onto the matching serial node
+/// (clones are structurally node-for-node identical to the serial plan),
+/// so the printed tree has the same shape whether the plan ran serial or
+/// parallel — only the Gather / parallel-aggregate wrapper node itself
+/// differs.
+obs::QueryStats CollectQueryStats(const Operator& root);
+
+/// EXPLAIN rendering: the span tree as an indented list of operator
+/// names and details, without stats columns.
+std::string RenderPlanTree(const Operator& root);
+
+}  // namespace erbium
+
+#endif  // ERBIUM_EXEC_EXPLAIN_H_

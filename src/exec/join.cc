@@ -58,7 +58,7 @@ HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
   }
 }
 
-Status HashJoinOp::Open() {
+Status HashJoinOp::OpenImpl() {
   hash_table_.clear();
   current_matches_ = nullptr;
   match_index_ = 0;
@@ -77,7 +77,7 @@ Status HashJoinOp::Open() {
   return left_->Open();
 }
 
-bool HashJoinOp::Next(Row* out) {
+bool HashJoinOp::NextImpl(Row* out) {
   while (true) {
     if (current_matches_ != nullptr && match_index_ < current_matches_->size()) {
       *out = current_left_;
@@ -138,7 +138,7 @@ NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
   output_ = ConcatColumns(left_->output_columns(), right_->output_columns());
 }
 
-Status NestedLoopJoinOp::Open() {
+Status NestedLoopJoinOp::OpenImpl() {
   if (!right_materialized_) {
     ERBIUM_RETURN_NOT_OK(right_->Open());
     Row row;
@@ -149,7 +149,7 @@ Status NestedLoopJoinOp::Open() {
   return left_->Open();
 }
 
-bool NestedLoopJoinOp::Next(Row* out) {
+bool NestedLoopJoinOp::NextImpl(Row* out) {
   while (true) {
     if (!has_left_) {
       if (!left_->Next(&current_left_)) return false;
@@ -198,14 +198,14 @@ IndexJoinOp::IndexJoinOp(OperatorPtr left, const Table* right,
       ConcatColumns(left_->output_columns(), right->schema().columns());
 }
 
-Status IndexJoinOp::Open() {
+Status IndexJoinOp::OpenImpl() {
   has_left_ = false;
   matches_.clear();
   match_index_ = 0;
   return left_->Open();
 }
 
-bool IndexJoinOp::Next(Row* out) {
+bool IndexJoinOp::NextImpl(Row* out) {
   while (true) {
     if (has_left_ && match_index_ < matches_.size()) {
       *out = current_left_;

@@ -21,8 +21,8 @@ class HashJoinOp : public Operator {
              std::vector<ExprPtr> left_keys, std::vector<ExprPtr> right_keys,
              JoinType join_type = JoinType::kInner);
 
-  Status Open() override;
-  bool Next(Row* out) override;
+  Status OpenImpl() override;
+  bool NextImpl(Row* out) override;
   std::string name() const override;
   std::vector<const Operator*> children() const override {
     return {left_.get(), right_.get()};
@@ -55,8 +55,8 @@ class NestedLoopJoinOp : public Operator {
   NestedLoopJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr predicate,
                    JoinType join_type = JoinType::kInner);
 
-  Status Open() override;
-  bool Next(Row* out) override;
+  Status OpenImpl() override;
+  bool NextImpl(Row* out) override;
   std::string name() const override;
   std::vector<const Operator*> children() const override {
     return {left_.get(), right_.get()};
@@ -88,8 +88,8 @@ class IndexJoinOp : public Operator {
               std::vector<int> right_key_columns,
               JoinType join_type = JoinType::kInner);
 
-  Status Open() override;
-  bool Next(Row* out) override;
+  Status OpenImpl() override;
+  bool NextImpl(Row* out) override;
   std::string name() const override;
   std::vector<const Operator*> children() const override {
     return {left_.get()};

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "common/value.h"
 #include "exec/expr.h"
+#include "obs/trace.h"
 #include "storage/table.h"
 
 namespace erbium {
@@ -32,8 +33,23 @@ class Operator {
   /// Names/types of the produced columns, for resolution and printing.
   const std::vector<Column>& output_columns() const { return output_; }
 
-  virtual Status Open() = 0;
-  virtual bool Next(Row* out) = 0;
+  /// Non-virtual execution entry points. The wrappers feed per-instance
+  /// OpStats: opens and rows_out are always counted (one add per call);
+  /// wall/CPU time is recorded only inside an EXPLAIN ANALYZE window
+  /// (obs::AnalyzeEnabled()), and is inclusive of children since a Next
+  /// typically pulls from its child inside the timed region. Subclasses
+  /// implement OpenImpl/NextImpl.
+  Status Open();
+  bool Next(Row* out);
+
+  /// Execution stats accumulated by Open/Next since construction. One
+  /// instance is driven by one thread at a time, so reading this is only
+  /// safe once execution (including pool workers) has finished.
+  const obs::OpStats& stats() const { return stats_; }
+
+  /// Extra EXPLAIN ANALYZE annotation for this node (parallel operators
+  /// report morsel/batch distribution); empty by default.
+  virtual std::string AnalyzeDetail() const { return std::string(); }
 
   /// One-line description of this node (no children).
   virtual std::string name() const = 0;
@@ -54,8 +70,30 @@ class Operator {
 
  protected:
   Operator() = default;
+
+  virtual Status OpenImpl() = 0;
+  virtual bool NextImpl(Row* out) = 0;
+
   std::vector<Column> output_;
+  obs::OpStats stats_;
+
+ private:
+  Status OpenTimed();
+  bool NextTimed(Row* out);
 };
+
+inline Status Operator::Open() {
+  ++stats_.opens;
+  if (obs::AnalyzeEnabled()) return OpenTimed();
+  return OpenImpl();
+}
+
+inline bool Operator::Next(Row* out) {
+  if (obs::AnalyzeEnabled()) return NextTimed(out);
+  bool ok = NextImpl(out);
+  stats_.rows_out += static_cast<uint64_t>(ok);
+  return ok;
+}
 
 /// Renders an indented plan tree.
 std::string PrintPlan(const Operator& root);
@@ -70,8 +108,8 @@ class SeqScan : public Operator {
  public:
   explicit SeqScan(const Table* table);
 
-  Status Open() override;
-  bool Next(Row* out) override;
+  Status OpenImpl() override;
+  bool NextImpl(Row* out) override;
   std::string name() const override { return "SeqScan(" + table_->name() + ")"; }
   OperatorPtr CloneForWorker(ParallelContext* ctx) const override;
   size_t EstimatedRowCount() const override { return table_->size(); }
@@ -88,8 +126,8 @@ class IndexLookup : public Operator {
   IndexLookup(const Table* table, std::vector<int> column_indexes,
               IndexKey key);
 
-  Status Open() override;
-  bool Next(Row* out) override;
+  Status OpenImpl() override;
+  bool NextImpl(Row* out) override;
   std::string name() const override {
     return "IndexLookup(" + table_->name() + ")";
   }
@@ -107,8 +145,8 @@ class ValuesOp : public Operator {
  public:
   ValuesOp(std::vector<Column> columns, std::vector<Row> rows);
 
-  Status Open() override;
-  bool Next(Row* out) override;
+  Status OpenImpl() override;
+  bool NextImpl(Row* out) override;
   std::string name() const override {
     return "Values(" + std::to_string(rows_.size()) + " rows)";
   }
@@ -125,8 +163,8 @@ class FilterOp : public Operator {
  public:
   FilterOp(OperatorPtr child, ExprPtr predicate);
 
-  Status Open() override;
-  bool Next(Row* out) override;
+  Status OpenImpl() override;
+  bool NextImpl(Row* out) override;
   std::string name() const override {
     return "Filter(" + predicate_->ToString() + ")";
   }
@@ -149,8 +187,8 @@ class ProjectOp : public Operator {
   ProjectOp(OperatorPtr child, std::vector<Column> output,
             std::vector<ExprPtr> exprs);
 
-  Status Open() override;
-  bool Next(Row* out) override;
+  Status OpenImpl() override;
+  bool NextImpl(Row* out) override;
   std::string name() const override;
   std::vector<const Operator*> children() const override {
     return {child_.get()};
@@ -169,8 +207,8 @@ class LimitOp : public Operator {
  public:
   LimitOp(OperatorPtr child, size_t limit);
 
-  Status Open() override;
-  bool Next(Row* out) override;
+  Status OpenImpl() override;
+  bool NextImpl(Row* out) override;
   std::string name() const override {
     return "Limit(" + std::to_string(limit_) + ")";
   }
@@ -194,8 +232,8 @@ class DistinctOp : public Operator {
   explicit DistinctOp(OperatorPtr child);
   ~DistinctOp() override;
 
-  Status Open() override;
-  bool Next(Row* out) override;
+  Status OpenImpl() override;
+  bool NextImpl(Row* out) override;
   std::string name() const override { return "Distinct"; }
   std::vector<const Operator*> children() const override {
     return {child_.get()};
@@ -219,8 +257,8 @@ class UnnestOp : public Operator {
   UnnestOp(OperatorPtr child, int array_column, std::string element_name,
            bool outer = false);
 
-  Status Open() override;
-  bool Next(Row* out) override;
+  Status OpenImpl() override;
+  bool NextImpl(Row* out) override;
   std::string name() const override;
   std::vector<const Operator*> children() const override {
     return {child_.get()};
@@ -245,8 +283,8 @@ class UnionAllOp : public Operator {
  public:
   explicit UnionAllOp(std::vector<OperatorPtr> children);
 
-  Status Open() override;
-  bool Next(Row* out) override;
+  Status OpenImpl() override;
+  bool NextImpl(Row* out) override;
   std::string name() const override { return "UnionAll"; }
   std::vector<const Operator*> children() const override;
   OperatorPtr CloneForWorker(ParallelContext* ctx) const override;

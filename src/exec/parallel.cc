@@ -148,7 +148,7 @@ ParallelScanOp::ParallelScanOp(const Table* table,
   output_ = table_->schema().columns();
 }
 
-Status ParallelScanOp::Open() {
+Status ParallelScanOp::OpenImpl() {
   // The shared cursor is reset once per execution by the context (the
   // enclosing Gather/aggregate), not per worker.
   pos_ = 0;
@@ -156,7 +156,7 @@ Status ParallelScanOp::Open() {
   return Status::OK();
 }
 
-bool ParallelScanOp::Next(Row* out) {
+bool ParallelScanOp::NextImpl(Row* out) {
   while (true) {
     while (pos_ < limit_) {
       RowId id = pos_++;
@@ -166,6 +166,7 @@ bool ParallelScanOp::Next(Row* out) {
       }
     }
     if (!cursor_->Claim(&pos_, &limit_)) return false;
+    ++morsels_;
   }
 }
 
@@ -295,14 +296,14 @@ HashJoinProbeOp::HashJoinProbeOp(OperatorPtr probe_child,
   output_ = std::move(output);
 }
 
-Status HashJoinProbeOp::Open() {
+Status HashJoinProbeOp::OpenImpl() {
   current_matches_ = nullptr;
   match_index_ = 0;
   ERBIUM_RETURN_NOT_OK(state_->EnsureBuilt());
   return probe_child_->Open();
 }
 
-bool HashJoinProbeOp::Next(Row* out) {
+bool HashJoinProbeOp::NextImpl(Row* out) {
   while (true) {
     if (current_matches_ != nullptr &&
         match_index_ < current_matches_->size()) {
@@ -429,7 +430,7 @@ void GatherOp::Shutdown() {
   ctx_->ReleaseReadLeases();
 }
 
-Status GatherOp::Open() {
+Status GatherOp::OpenImpl() {
   Shutdown();
   ctx_->ResetForExecution();
   ctx_->AcquireReadLeases();
@@ -471,7 +472,7 @@ void GatherOp::WorkerMain(size_t worker) {
   if (ex->MarkDone(worker)) ctx_->ReleaseReadLeases();
 }
 
-bool GatherOp::Next(Row* out) {
+bool GatherOp::NextImpl(Row* out) {
   while (true) {
     if (batch_pos_ < current_batch_.size()) {
       *out = std::move(current_batch_[batch_pos_++]);
@@ -482,6 +483,7 @@ bool GatherOp::Next(Row* out) {
     if (exchange_ == nullptr || !exchange_->PopBatch(&current_batch_)) {
       return false;
     }
+    ++stats_.batches;
   }
 }
 
@@ -506,7 +508,7 @@ ParallelHashAggregateOp::ParallelHashAggregateOp(
 
 ParallelHashAggregateOp::~ParallelHashAggregateOp() = default;
 
-Status ParallelHashAggregateOp::Open() {
+Status ParallelHashAggregateOp::OpenImpl() {
   merged_ = std::make_unique<AggGroupTable>();
   next_group_ = 0;
   ctx_->ResetForExecution();
@@ -545,7 +547,7 @@ Status ParallelHashAggregateOp::Open() {
   return Status::OK();
 }
 
-bool ParallelHashAggregateOp::Next(Row* out) {
+bool ParallelHashAggregateOp::NextImpl(Row* out) {
   if (merged_ == nullptr || next_group_ >= merged_->states.size()) {
     return false;
   }

@@ -130,18 +130,24 @@ class ParallelScanOp : public Operator {
  public:
   ParallelScanOp(const Table* table, std::shared_ptr<MorselCursor> cursor);
 
-  Status Open() override;
-  bool Next(Row* out) override;
+  Status OpenImpl() override;
+  bool NextImpl(Row* out) override;
   std::string name() const override {
     return "ParallelScan(" + table_->name() + ")";
   }
   size_t EstimatedRowCount() const override { return table_->size(); }
+  std::string AnalyzeDetail() const override {
+    return "morsels=" + std::to_string(morsels_);
+  }
+  /// Morsels this worker claimed from the shared cursor (all executions).
+  uint64_t morsels() const { return morsels_; }
 
  private:
   const Table* table_;
   std::shared_ptr<MorselCursor> cursor_;
   size_t pos_ = 0;
   size_t limit_ = 0;
+  uint64_t morsels_ = 0;
 };
 
 /// Build side of a parallelized hash join, shared by the N probe clones.
@@ -165,6 +171,14 @@ class JoinBuildState {
 
   /// Rows matching `key`, or nullptr. Key must have no null values.
   const std::vector<Row>* Probe(const std::vector<Value>& key) const;
+
+  /// The serial build child (owned by the original plan) and the worker
+  /// clones used when the build itself ran parallel (empty for a serial
+  /// build). EXPLAIN ANALYZE merges their stats onto the serial node.
+  const Operator* build_plan() const { return build_plan_; }
+  const std::vector<OperatorPtr>& build_workers() const {
+    return build_workers_;
+  }
 
  private:
   using Partition = std::unordered_map<std::vector<Value>, std::vector<Row>,
@@ -192,8 +206,8 @@ class HashJoinProbeOp : public Operator {
                   std::vector<Column> output, size_t build_arity,
                   std::string display_name);
 
-  Status Open() override;
-  bool Next(Row* out) override;
+  Status OpenImpl() override;
+  bool NextImpl(Row* out) override;
   std::string name() const override { return display_name_; }
   std::vector<const Operator*> children() const override {
     return {probe_child_.get()};
@@ -201,6 +215,8 @@ class HashJoinProbeOp : public Operator {
   size_t EstimatedRowCount() const override {
     return probe_child_->EstimatedRowCount();
   }
+  const Operator* probe_child() const { return probe_child_.get(); }
+  const JoinBuildState* build_state() const { return state_.get(); }
 
  private:
   OperatorPtr probe_child_;
@@ -226,8 +242,8 @@ class GatherOp : public Operator {
            std::shared_ptr<ParallelContext> ctx);
   ~GatherOp() override;
 
-  Status Open() override;
-  bool Next(Row* out) override;
+  Status OpenImpl() override;
+  bool NextImpl(Row* out) override;
   std::string name() const override;
   std::vector<const Operator*> children() const override {
     return {workers_.front().get()};
@@ -235,6 +251,12 @@ class GatherOp : public Operator {
   size_t EstimatedRowCount() const override {
     return serial_plan_->EstimatedRowCount();
   }
+
+  /// The serial plan this exchange was built from and the worker clones
+  /// actually executed; EXPLAIN renders the serial tree with the workers'
+  /// stats merged position-wise onto it.
+  const Operator* serial_plan() const { return serial_plan_.get(); }
+  const std::vector<OperatorPtr>& workers() const { return workers_; }
 
  private:
   class Exchange;
@@ -266,11 +288,16 @@ class ParallelHashAggregateOp : public Operator {
                           std::shared_ptr<ParallelContext> ctx);
   ~ParallelHashAggregateOp() override;
 
-  Status Open() override;
-  bool Next(Row* out) override;
+  Status OpenImpl() override;
+  bool NextImpl(Row* out) override;
   std::string name() const override;
   std::vector<const Operator*> children() const override {
     return {worker_children_.front().get()};
+  }
+
+  const Operator* serial_child() const { return serial_child_.get(); }
+  const std::vector<OperatorPtr>& worker_children() const {
+    return worker_children_;
   }
 
  private:

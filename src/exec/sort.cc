@@ -9,7 +9,7 @@ SortOp::SortOp(OperatorPtr child, std::vector<SortKey> keys)
   output_ = child_->output_columns();
 }
 
-Status SortOp::Open() {
+Status SortOp::OpenImpl() {
   rows_.clear();
   next_ = 0;
   ERBIUM_RETURN_NOT_OK(child_->Open());
@@ -26,7 +26,7 @@ Status SortOp::Open() {
   return Status::OK();
 }
 
-bool SortOp::Next(Row* out) {
+bool SortOp::NextImpl(Row* out) {
   if (next_ >= rows_.size()) return false;
   *out = std::move(rows_[next_++]);
   return true;

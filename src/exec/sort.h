@@ -18,8 +18,8 @@ class SortOp : public Operator {
  public:
   SortOp(OperatorPtr child, std::vector<SortKey> keys);
 
-  Status Open() override;
-  bool Next(Row* out) override;
+  Status OpenImpl() override;
+  bool NextImpl(Row* out) override;
   std::string name() const override;
   std::vector<const Operator*> children() const override {
     return {child_.get()};

@@ -191,13 +191,13 @@ FactorizedJoinScan::FactorizedJoinScan(const FactorizedPair* pair,
                  pair->right_columns().end());
 }
 
-Status FactorizedJoinScan::Open() {
+Status FactorizedJoinScan::OpenImpl() {
   left_index_ = 0;
   edge_index_ = 0;
   return Status::OK();
 }
 
-bool FactorizedJoinScan::Next(Row* out) {
+bool FactorizedJoinScan::NextImpl(Row* out) {
   while (left_index_ < pair_->left_rows_.size()) {
     if (!pair_->left_live_[left_index_]) {
       ++left_index_;
@@ -234,12 +234,12 @@ FactorizedSideScan::FactorizedSideScan(const FactorizedPair* pair,
   output_ = left_side ? pair->left_columns() : pair->right_columns();
 }
 
-Status FactorizedSideScan::Open() {
+Status FactorizedSideScan::OpenImpl() {
   index_ = 0;
   return Status::OK();
 }
 
-bool FactorizedSideScan::Next(Row* out) {
+bool FactorizedSideScan::NextImpl(Row* out) {
   const std::vector<Row>& rows =
       left_side_ ? pair_->left_rows_ : pair_->right_rows_;
   const std::vector<bool>& live =
@@ -265,12 +265,12 @@ FactorizedGroupAggregate::FactorizedGroupAggregate(
   }
 }
 
-Status FactorizedGroupAggregate::Open() {
+Status FactorizedGroupAggregate::OpenImpl() {
   left_index_ = 0;
   return Status::OK();
 }
 
-bool FactorizedGroupAggregate::Next(Row* out) {
+bool FactorizedGroupAggregate::NextImpl(Row* out) {
   while (left_index_ < pair_->left_rows_.size()) {
     size_t l = left_index_++;
     if (!pair_->left_live_[l]) continue;

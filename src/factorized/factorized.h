@@ -110,8 +110,8 @@ class FactorizedJoinScan : public Operator {
   explicit FactorizedJoinScan(const FactorizedPair* pair,
                               bool left_outer = false);
 
-  Status Open() override;
-  bool Next(Row* out) override;
+  Status OpenImpl() override;
+  bool NextImpl(Row* out) override;
   std::string name() const override {
     return "FactorizedJoinScan(" + pair_->name() + ")";
   }
@@ -128,8 +128,8 @@ class FactorizedSideScan : public Operator {
  public:
   FactorizedSideScan(const FactorizedPair* pair, bool left_side);
 
-  Status Open() override;
-  bool Next(Row* out) override;
+  Status OpenImpl() override;
+  bool NextImpl(Row* out) override;
   std::string name() const override {
     return std::string("FactorizedSideScan(") + pair_->name() +
            (left_side_ ? ", left)" : ", right)");
@@ -150,8 +150,8 @@ class FactorizedGroupAggregate : public Operator {
   FactorizedGroupAggregate(const FactorizedPair* pair,
                            std::vector<AggregateSpec> aggregates);
 
-  Status Open() override;
-  bool Next(Row* out) override;
+  Status OpenImpl() override;
+  bool NextImpl(Row* out) override;
   std::string name() const override {
     return "FactorizedGroupAggregate(" + pair_->name() + ")";
   }

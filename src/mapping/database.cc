@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace erbium {
 
 namespace {
@@ -30,6 +32,13 @@ Result<Row> BuildRow(const TableSchema& schema, Provider&& provider) {
 }
 
 }  // namespace
+
+Status MappedDatabase::Counted(Status s, const char* counter_name) {
+  if (s.ok()) {
+    obs::MetricsRegistry::Global().counter(counter_name).Increment();
+  }
+  return s;
+}
 
 Result<std::unique_ptr<MappedDatabase>> MappedDatabase::Create(
     const ERSchema* schema, MappingSpec spec) {
@@ -326,7 +335,7 @@ Result<std::string> MappedDatabase::SpecificClassOf(
 
 // ---- insert -------------------------------------------------------------------
 
-Status MappedDatabase::InsertEntity(const std::string& class_name,
+Status MappedDatabase::InsertEntityImpl(const std::string& class_name,
                                     const Value& entity) {
   const EntitySetDef* def = schema().FindEntitySet(class_name);
   if (def == nullptr) {
@@ -603,7 +612,7 @@ Status MappedDatabase::ClearForeignKeysReferencing(
 
 // ---- delete -------------------------------------------------------------------
 
-Status MappedDatabase::DeleteEntity(const std::string& class_name,
+Status MappedDatabase::DeleteEntityImpl(const std::string& class_name,
                                     const IndexKey& key) {
   const EntitySetDef* def = schema().FindEntitySet(class_name);
   if (def == nullptr) {
@@ -955,7 +964,7 @@ Result<Value> MappedDatabase::GetEntity(const std::string& class_name,
   return Value::Struct(std::move(fields));
 }
 
-Status MappedDatabase::UpdateAttribute(const std::string& class_name,
+Status MappedDatabase::UpdateAttributeImpl(const std::string& class_name,
                                        const IndexKey& key,
                                        const std::string& attr,
                                        const Value& value) {

@@ -52,7 +52,10 @@ class MappedDatabase {
   /// Inserts an instance whose most-specific class is `class_name`.
   /// `entity` must provide non-null values for all full-key attributes;
   /// other attributes default to null / empty arrays.
-  Status InsertEntity(const std::string& class_name, const Value& entity);
+  Status InsertEntity(const std::string& class_name, const Value& entity) {
+    return Counted(InsertEntityImpl(class_name, entity),
+                   "crud.entity_inserts");
+  }
 
   /// Assembles the full logical view of an instance: every visible
   /// attribute (inherited + own), multi-valued ones as arrays. The
@@ -70,12 +73,17 @@ class MappedDatabase {
   /// Entity-centric delete (paper Section 1.1(2)): removes all segments,
   /// multi-valued rows, relationship instances touching the entity, and
   /// (recursively) owned weak entities.
-  Status DeleteEntity(const std::string& class_name, const IndexKey& key);
+  Status DeleteEntity(const std::string& class_name, const IndexKey& key) {
+    return Counted(DeleteEntityImpl(class_name, key), "crud.entity_deletes");
+  }
 
   /// Replaces the value of one attribute (multi-valued: pass the whole
   /// new array). Key attributes cannot be updated.
   Status UpdateAttribute(const std::string& class_name, const IndexKey& key,
-                         const std::string& attr, const Value& value);
+                         const std::string& attr, const Value& value) {
+    return Counted(UpdateAttributeImpl(class_name, key, attr, value),
+                   "crud.attribute_updates");
+  }
 
   /// Number of instances of the class (including descendant instances).
   Result<size_t> CountEntities(const std::string& class_name);
@@ -89,11 +97,18 @@ class MappedDatabase {
   /// relationship has no attributes.
   Status InsertRelationship(const std::string& rel_name,
                             const IndexKey& left_key, const IndexKey& right_key,
-                            const Value& attrs = Value::Null());
+                            const Value& attrs = Value::Null()) {
+    return Counted(
+        InsertRelationshipImpl(rel_name, left_key, right_key, attrs),
+        "crud.relationship_inserts");
+  }
 
   Status DeleteRelationship(const std::string& rel_name,
                             const IndexKey& left_key,
-                            const IndexKey& right_key);
+                            const IndexKey& right_key) {
+    return Counted(DeleteRelationshipImpl(rel_name, left_key, right_key),
+                   "crud.relationship_deletes");
+  }
 
   Result<size_t> CountRelationships(const std::string& rel_name);
 
@@ -139,6 +154,22 @@ class MappedDatabase {
                                         const std::vector<std::string>& attrs);
 
  private:
+  /// Bumps the named logical-CRUD counter when the operation succeeded,
+  /// so counters reflect applied changes, not attempts.
+  static Status Counted(Status s, const char* counter_name);
+
+  Status InsertEntityImpl(const std::string& class_name, const Value& entity);
+  Status DeleteEntityImpl(const std::string& class_name, const IndexKey& key);
+  Status UpdateAttributeImpl(const std::string& class_name,
+                             const IndexKey& key, const std::string& attr,
+                             const Value& value);
+  Status InsertRelationshipImpl(const std::string& rel_name,
+                                const IndexKey& left_key,
+                                const IndexKey& right_key, const Value& attrs);
+  Status DeleteRelationshipImpl(const std::string& rel_name,
+                                const IndexKey& left_key,
+                                const IndexKey& right_key);
+
   explicit MappedDatabase(PhysicalMapping mapping)
       : mapping_(std::move(mapping)) {}
 

@@ -27,7 +27,7 @@ Result<size_t> MappedDatabase::CountRelationships(
   return count;
 }
 
-Status MappedDatabase::InsertRelationship(const std::string& rel_name,
+Status MappedDatabase::InsertRelationshipImpl(const std::string& rel_name,
                                           const IndexKey& left_key,
                                           const IndexKey& right_key,
                                           const Value& attrs) {
@@ -278,7 +278,7 @@ Status MappedDatabase::InsertRelationship(const std::string& rel_name,
   return Status::Internal("unreachable relationship storage");
 }
 
-Status MappedDatabase::DeleteRelationship(const std::string& rel_name,
+Status MappedDatabase::DeleteRelationshipImpl(const std::string& rel_name,
                                           const IndexKey& left_key,
                                           const IndexKey& right_key) {
   const RelationshipSetDef* rel = schema().FindRelationshipSet(rel_name);

@@ -111,25 +111,28 @@ RelationshipStorage MappingSpec::relationship_storage(
 }
 
 std::string MappingSpec::ToString() const {
+  // Complete one-line summary: every default group plus every override,
+  // so EXPLAIN headers and bench labels fully identify the mapping.
   std::string out = name + "{mv=" + erbium::ToString(default_multi_valued);
+  for (const auto& [attr, storage] : multi_valued_overrides) {
+    out += "," + attr + ":" + erbium::ToString(storage);
+  }
   out += ", hier=";
-  if (hierarchy_overrides.empty()) {
-    out += erbium::ToString(default_hierarchy);
-  } else {
-    bool first = true;
-    for (const auto& [root, storage] : hierarchy_overrides) {
-      if (!first) out += "/";
-      first = false;
-      out += root + ":" + erbium::ToString(storage);
-    }
+  out += erbium::ToString(default_hierarchy);
+  for (const auto& [root, storage] : hierarchy_overrides) {
+    out += "," + root + ":" + erbium::ToString(storage);
   }
   out += ", weak=";
   out += erbium::ToString(default_weak);
   for (const auto& [weak, storage] : weak_overrides) {
     out += "," + weak + ":" + erbium::ToString(storage);
   }
+  out += ", rel=";
+  out += erbium::ToString(default_many_many);
+  out += "/";
+  out += erbium::ToString(default_many_one);
   for (const auto& [rel, storage] : relationship_overrides) {
-    out += ", " + rel + "=" + erbium::ToString(storage);
+    out += "," + rel + ":" + erbium::ToString(storage);
   }
   out += "}";
   return out;

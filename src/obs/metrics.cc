@@ -1,0 +1,367 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <sstream>
+
+namespace erbium {
+namespace obs {
+namespace {
+
+// Single-writer relaxed add: the owning thread is the only writer of a
+// shard cell, so a load+store pair is enough; atomic_ref just makes the
+// concurrent merged reads well-defined.
+inline void RelaxedAdd(uint64_t& cell, uint64_t delta) {
+  std::atomic_ref<uint64_t> ref(cell);
+  ref.store(ref.load(std::memory_order_relaxed) + delta,
+            std::memory_order_relaxed);
+}
+
+inline void RelaxedAddDouble(double& cell, double delta) {
+  std::atomic_ref<double> ref(cell);
+  ref.store(ref.load(std::memory_order_relaxed) + delta,
+            std::memory_order_relaxed);
+}
+
+inline uint64_t RelaxedLoad(const uint64_t& cell) {
+  return std::atomic_ref<uint64_t>(const_cast<uint64_t&>(cell))
+      .load(std::memory_order_relaxed);
+}
+
+inline double RelaxedLoadDouble(const double& cell) {
+  return std::atomic_ref<double>(const_cast<double&>(cell))
+      .load(std::memory_order_relaxed);
+}
+
+void AppendJsonString(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        out << c;
+    }
+  }
+  out << '"';
+}
+
+void AppendJsonDouble(std::ostringstream& out, double v) {
+  // Integral values (the common case for sums of integer observations)
+  // print without a trailing ".0"-less mantissa mess.
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    out << static_cast<int64_t>(v);
+  } else {
+    out << v;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Handles
+
+void Counter::Increment(uint64_t delta) const {
+  if (registry_ == nullptr) return;
+  MetricsRegistry::Shard& shard = registry_->LocalShard();
+  if (shard.counters.size() <= id_) {
+    registry_->EnsureCounterSlot(&shard, id_);
+  }
+  RelaxedAdd(shard.counters[id_], delta);
+}
+
+uint64_t Counter::Value() const {
+  if (registry_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(registry_->mu_);
+  return registry_->MergedCounterLocked(id_);
+}
+
+void Gauge::Set(int64_t value) const {
+  if (registry_ == nullptr) return;
+  registry_->gauges_[id_].store(value, std::memory_order_relaxed);
+}
+
+void Gauge::Add(int64_t delta) const {
+  if (registry_ == nullptr) return;
+  registry_->gauges_[id_].fetch_add(delta, std::memory_order_relaxed);
+}
+
+int64_t Gauge::Value() const {
+  if (registry_ == nullptr) return 0;
+  return registry_->gauges_[id_].load(std::memory_order_relaxed);
+}
+
+void Histogram::Observe(double value) const {
+  if (registry_ == nullptr) return;
+  MetricsRegistry::Shard& shard = registry_->LocalShard();
+  if (shard.hists.size() <= id_ || shard.hists[id_].buckets.empty()) {
+    registry_->EnsureHistSlot(&shard, id_);
+  }
+  MetricsRegistry::HistShard& h = shard.hists[id_];
+  const std::vector<double>& bounds = registry_->hist_defs_[id_].bounds;
+  // First bucket whose upper edge satisfies value <= bound; past the last
+  // bound the observation lands in the trailing overflow bucket.
+  size_t b = std::lower_bound(bounds.begin(), bounds.end(), value) -
+             bounds.begin();
+  RelaxedAdd(h.buckets[b], 1);
+  RelaxedAdd(h.count, 1);
+  RelaxedAddDouble(h.sum, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  if (registry_ == nullptr) return {};
+  std::lock_guard<std::mutex> lock(registry_->mu_);
+  return registry_->MergedHistogramLocked(id_);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+MetricsRegistry::~MetricsRegistry() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Shard* shard : shards_) {
+    shard->registry = nullptr;
+  }
+  shards_.clear();
+}
+
+MetricsRegistry::Shard::~Shard() {
+  MetricsRegistry* r = registry;
+  if (r == nullptr) return;
+  std::lock_guard<std::mutex> lock(r->mu_);
+  if (r->retired_counters_.size() < counters.size()) {
+    r->retired_counters_.resize(counters.size(), 0);
+  }
+  for (size_t i = 0; i < counters.size(); ++i) {
+    r->retired_counters_[i] += RelaxedLoad(counters[i]);
+  }
+  if (r->retired_hists_.size() < hists.size()) {
+    r->retired_hists_.resize(hists.size());
+  }
+  for (size_t i = 0; i < hists.size(); ++i) {
+    HistShard& dst = r->retired_hists_[i];
+    const HistShard& src = hists[i];
+    if (dst.buckets.size() < src.buckets.size()) {
+      dst.buckets.resize(src.buckets.size(), 0);
+    }
+    for (size_t b = 0; b < src.buckets.size(); ++b) {
+      dst.buckets[b] += RelaxedLoad(src.buckets[b]);
+    }
+    dst.count += RelaxedLoad(src.count);
+    dst.sum += RelaxedLoadDouble(src.sum);
+  }
+  r->shards_.erase(std::find(r->shards_.begin(), r->shards_.end(), this));
+}
+
+MetricsRegistry::Shard& MetricsRegistry::LocalShard() {
+  // One-entry cache for the overwhelmingly common single-registry case:
+  // per-row increments must not pay a map lookup. The cached shard is
+  // revalidated through its registry back-pointer, which a destroyed
+  // registry nulls out.
+  thread_local Shard* cached = nullptr;
+  if (cached != nullptr && cached->registry == this) return *cached;
+  // Keyed by registry so test-local registries coexist with Global().
+  // A slot whose registry was destroyed (orphaned, registry == nullptr)
+  // is replaced: a new registry may reuse the old one's address.
+  thread_local std::map<MetricsRegistry*, std::unique_ptr<Shard>> shards;
+  std::unique_ptr<Shard>& slot = shards[this];
+  if (slot == nullptr || slot->registry == nullptr) {
+    slot = std::make_unique<Shard>(this);
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(slot.get());
+  }
+  cached = slot.get();
+  return *slot;
+}
+
+void MetricsRegistry::EnsureCounterSlot(Shard* shard, size_t id) {
+  // Growth reallocates the vector, so it must exclude concurrent merges;
+  // only the owning thread ever changes the size.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shard->counters.size() <= id) {
+    shard->counters.resize(counter_ids_.size(), 0);
+  }
+}
+
+void MetricsRegistry::EnsureHistSlot(Shard* shard, size_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shard->hists.size() <= id) {
+    shard->hists.resize(hist_defs_.size());
+  }
+  for (size_t i = 0; i < shard->hists.size(); ++i) {
+    if (shard->hists[i].buckets.empty()) {
+      shard->hists[i].buckets.resize(hist_defs_[i].bounds.size() + 1, 0);
+    }
+  }
+}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counter_ids_.find(name);
+  if (it == counter_ids_.end()) {
+    it = counter_ids_.emplace(name, counter_ids_.size()).first;
+  }
+  return Counter(this, it->second);
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauge_ids_.find(name);
+  if (it == gauge_ids_.end()) {
+    it = gauge_ids_.emplace(name, gauge_ids_.size()).first;
+    gauges_.emplace_back(0);
+  }
+  return Gauge(this, it->second);
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name,
+                                     std::vector<double> bounds) {
+  std::sort(bounds.begin(), bounds.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hist_ids_.find(name);
+  if (it == hist_ids_.end()) {
+    it = hist_ids_.emplace(name, hist_ids_.size()).first;
+    hist_defs_.push_back(HistDef{name, std::move(bounds)});
+  }
+  return Histogram(this, it->second);
+}
+
+uint64_t MetricsRegistry::MergedCounterLocked(size_t id) const {
+  uint64_t total = id < retired_counters_.size() ? retired_counters_[id] : 0;
+  for (Shard* shard : shards_) {
+    if (id < shard->counters.size()) {
+      total += RelaxedLoad(shard->counters[id]);
+    }
+  }
+  return total;
+}
+
+HistogramSnapshot MetricsRegistry::MergedHistogramLocked(size_t id) const {
+  HistogramSnapshot snap;
+  if (id >= hist_defs_.size()) return snap;
+  snap.bounds = hist_defs_[id].bounds;
+  snap.buckets.assign(snap.bounds.size() + 1, 0);
+  auto fold = [&snap](const HistShard& h) {
+    for (size_t b = 0; b < h.buckets.size() && b < snap.buckets.size(); ++b) {
+      snap.buckets[b] += RelaxedLoad(h.buckets[b]);
+    }
+    snap.count += RelaxedLoad(h.count);
+    snap.sum += RelaxedLoadDouble(h.sum);
+  };
+  if (id < retired_hists_.size()) fold(retired_hists_[id]);
+  for (Shard* shard : shards_) {
+    if (id < shard->hists.size()) fold(shard->hists[id]);
+  }
+  return snap;
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counter_ids_.find(name);
+  return it == counter_ids_.end() ? 0 : MergedCounterLocked(it->second);
+}
+
+int64_t MetricsRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauge_ids_.find(name);
+  return it == gauge_ids_.end()
+             ? 0
+             : gauges_[it->second].load(std::memory_order_relaxed);
+}
+
+HistogramSnapshot MetricsRegistry::HistogramValue(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hist_ids_.find(name);
+  return it == hist_ids_.end() ? HistogramSnapshot{}
+                               : MergedHistogramLocked(it->second);
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, id] : counter_ids_) {
+    if (!first) out << ',';
+    first = false;
+    AppendJsonString(out, name);
+    out << ':' << MergedCounterLocked(id);
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, id] : gauge_ids_) {
+    if (!first) out << ',';
+    first = false;
+    AppendJsonString(out, name);
+    out << ':' << gauges_[id].load(std::memory_order_relaxed);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, id] : hist_ids_) {
+    if (!first) out << ',';
+    first = false;
+    AppendJsonString(out, name);
+    HistogramSnapshot snap = MergedHistogramLocked(id);
+    out << ":{\"bounds\":[";
+    for (size_t i = 0; i < snap.bounds.size(); ++i) {
+      if (i) out << ',';
+      AppendJsonDouble(out, snap.bounds[i]);
+    }
+    out << "],\"buckets\":[";
+    for (size_t i = 0; i < snap.buckets.size(); ++i) {
+      if (i) out << ',';
+      out << snap.buckets[i];
+    }
+    out << "],\"count\":" << snap.count << ",\"sum\":";
+    AppendJsonDouble(out, snap.sum);
+    out << '}';
+  }
+  out << "}}";
+  return out.str();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(retired_counters_.begin(), retired_counters_.end(), 0);
+  for (HistShard& h : retired_hists_) {
+    std::fill(h.buckets.begin(), h.buckets.end(), 0);
+    h.count = 0;
+    h.sum = 0;
+  }
+  for (auto& g : gauges_) {
+    g.store(0, std::memory_order_relaxed);
+  }
+  for (Shard* shard : shards_) {
+    for (uint64_t& cell : shard->counters) {
+      std::atomic_ref<uint64_t>(cell).store(0, std::memory_order_relaxed);
+    }
+    for (HistShard& h : shard->hists) {
+      for (uint64_t& cell : h.buckets) {
+        std::atomic_ref<uint64_t>(cell).store(0, std::memory_order_relaxed);
+      }
+      std::atomic_ref<uint64_t>(h.count).store(0, std::memory_order_relaxed);
+      std::atomic_ref<double>(h.sum).store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace erbium

@@ -1,0 +1,177 @@
+#ifndef ERBIUM_OBS_METRICS_H_
+#define ERBIUM_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace erbium {
+namespace obs {
+
+/// Process-wide metrics: named counters, gauges, and fixed-boundary
+/// histograms.
+///
+/// The hot path (Counter::Increment / Histogram::Observe) is lock-free:
+/// every thread owns a thread-local *shard* holding one slot per metric,
+/// and writes touch only that shard with relaxed atomics (single writer
+/// per slot, so a load+store pair suffices — no lock-prefixed RMW).
+/// Reads (Value/Snapshot/ToJson) take the registry mutex and merge the
+/// live shards plus the totals retired by exited threads. The mutex is
+/// also what keeps shard growth (registering a metric after a shard
+/// exists) safe against concurrent merges.
+///
+/// Registration is idempotent by name and returns a cheap copyable
+/// handle; handles stay valid for the process lifetime (the registry is
+/// never destroyed).
+class MetricsRegistry;
+
+/// Monotonically increasing count (rows scanned, inserts, index probes).
+class Counter {
+ public:
+  Counter() = default;
+  void Increment(uint64_t delta = 1) const;
+  /// Merged value across all shards. Takes the registry lock.
+  uint64_t Value() const;
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* registry, size_t id)
+      : registry_(registry), id_(id) {}
+  MetricsRegistry* registry_ = nullptr;
+  size_t id_ = 0;
+};
+
+/// Point-in-time signed value (open scans, live tables). Set/Add are
+/// globally ordered (plain atomics, not sharded): gauges are written
+/// rarely and a per-shard "last write" would not merge meaningfully.
+class Gauge {
+ public:
+  Gauge() = default;
+  void Set(int64_t value) const;
+  void Add(int64_t delta) const;
+  int64_t Value() const;
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricsRegistry* registry, size_t id)
+      : registry_(registry), id_(id) {}
+  MetricsRegistry* registry_ = nullptr;
+  size_t id_ = 0;
+};
+
+/// Merged histogram state returned by reads.
+struct HistogramSnapshot {
+  std::vector<double> bounds;    // upper bucket edges, ascending
+  std::vector<uint64_t> buckets; // bounds.size() + 1 (last = overflow)
+  uint64_t count = 0;
+  double sum = 0;
+};
+
+/// Distribution with fixed bucket boundaries chosen at registration.
+/// An observation v lands in the first bucket whose bound satisfies
+/// v <= bound; values above the last bound land in the overflow bucket.
+class Histogram {
+ public:
+  Histogram() = default;
+  void Observe(double value) const;
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(MetricsRegistry* registry, size_t id)
+      : registry_(registry), id_(id) {}
+  MetricsRegistry* registry_ = nullptr;
+  size_t id_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry. Intentionally leaked so metrics written
+  /// during static destruction stay valid.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  /// Orphans any still-live thread shards (e.g. the calling thread's own)
+  /// so their eventual thread-exit destruction is a no-op. Threads other
+  /// than the caller must have stopped writing before destruction.
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Idempotent registration: the same name always yields a handle to
+  /// the same metric. A histogram re-registered with different bounds
+  /// keeps the original bounds.
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  Histogram histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Merged reads by name; zero/empty when the metric does not exist.
+  uint64_t CounterValue(const std::string& name) const;
+  int64_t GaugeValue(const std::string& name) const;
+  HistogramSnapshot HistogramValue(const std::string& name) const;
+
+  /// All metrics as one JSON object, keys sorted:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  std::string ToJson() const;
+
+  /// Zeroes every metric (counters, gauges, histogram contents; bucket
+  /// boundaries are kept). Callers must be quiescent: increments racing
+  /// a reset may survive it. Intended for between-query / between-test
+  /// boundaries.
+  void Reset();
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  struct HistShard {
+    std::vector<uint64_t> buckets;
+    uint64_t count = 0;
+    double sum = 0;
+  };
+
+  /// One thread's slice of every sharded metric. Owned thread_local;
+  /// merged into retired totals on thread exit.
+  struct Shard {
+    explicit Shard(MetricsRegistry* registry) : registry(registry) {}
+    ~Shard();
+    MetricsRegistry* registry;
+    std::vector<uint64_t> counters;
+    std::vector<HistShard> hists;
+  };
+
+  struct HistDef {
+    std::string name;
+    std::vector<double> bounds;
+  };
+
+  Shard& LocalShard();
+  /// Grows `shard` under the lock so merges never observe a resize.
+  void EnsureCounterSlot(Shard* shard, size_t id);
+  void EnsureHistSlot(Shard* shard, size_t id);
+
+  uint64_t MergedCounterLocked(size_t id) const;
+  HistogramSnapshot MergedHistogramLocked(size_t id) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, size_t> counter_ids_;
+  std::map<std::string, size_t> gauge_ids_;
+  std::map<std::string, size_t> hist_ids_;
+  // Deques: element addresses stay stable as metrics are added.
+  std::deque<std::atomic<int64_t>> gauges_;
+  std::deque<HistDef> hist_defs_;
+  std::vector<Shard*> shards_;
+  // Totals folded in from destroyed (thread-exit) shards.
+  std::vector<uint64_t> retired_counters_;
+  std::vector<HistShard> retired_hists_;
+};
+
+}  // namespace obs
+}  // namespace erbium
+
+#endif  // ERBIUM_OBS_METRICS_H_

@@ -1,0 +1,83 @@
+#include "obs/trace.h"
+
+#include <time.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace erbium {
+namespace obs {
+namespace {
+
+std::atomic<bool> g_analyze{false};
+
+uint64_t ClockNs(clockid_t clock) {
+  struct timespec ts;
+  clock_gettime(clock, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+bool AnalyzeEnabled() { return g_analyze.load(std::memory_order_relaxed); }
+
+void SetAnalyzeEnabled(bool enabled) {
+  g_analyze.store(enabled, std::memory_order_relaxed);
+}
+
+ScopedAnalyze::ScopedAnalyze() : prev_(AnalyzeEnabled()) {
+  SetAnalyzeEnabled(true);
+}
+
+ScopedAnalyze::~ScopedAnalyze() { SetAnalyzeEnabled(prev_); }
+
+uint64_t MonotonicNowNs() { return ClockNs(CLOCK_MONOTONIC); }
+
+uint64_t ThreadCpuNowNs() { return ClockNs(CLOCK_THREAD_CPUTIME_ID); }
+
+std::string FormatNs(uint64_t ns) {
+  char buf[32];
+  if (ns >= 1000000000ull) {
+    snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(ns) / 1e9);
+  } else if (ns >= 1000000ull) {
+    snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns) / 1e6);
+  } else if (ns >= 1000ull) {
+    snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1e3);
+  } else {
+    snprintf(buf, sizeof(buf), "%lluns",
+             static_cast<unsigned long long>(ns));
+  }
+  return buf;
+}
+
+std::string QueryStats::ToString() const {
+  bool timed = false;
+  for (const SpanRecord& span : spans) {
+    if (span.stats.wall_ns > 0 || span.stats.cpu_ns > 0) {
+      timed = true;
+      break;
+    }
+  }
+  std::ostringstream out;
+  for (const SpanRecord& span : spans) {
+    for (int i = 0; i < span.depth; ++i) out << "  ";
+    out << span.name;
+    if (!span.detail.empty()) out << " [" << span.detail << ']';
+    out << "  rows=" << span.stats.rows_out;
+    if (span.stats.opens != 1) out << " opens=" << span.stats.opens;
+    if (span.stats.batches > 0) out << " batches=" << span.stats.batches;
+    if (timed) {
+      out << " wall=" << FormatNs(span.stats.wall_ns)
+          << " cpu=" << FormatNs(span.stats.cpu_ns);
+    }
+    out << '\n';
+  }
+  if (total_wall_ns > 0) {
+    out << "total wall=" << FormatNs(total_wall_ns) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace erbium

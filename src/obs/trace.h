@@ -1,0 +1,85 @@
+#ifndef ERBIUM_OBS_TRACE_H_
+#define ERBIUM_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace erbium {
+namespace obs {
+
+/// Per-operator-instance execution stats, filled in by the exec layer's
+/// Open/Next wrappers. One instance is driven by one thread at a time
+/// (worker clones get their own instance), so the fields are plain
+/// integers; cross-worker aggregation copies them after the workers have
+/// been joined.
+struct OpStats {
+  uint64_t opens = 0;     // Open() calls (re-execution shows up here)
+  uint64_t rows_out = 0;  // successful Next() calls
+  uint64_t batches = 0;   // exchange batches (GatherOp only)
+  uint64_t wall_ns = 0;   // monotonic time inside Open+Next, analyze only
+  uint64_t cpu_ns = 0;    // thread CPU time inside Open+Next, analyze only
+
+  void MergeFrom(const OpStats& other) {
+    opens += other.opens;
+    rows_out += other.rows_out;
+    batches += other.batches;
+    wall_ns += other.wall_ns;
+    cpu_ns += other.cpu_ns;
+  }
+};
+
+/// Row counting is always on (one add per Next); the clock reads are not
+/// free, so they are gated behind this process-wide flag, flipped by
+/// EXPLAIN ANALYZE around a single execution. A tree walk can't reach
+/// parallel worker clones (GatherOp owns them internally), which is why
+/// this is a global flag rather than per-plan state.
+bool AnalyzeEnabled();
+void SetAnalyzeEnabled(bool enabled);
+
+/// RAII analyze window; restores the previous flag value on scope exit.
+class ScopedAnalyze {
+ public:
+  ScopedAnalyze();
+  ~ScopedAnalyze();
+  ScopedAnalyze(const ScopedAnalyze&) = delete;
+  ScopedAnalyze& operator=(const ScopedAnalyze&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// CLOCK_MONOTONIC, nanoseconds.
+uint64_t MonotonicNowNs();
+/// CLOCK_THREAD_CPUTIME_ID, nanoseconds (calling thread only).
+uint64_t ThreadCpuNowNs();
+
+/// One rendered span in a collected query trace: an operator instance
+/// plus its stats, positioned in the plan tree by depth (parent spans
+/// precede children, preorder).
+struct SpanRecord {
+  std::string name;    // operator display name
+  std::string detail;  // mapping / planner annotation, may be empty
+  int depth = 0;
+  OpStats stats;
+};
+
+/// Per-query trace assembled after execution by walking the plan.
+struct QueryStats {
+  std::vector<SpanRecord> spans;
+  uint64_t total_wall_ns = 0;
+
+  /// Indented tree, one span per line:
+  ///   name [detail]  rows=N opens=N wall=1.2ms cpu=0.9ms
+  /// Timing columns are omitted when no span recorded any.
+  std::string ToString() const;
+};
+
+/// "1.23ms" / "45.6us" / "789ns" — shared by QueryStats and EXPLAIN.
+std::string FormatNs(uint64_t ns);
+
+}  // namespace obs
+}  // namespace erbium
+
+#endif  // ERBIUM_OBS_TRACE_H_

@@ -30,11 +30,13 @@ void HashIndex::Erase(const IndexKey& key, RowId id) {
 }
 
 void HashIndex::Lookup(const IndexKey& key, std::vector<RowId>* out) const {
+  CountProbe();
   auto [begin, end] = map_.equal_range(key);
   for (auto it = begin; it != end; ++it) out->push_back(it->second);
 }
 
 bool HashIndex::Contains(const IndexKey& key) const {
+  CountProbe();
   return map_.count(key) > 0;
 }
 
@@ -58,18 +60,22 @@ void OrderedIndex::Erase(const IndexKey& key, RowId id) {
   }
 }
 
-void OrderedIndex::Lookup(const IndexKey& key, std::vector<RowId>* out) const {
+void OrderedIndex::Lookup(const IndexKey& key,
+                          std::vector<RowId>* out) const {
+  CountProbe();
   auto [begin, end] = map_.equal_range(key);
   for (auto it = begin; it != end; ++it) out->push_back(it->second);
 }
 
 bool OrderedIndex::Contains(const IndexKey& key) const {
+  CountProbe();
   return map_.count(key) > 0;
 }
 
 void OrderedIndex::LookupRange(const IndexKey& lo, bool lo_inclusive,
                                const IndexKey& hi, bool hi_inclusive,
                                std::vector<RowId>* out) const {
+  CountProbe();
   auto begin = lo.empty()
                    ? map_.begin()
                    : (lo_inclusive ? map_.lower_bound(lo) : map_.upper_bound(lo));

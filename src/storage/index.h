@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "common/value.h"
+#include "obs/metrics.h"
 
 namespace erbium {
 
@@ -25,7 +26,11 @@ using IndexKey = std::vector<Value>;
 class Index {
  public:
   Index(std::string name, std::vector<int> columns, bool unique)
-      : name_(std::move(name)), columns_(std::move(columns)), unique_(unique) {}
+      : name_(std::move(name)),
+        columns_(std::move(columns)),
+        unique_(unique),
+        probes_(obs::MetricsRegistry::Global().counter("index." + name_ +
+                                                       ".probes")) {}
   virtual ~Index() = default;
 
   Index(const Index&) = delete;
@@ -52,10 +57,18 @@ class Index {
   /// Whether a key participates in the index (no null components).
   static bool IsIndexableKey(const IndexKey& key);
 
+  /// Merged probe count ("index.<name>.probes"): point lookups, existence
+  /// checks, and range scans served by this index.
+  uint64_t probes() const { return probes_.Value(); }
+
+ protected:
+  void CountProbe() const { probes_.Increment(); }
+
  private:
   std::string name_;
   std::vector<int> columns_;
   bool unique_;
+  obs::Counter probes_;
 };
 
 /// Hash index: O(1) point lookups, no range support.

@@ -4,7 +4,12 @@
 
 namespace erbium {
 
-Table::Table(TableSchema schema) : schema_(std::move(schema)) {}
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  inserts_ = metrics.counter("table." + name() + ".inserts");
+  updates_ = metrics.counter("table." + name() + ".updates");
+  deletes_ = metrics.counter("table." + name() + ".deletes");
+}
 
 IndexKey Table::ExtractKey(const Row& row,
                            const std::vector<int>& columns) const {
@@ -34,6 +39,7 @@ Result<RowId> Table::Insert(Row row) {
   rows_.push_back(std::move(row));
   live_.push_back(true);
   ++live_count_;
+  inserts_.Increment();
   return id;
 }
 
@@ -62,6 +68,7 @@ Status Table::Update(RowId id, Row row) {
     ERBIUM_RETURN_NOT_OK(index->Insert(ExtractKey(row, index->columns()), id));
   }
   rows_[id] = std::move(row);
+  updates_.Increment();
   return Status::OK();
 }
 
@@ -77,6 +84,7 @@ Status Table::Delete(RowId id) {
   live_[id] = false;
   rows_[id].clear();
   --live_count_;
+  deletes_.Increment();
   return Status::OK();
 }
 

@@ -98,6 +98,11 @@ class Table {
   size_t live_count_ = 0;
   std::vector<std::unique_ptr<Index>> indexes_;
   mutable std::atomic<int> concurrent_readers_{0};
+  // Per-physical-table mutation counters ("table.<name>.inserts" etc.),
+  // bumped only after the mutation succeeds.
+  obs::Counter inserts_;
+  obs::Counter updates_;
+  obs::Counter deletes_;
 };
 
 /// Approximate payload size of one value in bytes (recursive).

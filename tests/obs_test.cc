@@ -1,0 +1,184 @@
+// Tests for the observability subsystem: metric registration and merge
+// semantics (thread-local shards, retired totals), histogram bucket
+// edges, reset between queries, and the analyze flag used by EXPLAIN
+// ANALYZE.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace erbium {
+namespace obs {
+namespace {
+
+TEST(MetricsTest, CounterRegistrationIsIdempotent) {
+  MetricsRegistry registry;
+  Counter a = registry.counter("queries");
+  Counter b = registry.counter("queries");
+  a.Increment();
+  b.Increment(4);
+  EXPECT_EQ(a.Value(), 5u);
+  EXPECT_EQ(registry.CounterValue("queries"), 5u);
+  EXPECT_EQ(registry.CounterValue("never_registered"), 0u);
+}
+
+TEST(MetricsTest, ConcurrentCounterIncrements) {
+  constexpr uint64_t kPerThread = 20000;
+  for (int threads : {1, 8}) {
+    MetricsRegistry registry;
+    Counter counter = registry.counter("hits");
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&counter] {
+        for (uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    // Worker shards retired on thread exit must still be counted.
+    EXPECT_EQ(counter.Value(), kPerThread * threads) << threads << " threads";
+  }
+}
+
+TEST(MetricsTest, CountersVisibleWhileThreadsStillRun) {
+  MetricsRegistry registry;
+  Counter counter = registry.counter("live");
+  std::thread worker([&counter] { counter.Increment(7); });
+  worker.join();
+  counter.Increment(1);
+  EXPECT_EQ(counter.Value(), 8u);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge gauge = registry.gauge("open_scans");
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.Value(), 7);
+  EXPECT_EQ(registry.GaugeValue("open_scans"), 7);
+}
+
+TEST(MetricsTest, HistogramBucketEdges) {
+  MetricsRegistry registry;
+  Histogram hist = registry.histogram("latency", {1.0, 10.0, 100.0});
+  // v <= bound lands in that bucket: exact edges stay in the lower bucket.
+  hist.Observe(0.5);    // bucket 0
+  hist.Observe(1.0);    // bucket 0 (edge)
+  hist.Observe(1.5);    // bucket 1
+  hist.Observe(10.0);   // bucket 1 (edge)
+  hist.Observe(100.0);  // bucket 2 (edge)
+  hist.Observe(1e6);    // overflow
+  HistogramSnapshot snap = hist.Snapshot();
+  ASSERT_EQ(snap.bounds, (std::vector<double>{1.0, 10.0, 100.0}));
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[1], 2u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+  EXPECT_EQ(snap.count, 6u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 1.5 + 10.0 + 100.0 + 1e6);
+}
+
+TEST(MetricsTest, HistogramMergesAcrossThreads) {
+  MetricsRegistry registry;
+  Histogram hist = registry.histogram("rows", {10.0});
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&hist] {
+      hist.Observe(5.0);
+      hist.Observe(50.0);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.buckets[0], 4u);
+  EXPECT_EQ(snap.buckets[1], 4u);
+  EXPECT_EQ(snap.count, 8u);
+}
+
+TEST(MetricsTest, ResetZeroesEverythingButKeepsDefinitions) {
+  MetricsRegistry registry;
+  Counter counter = registry.counter("c");
+  Gauge gauge = registry.gauge("g");
+  Histogram hist = registry.histogram("h", {2.0});
+  counter.Increment(9);
+  gauge.Set(-4);
+  hist.Observe(1.0);
+  hist.Observe(3.0);
+  registry.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(gauge.Value(), 0);
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.bounds, (std::vector<double>{2.0}));  // bounds survive
+  EXPECT_EQ(snap.buckets, (std::vector<uint64_t>{0u, 0u}));
+  // Handles keep working after the reset (next query's counts).
+  counter.Increment(2);
+  hist.Observe(1.0);
+  EXPECT_EQ(counter.Value(), 2u);
+  EXPECT_EQ(hist.Snapshot().count, 1u);
+}
+
+TEST(MetricsTest, ToJsonContainsAllMetricKinds) {
+  MetricsRegistry registry;
+  registry.counter("b_counter").Increment(3);
+  registry.counter("a_counter").Increment(1);
+  registry.gauge("depth").Set(2);
+  registry.histogram("lat", {1.0}).Observe(0.5);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"a_counter\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"b_counter\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"depth\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"lat\""), std::string::npos) << json;
+  // Keys come out sorted, so diffs between dumps are stable.
+  EXPECT_LT(json.find("a_counter"), json.find("b_counter"));
+}
+
+TEST(MetricsTest, GlobalRegistryIsASingleton) {
+  Counter a = MetricsRegistry::Global().counter("obs_test.global");
+  uint64_t before = a.Value();
+  MetricsRegistry::Global().counter("obs_test.global").Increment();
+  EXPECT_EQ(a.Value(), before + 1);
+}
+
+TEST(TraceTest, ScopedAnalyzeRestoresPreviousState) {
+  ASSERT_FALSE(AnalyzeEnabled());
+  {
+    ScopedAnalyze outer;
+    EXPECT_TRUE(AnalyzeEnabled());
+    {
+      ScopedAnalyze inner;
+      EXPECT_TRUE(AnalyzeEnabled());
+    }
+    EXPECT_TRUE(AnalyzeEnabled());  // inner exit keeps outer window open
+  }
+  EXPECT_FALSE(AnalyzeEnabled());
+}
+
+TEST(TraceTest, OpStatsMerge) {
+  OpStats a;
+  a.opens = 1;
+  a.rows_out = 10;
+  a.batches = 2;
+  a.wall_ns = 100;
+  a.cpu_ns = 80;
+  OpStats b;
+  b.opens = 1;
+  b.rows_out = 5;
+  b.wall_ns = 50;
+  b.cpu_ns = 40;
+  a.MergeFrom(b);
+  EXPECT_EQ(a.opens, 2u);
+  EXPECT_EQ(a.rows_out, 15u);
+  EXPECT_EQ(a.batches, 2u);
+  EXPECT_EQ(a.wall_ns, 150u);
+  EXPECT_EQ(a.cpu_ns, 120u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace erbium
