@@ -10,6 +10,7 @@
 #include <string>
 
 #include "erql/query_engine.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "workload/figure4.h"
 
@@ -95,20 +96,26 @@ inline void RunQueryBenchmark(benchmark::State& state,
 /// index-probe counts from database construction plus whatever the
 /// benched queries touched.
 inline void WriteMetricsDump(const std::string& bench_name) {
-  std::string path = "BENCH_" + bench_name + ".json";
-  if (const char* dir = std::getenv("ERBIUM_BENCH_STATS_DIR")) {
-    path = std::string(dir) + "/" + path;
+  std::string dir;
+  if (const char* env = std::getenv("ERBIUM_BENCH_STATS_DIR")) {
+    dir = std::string(env) + "/";
   }
-  std::string json = "{\"bench\": \"" + bench_name + "\", \"metrics\": " +
-                     obs::MetricsRegistry::Global().ToJson() + "}\n";
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "[metrics] cannot write %s\n", path.c_str());
-    return;
-  }
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
-  std::fprintf(stderr, "[metrics] wrote %s\n", path.c_str());
+  auto write = [&](const std::string& filename, const std::string& body) {
+    std::string path = dir + filename;
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[metrics] cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "[metrics] wrote %s\n", path.c_str());
+  };
+  write("BENCH_" + bench_name + ".json",
+        "{\"bench\": \"" + bench_name + "\", \"metrics\": " +
+            obs::MetricsRegistry::Global().ToJson() + "}\n");
+  // The same registry in Prometheus text form, scrape-ready.
+  write("BENCH_" + bench_name + ".prom", obs::ExportPrometheusText());
 }
 
 }  // namespace bench

@@ -10,7 +10,11 @@
 //   CREATE ENTITY ... ;            extend the schema (rebuilds the DB)
 //   SELECT ... ;                   run an ERQL query
 //   EXPLAIN [ANALYZE] SELECT ...;  show the annotated physical plan
+//   SHOW METRICS [LIKE '<glob>'];  dump the process metrics registry
+//   SHOW QUERIES [SLOW] [LIMIT n]; the query log / slow-query ring
+//   TRACE [INTO '<file>'] SELECT ...;  run + emit a Chrome trace JSON
 //   INSERT <Entity> {json-ish} ;   not supported — use the C++ API
+//   \metrics           Prometheus text exposition of the registry
 //   \tables            list physical tables of the current mapping
 //   \mapping           show the active mapping spec (JSON)
 //   \mappings          list selectable mapping presets
@@ -29,6 +33,7 @@
 #include "er/er_graph.h"
 #include "erql/query_engine.h"
 #include "evolution/evolution.h"
+#include "obs/export.h"
 #include "workload/figure4.h"
 
 namespace {
@@ -80,6 +85,10 @@ struct Shell {
         std::printf("  [pair] %s (left of %s)\n", pair.name.c_str(),
                     pair.relationship.c_str());
       }
+      return;
+    }
+    if (starts("\\metrics")) {
+      std::printf("%s", erbium::obs::ExportPrometheusText().c_str());
       return;
     }
     if (starts("\\mappings")) {
@@ -169,14 +178,15 @@ struct Shell {
                   db->mapping().tables().size());
       return;
     }
-    if (lowered.rfind("select", 0) == 0 || lowered.rfind("explain", 0) == 0) {
+    if (lowered.rfind("select", 0) == 0 || lowered.rfind("explain", 0) == 0 ||
+        lowered.rfind("show", 0) == 0 || lowered.rfind("trace", 0) == 0) {
       auto result = erbium::erql::QueryEngine::Execute(db.get(), statement);
       if (!result.ok()) {
         std::printf("%s\n", result.status().ToString().c_str());
         return;
       }
-      if (lowered.rfind("explain", 0) == 0) {
-        // Plan output is plain lines; skip the table frame.
+      if (lowered.rfind("explain", 0) == 0 || lowered.rfind("trace", 0) == 0) {
+        // Plan / trace output is plain lines; skip the table frame.
         for (const erbium::Row& row : result->rows) {
           std::printf("%s\n", row[0].as_string().c_str());
         }
@@ -187,8 +197,8 @@ struct Shell {
       return;
     }
     std::printf(
-        "only CREATE / SELECT / EXPLAIN [ANALYZE] statements and "
-        "\\commands are supported\n");
+        "only CREATE / SELECT / EXPLAIN [ANALYZE] / SHOW / TRACE "
+        "statements and \\commands are supported\n");
   }
 };
 
@@ -215,8 +225,9 @@ int main(int argc, char** argv) {
     if (!st.ok()) return 1;
     std::printf("Loaded the paper's Figure 4 schema with sample data.\n");
   }
-  std::printf("ErbiumDB shell — \\tables \\mapping \\remap \\plan \\schema "
-              "\\graph \\cover \\quit; end statements with ';'\n");
+  std::printf("ErbiumDB shell — \\tables \\mapping \\remap \\plan \\metrics "
+              "\\schema \\graph \\cover \\quit; SHOW METRICS / SHOW QUERIES "
+              "[SLOW] / TRACE SELECT ...; end statements with ';'\n");
   std::string buffer;
   std::string line;
   std::printf("erbium> ");

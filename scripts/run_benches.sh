@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Builds the benchmarks in Release mode and runs every bench_* binary,
+# collecting results under bench/results/:
+#   <name>.json         google-benchmark's own JSON report
+#   BENCH_<name>.json   the metrics-registry dump written on exit
+#   BENCH_<name>.prom   the same registry, Prometheus text exposition
+#
+# Usage:
+#   scripts/run_benches.sh                  # all benches, default scale
+#   scripts/run_benches.sh bench_exec_micro # just one
+#   ERBIUM_BENCH_SCALE=2000 scripts/run_benches.sh   # smaller database
+#   BENCH_MIN_TIME=0.2 scripts/run_benches.sh        # faster, noisier
+#
+# See EXPERIMENTS.md for how these results map onto the paper's figures.
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build-release"
+results="$repo/bench/results"
+min_time="${BENCH_MIN_TIME:-0.5}"
+
+cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$build" -j "$(nproc)" --target $(
+  ls "$repo"/bench/bench_*.cc | xargs -n1 basename | sed 's/\.cc$//'
+) >/dev/null
+
+mkdir -p "$results"
+
+selected=("$@")
+for bin in "$build"/bench/bench_*; do
+  [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  if [ "${#selected[@]}" -gt 0 ]; then
+    case " ${selected[*]} " in
+      *" $name "*) ;;
+      *) continue ;;
+    esac
+  fi
+  echo "== $name =="
+  ERBIUM_BENCH_STATS_DIR="$results" "$bin" \
+    --benchmark_min_time="$min_time" \
+    --benchmark_out="$results/$name.json" \
+    --benchmark_out_format=json
+done
+
+echo "results in $results/"

@@ -44,6 +44,29 @@ std::string Join(const std::vector<std::string>& parts,
   return out;
 }
 
+bool GlobMatch(const std::string& pattern, const std::string& text) {
+  // Iterative wildcard match with backtracking to the last '*'.
+  size_t p = 0, t = 0;
+  size_t star = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
 bool EqualsIgnoreCase(const std::string& a, const std::string& b) {
   if (a.size() != b.size()) return false;
   for (size_t i = 0; i < a.size(); ++i) {

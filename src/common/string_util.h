@@ -22,6 +22,11 @@ std::string Join(const std::vector<std::string>& parts,
 /// Case-insensitive equality for identifiers/keywords.
 bool EqualsIgnoreCase(const std::string& a, const std::string& b);
 
+/// Shell-style glob match: '*' matches any run (including empty), '?'
+/// matches one character, everything else matches literally and
+/// case-sensitively. Used by SHOW METRICS LIKE '<glob>'.
+bool GlobMatch(const std::string& pattern, const std::string& text);
+
 }  // namespace erbium
 
 #endif  // ERBIUM_COMMON_STRING_UTIL_H_

@@ -71,10 +71,29 @@ struct OrderItem {
 /// annotates every operator with collected row counts and timings.
 enum class ExplainMode { kNone, kPlan, kAnalyze };
 
+/// What a parsed statement is. Beyond SELECT the dialect carries the
+/// telemetry introspection statements:
+///   SHOW METRICS [LIKE '<glob>']   — the process metrics registry
+///   SHOW QUERIES [SLOW] [LIMIT n]  — the query log / slow-query ring
+///   TRACE [INTO '<file>'] SELECT … — run under analyze, emit Chrome trace
+enum class StatementKind { kSelect, kShowMetrics, kShowQueries, kTrace };
+
 /// One parsed ERQL SELECT query (paper Figure 1(iii) dialect): SQL with
 /// relationship joins, nested outputs via struct()/array_agg, unnest in
 /// the select list, and GROUP BY inference.
 struct Query {
+  StatementKind statement = StatementKind::kSelect;
+  /// SHOW METRICS LIKE glob; empty matches everything.
+  std::string show_like;
+  /// SHOW QUERIES SLOW reads the slow-query ring instead of the log.
+  bool show_slow = false;
+  /// SHOW QUERIES LIMIT n; -1 -> no limit.
+  int64_t show_limit = -1;
+  /// TRACE INTO '<file>': where to write the Chrome trace JSON; empty
+  /// returns it as result rows. For kTrace the SELECT fields below
+  /// describe the traced query.
+  std::string trace_into;
+
   ExplainMode explain = ExplainMode::kNone;
   bool distinct = false;
   std::vector<SelectItem> select;

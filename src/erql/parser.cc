@@ -28,6 +28,21 @@ class QueryParser {
 
   Result<Query> ParseQuery() {
     Query query;
+    if (ts_.ConsumeKeyword("show")) {
+      return ParseShow();
+    }
+    if (ts_.ConsumeKeyword("trace")) {
+      query.statement = StatementKind::kTrace;
+      if (ts_.ConsumeKeyword("into")) {
+        if (ts_.Peek().kind != TokenKind::kString) {
+          return ts_.ErrorHere("expected 'file path' after TRACE INTO");
+        }
+        query.trace_into = ts_.Advance().text;
+      }
+      if (ts_.Peek().IsKeyword("explain")) {
+        return ts_.ErrorHere("TRACE cannot wrap EXPLAIN");
+      }
+    }
     if (ts_.ConsumeKeyword("explain")) {
       query.explain = ts_.ConsumeKeyword("analyze") ? ExplainMode::kAnalyze
                                                     : ExplainMode::kPlan;
@@ -99,6 +114,36 @@ class QueryParser {
   }
 
  private:
+  /// After a consumed SHOW keyword: METRICS [LIKE '<glob>'] or
+  /// QUERIES [SLOW] [LIMIT n].
+  Result<Query> ParseShow() {
+    Query query;
+    if (ts_.ConsumeKeyword("metrics")) {
+      query.statement = StatementKind::kShowMetrics;
+      if (ts_.ConsumeKeyword("like")) {
+        if (ts_.Peek().kind != TokenKind::kString) {
+          return ts_.ErrorHere("expected 'glob pattern' after LIKE");
+        }
+        query.show_like = ts_.Advance().text;
+      }
+    } else if (ts_.ConsumeKeyword("queries")) {
+      query.statement = StatementKind::kShowQueries;
+      if (ts_.ConsumeKeyword("slow")) query.show_slow = true;
+      if (ts_.ConsumeKeyword("limit")) {
+        if (ts_.Peek().kind != TokenKind::kInteger) {
+          return ts_.ErrorHere("expected integer after LIMIT");
+        }
+        query.show_limit = ts_.Advance().int_value;
+      }
+    } else {
+      return ts_.ErrorHere("expected METRICS or QUERIES after SHOW");
+    }
+    if (!ts_.AtEnd() && !ts_.ConsumeSymbol(";")) {
+      return ts_.ErrorHere("unexpected trailing input");
+    }
+    return query;
+  }
+
   /// After JOIN x ON, an identifier is a relationship name unless it is
   /// followed by '.', an operator, or '(' (expression shapes).
   bool LooksLikeRelationship() {

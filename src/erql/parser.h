@@ -11,6 +11,7 @@ namespace erql {
 
 /// Recursive-descent parser for the ERQL dialect:
 ///
+///   [EXPLAIN [ANALYZE] | TRACE [INTO '<file>']]
 ///   SELECT [DISTINCT] item [AS name], ...
 ///   FROM <entity> [alias]
 ///     [JOIN <entity> [alias] ON <relationship-name or expr>] ...
@@ -24,6 +25,10 @@ namespace erql {
 /// optional DISTINCT, unnest), struct(name: expr, ...) constructors for
 /// nested outputs, count(*), literals ('str', 123, 4.5, true, false,
 /// null), and [lit, lit, ...] array literals.
+///
+/// Telemetry introspection statements (see StatementKind in ast.h):
+///   SHOW METRICS [LIKE '<glob>'];
+///   SHOW QUERIES [SLOW] [LIMIT n];
 class Parser {
  public:
   static Result<Query> Parse(const std::string& text);

@@ -1,10 +1,14 @@
 #include "erql/query_engine.h"
 
 #include <algorithm>
+#include <fstream>
 #include <sstream>
 
+#include "common/string_util.h"
 #include "erql/parser.h"
 #include "exec/explain.h"
+#include "obs/export.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 namespace erbium {
@@ -96,14 +100,45 @@ Result<CompiledQuery> QueryEngine::Compile(MappedDatabase* db,
                                            const std::string& text,
                                            const ExecOptions& opts) {
   ERBIUM_ASSIGN_OR_RETURN(Query query, Parser::Parse(text));
+  if (query.statement != StatementKind::kSelect) {
+    return Status::InvalidArgument(
+        "only SELECT statements compile to plans; run SHOW/TRACE through "
+        "QueryEngine::Execute");
+  }
   return Translator::Translate(db, query, opts);
 }
 
 namespace {
 
+/// Query-log kind tag for a parsed statement.
+std::string StatementKindName(const Query& query) {
+  switch (query.statement) {
+    case StatementKind::kShowMetrics:
+    case StatementKind::kShowQueries:
+      return "show";
+    case StatementKind::kTrace:
+      return "trace";
+    case StatementKind::kSelect:
+      break;
+  }
+  switch (query.explain) {
+    case ExplainMode::kPlan:
+      return "explain";
+    case ExplainMode::kAnalyze:
+      return "explain_analyze";
+    case ExplainMode::kNone:
+      break;
+  }
+  return "select";
+}
+
 /// EXPLAIN [ANALYZE] output as a one-column result, one line per row:
 /// mapping summary, the (annotated) plan tree, then the mapping notes.
-Result<QueryResult> ExplainQuery(CompiledQuery* compiled) {
+/// For ANALYZE the collected span tree is also exported through
+/// `stats_out` so the engine can hand it to the slow-query ring.
+Result<QueryResult> ExplainQuery(CompiledQuery* compiled,
+                                 obs::QueryStats* stats_out,
+                                 bool* have_stats) {
   QueryResult result;
   result.columns = {"plan"};
   auto add = [&result](std::string line) {
@@ -123,6 +158,8 @@ Result<QueryResult> ExplainQuery(CompiledQuery* compiled) {
     obs::QueryStats stats = CollectQueryStats(*compiled->plan);
     stats.total_wall_ns = total_wall;
     tree = stats.ToString();
+    *stats_out = std::move(stats);
+    *have_stats = true;
   } else {
     tree = RenderPlanTree(*compiled->plan);
   }
@@ -135,20 +172,220 @@ Result<QueryResult> ExplainQuery(CompiledQuery* compiled) {
   return result;
 }
 
+/// Bucket-edge quantile estimate: the smallest bound whose cumulative
+/// count reaches q * count, rendered as "p50<=2.5"; observations in the
+/// overflow bucket report the last bound as a lower bound (">100").
+std::string QuantileEstimate(const obs::HistogramSnapshot& snap, double q,
+                             const char* label) {
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(snap.count));
+  if (target == 0) target = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < snap.bounds.size() && i < snap.buckets.size(); ++i) {
+    cumulative += snap.buckets[i];
+    if (cumulative >= target) {
+      return std::string(label) + "<=" + obs::JsonDouble(snap.bounds[i]);
+    }
+  }
+  if (snap.bounds.empty()) return std::string(label) + "=?";
+  return std::string(label) + ">" + obs::JsonDouble(snap.bounds.back());
+}
+
+/// SHOW METRICS [LIKE '<glob>']: one row per metric, histograms
+/// summarized as count/sum plus p50/p99 bucket-edge estimates.
+QueryResult ShowMetrics(const Query& query) {
+  obs::RegistrySnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  auto matches = [&query](const std::string& name) {
+    return query.show_like.empty() || GlobMatch(query.show_like, name);
+  };
+  QueryResult result;
+  result.columns = {"metric", "kind", "value"};
+  for (const auto& [name, value] : snap.counters) {
+    if (!matches(name)) continue;
+    result.rows.push_back(Row{Value::String(name), Value::String("counter"),
+                              Value::Int64(static_cast<int64_t>(value))});
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    if (!matches(name)) continue;
+    result.rows.push_back(
+        Row{Value::String(name), Value::String("gauge"), Value::Int64(value)});
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    if (!matches(name)) continue;
+    std::string summary = "count=" + std::to_string(hist.count) +
+                          " sum=" + obs::JsonDouble(hist.sum);
+    if (hist.count > 0) {
+      summary += " " + QuantileEstimate(hist, 0.5, "p50") + " " +
+                 QuantileEstimate(hist, 0.99, "p99");
+    }
+    result.rows.push_back(Row{Value::String(name), Value::String("histogram"),
+                              Value::String(std::move(summary))});
+  }
+  return result;
+}
+
+/// SHOW QUERIES [SLOW] [LIMIT n]: the query log (or slow-query ring),
+/// newest first. Slow entries add a spans column (size of the captured
+/// span tree).
+QueryResult ShowQueries(const Query& query) {
+  obs::QueryTelemetry& telemetry = obs::QueryTelemetry::Global();
+  size_t limit = query.show_limit >= 0
+                     ? static_cast<size_t>(query.show_limit)
+                     : std::numeric_limits<size_t>::max();
+  QueryResult result;
+  result.columns = {"seq",  "kind",    "mapping", "wall",  "cpu",
+                    "rows", "threads", "status",  "query"};
+  auto record_row = [](const obs::QueryRecord& r) {
+    return Row{Value::Int64(static_cast<int64_t>(r.seq)),
+               Value::String(r.kind),
+               Value::String(r.mapping),
+               Value::String(obs::FormatNs(r.wall_ns)),
+               Value::String(obs::FormatNs(r.cpu_ns)),
+               Value::Int64(static_cast<int64_t>(r.rows_out)),
+               Value::Int64(r.threads),
+               Value::String(r.ok ? "ok" : r.error),
+               Value::String(r.text)};
+  };
+  if (query.show_slow) {
+    result.columns.insert(result.columns.begin() + 5, "spans");
+    for (const obs::SlowQueryRecord& slow : telemetry.RecentSlow(limit)) {
+      Row row = record_row(slow.record);
+      row.insert(row.begin() + 5,
+                 Value::Int64(static_cast<int64_t>(slow.stats.spans.size())));
+      result.rows.push_back(std::move(row));
+    }
+  } else {
+    for (const obs::QueryRecord& record : telemetry.Recent(limit)) {
+      result.rows.push_back(record_row(record));
+    }
+  }
+  return result;
+}
+
+/// TRACE [INTO '<file>'] SELECT …: compiles the inner query, runs it to
+/// completion under an analyze window, and renders the collected span
+/// tree as Chrome trace_event JSON — returned as a one-row result, or
+/// written to the file with a confirmation row. The span tree is also
+/// exported so the engine can feed the slow-query ring, and the traced
+/// query's output cardinality lands in record->rows_out.
+Result<QueryResult> TraceQuery(MappedDatabase* db, const Query& query,
+                               const std::string& text,
+                               const ExecOptions& opts,
+                               obs::QueryRecord* record,
+                               obs::QueryStats* stats_out, bool* have_stats) {
+  ERBIUM_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                          Translator::Translate(db, query, opts));
+  obs::ScopedAnalyze analyze_window;
+  uint64_t start = obs::MonotonicNowNs();
+  ERBIUM_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                          CollectRows(compiled.plan.get()));
+  uint64_t total_wall = obs::MonotonicNowNs() - start;
+  obs::QueryStats stats = CollectQueryStats(*compiled.plan);
+  stats.total_wall_ns = total_wall;
+  record->rows_out = rows.size();
+  std::string json = obs::ExportChromeTrace(stats, text);
+  size_t span_count = stats.spans.size();
+  *stats_out = std::move(stats);
+  *have_stats = true;
+  QueryResult result;
+  result.columns = {"trace"};
+  if (query.trace_into.empty()) {
+    result.rows.push_back(Row{Value::String(std::move(json))});
+    return result;
+  }
+  std::ofstream file(query.trace_into, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::InvalidArgument("cannot write trace file " +
+                                   query.trace_into);
+  }
+  file << json << '\n';
+  if (!file.good()) {
+    return Status::Internal("failed writing trace file " + query.trace_into);
+  }
+  result.rows.push_back(Row{Value::String(
+      "wrote " + query.trace_into + " (" + std::to_string(span_count) +
+      " spans, wall=" + obs::FormatNs(total_wall) + ")")});
+  return result;
+}
+
+/// Statement dispatch after parsing. `record` arrives with text/mapping/
+/// threads filled; kind is set here, rows_out only by TRACE (the engine
+/// fills it from the result for everything else). Statements that run a
+/// plan under an analyze window export the span tree via `stats_out`.
+Result<QueryResult> ExecuteParsed(MappedDatabase* db, const Query& query,
+                                  const std::string& text,
+                                  const ExecOptions& opts,
+                                  uint64_t start_wall_ns,
+                                  obs::QueryRecord* record,
+                                  obs::QueryStats* stats_out,
+                                  bool* have_stats) {
+  record->kind = StatementKindName(query);
+  switch (query.statement) {
+    case StatementKind::kShowMetrics:
+      return ShowMetrics(query);
+    case StatementKind::kShowQueries:
+      return ShowQueries(query);
+    case StatementKind::kTrace:
+      return TraceQuery(db, query, text, opts, record, stats_out, have_stats);
+    case StatementKind::kSelect:
+      break;
+  }
+  ERBIUM_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                          Translator::Translate(db, query, opts));
+  if (compiled.explain != ExplainMode::kNone) {
+    return ExplainQuery(&compiled, stats_out, have_stats);
+  }
+  ERBIUM_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                          CollectRows(compiled.plan.get()));
+  // Slow-query capture: when the statement has already blown past the
+  // slow threshold, walk the plan for its span tree while the plan is
+  // still alive. Row counts are always populated; wall/cpu columns stay
+  // zero unless an analyze window happened to be open. One extra clock
+  // read per statement, never per row.
+  uint64_t threshold = obs::QueryTelemetry::Global().slow_threshold_ns();
+  if (obs::MonotonicNowNs() - start_wall_ns >= threshold) {
+    *stats_out = CollectQueryStats(*compiled.plan);
+    *have_stats = true;
+  }
+  QueryResult result;
+  result.columns = std::move(compiled.columns);
+  result.rows = std::move(rows);
+  return result;
+}
+
 }  // namespace
 
 Result<QueryResult> QueryEngine::Execute(MappedDatabase* db,
                                          const std::string& text,
                                          const ExecOptions& opts) {
-  ERBIUM_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(db, text, opts));
-  if (compiled.explain != ExplainMode::kNone) {
-    return ExplainQuery(&compiled);
+  uint64_t start_wall = obs::MonotonicNowNs();
+  uint64_t start_cpu = obs::ThreadCpuNowNs();
+  obs::QueryRecord record;
+  record.text = text;
+  record.mapping = db->mapping().spec().name;
+  record.threads = opts.num_threads;
+  record.kind = "invalid";  // overwritten once the statement parses
+
+  obs::QueryStats stats;
+  bool have_stats = false;
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    ERBIUM_ASSIGN_OR_RETURN(Query query, Parser::Parse(text));
+    return ExecuteParsed(db, query, text, opts, start_wall, &record, &stats,
+                         &have_stats);
+  }();
+
+  record.wall_ns = obs::MonotonicNowNs() - start_wall;
+  record.cpu_ns = obs::ThreadCpuNowNs() - start_cpu;
+  record.ok = result.ok();
+  if (result.ok()) {
+    if (record.rows_out == 0) record.rows_out = result->rows.size();
+  } else {
+    record.error = result.status().ToString();
   }
-  ERBIUM_ASSIGN_OR_RETURN(std::vector<Row> rows,
-                          CollectRows(compiled.plan.get()));
-  QueryResult result;
-  result.columns = std::move(compiled.columns);
-  result.rows = std::move(rows);
+  if (have_stats && stats.total_wall_ns == 0) {
+    stats.total_wall_ns = record.wall_ns;
+  }
+  obs::QueryTelemetry::Global().Record(std::move(record),
+                                       have_stats ? &stats : nullptr);
   return result;
 }
 

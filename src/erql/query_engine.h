@@ -32,10 +32,22 @@ struct QueryResult {
 /// ExecOptions::Serial() — or set num_threads = 1 — for exactly the
 /// classic single-threaded plans; either way, plans below the parallel
 /// row threshold stay serial (see exec/parallel.h).
+///
+/// Every Execute() call — SELECT, EXPLAIN, SHOW, TRACE, and failures —
+/// records a QueryRecord into obs::QueryTelemetry::Global() (query text,
+/// kind, mapping, wall/cpu time, rows, status) and feeds the per-mapping
+/// and per-kind latency histograms; statements slower than the telemetry
+/// slow threshold additionally capture their span tree into the
+/// slow-query ring. Introspection is reachable from the dialect itself:
+/// SHOW METRICS [LIKE '<glob>'], SHOW QUERIES [SLOW] [LIMIT n], and
+/// TRACE [INTO '<file>'] SELECT … (runs under an analyze window and
+/// emits Chrome trace_event JSON, see obs/export.h).
 class QueryEngine {
  public:
   /// Compiles a query without running it (plan inspection, benchmarks
-  /// that amortize compilation).
+  /// that amortize compilation). Only SELECT statements compile to
+  /// plans; SHOW/TRACE statements are rejected here — Execute() them.
+  /// Does not touch the query log.
   static Result<CompiledQuery> Compile(
       MappedDatabase* db, const std::string& text,
       const ExecOptions& opts = ExecOptions::Default());

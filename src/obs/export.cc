@@ -1,0 +1,125 @@
+#include "obs/export.h"
+
+#include <sstream>
+#include <vector>
+
+namespace erbium {
+namespace obs {
+namespace {
+
+bool IsPromChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// Label values may contain anything; Prometheus escapes backslash,
+/// double quote, and newline.
+std::string PromLabelEscaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "erbium_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    out += IsPromChar(c) ? c : '_';
+  }
+  return out;
+}
+
+std::string ExportPrometheusText() {
+  return ExportPrometheusText(MetricsRegistry::Global());
+}
+
+std::string ExportPrometheusText(const MetricsRegistry& registry) {
+  RegistrySnapshot snapshot = registry.Snapshot();
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " counter\n";
+    out << prom << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " gauge\n";
+    out << prom << ' ' << value << '\n';
+  }
+  for (const auto& [name, snap] : snapshot.histograms) {
+    std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " histogram\n";
+    // Prometheus buckets are cumulative; the snapshot's are per-bucket.
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < snap.bounds.size(); ++i) {
+      cumulative += i < snap.buckets.size() ? snap.buckets[i] : 0;
+      out << prom << "_bucket{le=\""
+          << PromLabelEscaped(JsonDouble(snap.bounds[i])) << "\"} "
+          << cumulative << '\n';
+    }
+    out << prom << "_bucket{le=\"+Inf\"} " << snap.count << '\n';
+    out << prom << "_sum " << JsonDouble(snap.sum) << '\n';
+    out << prom << "_count " << snap.count << '\n';
+  }
+  return out.str();
+}
+
+std::string ExportChromeTrace(const QueryStats& stats,
+                              const std::string& query_text) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  // Synthetic timeline: cursors[d] is where the next span at depth d
+  // starts. Visiting a span advances its own depth's cursor by its
+  // duration (siblings run back-to-back) and rewinds the next depth's
+  // cursor to its start (children nest inside it). Spans time their
+  // children inclusively, so nested durations fit inside the parent's.
+  std::vector<double> cursors;
+  bool first = true;
+  for (const SpanRecord& span : stats.spans) {
+    size_t depth = static_cast<size_t>(span.depth);
+    if (cursors.size() <= depth + 1) cursors.resize(depth + 2, 0.0);
+    double ts = cursors[depth];
+    double dur = static_cast<double>(span.stats.wall_ns) / 1e3;
+    cursors[depth] = ts + dur;
+    cursors[depth + 1] = ts;
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << JsonEscaped(span.name)
+        << "\",\"cat\":\"erbium\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+        << span.depth << ",\"ts\":" << JsonDouble(ts)
+        << ",\"dur\":" << JsonDouble(dur) << ",\"args\":{\"rows\":"
+        << span.stats.rows_out << ",\"opens\":" << span.stats.opens
+        << ",\"cpu_us\":"
+        << JsonDouble(static_cast<double>(span.stats.cpu_ns) / 1e3);
+    if (span.stats.batches > 0) {
+      out << ",\"batches\":" << span.stats.batches;
+    }
+    if (!span.detail.empty()) {
+      out << ",\"detail\":\"" << JsonEscaped(span.detail) << '"';
+    }
+    out << "}}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\",\"otherData\":{";
+  if (!query_text.empty()) {
+    out << "\"query\":\"" << JsonEscaped(query_text) << "\",";
+  }
+  out << "\"total_wall_us\":"
+      << JsonDouble(static_cast<double>(stats.total_wall_ns) / 1e3) << "}}";
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace erbium

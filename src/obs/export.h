@@ -1,0 +1,38 @@
+#ifndef ERBIUM_OBS_EXPORT_H_
+#define ERBIUM_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace erbium {
+namespace obs {
+
+/// Maps a dotted metric name to a Prometheus metric name: prefixed with
+/// "erbium_", every character outside [a-zA-Z0-9_:] replaced by '_'.
+std::string PrometheusName(const std::string& name);
+
+/// Renders every metric in the registry in the Prometheus text exposition
+/// format (version 0.0.4): one "# TYPE" line per family, counters and
+/// gauges as single samples, histograms as cumulative "_bucket" samples
+/// with an le label (including le="+Inf") plus "_sum" and "_count".
+/// Defaults to the process-wide registry.
+std::string ExportPrometheusText();
+std::string ExportPrometheusText(const MetricsRegistry& registry);
+
+/// Renders a collected query span tree as Chrome trace_event JSON — an
+/// object with a "traceEvents" array of complete ("ph":"X") events, one
+/// per span, loadable in Perfetto / chrome://tracing. Timestamps are
+/// synthesized from the tree shape (children nest inside their parent,
+/// siblings laid out sequentially); tid is the span's depth so each plan
+/// level renders as its own track. Durations are the spans' wall time in
+/// microseconds (zero outside analyze windows, which still yields a
+/// structurally valid trace). `query_text` lands in otherData.query.
+std::string ExportChromeTrace(const QueryStats& stats,
+                              const std::string& query_text = std::string());
+
+}  // namespace obs
+}  // namespace erbium
+
+#endif  // ERBIUM_OBS_EXPORT_H_

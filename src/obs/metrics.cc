@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -36,39 +39,71 @@ inline double RelaxedLoadDouble(const double& cell) {
 }
 
 void AppendJsonString(std::ostringstream& out, const std::string& s) {
-  out << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out << "\\\"";
-        break;
-      case '\\':
-        out << "\\\\";
-        break;
-      case '\n':
-        out << "\\n";
-        break;
-      case '\t':
-        out << "\\t";
-        break;
-      default:
-        out << c;
-    }
-  }
-  out << '"';
+  out << '"' << JsonEscaped(s) << '"';
 }
 
 void AppendJsonDouble(std::ostringstream& out, double v) {
-  // Integral values (the common case for sums of integer observations)
-  // print without a trailing ".0"-less mantissa mess.
-  if (v == static_cast<double>(static_cast<int64_t>(v))) {
-    out << static_cast<int64_t>(v);
-  } else {
-    out << v;
-  }
+  out << JsonDouble(v);
 }
 
 }  // namespace
+
+std::string JsonEscaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "0";
+  // Integral values (the common case for sums of integer observations)
+  // print without a mantissa.
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  // Shortest %g that round-trips through strtod.
+  char buf[40];
+  for (int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
 
 // ---------------------------------------------------------------------------
 // Handles
@@ -294,32 +329,48 @@ HistogramSnapshot MetricsRegistry::HistogramValue(
                                : MergedHistogramLocked(it->second);
 }
 
-std::string MetricsRegistry::ToJson() const {
+RegistrySnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  for (const auto& [name, id] : counter_ids_) {
+    snap.counters.emplace(name, MergedCounterLocked(id));
+  }
+  for (const auto& [name, id] : gauge_ids_) {
+    snap.gauges.emplace(name, gauges_[id].load(std::memory_order_relaxed));
+  }
+  for (const auto& [name, id] : hist_ids_) {
+    snap.histograms.emplace(name, MergedHistogramLocked(id));
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  // std::map iteration gives the sorted, stable key order the dump
+  // format promises.
+  RegistrySnapshot snapshot = Snapshot();
   std::ostringstream out;
   out << "{\"counters\":{";
   bool first = true;
-  for (const auto& [name, id] : counter_ids_) {
+  for (const auto& [name, value] : snapshot.counters) {
     if (!first) out << ',';
     first = false;
     AppendJsonString(out, name);
-    out << ':' << MergedCounterLocked(id);
+    out << ':' << value;
   }
   out << "},\"gauges\":{";
   first = true;
-  for (const auto& [name, id] : gauge_ids_) {
+  for (const auto& [name, value] : snapshot.gauges) {
     if (!first) out << ',';
     first = false;
     AppendJsonString(out, name);
-    out << ':' << gauges_[id].load(std::memory_order_relaxed);
+    out << ':' << value;
   }
   out << "},\"histograms\":{";
   first = true;
-  for (const auto& [name, id] : hist_ids_) {
+  for (const auto& [name, snap] : snapshot.histograms) {
     if (!first) out << ',';
     first = false;
     AppendJsonString(out, name);
-    HistogramSnapshot snap = MergedHistogramLocked(id);
     out << ":{\"bounds\":[";
     for (size_t i = 0; i < snap.bounds.size(); ++i) {
       if (i) out << ',';

@@ -71,6 +71,25 @@ struct HistogramSnapshot {
   double sum = 0;
 };
 
+/// Point-in-time copy of every metric in a registry, keys sorted. The
+/// exporters (obs/export.h) and SHOW METRICS render from this rather
+/// than holding the registry lock while formatting.
+struct RegistrySnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Escapes a string for embedding in a JSON string literal: quote,
+/// backslash, and all control characters (as \uXXXX for the ones without
+/// a short form). Shared by ToJson and the exporters.
+std::string JsonEscaped(const std::string& s);
+
+/// Formats a double as the shortest decimal that parses back to exactly
+/// the same value (integral values print without a fraction; non-finite
+/// values print as 0, since JSON has no NaN/Inf).
+std::string JsonDouble(double v);
+
 /// Distribution with fixed bucket boundaries chosen at registration.
 /// An observation v lands in the first bucket whose bound satisfies
 /// v <= bound; values above the last bound land in the overflow bucket.
@@ -113,6 +132,9 @@ class MetricsRegistry {
   uint64_t CounterValue(const std::string& name) const;
   int64_t GaugeValue(const std::string& name) const;
   HistogramSnapshot HistogramValue(const std::string& name) const;
+
+  /// Merged copy of every metric; one lock acquisition.
+  RegistrySnapshot Snapshot() const;
 
   /// All metrics as one JSON object, keys sorted:
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.

@@ -1,0 +1,136 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace erbium {
+namespace obs {
+namespace {
+
+/// Latency bucket edges in milliseconds, shared by the per-mapping and
+/// per-kind histograms: sub-ms resolution at the fast end (point lookups)
+/// through multi-second analytics at the slow end.
+const std::vector<double>& LatencyBoundsMs() {
+  static const std::vector<double>* bounds = new std::vector<double>{
+      0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+      1000, 2500, 5000, 10000};
+  return *bounds;
+}
+
+uint64_t SlowThresholdFromEnv() {
+  const char* ms = std::getenv("ERBIUM_SLOW_QUERY_MS");
+  if (ms == nullptr || *ms == '\0') {
+    return QueryTelemetry::kDefaultSlowThresholdNs;
+  }
+  char* end = nullptr;
+  double parsed = std::strtod(ms, &end);
+  if (end == ms || parsed < 0) return QueryTelemetry::kDefaultSlowThresholdNs;
+  return static_cast<uint64_t>(parsed * 1e6);
+}
+
+}  // namespace
+
+QueryTelemetry& QueryTelemetry::Global() {
+  static QueryTelemetry* global = [] {
+    auto* t = new QueryTelemetry();
+    t->set_slow_threshold_ns(SlowThresholdFromEnv());
+    return t;
+  }();
+  return *global;
+}
+
+QueryTelemetry::QueryTelemetry(size_t capacity, size_t slow_capacity,
+                               MetricsRegistry* registry)
+    : registry_(registry != nullptr ? registry : &MetricsRegistry::Global()),
+      shard_capacity_(std::max<size_t>(1, (capacity + kShards - 1) / kShards)),
+      slow_capacity_(std::max<size_t>(1, slow_capacity)) {}
+
+uint64_t QueryTelemetry::Record(QueryRecord record, const QueryStats* stats) {
+  uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  record.seq = seq;
+  if (record.text.size() > kMaxTextBytes) {
+    record.text.resize(kMaxTextBytes);
+    record.text += "...";
+  }
+  if (record.mapping.empty()) record.mapping = "none";
+  if (record.kind.empty()) record.kind = "unknown";
+
+  double ms = static_cast<double>(record.wall_ns) / 1e6;
+  registry_->counter("erql.queries").Increment();
+  if (!record.ok) registry_->counter("erql.query_errors").Increment();
+  registry_
+      ->histogram("erql.query.latency_ms.mapping." + record.mapping,
+                  LatencyBoundsMs())
+      .Observe(ms);
+  registry_
+      ->histogram("erql.query.latency_ms.kind." + record.kind,
+                  LatencyBoundsMs())
+      .Observe(ms);
+
+  bool slow = record.wall_ns >= slow_threshold_ns();
+  if (slow) {
+    registry_->counter("erql.slow_queries").Increment();
+    SlowQueryRecord entry;
+    entry.record = record;
+    if (stats != nullptr) entry.stats = *stats;
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    if (slow_ring_.size() < slow_capacity_) {
+      slow_ring_.push_back(std::move(entry));
+    } else {
+      slow_ring_[slow_next_] = std::move(entry);
+      slow_next_ = (slow_next_ + 1) % slow_capacity_;
+    }
+  }
+
+  Shard& shard = shards_[seq % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.ring.size() < shard_capacity_) {
+    shard.ring.push_back(std::move(record));
+  } else {
+    shard.ring[shard.next] = std::move(record);
+    shard.next = (shard.next + 1) % shard_capacity_;
+  }
+  return seq;
+}
+
+std::vector<QueryRecord> QueryTelemetry::Recent(size_t limit) const {
+  std::vector<QueryRecord> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.insert(out.end(), shard.ring.begin(), shard.ring.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const QueryRecord& a, const QueryRecord& b) {
+              return a.seq > b.seq;
+            });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+std::vector<SlowQueryRecord> QueryTelemetry::RecentSlow(size_t limit) const {
+  std::vector<SlowQueryRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    out = slow_ring_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlowQueryRecord& a, const SlowQueryRecord& b) {
+              return a.record.seq > b.record.seq;
+            });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+void QueryTelemetry::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.ring.clear();
+    shard.next = 0;
+  }
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  slow_ring_.clear();
+  slow_next_ = 0;
+}
+
+}  // namespace obs
+}  // namespace erbium

@@ -113,6 +113,62 @@ TEST(ErqlParserTest, RejectsMalformedQueries) {
   EXPECT_FALSE(P("SELECT f( FROM E").ok());
 }
 
+TEST(ErqlParserTest, ShowMetricsStatement) {
+  auto q = P("SHOW METRICS");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->statement, StatementKind::kShowMetrics);
+  EXPECT_TRUE(q->show_like.empty());
+
+  q = P("show metrics like 'erql.*';");  // case-insensitive, trailing ';'
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->statement, StatementKind::kShowMetrics);
+  EXPECT_EQ(q->show_like, "erql.*");
+}
+
+TEST(ErqlParserTest, ShowQueriesStatement) {
+  auto q = P("SHOW QUERIES");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->statement, StatementKind::kShowQueries);
+  EXPECT_FALSE(q->show_slow);
+  EXPECT_EQ(q->show_limit, -1);
+
+  q = P("SHOW QUERIES SLOW LIMIT 10");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->show_slow);
+  EXPECT_EQ(q->show_limit, 10);
+
+  q = P("SHOW QUERIES LIMIT 3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->show_slow);
+  EXPECT_EQ(q->show_limit, 3);
+}
+
+TEST(ErqlParserTest, TraceStatement) {
+  auto q = P("TRACE SELECT a FROM E");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->statement, StatementKind::kTrace);
+  EXPECT_TRUE(q->trace_into.empty());
+  EXPECT_EQ(q->from.entity, "E");  // the inner SELECT parses as usual
+
+  q = P("TRACE INTO '/tmp/t.json' SELECT a FROM E WHERE a = 1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->statement, StatementKind::kTrace);
+  EXPECT_EQ(q->trace_into, "/tmp/t.json");
+  ASSERT_NE(q->where, nullptr);
+}
+
+TEST(ErqlParserTest, RejectsMalformedShowAndTrace) {
+  EXPECT_FALSE(P("SHOW").ok());
+  EXPECT_FALSE(P("SHOW TABLES").ok());
+  EXPECT_FALSE(P("SHOW METRICS LIKE").ok());      // LIKE needs a string
+  EXPECT_FALSE(P("SHOW METRICS LIKE 42").ok());
+  EXPECT_FALSE(P("SHOW QUERIES LIMIT").ok());
+  EXPECT_FALSE(P("SHOW QUERIES FAST").ok());      // trailing junk
+  EXPECT_FALSE(P("TRACE").ok());
+  EXPECT_FALSE(P("TRACE INTO SELECT a FROM E").ok());  // INTO needs a string
+  EXPECT_FALSE(P("TRACE EXPLAIN SELECT a FROM E").ok());
+}
+
 TEST(ErqlParserTest, ExprToStringRoundTripsShape) {
   auto q = P("SELECT struct(a: x + 1, b: lower(y)) FROM E "
              "WHERE x IN (1, 2) AND y IS NULL");

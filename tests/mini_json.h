@@ -1,0 +1,239 @@
+#ifndef ERBIUM_TESTS_MINI_JSON_H_
+#define ERBIUM_TESTS_MINI_JSON_H_
+
+// Minimal strict JSON parser for test assertions: validates that exporter
+// output (MetricsRegistry::ToJson, ExportChromeTrace) is well-formed and
+// lets tests pick values back out. Object member order is preserved so
+// key-ordering guarantees can be asserted. Not for production use.
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace erbium {
+namespace testjson {
+
+struct Node {
+  enum class Kind { kObject, kArray, kString, kNumber, kBool, kNull };
+  Kind kind = Kind::kNull;
+  std::vector<std::pair<std::string, Node>> members;  // kObject, input order
+  std::vector<Node> elements;                         // kArray
+  std::string str;                                    // kString
+  double number = 0;                                  // kNumber
+  bool boolean = false;                               // kBool
+
+  const Node* Find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  bool Parse(Node* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    return pos_ == s_.size() || Fail("trailing input");
+  }
+
+  std::string error() const {
+    return error_ + " at offset " + std::to_string(pos_);
+  }
+
+ private:
+  bool Fail(const char* msg) {
+    if (error_.empty()) error_ = msg;
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(Node* out) {
+    SkipWs();
+    if (pos_ >= s_.size()) return Fail("unexpected end");
+    char c = s_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = Node::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      out->kind = Node::Kind::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      out->kind = Node::Kind::kBool;
+      out->boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      out->kind = Node::Kind::kNull;
+      pos_ += 4;
+      return true;
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseObject(Node* out) {
+    out->kind = Node::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (!Consume(':')) return Fail("expected ':'");
+      Node value;
+      if (!ParseValue(&value)) return false;
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return true;
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(Node* out) {
+    out->kind = Node::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (Consume(']')) return true;
+    while (true) {
+      Node value;
+      if (!ParseValue(&value)) return false;
+      out->elements.push_back(std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return true;
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return Fail("dangling escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"':
+          *out += '"';
+          break;
+        case '\\':
+          *out += '\\';
+          break;
+        case '/':
+          *out += '/';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return Fail("short \\u escape");
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') {
+              value += h - '0';
+            } else if (h >= 'a' && h <= 'f') {
+              value += h - 'a' + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              value += h - 'A' + 10;
+            } else {
+              return Fail("bad \\u escape");
+            }
+          }
+          // Tests only exercise ASCII escapes; anything else keeps a
+          // placeholder.
+          *out += value < 0x80 ? static_cast<char>(value) : '?';
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(Node* out) {
+    size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+            s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected value");
+    std::string text = s_.substr(start, pos_ - start);
+    char* end = nullptr;
+    out->kind = Node::Kind::kNumber;
+    out->number = std::strtod(text.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("malformed number");
+    return true;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+inline bool ParseJson(const std::string& text, Node* out,
+                      std::string* error = nullptr) {
+  Parser parser(text);
+  bool ok = parser.Parse(out);
+  if (!ok && error != nullptr) *error = parser.error();
+  return ok;
+}
+
+}  // namespace testjson
+}  // namespace erbium
+
+#endif  // ERBIUM_TESTS_MINI_JSON_H_

@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "mini_json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -138,6 +141,99 @@ TEST(MetricsTest, ToJsonContainsAllMetricKinds) {
   EXPECT_LT(json.find("a_counter"), json.find("b_counter"));
 }
 
+TEST(MetricsTest, ToJsonEscapesQuotesAndBackslashes) {
+  MetricsRegistry registry;
+  registry.counter("weird\"name\\with\tescapes\n").Increment(2);
+  registry.gauge(std::string("ctrl\x01" "byte")).Set(1);
+  std::string json = registry.ToJson();
+  // Raw quotes/backslashes/control bytes must never leak unescaped.
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\tescapes\\n"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("ctrl\\u0001byte"), std::string::npos) << json;
+  testjson::Node root;
+  std::string error;
+  ASSERT_TRUE(testjson::ParseJson(json, &root, &error)) << error << "\n"
+                                                        << json;
+}
+
+TEST(MetricsTest, ToJsonRoundTripsThroughStrictParser) {
+  MetricsRegistry registry;
+  registry.counter("reads").Increment(41);
+  registry.gauge("depth").Set(-7);
+  Histogram hist = registry.histogram("lat_ms", {0.5, 2.5, 10.0});
+  hist.Observe(0.25);
+  hist.Observe(0.1);  // sum = 0.35, a value %g must reproduce exactly
+  hist.Observe(7.125);
+  std::string json = registry.ToJson();
+  testjson::Node root;
+  std::string error;
+  ASSERT_TRUE(testjson::ParseJson(json, &root, &error)) << error << "\n"
+                                                        << json;
+  const testjson::Node* counters = root.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const testjson::Node* reads = counters->Find("reads");
+  ASSERT_NE(reads, nullptr);
+  EXPECT_EQ(reads->number, 41.0);
+  const testjson::Node* gauges = root.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->Find("depth")->number, -7.0);
+  const testjson::Node* hists = root.Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const testjson::Node* lat = hists->Find("lat_ms");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->Find("count")->number, 3.0);
+  // Doubles survive the round trip bit-exactly (shortest %g encoding).
+  EXPECT_EQ(lat->Find("sum")->number, 0.25 + 0.1 + 7.125);
+  ASSERT_EQ(lat->Find("buckets")->elements.size(), 4u);
+  EXPECT_EQ(lat->Find("buckets")->elements[0].number, 2.0);
+  EXPECT_EQ(lat->Find("buckets")->elements[2].number, 1.0);
+}
+
+TEST(MetricsTest, ToJsonKeysAreSortedAndStable) {
+  MetricsRegistry registry;
+  registry.counter("zz").Increment();
+  registry.counter("aa").Increment();
+  registry.counter("mm").Increment();
+  std::string first = registry.ToJson();
+  testjson::Node root;
+  ASSERT_TRUE(testjson::ParseJson(first, &root));
+  const testjson::Node* counters = root.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_EQ(counters->members.size(), 3u);
+  EXPECT_EQ(counters->members[0].first, "aa");
+  EXPECT_EQ(counters->members[1].first, "mm");
+  EXPECT_EQ(counters->members[2].first, "zz");
+  // Registration order must not change the rendering.
+  EXPECT_EQ(registry.ToJson(), first);
+}
+
+TEST(MetricsTest, JsonDoubleRoundTripsExactly) {
+  for (double v : {0.1, 1.0 / 3.0, 1e-9, 123456.789, 5e15, 2.5, -0.0625}) {
+    std::string text = JsonDouble(v);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+  }
+  // Non-finite values have no JSON spelling; they degrade to zero.
+  EXPECT_EQ(JsonDouble(std::numeric_limits<double>::infinity()), "0");
+}
+
+TEST(MetricsTest, SnapshotMatchesHandles) {
+  MetricsRegistry registry;
+  registry.counter("c1").Increment(5);
+  registry.gauge("g1").Set(-2);
+  Histogram hist = registry.histogram("h1", {1.0, 10.0});
+  hist.Observe(0.5);
+  hist.Observe(5.0);
+  hist.Observe(500.0);
+  RegistrySnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("c1"), 5u);
+  EXPECT_EQ(snap.gauges.at("g1"), -2);
+  const HistogramSnapshot& h = snap.histograms.at("h1");
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.buckets, (std::vector<uint64_t>{1u, 1u, 1u}));
+  EXPECT_DOUBLE_EQ(h.sum, 505.5);
+}
+
 TEST(MetricsTest, GlobalRegistryIsASingleton) {
   Counter a = MetricsRegistry::Global().counter("obs_test.global");
   uint64_t before = a.Value();
@@ -157,6 +253,21 @@ TEST(TraceTest, ScopedAnalyzeRestoresPreviousState) {
     EXPECT_TRUE(AnalyzeEnabled());  // inner exit keeps outer window open
   }
   EXPECT_FALSE(AnalyzeEnabled());
+}
+
+TEST(TraceTest, FormatNsUnitBoundaries) {
+  // Each unit band, including both sides of every boundary and the
+  // seconds range (durations >= 1s must not render as thousands of ms).
+  EXPECT_EQ(FormatNs(0), "0ns");
+  EXPECT_EQ(FormatNs(999), "999ns");
+  EXPECT_EQ(FormatNs(1000), "1.0us");
+  EXPECT_EQ(FormatNs(999'949), "999.9us");
+  EXPECT_EQ(FormatNs(1'000'000), "1.00ms");
+  EXPECT_EQ(FormatNs(50'000'000), "50.00ms");
+  EXPECT_EQ(FormatNs(999'994'999), "999.99ms");
+  EXPECT_EQ(FormatNs(1'000'000'000), "1.00s");
+  EXPECT_EQ(FormatNs(2'345'000'000), "2.35s");
+  EXPECT_EQ(FormatNs(61'000'000'000), "61.00s");
 }
 
 TEST(TraceTest, OpStatsMerge) {
