@@ -62,13 +62,31 @@ Result<std::vector<Token>> Lexer::Tokenize(const std::string& input) {
         }
         ++i;
       }
+      // Scientific notation: [eE][+-]?digits makes the literal a float.
+      // Only consume the exponent when at least one digit follows, so
+      // "2e" stays integer 2 + identifier e.
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        size_t exp = i + 1;
+        if (exp < n && (input[exp] == '+' || input[exp] == '-')) ++exp;
+        if (exp < n && std::isdigit(static_cast<unsigned char>(input[exp]))) {
+          i = exp;
+          while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+            ++i;
+          }
+          is_float = true;
+        }
+      }
       std::string text = input.substr(start, i - start);
       Token token;
       token.text = text;
       token.position = start;
       if (is_float) {
         token.kind = TokenKind::kFloat;
-        token.float_value = std::stod(text);
+        try {
+          token.float_value = std::stod(text);
+        } catch (...) {
+          return Status::ParseError("float literal out of range: " + text);
+        }
       } else {
         token.kind = TokenKind::kInteger;
         try {

@@ -21,6 +21,7 @@ enum class StatusCode {
   kAnalysisError,
   kNotImplemented,
   kInternal,
+  kIOError,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -59,6 +60,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

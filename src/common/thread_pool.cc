@@ -22,9 +22,16 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::future<void> future = packaged.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(packaged));
+    if (!stopping_) {
+      queue_.push_back(std::move(packaged));
+      work_cv_.notify_one();
+      return future;
+    }
   }
-  work_cv_.notify_one();
+  // Submitted while (or after) the pool is shutting down: no worker is
+  // guaranteed to drain the queue anymore, so run the task inline — the
+  // future must still become ready or the caller deadlocks waiting on it.
+  packaged();
   return future;
 }
 

@@ -24,7 +24,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. The future becomes ready after the task returns;
-  /// waiting on it is the only join primitive the executor needs.
+  /// waiting on it is the only join primitive the executor needs. Once
+  /// the pool is stopping, tasks run inline on the submitting thread
+  /// instead of being queued (a queued-but-never-run task would leave
+  /// its future forever pending).
   std::future<void> Submit(std::function<void()> task);
 
   /// Grows the pool to at least `num_threads` workers (never shrinks).

@@ -1,0 +1,360 @@
+#include "durability/durable_db.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "er/ddl_parser.h"
+#include "evolution/evolution.h"
+#include "obs/metrics.h"
+
+namespace erbium {
+namespace durability {
+
+namespace {
+
+std::string WalPath(const std::string& dir) { return dir + "/wal.erblog"; }
+
+obs::Counter RecoveryCounter(const char* name) {
+  return obs::MetricsRegistry::Global().counter(name);
+}
+
+Status WriteFileDurably(const std::string& path, const std::string& bytes) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot create " + path + ": " +
+                           std::strerror(errno));
+  }
+  const char* data = bytes.data();
+  size_t size = bytes.size();
+  while (size > 0) {
+    ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      return Status::IOError("write to " + path + " failed: " +
+                             std::strerror(err));
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IOError("fsync of " + path + " failed: " +
+                           std::strerror(err));
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status SyncDirectory(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::OK();  // directory fsync is best-effort
+  ::fsync(fd);
+  ::close(fd);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DurableDatabase>> DurableDatabase::Open(
+    const std::string& dir, Options options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create database directory " + dir + ": " +
+                           ec.message());
+  }
+  std::unique_ptr<DurableDatabase> durable(
+      new DurableDatabase(dir, std::move(options)));
+  ERBIUM_RETURN_NOT_OK(durable->Recover());
+  return durable;
+}
+
+DurableDatabase::~DurableDatabase() {
+  if (db_ != nullptr) db_->set_durability_hook(nullptr);
+}
+
+Status DurableDatabase::Recover() {
+  // 1. Newest snapshot that still decodes wins; a corrupt newer
+  //    generation (e.g. torn tmp-rename) falls back to the one before.
+  SnapshotData snapshot;
+  std::vector<uint64_t> gens = ListSnapshotGens(dir_);
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    Result<SnapshotData> loaded = LoadSnapshotFile(SnapshotPath(dir_, *it));
+    if (loaded.ok()) {
+      snapshot = std::move(loaded).value();
+      recovery_.had_snapshot = true;
+      recovery_.snapshot_gen = *it;
+      recovery_.snapshot_lsn = snapshot.last_lsn;
+      latest_snapshot_gen_ = gens.back();
+      break;
+    }
+    ++recovery_.snapshots_skipped;
+  }
+
+  // 2. Schema + mapping: from the snapshot when there is one, otherwise
+  //    from the open options (brand-new database).
+  if (recovery_.had_snapshot) {
+    ddl_ = snapshot.ddl;
+    ERBIUM_ASSIGN_OR_RETURN(spec_, MappingSpec::FromJson(snapshot.spec_json));
+  } else {
+    ddl_ = options_.initial_ddl;
+    spec_ = options_.spec;
+  }
+  if (!ddl_.empty()) {
+    ERBIUM_RETURN_NOT_OK(DdlParser::Execute(ddl_, schema_.get()));
+  }
+  ERBIUM_ASSIGN_OR_RETURN(db_, MappedDatabase::Create(schema_.get(), spec_));
+  if (recovery_.had_snapshot) {
+    ERBIUM_RETURN_NOT_OK(LoadIntoDatabase(snapshot, db_.get()));
+  }
+
+  // 3. Replay the WAL tail through the normal logical choke points. The
+  //    hook stays detached so replay does not re-log.
+  ERBIUM_ASSIGN_OR_RETURN(WalReadResult wal, ReadWal(WalPath(dir_)));
+  uint64_t max_lsn = snapshot.last_lsn;
+  for (const WalRecord& record : wal.records) {
+    if (record.lsn <= snapshot.last_lsn) {
+      // Checkpoint crashed after the rename but before the truncate:
+      // these records are already inside the snapshot.
+      ++recovery_.records_skipped;
+      continue;
+    }
+    ERBIUM_RETURN_NOT_OK(ReplayRecord(record));
+    ++recovery_.records_replayed;
+    max_lsn = record.lsn;
+  }
+  recovery_.wal_clean = wal.clean;
+  recovery_.wal_stop_reason = wal.stop_reason;
+
+  RecoveryCounter("recovery.opens").Increment();
+  RecoveryCounter("recovery.records_replayed")
+      .Increment(recovery_.records_replayed);
+  RecoveryCounter("recovery.records_skipped")
+      .Increment(recovery_.records_skipped);
+  if (!wal.clean) RecoveryCounter("recovery.torn_tails").Increment();
+  if (recovery_.snapshots_skipped > 0) {
+    RecoveryCounter("recovery.snapshots_skipped")
+        .Increment(recovery_.snapshots_skipped);
+  }
+
+  // 4. Append after the valid prefix (chopping any torn tail) and start
+  //    numbering after everything recovered.
+  ERBIUM_ASSIGN_OR_RETURN(
+      wal_, WalWriter::Open(WalPath(dir_), wal.valid_bytes, max_lsn + 1,
+                            options_.sync, options_.faults));
+  db_->set_durability_hook(this);
+  return Status::OK();
+}
+
+Status DurableDatabase::Rebuild(std::shared_ptr<ERSchema> next_schema) {
+  // The old db_ points into the *current* schema_ object, so the new
+  // schema must live in its own object until migration is done — mutating
+  // schema_ in place would make the old instance claim entity sets its
+  // catalog has no tables for.
+  auto fresh_result = MappedDatabase::Create(next_schema.get(), spec_);
+  if (!fresh_result.ok()) {
+    if (db_ != nullptr && wal_ != nullptr) db_->set_durability_hook(this);
+    return fresh_result.status();
+  }
+  std::unique_ptr<MappedDatabase> fresh = std::move(fresh_result).value();
+  if (db_ != nullptr) {
+    // Migration reads through the old instance's logical interface; make
+    // sure it does not try to log.
+    db_->set_durability_hook(nullptr);
+    Status migrated = evolution::MigrateData(db_.get(), fresh.get());
+    if (!migrated.ok()) {
+      if (wal_ != nullptr) db_->set_durability_hook(this);
+      return migrated;
+    }
+  }
+  db_ = std::move(fresh);
+  schema_ = std::move(next_schema);
+  if (wal_ != nullptr) db_->set_durability_hook(this);
+  return Status::OK();
+}
+
+Status DurableDatabase::ReplayRecord(const WalRecord& record) {
+  switch (record.type) {
+    case WalRecord::Type::kInsertEntity:
+      return db_->InsertEntity(record.name, record.value);
+    case WalRecord::Type::kDeleteEntity:
+      return db_->DeleteEntity(record.name, record.key);
+    case WalRecord::Type::kUpdateAttribute:
+      return db_->UpdateAttribute(record.name, record.key, record.attr,
+                                  record.value);
+    case WalRecord::Type::kInsertRelationship:
+      return db_->InsertRelationship(record.name, record.key, record.right_key,
+                                     record.value);
+    case WalRecord::Type::kDeleteRelationship:
+      return db_->DeleteRelationship(record.name, record.key,
+                                     record.right_key);
+    case WalRecord::Type::kDdl: {
+      auto next = std::make_shared<ERSchema>(*schema_);
+      ERBIUM_RETURN_NOT_OK(DdlParser::Execute(record.name, next.get()));
+      ERBIUM_RETURN_NOT_OK(Rebuild(std::move(next)));
+      ddl_ += "\n";
+      ddl_ += record.name;
+      return Status::OK();
+    }
+    case WalRecord::Type::kRemap: {
+      ERBIUM_ASSIGN_OR_RETURN(spec_, MappingSpec::FromJson(record.name));
+      return Rebuild(schema_);
+    }
+  }
+  return Status::IOError("unreachable WAL record type");
+}
+
+Status DurableDatabase::AppendRecord(WalRecord record) {
+  return wal_->Append(std::move(record));
+}
+
+Status DurableDatabase::ExecuteDdl(const std::string& ddl) {
+  if (options_.faults != nullptr) {
+    ERBIUM_RETURN_NOT_OK(options_.faults->Check());
+  }
+  auto next = std::make_shared<ERSchema>(*schema_);
+  ERBIUM_RETURN_NOT_OK(DdlParser::Execute(ddl, next.get()));
+  ERBIUM_RETURN_NOT_OK(Rebuild(std::move(next)));
+  WalRecord record;
+  record.type = WalRecord::Type::kDdl;
+  record.name = ddl;
+  ERBIUM_RETURN_NOT_OK(AppendRecord(std::move(record)));
+  ddl_ += "\n";
+  ddl_ += ddl;
+  return Status::OK();
+}
+
+Status DurableDatabase::Remap(MappingSpec new_spec) {
+  if (options_.faults != nullptr) {
+    ERBIUM_RETURN_NOT_OK(options_.faults->Check());
+  }
+  MappingSpec old = spec_;
+  spec_ = std::move(new_spec);
+  Status rebuilt = Rebuild(schema_);
+  if (!rebuilt.ok()) {
+    spec_ = std::move(old);
+    return rebuilt;
+  }
+  WalRecord record;
+  record.type = WalRecord::Type::kRemap;
+  record.name = spec_.ToJson();
+  return AppendRecord(std::move(record));
+}
+
+Status DurableDatabase::LogInsertEntity(const std::string& class_name,
+                                        const Value& entity) {
+  WalRecord record;
+  record.type = WalRecord::Type::kInsertEntity;
+  record.name = class_name;
+  record.value = entity;
+  return AppendRecord(std::move(record));
+}
+
+Status DurableDatabase::LogDeleteEntity(const std::string& class_name,
+                                        const IndexKey& key) {
+  WalRecord record;
+  record.type = WalRecord::Type::kDeleteEntity;
+  record.name = class_name;
+  record.key = key;
+  return AppendRecord(std::move(record));
+}
+
+Status DurableDatabase::LogUpdateAttribute(const std::string& class_name,
+                                           const IndexKey& key,
+                                           const std::string& attr,
+                                           const Value& value) {
+  WalRecord record;
+  record.type = WalRecord::Type::kUpdateAttribute;
+  record.name = class_name;
+  record.key = key;
+  record.attr = attr;
+  record.value = value;
+  return AppendRecord(std::move(record));
+}
+
+Status DurableDatabase::LogInsertRelationship(const std::string& rel_name,
+                                              const IndexKey& left_key,
+                                              const IndexKey& right_key,
+                                              const Value& attrs) {
+  WalRecord record;
+  record.type = WalRecord::Type::kInsertRelationship;
+  record.name = rel_name;
+  record.key = left_key;
+  record.right_key = right_key;
+  record.value = attrs;
+  return AppendRecord(std::move(record));
+}
+
+Status DurableDatabase::LogDeleteRelationship(const std::string& rel_name,
+                                              const IndexKey& left_key,
+                                              const IndexKey& right_key) {
+  WalRecord record;
+  record.type = WalRecord::Type::kDeleteRelationship;
+  record.name = rel_name;
+  record.key = left_key;
+  record.right_key = right_key;
+  return AppendRecord(std::move(record));
+}
+
+Result<std::string> DurableDatabase::Checkpoint() {
+  FaultInjector* faults = options_.faults;
+  if (faults != nullptr) {
+    ERBIUM_RETURN_NOT_OK(faults->Check());
+    if (faults->ShouldCrash("checkpoint.begin")) return faults->Crash();
+  }
+  uint64_t last_lsn = wal_->next_lsn() - 1;
+  SnapshotData data = CaptureSnapshot(*db_, last_lsn, ddl_);
+  std::string bytes = EncodeSnapshot(data);
+  uint64_t gen = latest_snapshot_gen_ + 1;
+  std::string final_path = SnapshotPath(dir_, gen);
+  std::string tmp_path = final_path + ".tmp";
+
+  ERBIUM_RETURN_NOT_OK(WriteFileDurably(tmp_path, bytes));
+  if (faults != nullptr && faults->ShouldCrash("checkpoint.tmp_written")) {
+    return faults->Crash();
+  }
+
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return Status::IOError("snapshot rename failed: " + ec.message());
+  }
+  SyncDirectory(dir_);
+  if (faults != nullptr && faults->ShouldCrash("checkpoint.renamed")) {
+    return faults->Crash();
+  }
+
+  ERBIUM_RETURN_NOT_OK(wal_->Truncate());
+  latest_snapshot_gen_ = gen;
+  for (uint64_t old : ListSnapshotGens(dir_)) {
+    if (old < gen) std::filesystem::remove(SnapshotPath(dir_, old), ec);
+  }
+  if (faults != nullptr && faults->ShouldCrash("checkpoint.done")) {
+    return faults->Crash();
+  }
+
+  obs::MetricsRegistry::Global().counter("checkpoint.count").Increment();
+  obs::MetricsRegistry::Global()
+      .counter("checkpoint.bytes")
+      .Increment(bytes.size());
+  size_t rows = 0;
+  for (const auto& table : data.tables) rows += table.rows.size();
+  char summary[160];
+  std::snprintf(summary, sizeof(summary),
+                "checkpoint gen=%llu lsn=%llu tables=%zu rows=%zu bytes=%zu",
+                static_cast<unsigned long long>(gen),
+                static_cast<unsigned long long>(last_lsn), data.tables.size(),
+                rows, bytes.size());
+  return std::string(summary);
+}
+
+}  // namespace durability
+}  // namespace erbium

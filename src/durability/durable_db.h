@@ -1,0 +1,134 @@
+#ifndef ERBIUM_DURABILITY_DURABLE_DB_H_
+#define ERBIUM_DURABILITY_DURABLE_DB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "durability/fault.h"
+#include "durability/snapshot.h"
+#include "durability/wal.h"
+#include "er/er_schema.h"
+#include "mapping/database.h"
+#include "mapping/durability_hook.h"
+
+namespace erbium {
+namespace durability {
+
+/// A MappedDatabase bound to a directory on disk. Opening runs recovery
+/// (latest valid snapshot + WAL tail replay); afterwards every logical
+/// CRUD operation, DDL statement, and remap is appended to the WAL via
+/// the DurabilityHook choke points before being acknowledged, and
+/// CHECKPOINT collapses the log into a fresh snapshot.
+///
+/// Recovery invariants (the fault-injection tests assert these under
+/// every mapping M1–M6 and every crash point):
+///   1. Every acknowledged operation survives reopen.
+///   2. No operation is half-applied after reopen: replay goes through
+///      the same logical choke points as the original execution, so a
+///      record either replays fully or (torn/corrupt tail) not at all.
+///   3. A crash at any point of the checkpoint protocol loses nothing:
+///      until the WAL is truncated, records with lsn <= the snapshot's
+///      last_lsn are simply skipped during replay.
+class DurableDatabase : public DurabilityHook {
+ public:
+  struct Options {
+    /// Mapping and schema used when the directory has no snapshot yet
+    /// (a brand-new database). Ignored on reopen — the persisted state
+    /// wins.
+    MappingSpec spec = MappingSpec::Normalized("M1");
+    std::string initial_ddl;
+    WalWriter::SyncMode sync = WalWriter::SyncMode::kNone;
+    /// Crash-point hooks for tests; not owned, may be null.
+    FaultInjector* faults = nullptr;
+  };
+
+  /// What recovery found and did, for logs/tests.
+  struct RecoveryInfo {
+    bool had_snapshot = false;
+    uint64_t snapshot_gen = 0;
+    uint64_t snapshot_lsn = 0;
+    size_t snapshots_skipped = 0;  // newer generations that failed to decode
+    size_t records_replayed = 0;
+    size_t records_skipped = 0;  // lsn <= snapshot_lsn (pre-truncate crash)
+    bool wal_clean = true;
+    std::string wal_stop_reason;
+  };
+
+  static Result<std::unique_ptr<DurableDatabase>> Open(const std::string& dir,
+                                                       Options options);
+  ~DurableDatabase() override;
+
+  DurableDatabase(const DurableDatabase&) = delete;
+  DurableDatabase& operator=(const DurableDatabase&) = delete;
+
+  MappedDatabase* db() { return db_.get(); }
+  const ERSchema& schema() const { return *schema_; }
+  const std::string& dir() const { return dir_; }
+  /// Accumulated DDL text (initial + every logged statement).
+  const std::string& ddl() const { return ddl_; }
+  const MappingSpec& spec() const { return spec_; }
+  const RecoveryInfo& recovery_info() const { return recovery_; }
+  uint64_t wal_bytes() const { return wal_->bytes(); }
+  uint64_t next_lsn() const { return wal_->next_lsn(); }
+
+  /// Applies DDL to the live schema, rebuilds the physical database
+  /// (migrating data), and logs the statement so reopen replays it.
+  Status ExecuteDdl(const std::string& ddl);
+
+  /// Switches the physical mapping (migrating data) and logs the new
+  /// spec. Recovery replays the remap at the same point in the stream.
+  Status Remap(MappingSpec new_spec);
+
+  // ---- DurabilityHook ------------------------------------------------------
+  Status LogInsertEntity(const std::string& class_name,
+                         const Value& entity) override;
+  Status LogDeleteEntity(const std::string& class_name,
+                         const IndexKey& key) override;
+  Status LogUpdateAttribute(const std::string& class_name, const IndexKey& key,
+                            const std::string& attr,
+                            const Value& value) override;
+  Status LogInsertRelationship(const std::string& rel_name,
+                               const IndexKey& left_key,
+                               const IndexKey& right_key,
+                               const Value& attrs) override;
+  Status LogDeleteRelationship(const std::string& rel_name,
+                               const IndexKey& left_key,
+                               const IndexKey& right_key) override;
+
+  /// Snapshot + WAL truncate. Protocol (each step crash-safe):
+  ///   1. capture state, encode               [checkpoint.begin]
+  ///   2. write snapshot-<g+1>.erbsnap.tmp    [checkpoint.tmp_written]
+  ///   3. rename tmp -> snapshot-<g+1>        [checkpoint.renamed]
+  ///   4. truncate WAL, delete older gens     [checkpoint.done]
+  Result<std::string> Checkpoint() override;
+
+ private:
+  DurableDatabase(std::string dir, Options options)
+      : dir_(std::move(dir)), options_(std::move(options)) {}
+
+  Status Recover();
+  /// Rebuilds db_ against `next_schema` + the current spec_, migrating
+  /// data from the previous instance (if any), then swaps schema_ and
+  /// re-attaches the hook. The new schema must be a separate object:
+  /// the old instance keeps reading its own schema during migration.
+  Status Rebuild(std::shared_ptr<ERSchema> next_schema);
+  Status ReplayRecord(const WalRecord& record);
+  Status AppendRecord(WalRecord record);
+
+  std::string dir_;
+  Options options_;
+  std::shared_ptr<ERSchema> schema_ = std::make_shared<ERSchema>();
+  MappingSpec spec_;
+  std::string ddl_;
+  std::unique_ptr<MappedDatabase> db_;
+  std::unique_ptr<WalWriter> wal_;
+  RecoveryInfo recovery_;
+  uint64_t latest_snapshot_gen_ = 0;
+};
+
+}  // namespace durability
+}  // namespace erbium
+
+#endif  // ERBIUM_DURABILITY_DURABLE_DB_H_

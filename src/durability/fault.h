@@ -1,0 +1,76 @@
+#ifndef ERBIUM_DURABILITY_FAULT_H_
+#define ERBIUM_DURABILITY_FAULT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace erbium {
+namespace durability {
+
+/// Crash-point hooks for the fault-injection tests. The durability code
+/// calls `ShouldCrash("<point>")` at every point where a real process
+/// could die with work half done; an armed injector fires at the Nth hit
+/// of its point and then simulates death: the injector stays "crashed"
+/// and every subsequent durability operation fails with
+/// Status::IOError("simulated crash ..."), exactly as if the process had
+/// been killed — the test then reopens the directory and checks what
+/// recovery reconstructs.
+///
+/// Crash points:
+///   wal.append.before    nothing of the record reaches the file
+///   wal.append.torn      only `partial_bytes` of the record are written
+///   wal.append.after     the record is fully written, but the operation
+///                        is never acknowledged to the caller
+///   checkpoint.begin     before the snapshot temp file is written
+///   checkpoint.tmp_written   temp file durable, final rename not done
+///   checkpoint.renamed   snapshot in place, WAL not yet truncated
+///   checkpoint.done      after WAL truncation (checkpoint fully applied)
+class FaultInjector {
+ public:
+  /// Arms a crash at the `countdown`-th future hit of `point` (1 = next).
+  void Arm(std::string point, int countdown = 1, uint64_t partial_bytes = 0) {
+    point_ = std::move(point);
+    countdown_ = countdown;
+    partial_bytes_ = partial_bytes;
+    crashed_ = false;
+  }
+
+  /// True exactly when the armed point fires (and from then on the
+  /// injector reports itself crashed).
+  bool ShouldCrash(const char* point) {
+    if (crashed_) return false;  // already dead; Check() gates everything
+    if (point_ != point) return false;
+    if (--countdown_ > 0) return false;
+    crashed_ = true;
+    return true;
+  }
+
+  /// Gate called at the top of every durability operation: once crashed,
+  /// everything fails the way syscalls fail in a dead process.
+  Status Check() const {
+    if (crashed_) {
+      return Status::IOError("simulated crash (" + point_ + ")");
+    }
+    return Status::OK();
+  }
+
+  Status Crash() const {
+    return Status::IOError("simulated crash (" + point_ + ")");
+  }
+
+  bool crashed() const { return crashed_; }
+  uint64_t partial_bytes() const { return partial_bytes_; }
+
+ private:
+  std::string point_;
+  int countdown_ = 0;
+  uint64_t partial_bytes_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace durability
+}  // namespace erbium
+
+#endif  // ERBIUM_DURABILITY_FAULT_H_

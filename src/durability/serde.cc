@@ -1,0 +1,227 @@
+#include "durability/serde.h"
+
+#include <cstring>
+
+namespace erbium {
+namespace durability {
+
+namespace {
+
+/// Value kind tags. Deliberately decoupled from TypeKind enumerator
+/// values so in-memory refactors cannot silently change the disk format.
+enum : uint8_t {
+  kTagNull = 0,
+  kTagBool = 1,
+  kTagInt64 = 2,
+  kTagFloat64 = 3,
+  kTagString = 4,
+  kTagArray = 5,
+  kTagStruct = 6,
+};
+
+}  // namespace
+
+void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutF64(double v, std::string* out) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits, out);
+}
+
+void PutString(const std::string& s, std::string* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+void PutValue(const Value& v, std::string* out) {
+  switch (v.kind()) {
+    case TypeKind::kNull:
+      PutU8(kTagNull, out);
+      return;
+    case TypeKind::kBool:
+      PutU8(kTagBool, out);
+      PutU8(v.as_bool() ? 1 : 0, out);
+      return;
+    case TypeKind::kInt64:
+      PutU8(kTagInt64, out);
+      PutU64(static_cast<uint64_t>(v.as_int64()), out);
+      return;
+    case TypeKind::kFloat64:
+      PutU8(kTagFloat64, out);
+      PutF64(v.as_float64(), out);
+      return;
+    case TypeKind::kString:
+      PutU8(kTagString, out);
+      PutString(v.as_string(), out);
+      return;
+    case TypeKind::kArray: {
+      PutU8(kTagArray, out);
+      PutU32(static_cast<uint32_t>(v.array().size()), out);
+      for (const Value& e : v.array()) PutValue(e, out);
+      return;
+    }
+    case TypeKind::kStruct: {
+      PutU8(kTagStruct, out);
+      PutU32(static_cast<uint32_t>(v.struct_fields().size()), out);
+      for (const auto& [name, field] : v.struct_fields()) {
+        PutString(name, out);
+        PutValue(field, out);
+      }
+      return;
+    }
+  }
+}
+
+void PutValues(const std::vector<Value>& values, std::string* out) {
+  PutU32(static_cast<uint32_t>(values.size()), out);
+  for (const Value& v : values) PutValue(v, out);
+}
+
+Status ByteReader::Need(size_t n) const {
+  if (remaining() < n) {
+    return Status::IOError("truncated record: need " + std::to_string(n) +
+                           " bytes, have " + std::to_string(remaining()));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> ByteReader::U8() {
+  ERBIUM_RETURN_NOT_OK(Need(1));
+  return static_cast<uint8_t>(*p_++);
+}
+
+Result<uint32_t> ByteReader::U32() {
+  ERBIUM_RETURN_NOT_OK(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(*p_++)) << (8 * i);
+  }
+  return v;
+}
+
+Result<uint64_t> ByteReader::U64() {
+  ERBIUM_RETURN_NOT_OK(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(*p_++)) << (8 * i);
+  }
+  return v;
+}
+
+Result<double> ByteReader::F64() {
+  ERBIUM_ASSIGN_OR_RETURN(uint64_t bits, U64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> ByteReader::String() {
+  ERBIUM_ASSIGN_OR_RETURN(uint32_t len, U32());
+  ERBIUM_RETURN_NOT_OK(Need(len));
+  std::string s(p_, p_ + len);
+  p_ += len;
+  return s;
+}
+
+Result<Value> ByteReader::ReadValue() {
+  ERBIUM_ASSIGN_OR_RETURN(uint8_t tag, U8());
+  switch (tag) {
+    case kTagNull:
+      return Value::Null();
+    case kTagBool: {
+      ERBIUM_ASSIGN_OR_RETURN(uint8_t b, U8());
+      return Value::Bool(b != 0);
+    }
+    case kTagInt64: {
+      ERBIUM_ASSIGN_OR_RETURN(uint64_t v, U64());
+      return Value::Int64(static_cast<int64_t>(v));
+    }
+    case kTagFloat64: {
+      ERBIUM_ASSIGN_OR_RETURN(double v, F64());
+      return Value::Float64(v);
+    }
+    case kTagString: {
+      ERBIUM_ASSIGN_OR_RETURN(std::string s, String());
+      return Value::String(std::move(s));
+    }
+    case kTagArray: {
+      ERBIUM_ASSIGN_OR_RETURN(uint32_t count, U32());
+      // Every element takes at least one tag byte.
+      ERBIUM_RETURN_NOT_OK(Need(count));
+      Value::ArrayData elements;
+      elements.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        ERBIUM_ASSIGN_OR_RETURN(Value e, ReadValue());
+        elements.push_back(std::move(e));
+      }
+      return Value::Array(std::move(elements));
+    }
+    case kTagStruct: {
+      ERBIUM_ASSIGN_OR_RETURN(uint32_t count, U32());
+      ERBIUM_RETURN_NOT_OK(Need(count));
+      Value::StructData fields;
+      fields.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        ERBIUM_ASSIGN_OR_RETURN(std::string name, String());
+        ERBIUM_ASSIGN_OR_RETURN(Value v, ReadValue());
+        fields.emplace_back(std::move(name), std::move(v));
+      }
+      return Value::Struct(std::move(fields));
+    }
+    default:
+      return Status::IOError("unknown value tag " + std::to_string(tag));
+  }
+}
+
+Result<std::vector<Value>> ByteReader::ReadValues() {
+  ERBIUM_ASSIGN_OR_RETURN(uint32_t count, U32());
+  ERBIUM_RETURN_NOT_OK(Need(count));
+  std::vector<Value> values;
+  values.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ERBIUM_ASSIGN_OR_RETURN(Value v, ReadValue());
+    values.push_back(std::move(v));
+  }
+  return values;
+}
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  // Table-driven reflected CRC-32 (polynomial 0xEDB88320), the classic
+  // IEEE 802.3 variant used by zlib and friends.
+  static const uint32_t* kTable = [] {
+    static uint32_t table[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  uint32_t crc = ~seed;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace durability
+}  // namespace erbium

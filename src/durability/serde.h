@@ -1,0 +1,62 @@
+#ifndef ERBIUM_DURABILITY_SERDE_H_
+#define ERBIUM_DURABILITY_SERDE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace erbium {
+namespace durability {
+
+/// Little-endian binary encoding for the on-disk formats (WAL records and
+/// snapshots). Fixed-width integers are written least-significant byte
+/// first regardless of host order; strings are u32-length-prefixed;
+/// Values are a one-byte kind tag followed by the payload. Everything a
+/// record needs round-trips through these helpers so the WAL reader and
+/// the fault-injection tests agree byte-for-byte on the format.
+
+void PutU8(uint8_t v, std::string* out);
+void PutU32(uint32_t v, std::string* out);
+void PutU64(uint64_t v, std::string* out);
+void PutF64(double v, std::string* out);
+void PutString(const std::string& s, std::string* out);
+void PutValue(const Value& v, std::string* out);
+/// A key / row is a count-prefixed sequence of values.
+void PutValues(const std::vector<Value>& values, std::string* out);
+
+/// Sequential decoder over a byte range. Every accessor fails with
+/// Status::IOError once the input is exhausted or malformed; decoding
+/// never reads past `size` and never trusts embedded counts beyond the
+/// bytes actually present (a corrupted length cannot cause a huge
+/// allocation).
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : p_(data), end_(data + size) {}
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  bool AtEnd() const { return p_ == end_; }
+
+  Result<uint8_t> U8();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<double> F64();
+  Result<std::string> String();
+  Result<Value> ReadValue();
+  Result<std::vector<Value>> ReadValues();
+
+ private:
+  Status Need(size_t n) const;
+  const char* p_;
+  const char* end_;
+};
+
+/// CRC-32 (IEEE 802.3, reflected, init/final xor 0xFFFFFFFF) — the
+/// checksum guarding every WAL record payload and snapshot body.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace durability
+}  // namespace erbium
+
+#endif  // ERBIUM_DURABILITY_SERDE_H_

@@ -1,0 +1,73 @@
+#ifndef ERBIUM_DURABILITY_SNAPSHOT_H_
+#define ERBIUM_DURABILITY_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "mapping/database.h"
+
+namespace erbium {
+namespace durability {
+
+/// A checkpoint image: everything needed to reconstruct a MappedDatabase
+/// without the WAL. The schema travels as the accumulated DDL text (the
+/// one representation DdlParser can replay; ERSchema::ToString is
+/// display-only) and the mapping as its catalog JSON, so loading is
+/// exactly the normal create path: parse DDL -> compile mapping -> bulk
+/// load rows. Tables hold live rows only — a snapshot compacts
+/// tombstones away.
+struct SnapshotData {
+  struct TableImage {
+    std::string name;
+    std::vector<Row> rows;
+  };
+  /// A factorized pair: live rows of both sides, densely renumbered, and
+  /// the edges as (left dense index, right dense index).
+  struct PairImage {
+    std::string name;
+    std::vector<Row> left_rows;
+    std::vector<Row> right_rows;
+    std::vector<std::pair<uint64_t, uint64_t>> edges;
+  };
+
+  uint64_t last_lsn = 0;   // WAL records with lsn <= this are subsumed
+  std::string ddl;         // accumulated DDL text since database creation
+  std::string spec_json;   // active MappingSpec (MappingSpec::ToJson)
+  std::vector<TableImage> tables;
+  std::vector<PairImage> pairs;
+};
+
+/// On-disk framing: "ERBSNP01" magic, u32 payload length, u32
+/// crc32(payload), payload. A file that fails any of those checks is
+/// rejected whole — snapshots are all-or-nothing, unlike the WAL's
+/// valid-prefix semantics.
+std::string EncodeSnapshot(const SnapshotData& data);
+Result<SnapshotData> DecodeSnapshot(const std::string& bytes);
+
+/// Captures the current state of a database (skipping the mapping catalog
+/// table, which Create() regenerates).
+SnapshotData CaptureSnapshot(const MappedDatabase& db, uint64_t last_lsn,
+                             std::string ddl);
+
+/// Bulk-loads a decoded snapshot into a freshly created database whose
+/// schema/mapping match the snapshot's DDL + spec.
+Status LoadIntoDatabase(const SnapshotData& data, MappedDatabase* db);
+
+/// "<dir>/snapshot-<gen>.erbsnap".
+std::string SnapshotPath(const std::string& dir, uint64_t gen);
+
+/// Generations of all snapshot files present in `dir`, ascending. A
+/// missing directory yields an empty list.
+std::vector<uint64_t> ListSnapshotGens(const std::string& dir);
+
+/// Reads and decodes one snapshot file.
+Result<SnapshotData> LoadSnapshotFile(const std::string& path);
+
+}  // namespace durability
+}  // namespace erbium
+
+#endif  // ERBIUM_DURABILITY_SNAPSHOT_H_

@@ -1,0 +1,269 @@
+#include "durability/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "durability/serde.h"
+#include "obs/metrics.h"
+
+namespace erbium {
+namespace durability {
+
+namespace {
+
+// A record longer than this is assumed to be garbage (a corrupted length
+// field), not a real record: logical CRUD payloads are tiny.
+constexpr uint32_t kMaxRecordBytes = 64u << 20;
+
+std::string EncodePayload(const WalRecord& record) {
+  std::string payload;
+  PutU8(static_cast<uint8_t>(record.type), &payload);
+  PutU64(record.lsn, &payload);
+  switch (record.type) {
+    case WalRecord::Type::kInsertEntity:
+      PutString(record.name, &payload);
+      PutValue(record.value, &payload);
+      break;
+    case WalRecord::Type::kDeleteEntity:
+      PutString(record.name, &payload);
+      PutValues(record.key, &payload);
+      break;
+    case WalRecord::Type::kUpdateAttribute:
+      PutString(record.name, &payload);
+      PutValues(record.key, &payload);
+      PutString(record.attr, &payload);
+      PutValue(record.value, &payload);
+      break;
+    case WalRecord::Type::kInsertRelationship:
+      PutString(record.name, &payload);
+      PutValues(record.key, &payload);
+      PutValues(record.right_key, &payload);
+      PutValue(record.value, &payload);
+      break;
+    case WalRecord::Type::kDeleteRelationship:
+      PutString(record.name, &payload);
+      PutValues(record.key, &payload);
+      PutValues(record.right_key, &payload);
+      break;
+    case WalRecord::Type::kDdl:
+    case WalRecord::Type::kRemap:
+      PutString(record.name, &payload);
+      break;
+  }
+  return payload;
+}
+
+Result<WalRecord> DecodePayload(const char* data, size_t size) {
+  ByteReader reader(data, size);
+  WalRecord record;
+  ERBIUM_ASSIGN_OR_RETURN(uint8_t type, reader.U8());
+  if (type < 1 || type > 7) {
+    return Status::IOError("unknown WAL record type " + std::to_string(type));
+  }
+  record.type = static_cast<WalRecord::Type>(type);
+  ERBIUM_ASSIGN_OR_RETURN(record.lsn, reader.U64());
+  switch (record.type) {
+    case WalRecord::Type::kInsertEntity: {
+      ERBIUM_ASSIGN_OR_RETURN(record.name, reader.String());
+      ERBIUM_ASSIGN_OR_RETURN(record.value, reader.ReadValue());
+      break;
+    }
+    case WalRecord::Type::kDeleteEntity: {
+      ERBIUM_ASSIGN_OR_RETURN(record.name, reader.String());
+      ERBIUM_ASSIGN_OR_RETURN(record.key, reader.ReadValues());
+      break;
+    }
+    case WalRecord::Type::kUpdateAttribute: {
+      ERBIUM_ASSIGN_OR_RETURN(record.name, reader.String());
+      ERBIUM_ASSIGN_OR_RETURN(record.key, reader.ReadValues());
+      ERBIUM_ASSIGN_OR_RETURN(record.attr, reader.String());
+      ERBIUM_ASSIGN_OR_RETURN(record.value, reader.ReadValue());
+      break;
+    }
+    case WalRecord::Type::kInsertRelationship: {
+      ERBIUM_ASSIGN_OR_RETURN(record.name, reader.String());
+      ERBIUM_ASSIGN_OR_RETURN(record.key, reader.ReadValues());
+      ERBIUM_ASSIGN_OR_RETURN(record.right_key, reader.ReadValues());
+      ERBIUM_ASSIGN_OR_RETURN(record.value, reader.ReadValue());
+      break;
+    }
+    case WalRecord::Type::kDeleteRelationship: {
+      ERBIUM_ASSIGN_OR_RETURN(record.name, reader.String());
+      ERBIUM_ASSIGN_OR_RETURN(record.key, reader.ReadValues());
+      ERBIUM_ASSIGN_OR_RETURN(record.right_key, reader.ReadValues());
+      break;
+    }
+    case WalRecord::Type::kDdl:
+    case WalRecord::Type::kRemap: {
+      ERBIUM_ASSIGN_OR_RETURN(record.name, reader.String());
+      break;
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::IOError("trailing bytes inside WAL record payload");
+  }
+  return record;
+}
+
+uint32_t ReadLeU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  std::string payload = EncodePayload(record);
+  std::string out;
+  PutU32(static_cast<uint32_t>(payload.size()), &out);
+  PutU32(Crc32(payload.data(), payload.size()), &out);
+  out += payload;
+  return out;
+}
+
+Result<WalReadResult> ReadWal(const std::string& path) {
+  WalReadResult result;
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return result;  // no log yet: empty and clean
+  std::string contents((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+  if (file.bad()) {
+    return Status::IOError("failed reading WAL file " + path);
+  }
+  size_t offset = 0;
+  auto stop = [&](std::string reason) {
+    result.clean = false;
+    result.stop_reason = std::move(reason);
+    return result;
+  };
+  while (offset < contents.size()) {
+    if (contents.size() - offset < kWalHeaderBytes) {
+      return stop("torn header at offset " + std::to_string(offset));
+    }
+    uint32_t len = ReadLeU32(contents.data() + offset);
+    uint32_t crc = ReadLeU32(contents.data() + offset + 4);
+    if (len > kMaxRecordBytes) {
+      return stop("implausible record length at offset " +
+                  std::to_string(offset));
+    }
+    if (contents.size() - offset - kWalHeaderBytes < len) {
+      return stop("torn payload at offset " + std::to_string(offset));
+    }
+    const char* payload = contents.data() + offset + kWalHeaderBytes;
+    if (Crc32(payload, len) != crc) {
+      return stop("checksum mismatch at offset " + std::to_string(offset));
+    }
+    Result<WalRecord> record = DecodePayload(payload, len);
+    if (!record.ok()) {
+      return stop("undecodable record at offset " + std::to_string(offset) +
+                  ": " + record.status().message());
+    }
+    result.records.push_back(std::move(record).value());
+    offset += kWalHeaderBytes + len;
+    result.valid_bytes = offset;
+  }
+  return result;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   uint64_t append_offset,
+                                                   uint64_t next_lsn,
+                                                   SyncMode sync,
+                                                   FaultInjector* faults) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open WAL " + path + ": " +
+                           std::strerror(errno));
+  }
+  // Chop any torn tail left by a previous life so new records append
+  // right after the last valid one.
+  if (::ftruncate(fd, static_cast<off_t>(append_offset)) != 0 ||
+      ::lseek(fd, 0, SEEK_END) < 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IOError("cannot position WAL " + path + ": " +
+                           std::strerror(err));
+  }
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(path, fd, append_offset, next_lsn, sync, faults));
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalWriter::WriteAll(const char* data, size_t size) {
+  while (size > 0) {
+    ssize_t n = ::write(fd_, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("WAL write failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WalWriter::MaybeSync() {
+  if (sync_ == SyncMode::kFsync && ::fdatasync(fd_) != 0) {
+    return Status::IOError("WAL fdatasync failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Append(WalRecord record) {
+  if (faults_ != nullptr) {
+    ERBIUM_RETURN_NOT_OK(faults_->Check());
+  }
+  record.lsn = next_lsn_;
+  std::string bytes = EncodeWalRecord(record);
+  if (faults_ != nullptr) {
+    if (faults_->ShouldCrash("wal.append.before")) return faults_->Crash();
+    if (faults_->ShouldCrash("wal.append.torn")) {
+      // Simulate the process dying mid-write: a strict prefix of the
+      // record reaches the file.
+      size_t partial = static_cast<size_t>(faults_->partial_bytes());
+      if (partial >= bytes.size()) partial = bytes.size() - 1;
+      ERBIUM_RETURN_NOT_OK(WriteAll(bytes.data(), partial));
+      return faults_->Crash();
+    }
+  }
+  ERBIUM_RETURN_NOT_OK(WriteAll(bytes.data(), bytes.size()));
+  ERBIUM_RETURN_NOT_OK(MaybeSync());
+  if (faults_ != nullptr && faults_->ShouldCrash("wal.append.after")) {
+    // The record is durable but the caller never hears the ack.
+    return faults_->Crash();
+  }
+  ++next_lsn_;
+  offset_ += bytes.size();
+  obs::MetricsRegistry::Global().counter("wal.appends").Increment();
+  obs::MetricsRegistry::Global().counter("wal.bytes").Increment(bytes.size());
+  return Status::OK();
+}
+
+Status WalWriter::Truncate() {
+  if (faults_ != nullptr) {
+    ERBIUM_RETURN_NOT_OK(faults_->Check());
+  }
+  if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) < 0) {
+    return Status::IOError("WAL truncate failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  ERBIUM_RETURN_NOT_OK(MaybeSync());
+  offset_ = 0;
+  obs::MetricsRegistry::Global().counter("wal.truncations").Increment();
+  return Status::OK();
+}
+
+}  // namespace durability
+}  // namespace erbium

@@ -1,0 +1,125 @@
+#ifndef ERBIUM_DURABILITY_WAL_H_
+#define ERBIUM_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "durability/fault.h"
+#include "storage/index.h"
+
+namespace erbium {
+namespace durability {
+
+/// One logical redo record. The WAL logs *logical* CRUD operations (the
+/// paper's entity/relationship abstraction), not physical table writes:
+/// replaying a record through the normal MappedDatabase choke points
+/// reproduces the same physical state under any mapping, and the same
+/// log stays valid when the mapping or schema evolves mid-stream.
+struct WalRecord {
+  enum class Type : uint8_t {
+    kInsertEntity = 1,        // name=class, value=entity struct
+    kDeleteEntity = 2,        // name=class, key
+    kUpdateAttribute = 3,     // name=class, key, attr, value
+    kInsertRelationship = 4,  // name=rel, key=left, right_key, value=attrs
+    kDeleteRelationship = 5,  // name=rel, key=left, right_key
+    kDdl = 6,                 // name=DDL statement text
+    kRemap = 7,               // name=mapping spec JSON
+  };
+
+  Type type = Type::kInsertEntity;
+  uint64_t lsn = 0;
+  std::string name;
+  std::string attr;
+  Value value;
+  IndexKey key;
+  IndexKey right_key;
+};
+
+/// On-disk framing: [u32 payload_len][u32 crc32(payload)][payload] with
+/// payload = [u8 type][u64 lsn][type-specific body]. Exposed for tests
+/// that reason about byte offsets.
+constexpr size_t kWalHeaderBytes = 8;
+
+/// Serializes a record into its on-disk bytes (header + payload).
+std::string EncodeWalRecord(const WalRecord& record);
+
+/// Result of scanning a WAL file front to back. Recovery replays
+/// `records` and treats `clean == false` as a torn/corrupt tail: the scan
+/// stopped at the first record whose length, checksum, or body failed to
+/// validate, and everything before it is still good.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  uint64_t valid_bytes = 0;  // file offset just past the last valid record
+  bool clean = true;
+  std::string stop_reason;
+};
+
+/// Reads every valid record. A missing file is an empty, clean log.
+Result<WalReadResult> ReadWal(const std::string& path);
+
+/// Append-only writer over a POSIX fd. Assigns consecutive LSNs starting
+/// at the `next_lsn` it was opened with. All fault-injection points of
+/// the append path live here.
+class WalWriter {
+ public:
+  enum class SyncMode {
+    kNone,   // write(2) only: survives process death, not OS death
+    kFsync,  // fdatasync per append: survives power loss
+  };
+
+  /// Opens (creating if needed) the log for appending at `append_offset`
+  /// — recovery passes the valid-prefix length so a torn tail from a
+  /// previous life is chopped off before new records go in.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 uint64_t append_offset,
+                                                 uint64_t next_lsn,
+                                                 SyncMode sync,
+                                                 FaultInjector* faults);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record (assigning its LSN) and makes it as durable as
+  /// the sync mode promises before returning. On any failure the record
+  /// is not acknowledged; the file may hold a torn prefix of it, which
+  /// the next recovery discards.
+  Status Append(WalRecord record);
+
+  /// Empties the log after a checkpoint made it redundant.
+  Status Truncate();
+
+  uint64_t next_lsn() const { return next_lsn_; }
+  /// Bytes of acknowledged records currently in the file.
+  uint64_t bytes() const { return offset_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::string path, int fd, uint64_t offset, uint64_t next_lsn,
+            SyncMode sync, FaultInjector* faults)
+      : path_(std::move(path)),
+        fd_(fd),
+        offset_(offset),
+        next_lsn_(next_lsn),
+        sync_(sync),
+        faults_(faults) {}
+
+  Status WriteAll(const char* data, size_t size);
+  Status MaybeSync();
+
+  std::string path_;
+  int fd_;
+  uint64_t offset_;
+  uint64_t next_lsn_;
+  SyncMode sync_;
+  FaultInjector* faults_;  // not owned; may be null
+};
+
+}  // namespace durability
+}  // namespace erbium
+
+#endif  // ERBIUM_DURABILITY_WAL_H_

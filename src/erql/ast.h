@@ -76,7 +76,20 @@ enum class ExplainMode { kNone, kPlan, kAnalyze };
 ///   SHOW METRICS [LIKE '<glob>']   — the process metrics registry
 ///   SHOW QUERIES [SLOW] [LIMIT n]  — the query log / slow-query ring
 ///   TRACE [INTO '<file>'] SELECT … — run under analyze, emit Chrome trace
-enum class StatementKind { kSelect, kShowMetrics, kShowQueries, kTrace };
+/// and the durability statements:
+///   CHECKPOINT                     — snapshot + WAL truncate (needs a
+///                                    durable database attached)
+///   ATTACH DATABASE '<dir>'        — bind the session to an on-disk
+///                                    directory (handled by the host
+///                                    application, not the engine)
+enum class StatementKind {
+  kSelect,
+  kShowMetrics,
+  kShowQueries,
+  kTrace,
+  kCheckpoint,
+  kAttach,
+};
 
 /// One parsed ERQL SELECT query (paper Figure 1(iii) dialect): SQL with
 /// relationship joins, nested outputs via struct()/array_agg, unnest in
@@ -93,6 +106,8 @@ struct Query {
   /// returns it as result rows. For kTrace the SELECT fields below
   /// describe the traced query.
   std::string trace_into;
+  /// ATTACH DATABASE '<dir>': the database directory.
+  std::string attach_path;
 
   ExplainMode explain = ExplainMode::kNone;
   bool distinct = false;

@@ -31,6 +31,21 @@ class QueryParser {
     if (ts_.ConsumeKeyword("show")) {
       return ParseShow();
     }
+    if (ts_.ConsumeKeyword("checkpoint")) {
+      query.statement = StatementKind::kCheckpoint;
+      ERBIUM_RETURN_NOT_OK(ExpectEnd());
+      return query;
+    }
+    if (ts_.ConsumeKeyword("attach")) {
+      ERBIUM_RETURN_NOT_OK(ts_.ExpectKeyword("database"));
+      if (ts_.Peek().kind != TokenKind::kString) {
+        return ts_.ErrorHere("expected 'directory path' after ATTACH DATABASE");
+      }
+      query.statement = StatementKind::kAttach;
+      query.attach_path = ts_.Advance().text;
+      ERBIUM_RETURN_NOT_OK(ExpectEnd());
+      return query;
+    }
     if (ts_.ConsumeKeyword("trace")) {
       query.statement = StatementKind::kTrace;
       if (ts_.ConsumeKeyword("into")) {
@@ -114,6 +129,13 @@ class QueryParser {
   }
 
  private:
+  Status ExpectEnd() {
+    if (!ts_.AtEnd() && !ts_.ConsumeSymbol(";")) {
+      return ts_.ErrorHere("unexpected trailing input");
+    }
+    return Status::OK();
+  }
+
   /// After a consumed SHOW keyword: METRICS [LIKE '<glob>'] or
   /// QUERIES [SLOW] [LIMIT n].
   Result<Query> ParseShow() {

@@ -102,8 +102,8 @@ Result<CompiledQuery> QueryEngine::Compile(MappedDatabase* db,
   ERBIUM_ASSIGN_OR_RETURN(Query query, Parser::Parse(text));
   if (query.statement != StatementKind::kSelect) {
     return Status::InvalidArgument(
-        "only SELECT statements compile to plans; run SHOW/TRACE through "
-        "QueryEngine::Execute");
+        "only SELECT statements compile to plans; run SHOW/TRACE/CHECKPOINT "
+        "through QueryEngine::Execute");
   }
   return Translator::Translate(db, query, opts);
 }
@@ -118,6 +118,10 @@ std::string StatementKindName(const Query& query) {
       return "show";
     case StatementKind::kTrace:
       return "trace";
+    case StatementKind::kCheckpoint:
+      return "checkpoint";
+    case StatementKind::kAttach:
+      return "attach";
     case StatementKind::kSelect:
       break;
   }
@@ -326,6 +330,25 @@ Result<QueryResult> ExecuteParsed(MappedDatabase* db, const Query& query,
       return ShowQueries(query);
     case StatementKind::kTrace:
       return TraceQuery(db, query, text, opts, record, stats_out, have_stats);
+    case StatementKind::kCheckpoint: {
+      DurabilityHook* hook = db->durability_hook();
+      if (hook == nullptr) {
+        return Status::InvalidArgument(
+            "CHECKPOINT requires a durable database — ATTACH DATABASE "
+            "'<dir>' first");
+      }
+      ERBIUM_ASSIGN_OR_RETURN(std::string summary, hook->Checkpoint());
+      QueryResult result;
+      result.columns = {"checkpoint"};
+      result.rows.push_back(Row{Value::String(std::move(summary))});
+      return result;
+    }
+    case StatementKind::kAttach:
+      // Attaching replaces the whole database instance, which only the
+      // owner of the MappedDatabase can do.
+      return Status::InvalidArgument(
+          "ATTACH DATABASE is handled by the host application (the shell), "
+          "not the query engine");
     case StatementKind::kSelect:
       break;
   }

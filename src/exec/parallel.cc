@@ -1,8 +1,13 @@
 #include "exec/parallel.h"
 
+#include <cerrno>
+#include <climits>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
+#include <mutex>
+#include <set>
 #include <thread>
 
 namespace erbium {
@@ -43,10 +48,28 @@ std::vector<Value> EvalKeys(const std::vector<ExprPtr>& exprs,
   return key;
 }
 
+/// Strictly parsed integer environment variable. Garbage ("abc", "4x",
+/// out-of-range) falls back to `fallback` with a one-time stderr warning
+/// per variable instead of silently becoming 0 the way atoi would.
 int EnvInt(const char* name, int fallback) {
   const char* s = std::getenv(name);
   if (s == nullptr || *s == '\0') return fallback;
-  return std::atoi(s);
+  errno = 0;
+  char* end = nullptr;
+  long parsed = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE || parsed < INT_MIN ||
+      parsed > INT_MAX) {
+    static std::mutex warn_mu;
+    static std::set<std::string>* warned = new std::set<std::string>();
+    std::lock_guard<std::mutex> lock(warn_mu);
+    if (warned->insert(name).second) {
+      std::fprintf(stderr,
+                   "erbium: ignoring unparseable %s='%s' (using default %d)\n",
+                   name, s, fallback);
+    }
+    return fallback;
+  }
+  return static_cast<int>(parsed);
 }
 
 }  // namespace

@@ -43,6 +43,8 @@ class FactorizedPair {
 
   const Row& left_row(size_t i) const { return left_rows_[i]; }
   const Row& right_row(size_t i) const { return right_rows_[i]; }
+  bool left_live(size_t i) const { return left_live_[i]; }
+  bool right_live(size_t i) const { return right_live_[i]; }
   const std::vector<uint32_t>& right_neighbors(size_t left_index) const {
     return left_to_right_[left_index];
   }

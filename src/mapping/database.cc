@@ -40,6 +40,71 @@ Status MappedDatabase::Counted(Status s, const char* counter_name) {
   return s;
 }
 
+// ---- logical CRUD choke points -------------------------------------------------
+//
+// Each public mutation applies in memory first, then bumps its crud.*
+// counter and reports the operation to the durability hook (when one is
+// attached) *before* acknowledging the caller. A hook failure — real I/O
+// trouble or an injected crash — is returned to the caller: the write was
+// applied in memory but never acknowledged, so recovery is free to drop
+// it.
+
+Status MappedDatabase::InsertEntity(const std::string& class_name,
+                                    const Value& entity) {
+  Status s = Counted(InsertEntityImpl(class_name, entity),
+                     "crud.entity_inserts");
+  if (s.ok() && durability_ != nullptr) {
+    return durability_->LogInsertEntity(class_name, entity);
+  }
+  return s;
+}
+
+Status MappedDatabase::DeleteEntity(const std::string& class_name,
+                                    const IndexKey& key) {
+  Status s = Counted(DeleteEntityImpl(class_name, key), "crud.entity_deletes");
+  if (s.ok() && durability_ != nullptr) {
+    return durability_->LogDeleteEntity(class_name, key);
+  }
+  return s;
+}
+
+Status MappedDatabase::UpdateAttribute(const std::string& class_name,
+                                       const IndexKey& key,
+                                       const std::string& attr,
+                                       const Value& value) {
+  Status s = Counted(UpdateAttributeImpl(class_name, key, attr, value),
+                     "crud.attribute_updates");
+  if (s.ok() && durability_ != nullptr) {
+    return durability_->LogUpdateAttribute(class_name, key, attr, value);
+  }
+  return s;
+}
+
+Status MappedDatabase::InsertRelationship(const std::string& rel_name,
+                                          const IndexKey& left_key,
+                                          const IndexKey& right_key,
+                                          const Value& attrs) {
+  Status s = Counted(InsertRelationshipImpl(rel_name, left_key, right_key,
+                                            attrs),
+                     "crud.relationship_inserts");
+  if (s.ok() && durability_ != nullptr) {
+    return durability_->LogInsertRelationship(rel_name, left_key, right_key,
+                                              attrs);
+  }
+  return s;
+}
+
+Status MappedDatabase::DeleteRelationship(const std::string& rel_name,
+                                          const IndexKey& left_key,
+                                          const IndexKey& right_key) {
+  Status s = Counted(DeleteRelationshipImpl(rel_name, left_key, right_key),
+                     "crud.relationship_deletes");
+  if (s.ok() && durability_ != nullptr) {
+    return durability_->LogDeleteRelationship(rel_name, left_key, right_key);
+  }
+  return s;
+}
+
 Result<std::unique_ptr<MappedDatabase>> MappedDatabase::Create(
     const ERSchema* schema, MappingSpec spec) {
   ERBIUM_ASSIGN_OR_RETURN(PhysicalMapping mapping,

@@ -10,6 +10,7 @@
 #include "common/value.h"
 #include "exec/operator.h"
 #include "factorized/factorized.h"
+#include "mapping/durability_hook.h"
 #include "mapping/physical_mapping.h"
 #include "storage/catalog.h"
 
@@ -47,15 +48,20 @@ class MappedDatabase {
   /// Reads the persisted mapping spec back from the catalog table.
   Result<MappingSpec> LoadPersistedSpec() const;
 
+  /// Attaches (or detaches, with nullptr) the write-ahead-log sink. Every
+  /// successfully applied logical CRUD operation below is reported to the
+  /// hook before being acknowledged; these five methods are the single
+  /// choke point all writers (EntityStore, workloads, migration) funnel
+  /// through. Not owned.
+  void set_durability_hook(DurabilityHook* hook) { durability_ = hook; }
+  DurabilityHook* durability_hook() const { return durability_; }
+
   // ---- Entity CRUD -----------------------------------------------------------
 
   /// Inserts an instance whose most-specific class is `class_name`.
   /// `entity` must provide non-null values for all full-key attributes;
   /// other attributes default to null / empty arrays.
-  Status InsertEntity(const std::string& class_name, const Value& entity) {
-    return Counted(InsertEntityImpl(class_name, entity),
-                   "crud.entity_inserts");
-  }
+  Status InsertEntity(const std::string& class_name, const Value& entity);
 
   /// Assembles the full logical view of an instance: every visible
   /// attribute (inherited + own), multi-valued ones as arrays. The
@@ -73,17 +79,12 @@ class MappedDatabase {
   /// Entity-centric delete (paper Section 1.1(2)): removes all segments,
   /// multi-valued rows, relationship instances touching the entity, and
   /// (recursively) owned weak entities.
-  Status DeleteEntity(const std::string& class_name, const IndexKey& key) {
-    return Counted(DeleteEntityImpl(class_name, key), "crud.entity_deletes");
-  }
+  Status DeleteEntity(const std::string& class_name, const IndexKey& key);
 
   /// Replaces the value of one attribute (multi-valued: pass the whole
   /// new array). Key attributes cannot be updated.
   Status UpdateAttribute(const std::string& class_name, const IndexKey& key,
-                         const std::string& attr, const Value& value) {
-    return Counted(UpdateAttributeImpl(class_name, key, attr, value),
-                   "crud.attribute_updates");
-  }
+                         const std::string& attr, const Value& value);
 
   /// Number of instances of the class (including descendant instances).
   Result<size_t> CountEntities(const std::string& class_name);
@@ -97,18 +98,11 @@ class MappedDatabase {
   /// relationship has no attributes.
   Status InsertRelationship(const std::string& rel_name,
                             const IndexKey& left_key, const IndexKey& right_key,
-                            const Value& attrs = Value::Null()) {
-    return Counted(
-        InsertRelationshipImpl(rel_name, left_key, right_key, attrs),
-        "crud.relationship_inserts");
-  }
+                            const Value& attrs = Value::Null());
 
   Status DeleteRelationship(const std::string& rel_name,
                             const IndexKey& left_key,
-                            const IndexKey& right_key) {
-    return Counted(DeleteRelationshipImpl(rel_name, left_key, right_key),
-                   "crud.relationship_deletes");
-  }
+                            const IndexKey& right_key);
 
   Result<size_t> CountRelationships(const std::string& rel_name);
 
@@ -223,6 +217,7 @@ class MappedDatabase {
   PhysicalMapping mapping_;
   Catalog catalog_;
   std::map<std::string, std::unique_ptr<FactorizedPair>> pairs_;
+  DurabilityHook* durability_ = nullptr;
 };
 
 }  // namespace erbium

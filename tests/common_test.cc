@@ -3,9 +3,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <thread>
+
 #include "common/lexer.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/type.h"
 #include "common/value.h"
 
@@ -166,6 +173,108 @@ TEST(TokenStreamTest, ExpectHelpers) {
   EXPECT_EQ(*ident, "Foo");
   EXPECT_TRUE(ts.AtEnd());
   EXPECT_FALSE(ts.ExpectSymbol("(").ok());
+}
+
+TEST(LexerTest, IntegerLiteralOverflow) {
+  // Within range: int64 max parses fine.
+  auto ok = Lexer::Tokenize("9223372036854775807");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)[0].int_value, INT64_MAX);
+  // One past int64 max, and absurdly long digit strings, must be a clean
+  // parse error — not an uncaught exception or a silently wrapped value.
+  auto over = Lexer::Tokenize("9223372036854775808");
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kParseError);
+  EXPECT_FALSE(Lexer::Tokenize("99999999999999999999999999999999").ok());
+}
+
+TEST(LexerTest, FloatLiteralOverflow) {
+  auto ok = Lexer::Tokenize("1.5e308");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_DOUBLE_EQ((*ok)[0].float_value, 1.5e308);
+  auto over = Lexer::Tokenize("1.5e400");
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kParseError);
+  EXPECT_FALSE(Lexer::Tokenize("1e999999").ok());
+}
+
+TEST(LexerTest, ExponentWithoutDigitsStaysInteger) {
+  // "2e" is integer 2 followed by identifier e, not a malformed float.
+  auto tokens = Lexer::Tokenize("2e + 3E- 4e5");
+  ASSERT_TRUE(tokens.ok());
+  const std::vector<Token>& t = *tokens;
+  EXPECT_EQ(t[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(t[0].int_value, 2);
+  EXPECT_EQ(t[1].text, "e");
+  EXPECT_EQ(t[3].kind, TokenKind::kInteger);
+  EXPECT_EQ(t[4].text, "E");
+  EXPECT_EQ(t[6].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(t[6].float_value, 4e5);
+}
+
+TEST(GlobMatchTest, EdgeCases) {
+  // Empty pattern matches only empty text; "*" matches everything.
+  EXPECT_TRUE(GlobMatch("", ""));
+  EXPECT_FALSE(GlobMatch("", "x"));
+  EXPECT_TRUE(GlobMatch("*", ""));
+  EXPECT_TRUE(GlobMatch("*", "anything"));
+  EXPECT_TRUE(GlobMatch("**", "anything"));
+  EXPECT_FALSE(GlobMatch("x", ""));
+  // '?' matches exactly one character.
+  EXPECT_TRUE(GlobMatch("?", "a"));
+  EXPECT_FALSE(GlobMatch("?", ""));
+  EXPECT_FALSE(GlobMatch("?", "ab"));
+  // Backtracking to the last star: "a*ab" requires re-trying the star.
+  EXPECT_TRUE(GlobMatch("a*ab", "aab"));
+  EXPECT_TRUE(GlobMatch("a*ab", "axab"));
+  EXPECT_TRUE(GlobMatch("a*ab", "aabab"));
+  EXPECT_FALSE(GlobMatch("a*ab", "aba"));
+  // Mixed wildcards, and stars that must absorb nothing.
+  EXPECT_TRUE(GlobMatch("wal.*", "wal.appends"));
+  EXPECT_FALSE(GlobMatch("wal.*", "recovery.opens"));
+  EXPECT_TRUE(GlobMatch("*.?", "a.b"));
+  EXPECT_TRUE(GlobMatch("a*", "a"));
+  EXPECT_TRUE(GlobMatch("*a", "a"));
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.Submit([&count] { ++count; }));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(count.load(), 16);
+  EXPECT_GE(pool.num_workers(), 2);
+}
+
+TEST(ThreadPoolTest, SubmitDuringShutdownStillCompletesFuture) {
+  // Regression: a task submitted while the pool is stopping must still
+  // run (inline on the submitter) and its future must become ready — a
+  // queued-but-never-drained task would leave the caller waiting forever.
+  auto* pool = new ThreadPool(1);
+  std::promise<void> gate;
+  std::shared_future<void> gate_future = gate.get_future().share();
+  // Occupy the lone worker so the destructor blocks joining it, keeping
+  // the pool alive in the "stopping" state while we submit into it.
+  pool->Submit([gate_future] { gate_future.wait(); });
+  std::thread destroyer([pool] { delete pool; });
+  // Until the destructor flips stopping_, probes are queued behind the
+  // blocked worker and stay pending; once it flips, Submit must run the
+  // task inline, so the future is ready the moment Submit returns.
+  std::atomic<int> ran{0};
+  bool saw_inline = false;
+  for (int i = 0; i < 5000 && !saw_inline; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::future<void> probe = pool->Submit([&ran] { ++ran; });
+    saw_inline = probe.wait_for(std::chrono::seconds(0)) ==
+                 std::future_status::ready;
+  }
+  EXPECT_TRUE(saw_inline);
+  EXPECT_GE(ran.load(), 1);
+  gate.set_value();  // release the worker; destruction drains the queue
+  destroyer.join();
 }
 
 TEST(StringUtilTest, Basics) {

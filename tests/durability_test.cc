@@ -1,0 +1,468 @@
+// Durability subsystem tests: WAL record round-trips, CRC behavior,
+// snapshot encode/decode, recovery-on-open, checkpoint compaction, DDL
+// and remap replay, the CHECKPOINT/ATTACH statement wiring, and the
+// durability metrics.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "durability/durable_db.h"
+#include "durability/serde.h"
+#include "durability/snapshot.h"
+#include "durability/wal.h"
+#include "durability_testlib.h"
+#include "erql/query_engine.h"
+#include "obs/metrics.h"
+#include "workload/figure4.h"
+
+namespace erbium {
+namespace {
+
+using durability::DurableDatabase;
+using durability::SnapshotData;
+using durability::WalRecord;
+using durability_test::FaultScript;
+using durability_test::LogicalDigest;
+using durability_test::MakeStruct;
+using durability_test::Op;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/erbium_durability_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+DurableDatabase::Options Figure4Options(
+    MappingSpec spec = Figure4M1(),
+    durability::FaultInjector* faults = nullptr) {
+  DurableDatabase::Options options;
+  options.spec = std::move(spec);
+  options.initial_ddl = Figure4Ddl();
+  options.faults = faults;
+  return options;
+}
+
+std::string MustDigest(MappedDatabase* db) {
+  auto digest = LogicalDigest(db);
+  EXPECT_TRUE(digest.ok()) << digest.status().ToString();
+  return digest.ok() ? *digest : "";
+}
+
+TEST(Crc32Test, KnownVector) {
+  // The classic CRC-32 check value.
+  EXPECT_EQ(durability::Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(durability::Crc32("", 0), 0u);
+}
+
+TEST(SerdeTest, ValueRoundTrip) {
+  Value nested = MakeStruct(
+      {{"i", Value::Int64(-42)},
+       {"f", Value::Float64(2.5)},
+       {"s", Value::String("hello")},
+       {"b", Value::Bool(true)},
+       {"n", Value::Null()},
+       {"a", Value::Array({Value::Int64(1), Value::String("two")})},
+       {"nested", MakeStruct({{"x", Value::Int64(7)}})}});
+  std::string bytes;
+  durability::PutValue(nested, &bytes);
+  durability::ByteReader reader(bytes.data(), bytes.size());
+  auto back = reader.ReadValue();
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->ToString(), nested.ToString());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerdeTest, TruncatedInputFailsCleanly) {
+  std::string bytes;
+  durability::PutValue(Value::String("some longer string"), &bytes);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    durability::ByteReader reader(bytes.data(), len);
+    auto result = reader.ReadValue();
+    EXPECT_FALSE(result.ok()) << "prefix of " << len << " bytes decoded";
+    EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  }
+}
+
+TEST(SerdeTest, CorruptCountDoesNotOverallocate) {
+  // An array claiming 2^32-1 elements but holding no bytes must fail
+  // instead of reserving gigabytes.
+  std::string bytes;
+  durability::PutU8(5, &bytes);           // kTagArray
+  durability::PutU32(0xFFFFFFFFu, &bytes);  // absurd element count
+  durability::ByteReader reader(bytes.data(), bytes.size());
+  auto result = reader.ReadValue();
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(WalTest, AppendReadRoundTrip) {
+  std::string dir = FreshDir("wal_roundtrip");
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/wal.erblog";
+  {
+    auto writer = durability::WalWriter::Open(
+        path, 0, 1, durability::WalWriter::SyncMode::kNone, nullptr);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    WalRecord insert;
+    insert.type = WalRecord::Type::kInsertEntity;
+    insert.name = "R";
+    insert.value = MakeStruct({{"r_id", Value::Int64(1)}});
+    ASSERT_TRUE((*writer)->Append(insert).ok());
+    WalRecord update;
+    update.type = WalRecord::Type::kUpdateAttribute;
+    update.name = "R";
+    update.key = {Value::Int64(1)};
+    update.attr = "r_a1";
+    update.value = Value::Int64(9);
+    ASSERT_TRUE((*writer)->Append(update).ok());
+    WalRecord ddl;
+    ddl.type = WalRecord::Type::kDdl;
+    ddl.name = "CREATE ENTITY T ( t_id INT KEY );";
+    ASSERT_TRUE((*writer)->Append(ddl).ok());
+    EXPECT_EQ((*writer)->next_lsn(), 4u);
+  }
+  auto read = durability::ReadWal(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(read->clean);
+  ASSERT_EQ(read->records.size(), 3u);
+  EXPECT_EQ(read->records[0].type, WalRecord::Type::kInsertEntity);
+  EXPECT_EQ(read->records[0].lsn, 1u);
+  EXPECT_EQ(read->records[1].type, WalRecord::Type::kUpdateAttribute);
+  EXPECT_EQ(read->records[1].attr, "r_a1");
+  EXPECT_EQ(read->records[1].key.size(), 1u);
+  EXPECT_EQ(read->records[2].name, "CREATE ENTITY T ( t_id INT KEY );");
+}
+
+TEST(WalTest, MissingFileIsEmptyCleanLog) {
+  auto read = durability::ReadWal(FreshDir("wal_missing") + "/nope.erblog");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->clean);
+  EXPECT_TRUE(read->records.empty());
+  EXPECT_EQ(read->valid_bytes, 0u);
+}
+
+TEST(WalTest, GarbageTailStopsCleanly) {
+  std::string dir = FreshDir("wal_garbage");
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/wal.erblog";
+  WalRecord record;
+  record.type = WalRecord::Type::kDeleteEntity;
+  record.lsn = 1;
+  record.name = "R";
+  record.key = {Value::Int64(5)};
+  std::string bytes = durability::EncodeWalRecord(record);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << bytes << "garbage-not-a-record";
+  }
+  auto read = durability::ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_FALSE(read->clean);
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->valid_bytes, bytes.size());
+  EXPECT_FALSE(read->stop_reason.empty());
+}
+
+TEST(SnapshotTest, EncodeDecodeRoundTrip) {
+  SnapshotData data;
+  data.last_lsn = 17;
+  data.ddl = "CREATE ENTITY R ( r_id INT KEY );";
+  data.spec_json = Figure4M1().ToJson();
+  SnapshotData::TableImage table;
+  table.name = "R";
+  table.rows = {{Value::Int64(1), Value::String("a")},
+                {Value::Int64(2), Value::Null()}};
+  data.tables.push_back(table);
+  SnapshotData::PairImage pair;
+  pair.name = "R2S1_pair";
+  pair.left_rows = {{Value::Int64(1)}};
+  pair.right_rows = {{Value::Int64(9)}, {Value::Int64(10)}};
+  pair.edges = {{0, 1}};
+  data.pairs.push_back(pair);
+  std::string bytes = durability::EncodeSnapshot(data);
+  auto back = durability::DecodeSnapshot(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->last_lsn, 17u);
+  EXPECT_EQ(back->ddl, data.ddl);
+  EXPECT_EQ(back->spec_json, data.spec_json);
+  ASSERT_EQ(back->tables.size(), 1u);
+  EXPECT_EQ(back->tables[0].rows.size(), 2u);
+  ASSERT_EQ(back->pairs.size(), 1u);
+  EXPECT_EQ(back->pairs[0].edges.size(), 1u);
+
+  // Any single bit flip must be rejected whole.
+  std::string corrupt = bytes;
+  corrupt[bytes.size() / 2] ^= 0x01;
+  EXPECT_FALSE(durability::DecodeSnapshot(corrupt).ok());
+}
+
+TEST(DurableDatabaseTest, InsertSurvivesReopen) {
+  std::string dir = FreshDir("reopen");
+  std::string digest;
+  {
+    auto db = DurableDatabase::Open(dir, Figure4Options());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    EXPECT_FALSE((*db)->recovery_info().had_snapshot);
+    for (const Op& op : FaultScript()) {
+      ASSERT_TRUE(op.apply((*db)->db()).ok()) << op.description;
+    }
+    EXPECT_GT((*db)->wal_bytes(), 0u);
+    digest = MustDigest((*db)->db());
+  }
+  auto reopened = DurableDatabase::Open(dir, Figure4Options());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->recovery_info().records_replayed,
+            FaultScript().size());
+  EXPECT_TRUE((*reopened)->recovery_info().wal_clean);
+  EXPECT_EQ(MustDigest((*reopened)->db()), digest);
+}
+
+TEST(DurableDatabaseTest, CheckpointTruncatesAndCompacts) {
+  std::string dir = FreshDir("checkpoint");
+  std::string digest;
+  {
+    auto db = DurableDatabase::Open(dir, Figure4Options());
+    ASSERT_TRUE(db.ok());
+    for (const Op& op : FaultScript()) {
+      ASSERT_TRUE(op.apply((*db)->db()).ok()) << op.description;
+    }
+    digest = MustDigest((*db)->db());
+    auto summary = (*db)->Checkpoint();
+    ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+    EXPECT_NE(summary->find("gen=1"), std::string::npos) << *summary;
+    EXPECT_EQ((*db)->wal_bytes(), 0u);
+    // State unchanged by checkpointing.
+    EXPECT_EQ(MustDigest((*db)->db()), digest);
+    // Still writable afterwards.
+    ASSERT_TRUE((*db)
+                    ->db()
+                    ->InsertEntity("S", MakeStruct({{"s_id", Value::Int64(50)},
+                                                    {"s_a1", Value::Int64(5)},
+                                                    {"s_a2", Value::String(
+                                                                 "post")}}))
+                    .ok());
+    digest = MustDigest((*db)->db());
+  }
+  auto reopened = DurableDatabase::Open(dir, Figure4Options());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const auto& info = (*reopened)->recovery_info();
+  EXPECT_TRUE(info.had_snapshot);
+  EXPECT_EQ(info.snapshot_gen, 1u);
+  // Only the post-checkpoint insert replays from the log.
+  EXPECT_EQ(info.records_replayed, 1u);
+  EXPECT_EQ(MustDigest((*reopened)->db()), digest);
+
+  // The deleted entity/relationship tombstones were compacted away: the
+  // snapshot stores live rows only.
+  auto snapshot = durability::LoadSnapshotFile(
+      durability::SnapshotPath(dir, 1));
+  ASSERT_TRUE(snapshot.ok());
+  for (const auto& table : snapshot->tables) {
+    if (table.name == "R") {
+      // R 1 (updated), R2 2, R1 5, R3 4 segments — R 9 was deleted.
+      EXPECT_EQ(table.rows.size(), 4u);
+    }
+  }
+}
+
+TEST(DurableDatabaseTest, SecondCheckpointSupersedesFirst) {
+  std::string dir = FreshDir("checkpoint_gens");
+  auto db = DurableDatabase::Open(dir, Figure4Options());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)
+                  ->db()
+                  ->InsertEntity("S", MakeStruct({{"s_id", Value::Int64(1)},
+                                                  {"s_a1", Value::Int64(1)},
+                                                  {"s_a2", Value::String("a")}}))
+                  .ok());
+  ASSERT_TRUE((*db)->Checkpoint().ok());
+  ASSERT_TRUE((*db)
+                  ->db()
+                  ->InsertEntity("S", MakeStruct({{"s_id", Value::Int64(2)},
+                                                  {"s_a1", Value::Int64(2)},
+                                                  {"s_a2", Value::String("b")}}))
+                  .ok());
+  auto summary = (*db)->Checkpoint();
+  ASSERT_TRUE(summary.ok());
+  EXPECT_NE(summary->find("gen=2"), std::string::npos);
+  // Older generations are garbage-collected.
+  EXPECT_EQ(durability::ListSnapshotGens(dir),
+            (std::vector<uint64_t>{2}));
+}
+
+TEST(DurableDatabaseTest, DdlReplaysOnReopen) {
+  std::string dir = FreshDir("ddl_replay");
+  std::string digest;
+  {
+    auto db = DurableDatabase::Open(dir, Figure4Options());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)
+                    ->db()
+                    ->InsertEntity("S", MakeStruct({{"s_id", Value::Int64(1)},
+                                                    {"s_a1", Value::Int64(1)},
+                                                    {"s_a2", Value::String(
+                                                                 "pre")}}))
+                    .ok());
+    ASSERT_TRUE(
+        (*db)->ExecuteDdl("CREATE ENTITY T ( t_id INT KEY, t_a1 STRING );")
+            .ok());
+    ASSERT_TRUE((*db)
+                    ->db()
+                    ->InsertEntity("T", MakeStruct({{"t_id", Value::Int64(7)},
+                                                    {"t_a1", Value::String(
+                                                                 "new")}}))
+                    .ok());
+    digest = MustDigest((*db)->db());
+  }
+  auto reopened = DurableDatabase::Open(dir, Figure4Options());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_NE((*reopened)->schema().FindEntitySet("T"), nullptr);
+  EXPECT_EQ(MustDigest((*reopened)->db()), digest);
+}
+
+TEST(DurableDatabaseTest, DdlSurvivesCheckpoint) {
+  std::string dir = FreshDir("ddl_checkpoint");
+  std::string digest;
+  {
+    auto db = DurableDatabase::Open(dir, Figure4Options());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(
+        (*db)->ExecuteDdl("CREATE ENTITY T ( t_id INT KEY, t_a1 STRING );")
+            .ok());
+    ASSERT_TRUE((*db)
+                    ->db()
+                    ->InsertEntity("T", MakeStruct({{"t_id", Value::Int64(7)},
+                                                    {"t_a1", Value::String(
+                                                                 "x")}}))
+                    .ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    digest = MustDigest((*db)->db());
+  }
+  // After the checkpoint the WAL is empty; the schema must come back
+  // from the snapshot's accumulated DDL.
+  auto reopened = DurableDatabase::Open(dir, Figure4Options());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->recovery_info().records_replayed, 0u);
+  EXPECT_NE((*reopened)->schema().FindEntitySet("T"), nullptr);
+  EXPECT_EQ(MustDigest((*reopened)->db()), digest);
+}
+
+TEST(DurableDatabaseTest, RemapReplaysOnReopen) {
+  std::string dir = FreshDir("remap_replay");
+  std::string digest;
+  {
+    auto db = DurableDatabase::Open(dir, Figure4Options());
+    ASSERT_TRUE(db.ok());
+    for (const Op& op : FaultScript()) {
+      ASSERT_TRUE(op.apply((*db)->db()).ok()) << op.description;
+    }
+    ASSERT_TRUE((*db)->Remap(Figure4M5()).ok());
+    EXPECT_EQ((*db)->spec().name, "M5");
+    digest = MustDigest((*db)->db());
+  }
+  // Reopen still passes the M1 options; the logged remap must win.
+  auto reopened = DurableDatabase::Open(dir, Figure4Options());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->spec().name, "M5");
+  EXPECT_EQ(MustDigest((*reopened)->db()), digest);
+}
+
+TEST(DurableDatabaseTest, WalMetricsAdvance) {
+  uint64_t appends_before =
+      obs::MetricsRegistry::Global().CounterValue("wal.appends");
+  uint64_t bytes_before =
+      obs::MetricsRegistry::Global().CounterValue("wal.bytes");
+  std::string dir = FreshDir("metrics");
+  auto db = DurableDatabase::Open(dir, Figure4Options());
+  ASSERT_TRUE(db.ok());
+  for (const Op& op : FaultScript()) {
+    ASSERT_TRUE(op.apply((*db)->db()).ok());
+  }
+  EXPECT_EQ(obs::MetricsRegistry::Global().CounterValue("wal.appends"),
+            appends_before + FaultScript().size());
+  EXPECT_GT(obs::MetricsRegistry::Global().CounterValue("wal.bytes"),
+            bytes_before);
+  ASSERT_TRUE((*db)->Checkpoint().ok());
+  EXPECT_GE(obs::MetricsRegistry::Global().CounterValue("checkpoint.count"),
+            1u);
+}
+
+TEST(StatementTest, CheckpointStatementRunsThroughEngine) {
+  std::string dir = FreshDir("stmt_checkpoint");
+  auto db = DurableDatabase::Open(dir, Figure4Options());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)
+                  ->db()
+                  ->InsertEntity("S", MakeStruct({{"s_id", Value::Int64(1)},
+                                                  {"s_a1", Value::Int64(1)},
+                                                  {"s_a2", Value::String("a")}}))
+                  .ok());
+  auto result = erql::QueryEngine::Execute((*db)->db(), "CHECKPOINT");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_NE(result->rows[0][0].as_string().find("gen=1"), std::string::npos);
+  EXPECT_EQ((*db)->wal_bytes(), 0u);
+}
+
+TEST(StatementTest, CheckpointWithoutDurableDatabaseFails) {
+  auto schema = std::make_shared<ERSchema>();
+  auto made = MakeFigure4Schema();
+  ASSERT_TRUE(made.ok());
+  *schema = std::move(made).value();
+  auto db = MappedDatabase::Create(schema.get(), Figure4M1());
+  ASSERT_TRUE(db.ok());
+  auto result = erql::QueryEngine::Execute(db->get(), "CHECKPOINT");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatementTest, AttachIsRejectedByEngine) {
+  auto schema = std::make_shared<ERSchema>();
+  auto made = MakeFigure4Schema();
+  ASSERT_TRUE(made.ok());
+  *schema = std::move(made).value();
+  auto db = MappedDatabase::Create(schema.get(), Figure4M1());
+  ASSERT_TRUE(db.ok());
+  auto result =
+      erql::QueryEngine::Execute(db->get(), "ATTACH DATABASE '/tmp/x'");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DurableDatabaseTest, TornTailDiscardedOnReopen) {
+  std::string dir = FreshDir("torn_tail");
+  std::string digest;
+  {
+    auto db = DurableDatabase::Open(dir, Figure4Options());
+    ASSERT_TRUE(db.ok());
+    for (const Op& op : FaultScript()) {
+      ASSERT_TRUE(op.apply((*db)->db()).ok());
+    }
+    digest = MustDigest((*db)->db());
+  }
+  // Simulate a crash mid-append: garbage after the valid prefix.
+  {
+    std::ofstream out(dir + "/wal.erblog",
+                      std::ios::binary | std::ios::app);
+    out << "\x13\x00\x00\x00partial";
+  }
+  auto reopened = DurableDatabase::Open(dir, Figure4Options());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_FALSE((*reopened)->recovery_info().wal_clean);
+  EXPECT_EQ((*reopened)->recovery_info().records_replayed,
+            FaultScript().size());
+  EXPECT_EQ(MustDigest((*reopened)->db()), digest);
+  // The torn tail was chopped: appending and reopening again is clean.
+  ASSERT_TRUE((*reopened)
+                  ->db()
+                  ->InsertEntity("S", MakeStruct({{"s_id", Value::Int64(60)},
+                                                  {"s_a1", Value::Int64(6)},
+                                                  {"s_a2", Value::String("t")}}))
+                  .ok());
+}
+
+}  // namespace
+}  // namespace erbium

@@ -169,6 +169,30 @@ TEST(ErqlParserTest, RejectsMalformedShowAndTrace) {
   EXPECT_FALSE(P("TRACE EXPLAIN SELECT a FROM E").ok());
 }
 
+TEST(ErqlParserTest, CheckpointStatement) {
+  auto q = P("CHECKPOINT");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->statement, StatementKind::kCheckpoint);
+
+  q = P("checkpoint;");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->statement, StatementKind::kCheckpoint);
+
+  EXPECT_FALSE(P("CHECKPOINT NOW").ok());  // trailing junk
+}
+
+TEST(ErqlParserTest, AttachStatement) {
+  auto q = P("ATTACH DATABASE '/var/lib/erbium/db'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->statement, StatementKind::kAttach);
+  EXPECT_EQ(q->attach_path, "/var/lib/erbium/db");
+
+  EXPECT_FALSE(P("ATTACH").ok());
+  EXPECT_FALSE(P("ATTACH DATABASE").ok());           // path required
+  EXPECT_FALSE(P("ATTACH DATABASE dbdir").ok());     // must be a string
+  EXPECT_FALSE(P("ATTACH DATABASE 'a' 'b'").ok());   // trailing junk
+}
+
 TEST(ErqlParserTest, ExprToStringRoundTripsShape) {
   auto q = P("SELECT struct(a: x + 1, b: lower(y)) FROM E "
              "WHERE x IN (1, 2) AND y IS NULL");
