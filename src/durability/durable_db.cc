@@ -313,6 +313,17 @@ Result<std::string> DurableDatabase::Checkpoint() {
   uint64_t last_lsn = wal_->next_lsn() - 1;
   SnapshotData data = CaptureSnapshot(*db_, last_lsn, ddl_);
   std::string bytes = EncodeSnapshot(data);
+  if (bytes.size() - kSnapshotHeaderBytes > kMaxSnapshotPayloadBytes) {
+    // Fail here, before anything is renamed or truncated: a snapshot the
+    // decode side would reject (or whose size wraps the u32 length field)
+    // must never supersede the WAL, or the next recovery silently falls
+    // back to an older generation and everything since is lost.
+    return Status::IOError(
+        "snapshot payload of " +
+        std::to_string(bytes.size() - kSnapshotHeaderBytes) +
+        " bytes exceeds the " + std::to_string(kMaxSnapshotPayloadBytes) +
+        "-byte format limit; checkpoint aborted (WAL left intact)");
+  }
   uint64_t gen = latest_snapshot_gen_ + 1;
   std::string final_path = SnapshotPath(dir_, gen);
   std::string tmp_path = final_path + ".tmp";

@@ -47,6 +47,25 @@ class FaultInjector {
     return true;
   }
 
+  /// Arms a one-shot non-fatal IO error (ENOSPC/EIO-style) at the
+  /// `countdown`-th future hit of `point`. Unlike Arm, the process stays
+  /// alive: the operation fails, and later operations proceed normally.
+  void ArmError(std::string point, int countdown = 1,
+                uint64_t partial_bytes = 0) {
+    error_point_ = std::move(point);
+    error_countdown_ = countdown;
+    error_partial_bytes_ = partial_bytes;
+  }
+
+  /// True exactly when the armed error point fires (then disarms).
+  bool ShouldFail(const char* point) {
+    if (crashed_) return false;
+    if (error_point_ != point) return false;
+    if (--error_countdown_ > 0) return false;
+    error_point_.clear();
+    return true;
+  }
+
   /// Gate called at the top of every durability operation: once crashed,
   /// everything fails the way syscalls fail in a dead process.
   Status Check() const {
@@ -62,11 +81,15 @@ class FaultInjector {
 
   bool crashed() const { return crashed_; }
   uint64_t partial_bytes() const { return partial_bytes_; }
+  uint64_t error_partial_bytes() const { return error_partial_bytes_; }
 
  private:
   std::string point_;
   int countdown_ = 0;
   uint64_t partial_bytes_ = 0;
+  std::string error_point_;
+  int error_countdown_ = 0;
+  uint64_t error_partial_bytes_ = 0;
   bool crashed_ = false;
 };
 

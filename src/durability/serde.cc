@@ -139,7 +139,13 @@ Result<std::string> ByteReader::String() {
   return s;
 }
 
-Result<Value> ByteReader::ReadValue() {
+Result<Value> ByteReader::ReadValue() { return ReadValueAt(0); }
+
+Result<Value> ByteReader::ReadValueAt(int depth) {
+  if (depth >= kMaxValueDepth) {
+    return Status::IOError("value nesting deeper than " +
+                           std::to_string(kMaxValueDepth) + " levels");
+  }
   ERBIUM_ASSIGN_OR_RETURN(uint8_t tag, U8());
   switch (tag) {
     case kTagNull:
@@ -167,7 +173,7 @@ Result<Value> ByteReader::ReadValue() {
       Value::ArrayData elements;
       elements.reserve(count);
       for (uint32_t i = 0; i < count; ++i) {
-        ERBIUM_ASSIGN_OR_RETURN(Value e, ReadValue());
+        ERBIUM_ASSIGN_OR_RETURN(Value e, ReadValueAt(depth + 1));
         elements.push_back(std::move(e));
       }
       return Value::Array(std::move(elements));
@@ -179,7 +185,7 @@ Result<Value> ByteReader::ReadValue() {
       fields.reserve(count);
       for (uint32_t i = 0; i < count; ++i) {
         ERBIUM_ASSIGN_OR_RETURN(std::string name, String());
-        ERBIUM_ASSIGN_OR_RETURN(Value v, ReadValue());
+        ERBIUM_ASSIGN_OR_RETURN(Value v, ReadValueAt(depth + 1));
         fields.emplace_back(std::move(name), std::move(v));
       }
       return Value::Struct(std::move(fields));

@@ -26,11 +26,18 @@ void PutValue(const Value& v, std::string* out);
 /// A key / row is a count-prefixed sequence of values.
 void PutValues(const std::vector<Value>& values, std::string* out);
 
+/// Deepest value nesting ReadValue will decode. A crafted record of
+/// nested arrays costs ~5 bytes per level, so without a cap a CRC-valid
+/// 64 MiB record could recurse millions of frames deep and overflow the
+/// stack; real values are a handful of levels deep.
+constexpr int kMaxValueDepth = 100;
+
 /// Sequential decoder over a byte range. Every accessor fails with
 /// Status::IOError once the input is exhausted or malformed; decoding
-/// never reads past `size` and never trusts embedded counts beyond the
+/// never reads past `size`, never trusts embedded counts beyond the
 /// bytes actually present (a corrupted length cannot cause a huge
-/// allocation).
+/// allocation), and never recurses past kMaxValueDepth (a corrupted
+/// nesting cannot overflow the stack).
 class ByteReader {
  public:
   ByteReader(const char* data, size_t size) : p_(data), end_(data + size) {}
@@ -48,6 +55,7 @@ class ByteReader {
 
  private:
   Status Need(size_t n) const;
+  Result<Value> ReadValueAt(int depth);
   const char* p_;
   const char* end_;
 };

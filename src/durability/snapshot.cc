@@ -1,7 +1,9 @@
 #include "durability/snapshot.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <unordered_map>
@@ -15,7 +17,7 @@ namespace {
 
 constexpr char kMagic[] = "ERBSNP01";
 constexpr size_t kMagicBytes = 8;
-constexpr uint32_t kMaxSnapshotBytes = 1u << 30;
+static_assert(kSnapshotHeaderBytes == kMagicBytes + 8);
 
 void PutRow(const Row& row, std::string* out) { PutValues(row, out); }
 
@@ -77,7 +79,7 @@ Result<SnapshotData> DecodeSnapshot(const std::string& bytes) {
   ByteReader header(bytes.data() + kMagicBytes, 8);
   ERBIUM_ASSIGN_OR_RETURN(uint32_t len, header.U32());
   ERBIUM_ASSIGN_OR_RETURN(uint32_t crc, header.U32());
-  if (len > kMaxSnapshotBytes || bytes.size() - kMagicBytes - 8 != len) {
+  if (len > kMaxSnapshotPayloadBytes || bytes.size() - kMagicBytes - 8 != len) {
     return Status::IOError("snapshot payload length mismatch");
   }
   const char* payload = bytes.data() + kMagicBytes + 8;
@@ -238,7 +240,13 @@ std::vector<uint64_t> ListSnapshotGens(const std::string& dir) {
     if (digits.empty() ||
         digits.find_first_not_of("0123456789") != std::string::npos)
       continue;
-    gens.push_back(std::stoull(digits));
+    // strtoull instead of stoull: a stray file whose digits overflow
+    // uint64_t must be skipped, not abort Open with std::out_of_range.
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long gen = std::strtoull(digits.c_str(), &end, 10);
+    if (errno == ERANGE || end != digits.c_str() + digits.size()) continue;
+    gens.push_back(gen);
   }
   std::sort(gens.begin(), gens.end());
   return gens;

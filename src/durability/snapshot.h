@@ -45,6 +45,15 @@ struct SnapshotData {
 /// crc32(payload), payload. A file that fails any of those checks is
 /// rejected whole — snapshots are all-or-nothing, unlike the WAL's
 /// valid-prefix semantics.
+constexpr size_t kSnapshotHeaderBytes = 16;  // magic + len + crc
+
+/// Largest payload DecodeSnapshot accepts. Checkpoint must refuse to
+/// write anything bigger (see DurableDatabase::Checkpoint): a snapshot
+/// the reader would reject — or whose size wraps the u32 length field —
+/// written "successfully" and followed by a WAL truncation would lose
+/// every operation it claimed to capture.
+constexpr uint32_t kMaxSnapshotPayloadBytes = 1u << 30;
+
 std::string EncodeSnapshot(const SnapshotData& data);
 Result<SnapshotData> DecodeSnapshot(const std::string& bytes);
 

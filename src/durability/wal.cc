@@ -15,10 +15,6 @@ namespace durability {
 
 namespace {
 
-// A record longer than this is assumed to be garbage (a corrupted length
-// field), not a real record: logical CRUD payloads are tiny.
-constexpr uint32_t kMaxRecordBytes = 64u << 20;
-
 std::string EncodePayload(const WalRecord& record) {
   std::string payload;
   PutU8(static_cast<uint8_t>(record.type), &payload);
@@ -149,7 +145,7 @@ Result<WalReadResult> ReadWal(const std::string& path) {
     }
     uint32_t len = ReadLeU32(contents.data() + offset);
     uint32_t crc = ReadLeU32(contents.data() + offset + 4);
-    if (len > kMaxRecordBytes) {
+    if (len > kMaxWalRecordBytes) {
       return stop("implausible record length at offset " +
                   std::to_string(offset));
     }
@@ -221,12 +217,43 @@ Status WalWriter::MaybeSync() {
   return Status::OK();
 }
 
+Status WalWriter::RestoreAfterFailure(Status cause) {
+  // A failed write may have left torn bytes after the last acknowledged
+  // record, and a failed sync leaves a full record that was never
+  // acknowledged; either way the fd offset sits past offset_. Chop the
+  // file back so the next Append cannot place an acknowledged record
+  // after bytes recovery will stop at (and so its LSN is not a duplicate
+  // of the unacknowledged record's).
+  if (::ftruncate(fd_, static_cast<off_t>(offset_)) != 0 ||
+      ::lseek(fd_, static_cast<off_t>(offset_), SEEK_SET) < 0 ||
+      (sync_ == SyncMode::kFsync && ::fdatasync(fd_) != 0)) {
+    // The file state is now unknown; refuse all future appends rather
+    // than risk acknowledging a record behind garbage.
+    failed_ = true;
+  }
+  return cause;
+}
+
 Status WalWriter::Append(WalRecord record) {
+  if (failed_) {
+    return Status::IOError("WAL writer disabled after an earlier write "
+                           "failure on " +
+                           path_);
+  }
   if (faults_ != nullptr) {
     ERBIUM_RETURN_NOT_OK(faults_->Check());
   }
   record.lsn = next_lsn_;
   std::string bytes = EncodeWalRecord(record);
+  if (bytes.size() - kWalHeaderBytes > kMaxWalRecordBytes) {
+    // Never acknowledge a record the reader would reject as garbage on
+    // recovery; nothing reaches the file.
+    return Status::IOError(
+        "WAL record payload of " +
+        std::to_string(bytes.size() - kWalHeaderBytes) +
+        " bytes exceeds the " + std::to_string(kMaxWalRecordBytes) +
+        "-byte limit");
+  }
   if (faults_ != nullptr) {
     if (faults_->ShouldCrash("wal.append.before")) return faults_->Crash();
     if (faults_->ShouldCrash("wal.append.torn")) {
@@ -237,9 +264,21 @@ Status WalWriter::Append(WalRecord record) {
       ERBIUM_RETURN_NOT_OK(WriteAll(bytes.data(), partial));
       return faults_->Crash();
     }
+    if (faults_->ShouldFail("wal.append.error")) {
+      // Simulate a non-fatal IO error (ENOSPC/EIO) mid-write: torn bytes
+      // reach the file, the process stays alive, and Append must leave
+      // the log as if the record was never attempted.
+      size_t partial = static_cast<size_t>(faults_->error_partial_bytes());
+      if (partial >= bytes.size()) partial = bytes.size() - 1;
+      ERBIUM_RETURN_NOT_OK(WriteAll(bytes.data(), partial));
+      return RestoreAfterFailure(
+          Status::IOError("injected WAL append error"));
+    }
   }
-  ERBIUM_RETURN_NOT_OK(WriteAll(bytes.data(), bytes.size()));
-  ERBIUM_RETURN_NOT_OK(MaybeSync());
+  Status written = WriteAll(bytes.data(), bytes.size());
+  if (!written.ok()) return RestoreAfterFailure(std::move(written));
+  Status synced = MaybeSync();
+  if (!synced.ok()) return RestoreAfterFailure(std::move(synced));
   if (faults_ != nullptr && faults_->ShouldCrash("wal.append.after")) {
     // The record is durable but the caller never hears the ack.
     return faults_->Crash();
@@ -252,10 +291,18 @@ Status WalWriter::Append(WalRecord record) {
 }
 
 Status WalWriter::Truncate() {
+  if (failed_) {
+    return Status::IOError("WAL writer disabled after an earlier write "
+                           "failure on " +
+                           path_);
+  }
   if (faults_ != nullptr) {
     ERBIUM_RETURN_NOT_OK(faults_->Check());
   }
   if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) < 0) {
+    // The fd may now point somewhere other than offset_; don't append
+    // into an unknown position.
+    failed_ = true;
     return Status::IOError("WAL truncate failed: " +
                            std::string(std::strerror(errno)));
   }

@@ -44,6 +44,12 @@ struct WalRecord {
 /// that reason about byte offsets.
 constexpr size_t kWalHeaderBytes = 8;
 
+/// Largest payload the reader accepts; a longer length field is assumed
+/// to be garbage (a corrupted header), not a real record. Append enforces
+/// the same cap on the write side so no acknowledged record is ever
+/// mistaken for corruption on recovery.
+constexpr uint32_t kMaxWalRecordBytes = 64u << 20;
+
 /// Serializes a record into its on-disk bytes (header + payload).
 std::string EncodeWalRecord(const WalRecord& record);
 
@@ -85,9 +91,13 @@ class WalWriter {
   WalWriter& operator=(const WalWriter&) = delete;
 
   /// Appends one record (assigning its LSN) and makes it as durable as
-  /// the sync mode promises before returning. On any failure the record
-  /// is not acknowledged; the file may hold a torn prefix of it, which
-  /// the next recovery discards.
+  /// the sync mode promises before returning. Payloads larger than
+  /// kMaxWalRecordBytes are rejected before anything reaches the file.
+  /// On a write or sync failure the record is not acknowledged and the
+  /// file is truncated back to the last acknowledged byte; if even that
+  /// fails the writer poisons itself and every later Append fails, so an
+  /// acknowledged record can never land after torn bytes the reader
+  /// would stop at.
   Status Append(WalRecord record);
 
   /// Empties the log after a checkpoint made it redundant.
@@ -110,6 +120,9 @@ class WalWriter {
 
   Status WriteAll(const char* data, size_t size);
   Status MaybeSync();
+  /// Rolls the file back to offset_ after a failed append; poisons the
+  /// writer when the rollback itself fails. Returns `cause` either way.
+  Status RestoreAfterFailure(Status cause);
 
   std::string path_;
   int fd_;
@@ -117,6 +130,7 @@ class WalWriter {
   uint64_t next_lsn_;
   SyncMode sync_;
   FaultInjector* faults_;  // not owned; may be null
+  bool failed_ = false;    // set when the file state is unknown
 };
 
 }  // namespace durability

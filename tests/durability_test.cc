@@ -98,6 +98,33 @@ TEST(SerdeTest, CorruptCountDoesNotOverallocate) {
   ASSERT_FALSE(result.ok());
 }
 
+TEST(SerdeTest, DeepNestingFailsCleanly) {
+  // [kTagArray][count=1] repeated L times around a null: L levels of
+  // nesting. One level under the cap decodes; at the cap it must fail
+  // with IOError instead of recursing off the stack.
+  auto nested_array_bytes = [](int levels) {
+    std::string bytes;
+    for (int i = 0; i < levels; ++i) {
+      durability::PutU8(5, &bytes);  // kTagArray
+      durability::PutU32(1, &bytes);
+    }
+    durability::PutU8(0, &bytes);  // kTagNull
+    return bytes;
+  };
+  {
+    std::string ok_bytes = nested_array_bytes(durability::kMaxValueDepth - 1);
+    durability::ByteReader reader(ok_bytes.data(), ok_bytes.size());
+    EXPECT_TRUE(reader.ReadValue().ok());
+  }
+  {
+    std::string bad_bytes = nested_array_bytes(durability::kMaxValueDepth);
+    durability::ByteReader reader(bad_bytes.data(), bad_bytes.size());
+    auto result = reader.ReadValue();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  }
+}
+
 TEST(WalTest, AppendReadRoundTrip) {
   std::string dir = FreshDir("wal_roundtrip");
   std::filesystem::create_directories(dir);
@@ -164,6 +191,86 @@ TEST(WalTest, GarbageTailStopsCleanly) {
   ASSERT_EQ(read->records.size(), 1u);
   EXPECT_EQ(read->valid_bytes, bytes.size());
   EXPECT_FALSE(read->stop_reason.empty());
+}
+
+TEST(WalTest, OversizedRecordRejectedBeforeAnythingIsWritten) {
+  std::string dir = FreshDir("wal_oversized");
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/wal.erblog";
+  {
+    auto writer = durability::WalWriter::Open(
+        path, 0, 1, durability::WalWriter::SyncMode::kNone, nullptr);
+    ASSERT_TRUE(writer.ok());
+    WalRecord small;
+    small.type = WalRecord::Type::kDdl;
+    small.name = "CREATE ENTITY T ( t_id INT KEY );";
+    ASSERT_TRUE((*writer)->Append(small).ok());
+    // A payload past the reader's cap must be rejected up front: if it
+    // were acknowledged, recovery would treat it as a torn tail and drop
+    // it plus everything after it.
+    WalRecord huge;
+    huge.type = WalRecord::Type::kUpdateAttribute;
+    huge.name = "R";
+    huge.key = {Value::Int64(1)};
+    huge.attr = "r_a1";
+    huge.value = Value::String(std::string(durability::kMaxWalRecordBytes, 'x'));
+    uint64_t bytes_before = (*writer)->bytes();
+    auto status = (*writer)->Append(huge);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ((*writer)->bytes(), bytes_before);
+    // The writer is still healthy and LSNs stay consecutive.
+    ASSERT_TRUE((*writer)->Append(small).ok());
+    EXPECT_EQ((*writer)->next_lsn(), 3u);
+  }
+  auto read = durability::ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->clean);
+  ASSERT_EQ(read->records.size(), 2u);
+  EXPECT_EQ(read->records[0].lsn, 1u);
+  EXPECT_EQ(read->records[1].lsn, 2u);
+}
+
+TEST(WalTest, FailedAppendLeavesNoTornBytes) {
+  std::string dir = FreshDir("wal_ioerror");
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/wal.erblog";
+  durability::FaultInjector faults;
+  {
+    auto writer = durability::WalWriter::Open(
+        path, 0, 1, durability::WalWriter::SyncMode::kNone, &faults);
+    ASSERT_TRUE(writer.ok());
+    WalRecord record;
+    record.type = WalRecord::Type::kDeleteEntity;
+    record.name = "R";
+    record.key = {Value::Int64(5)};
+    ASSERT_TRUE((*writer)->Append(record).ok());
+    // Mid-write IO error: 5 torn bytes reach the file, then the write
+    // fails. Append must roll the file back so the next acknowledged
+    // record does not land behind garbage the reader stops at.
+    faults.ArmError("wal.append.error", 1, 5);
+    uint64_t bytes_before = (*writer)->bytes();
+    auto status = (*writer)->Append(record);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ((*writer)->bytes(), bytes_before);
+    ASSERT_TRUE((*writer)->Append(record).ok());
+    EXPECT_EQ((*writer)->next_lsn(), 3u);
+  }
+  auto read = durability::ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->clean) << read->stop_reason;
+  ASSERT_EQ(read->records.size(), 2u);
+  EXPECT_EQ(read->records[0].lsn, 1u);
+  EXPECT_EQ(read->records[1].lsn, 2u);
+}
+
+TEST(SnapshotTest, OverflowGenerationFilenameSkipped) {
+  std::string dir = FreshDir("snapshot_overflow_gen");
+  std::filesystem::create_directories(dir);
+  // All digits but far past uint64_t: must be skipped, not abort Open
+  // with an uncaught std::out_of_range.
+  std::ofstream(dir + "/snapshot-99999999999999999999999.erbsnap") << "x";
+  std::ofstream(dir + "/snapshot-7.erbsnap") << "x";
+  EXPECT_EQ(durability::ListSnapshotGens(dir), (std::vector<uint64_t>{7}));
 }
 
 TEST(SnapshotTest, EncodeDecodeRoundTrip) {
