@@ -3,6 +3,11 @@
 // the full stack (DDL layer -> mapping -> translation -> execution),
 // handy for exploring how mappings change plans.
 //
+// Statement dispatch lives in api::StatementRunner — the same path the
+// network server (src/server) drives — so the shell and the server
+// cannot drift apart; only the backslash inspection commands and the
+// REPL loop are shell-specific.
+//
 //   ./build/examples/erbium_shell            # empty schema, M1 mapping
 //   ./build/examples/erbium_shell --figure4  # preloaded paper schema+data
 //
@@ -12,11 +17,13 @@
 //   EXPLAIN [ANALYZE] SELECT ...;  show the annotated physical plan
 //   SHOW METRICS [LIKE '<glob>'];  dump the process metrics registry
 //   SHOW QUERIES [SLOW] [LIMIT n]; the query log / slow-query ring
+//   SHOW SESSIONS ;                live sessions (shell + server clients)
 //   TRACE [INTO '<file>'] SELECT ...;  run + emit a Chrome trace JSON
 //   ATTACH DATABASE '<dir>' ;      bind to an on-disk directory (runs
 //                                  recovery; subsequent writes are WAL'd)
 //   CHECKPOINT ;                   snapshot + truncate the WAL
 //   INSERT <Entity> (a = 1, ...);  insert one entity instance
+//   REMAP <preset> ;               switch mapping preset + migrate
 //   \metrics           Prometheus text exposition of the registry
 //   \tables            list physical tables of the current mapping
 //   \mapping           show the active mapping spec (JSON)
@@ -32,158 +39,33 @@
 #include <iostream>
 #include <string>
 
-#include "common/lexer.h"
-#include "durability/durable_db.h"
-#include "er/ddl_parser.h"
+#include "api/statement_runner.h"
 #include "er/er_graph.h"
-#include "erql/parser.h"
 #include "erql/query_engine.h"
-#include "evolution/evolution.h"
 #include "obs/export.h"
-#include "workload/figure4.h"
+#include "obs/session.h"
 
 namespace {
 
 using erbium::ERGraph;
-using erbium::ERSchema;
-using erbium::MappedDatabase;
 using erbium::MappingSpec;
 using erbium::Status;
-using erbium::Value;
-using erbium::durability::DurableDatabase;
+using erbium::api::OutputShape;
+using erbium::api::StatementOutcome;
+using erbium::api::StatementRunner;
 
 struct Shell {
-  std::shared_ptr<ERSchema> schema = std::make_shared<ERSchema>();
-  std::unique_ptr<MappedDatabase> db;
-  std::unique_ptr<DurableDatabase> durable;
-  MappingSpec spec = MappingSpec::Normalized("m1");
-  // Every DDL statement executed so far; an ATTACH seeds the durable
-  // database's schema with it.
-  std::string ddl_history;
-
-  MappedDatabase* DB() { return durable ? durable->db() : db.get(); }
-  const ERSchema* Schema() {
-    return durable ? &durable->schema() : schema.get();
-  }
-
-  /// Re-creates the database under `next_schema` (a separate object —
-  /// the old instance keeps reading the old schema while data migrates)
-  /// and the current spec, then swaps the schema in. Pass the existing
-  /// `schema` for a pure remap.
-  Status Rebuild(std::shared_ptr<ERSchema> next_schema) {
-    auto fresh = MappedDatabase::Create(next_schema.get(), spec);
-    if (!fresh.ok()) return fresh.status();
-    if (db != nullptr) {
-      Status migrated =
-          erbium::evolution::MigrateData(db.get(), fresh->get());
-      if (!migrated.ok()) return migrated;
-    }
-    db = std::move(fresh).value();
-    schema = std::move(next_schema);
-    return Status::OK();
-  }
-
-  MappingSpec PresetByName(const std::string& name) {
-    if (name == "m2") return erbium::Figure4M2();
-    if (name == "m3") return erbium::Figure4M3();
-    if (name == "m4") return erbium::Figure4M4();
-    if (name == "m5") return erbium::Figure4M5();
-    if (name == "m6") return erbium::Figure4M6();
-    if (name == "m6pg") return erbium::Figure4M6Pg();
-    return MappingSpec::Normalized("m1");
-  }
-
-  Status Attach(const std::string& dir) {
-    DurableDatabase::Options options;
-    options.spec = spec;
-    options.initial_ddl = ddl_history;
-    auto opened = DurableDatabase::Open(dir, std::move(options));
-    if (!opened.ok()) return opened.status();
-    durable = std::move(opened).value();
-    db.reset();
-    const auto& info = durable->recovery_info();
-    std::printf("attached %s (snapshot gen %llu, %zu records replayed%s)\n",
-                dir.c_str(),
-                static_cast<unsigned long long>(info.snapshot_gen),
-                info.records_replayed,
-                info.wal_clean ? "" : ", torn WAL tail discarded");
-    return Status::OK();
-  }
-
-  /// INSERT <Entity> (attr = literal, ...): builds a struct value and
-  /// goes through the logical insert (which also WAL-logs it when a
-  /// database is attached).
-  Status Insert(const std::string& statement) {
-    auto tokens = erbium::Lexer::Tokenize(statement);
-    if (!tokens.ok()) return tokens.status();
-    erbium::TokenStream ts(std::move(tokens).value());
-    if (!ts.ConsumeKeyword("insert")) {
-      return Status::ParseError("expected INSERT");
-    }
-    auto entity = ts.ExpectIdentifier("entity set name");
-    if (!entity.ok()) return entity.status();
-    Status open = ts.ExpectSymbol("(");
-    if (!open.ok()) return open;
-    Value::StructData fields;
-    while (true) {
-      auto attr = ts.ExpectIdentifier("attribute name");
-      if (!attr.ok()) return attr.status();
-      Status eq = ts.ExpectSymbol("=");
-      if (!eq.ok()) return eq;
-      bool negative = ts.ConsumeSymbol("-");
-      const erbium::Token& tok = ts.Advance();
-      Value value;
-      switch (tok.kind) {
-        case erbium::TokenKind::kInteger:
-          value = Value::Int64(negative ? -tok.int_value : tok.int_value);
-          break;
-        case erbium::TokenKind::kFloat:
-          value =
-              Value::Float64(negative ? -tok.float_value : tok.float_value);
-          break;
-        case erbium::TokenKind::kString:
-          value = Value::String(tok.text);
-          break;
-        case erbium::TokenKind::kIdentifier:
-          if (tok.IsKeyword("true")) {
-            value = Value::Bool(true);
-          } else if (tok.IsKeyword("false")) {
-            value = Value::Bool(false);
-          } else if (tok.IsKeyword("null")) {
-            value = Value::Null();
-          } else {
-            return Status::ParseError("unexpected value '" + tok.text + "'");
-          }
-          break;
-        default:
-          return Status::ParseError("expected a literal value");
-      }
-      if (negative && tok.kind != erbium::TokenKind::kInteger &&
-          tok.kind != erbium::TokenKind::kFloat) {
-        return Status::ParseError("'-' must precede a numeric literal");
-      }
-      fields.emplace_back(std::move(attr).value(), std::move(value));
-      if (ts.ConsumeSymbol(",")) continue;
-      Status close = ts.ExpectSymbol(")");
-      if (!close.ok()) return close;
-      break;
-    }
-    if (!ts.AtEnd() && !ts.ConsumeSymbol(";")) {
-      return Status::ParseError("unexpected trailing input after INSERT");
-    }
-    return DB()->InsertEntity(std::move(entity).value(),
-                              Value::Struct(std::move(fields)));
-  }
+  std::unique_ptr<StatementRunner> runner;
 
   void HandleCommand(const std::string& line) {
     auto starts = [&](const char* prefix) {
       return line.rfind(prefix, 0) == 0;
     };
     if (starts("\\tables")) {
-      for (const auto& table : DB()->mapping().tables()) {
+      for (const auto& table : runner->db()->mapping().tables()) {
         std::printf("  %s\n", table.ToString().c_str());
       }
-      for (const auto& pair : DB()->mapping().pairs()) {
+      for (const auto& pair : runner->db()->mapping().pairs()) {
         std::printf("  [pair] %s (left of %s)\n", pair.name.c_str(),
                     pair.relationship.c_str());
       }
@@ -198,33 +80,16 @@ struct Shell {
       return;
     }
     if (starts("\\mapping")) {
-      std::printf("%s\n", DB()->mapping().spec().ToJson().c_str());
+      std::printf("%s\n", runner->db()->mapping().spec().ToJson().c_str());
       return;
     }
     if (starts("\\remap ")) {
-      MappingSpec next = PresetByName(line.substr(7));
-      if (durable != nullptr) {
-        Status st = durable->Remap(next);
-        if (!st.ok()) {
-          std::printf("remap failed: %s\n", st.ToString().c_str());
-          return;
-        }
-      } else {
-        MappingSpec old = spec;
-        spec = next;
-        Status st = Rebuild(schema);
-        if (!st.ok()) {
-          std::printf("remap failed: %s\n", st.ToString().c_str());
-          spec = old;
-          return;
-        }
-      }
-      std::printf("remapped to %s (data migrated)\n", next.ToString().c_str());
+      HandleStatement("REMAP " + line.substr(7));
       return;
     }
     if (starts("\\plan ")) {
       auto compiled =
-          erbium::erql::QueryEngine::Compile(DB(), line.substr(6));
+          erbium::erql::QueryEngine::Compile(runner->db(), line.substr(6));
       if (!compiled.ok()) {
         std::printf("%s\n", compiled.status().ToString().c_str());
         return;
@@ -233,18 +98,18 @@ struct Shell {
       return;
     }
     if (starts("\\schema")) {
-      std::printf("%s", Schema()->ToString().c_str());
+      std::printf("%s", runner->SchemaView()->ToString().c_str());
       return;
     }
     if (starts("\\graph")) {
-      auto graph = ERGraph::Build(*Schema());
+      auto graph = ERGraph::Build(*runner->SchemaView());
       if (graph.ok()) std::printf("%s", graph->ToDot().c_str());
       return;
     }
     if (starts("\\cover")) {
-      auto graph = ERGraph::Build(*Schema());
+      auto graph = ERGraph::Build(*runner->SchemaView());
       if (!graph.ok()) return;
-      auto cover = DB()->mapping().Cover(*graph);
+      auto cover = runner->db()->mapping().Cover(*graph);
       if (!cover.ok()) {
         std::printf("%s\n", cover.status().ToString().c_str());
         return;
@@ -265,83 +130,25 @@ struct Shell {
   }
 
   void HandleStatement(const std::string& statement) {
-    std::string lowered;
-    for (char c : statement) {
-      lowered.push_back(
-          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
-    }
-    if (lowered.rfind("create", 0) == 0) {
-      if (durable != nullptr) {
-        Status st = durable->ExecuteDdl(statement + ";");
-        if (!st.ok()) {
-          std::printf("%s\n", st.ToString().c_str());
-          return;
-        }
-      } else {
-        auto next = std::make_shared<ERSchema>(*schema);
-        Status st = erbium::DdlParser::Execute(statement + ";", next.get());
-        if (!st.ok()) {
-          std::printf("%s\n", st.ToString().c_str());
-          return;
-        }
-        st = Rebuild(std::move(next));
-        if (!st.ok()) {
-          std::printf("rebuild failed: %s\n", st.ToString().c_str());
-          return;
-        }
-        ddl_history += statement + ";\n";
-      }
-      std::printf("ok (%zu physical tables)\n",
-                  DB()->mapping().tables().size());
+    auto outcome = runner->Execute(statement);
+    if (!outcome.ok()) {
+      std::printf("%s\n", outcome.status().ToString().c_str());
       return;
     }
-    if (lowered.rfind("attach", 0) == 0) {
-      auto parsed = erbium::erql::Parser::Parse(statement);
-      if (!parsed.ok()) {
-        std::printf("%s\n", parsed.status().ToString().c_str());
-        return;
-      }
-      if (durable != nullptr) {
-        std::printf("already attached to %s\n", durable->dir().c_str());
-        return;
-      }
-      Status st = Attach(parsed->attach_path);
-      if (!st.ok()) std::printf("%s\n", st.ToString().c_str());
-      return;
-    }
-    if (lowered.rfind("insert", 0) == 0) {
-      Status st = Insert(statement);
-      if (!st.ok()) {
-        std::printf("%s\n", st.ToString().c_str());
-        return;
-      }
-      std::printf("ok\n");
-      return;
-    }
-    if (lowered.rfind("select", 0) == 0 || lowered.rfind("explain", 0) == 0 ||
-        lowered.rfind("show", 0) == 0 || lowered.rfind("trace", 0) == 0 ||
-        lowered.rfind("checkpoint", 0) == 0) {
-      auto result = erbium::erql::QueryEngine::Execute(DB(), statement);
-      if (!result.ok()) {
-        std::printf("%s\n", result.status().ToString().c_str());
-        return;
-      }
-      if (lowered.rfind("explain", 0) == 0 || lowered.rfind("trace", 0) == 0 ||
-          lowered.rfind("checkpoint", 0) == 0) {
-        // Plan / trace / checkpoint output is plain lines; skip the frame.
-        for (const erbium::Row& row : result->rows) {
+    switch (outcome->shape) {
+      case OutputShape::kMessage:
+        std::printf("%s\n", outcome->message.c_str());
+        break;
+      case OutputShape::kLines:
+        for (const erbium::Row& row : outcome->result.rows) {
           std::printf("%s\n", row[0].as_string().c_str());
         }
-        return;
-      }
-      std::printf("%s", result->ToTable(25).c_str());
-      std::printf("(%zu rows)\n", result->rows.size());
-      return;
+        break;
+      case OutputShape::kTable:
+        std::printf("%s", outcome->result.ToTable(25).c_str());
+        std::printf("(%zu rows)\n", outcome->result.rows.size());
+        break;
     }
-    std::printf(
-        "only CREATE / SELECT / EXPLAIN [ANALYZE] / SHOW / TRACE / INSERT / "
-        "ATTACH DATABASE / CHECKPOINT statements and \\commands are "
-        "supported\n");
   }
 };
 
@@ -349,30 +156,35 @@ struct Shell {
 
 int main(int argc, char** argv) {
   Shell shell;
-  bool figure4 = argc > 1 && std::string(argv[1]) == "--figure4";
-  if (figure4) {
-    auto schema = erbium::MakeFigure4Schema();
-    if (!schema.ok()) return 1;
-    *shell.schema = std::move(schema).value();
-    shell.ddl_history = erbium::Figure4Ddl();
-  }
-  Status st = shell.Rebuild(shell.schema);
-  if (!st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  StatementRunner::Options options;
+  options.figure4 = argc > 1 && std::string(argv[1]) == "--figure4";
+  options.figure4_num_r = 1000;
+  options.figure4_num_s = 300;
+  auto runner = StatementRunner::Create(options);
+  if (!runner.ok()) {
+    std::fprintf(stderr, "%s\n", runner.status().ToString().c_str());
     return 1;
   }
-  if (figure4) {
-    erbium::Figure4Config config;
-    config.num_r = 1000;
-    config.num_s = 300;
-    st = erbium::PopulateFigure4(shell.db.get(), config);
-    if (!st.ok()) return 1;
+  shell.runner = std::move(runner).value();
+  if (options.figure4) {
     std::printf("Loaded the paper's Figure 4 schema with sample data.\n");
   }
+
+  // Register the shell itself as a session so SHOW SESSIONS and the
+  // query-log session column work locally exactly as they do against a
+  // server.
+  erbium::obs::SessionInfo info;
+  info.name = "shell";
+  info.peer = "local";
+  info.state = "idle";
+  uint64_t session_id = erbium::obs::SessionRegistry::Global().Register(info);
+  erbium::obs::ScopedSessionTag tag("shell");
+
   std::printf("ErbiumDB shell — \\tables \\mapping \\remap \\plan \\metrics "
               "\\schema \\graph \\cover \\quit; SHOW METRICS / SHOW QUERIES "
-              "[SLOW] / TRACE SELECT ...; ATTACH DATABASE '<dir>' / "
-              "CHECKPOINT / INSERT ...; end statements with ';'\n");
+              "[SLOW] / SHOW SESSIONS / TRACE SELECT ...; ATTACH DATABASE "
+              "'<dir>' / CHECKPOINT / INSERT / REMAP ...; end statements "
+              "with ';'\n");
   std::string buffer;
   std::string line;
   std::printf("erbium> ");
@@ -395,13 +207,24 @@ int main(int argc, char** argv) {
       size_t begin = statement.find_first_not_of(" \t\r\n");
       if (begin != std::string::npos) {
         statement = statement.substr(begin);
+        erbium::obs::SessionRegistry::Global().Update(
+            session_id, [&statement](erbium::obs::SessionInfo* s) {
+              s->state = "executing";
+              s->last_statement = statement;
+            });
         shell.HandleStatement(statement);
+        erbium::obs::SessionRegistry::Global().Update(
+            session_id, [](erbium::obs::SessionInfo* s) {
+              s->state = "idle";
+              ++s->statements;
+            });
       }
       semi = buffer.find(';');
     }
     std::printf("erbium> ");
     std::fflush(stdout);
   }
+  erbium::obs::SessionRegistry::Global().Deregister(session_id);
   std::printf("\n");
   return 0;
 }

@@ -1,0 +1,284 @@
+#include "api/statement_runner.h"
+
+#include <cctype>
+#include <mutex>
+#include <utility>
+
+#include "common/lexer.h"
+#include "er/ddl_parser.h"
+#include "erql/parser.h"
+#include "evolution/evolution.h"
+#include "workload/figure4.h"
+
+namespace erbium {
+namespace api {
+
+namespace {
+
+/// Leading keyword of a statement, lowercased ("" when none).
+std::string LeadingKeyword(const std::string& statement) {
+  size_t begin = statement.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  std::string word;
+  for (size_t i = begin; i < statement.size(); ++i) {
+    char c = statement[i];
+    if (!std::isalpha(static_cast<unsigned char>(c))) break;
+    word.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return word;
+}
+
+}  // namespace
+
+StatementRunner::StatementClass StatementRunner::Classify(
+    const std::string& statement) {
+  std::string word = LeadingKeyword(statement);
+  if (word == "select" || word == "explain" || word == "show" ||
+      word == "trace") {
+    return StatementClass::kRead;
+  }
+  return StatementClass::kWrite;
+}
+
+MappingSpec StatementRunner::PresetByName(const std::string& name) {
+  if (name == "m2") return Figure4M2();
+  if (name == "m3") return Figure4M3();
+  if (name == "m4") return Figure4M4();
+  if (name == "m5") return Figure4M5();
+  if (name == "m6") return Figure4M6();
+  if (name == "m6pg") return Figure4M6Pg();
+  return MappingSpec::Normalized("m1");
+}
+
+Result<std::unique_ptr<StatementRunner>> StatementRunner::Create(
+    Options options) {
+  std::unique_ptr<StatementRunner> runner(new StatementRunner());
+  runner->spec_ = std::move(options.spec);
+  runner->sync_ = options.sync;
+  if (options.figure4) {
+    ERBIUM_ASSIGN_OR_RETURN(ERSchema schema, MakeFigure4Schema());
+    *runner->schema_ = std::move(schema);
+    runner->ddl_history_ = Figure4Ddl();
+  }
+  ERBIUM_RETURN_NOT_OK(runner->Rebuild(runner->schema_));
+  if (options.figure4) {
+    Figure4Config config;
+    config.num_r = options.figure4_num_r;
+    config.num_s = options.figure4_num_s;
+    ERBIUM_RETURN_NOT_OK(PopulateFigure4(runner->db_.get(), config));
+  }
+  if (!options.attach_dir.empty()) {
+    std::string message;
+    ERBIUM_RETURN_NOT_OK(runner->AttachDir(options.attach_dir, &message));
+  }
+  return runner;
+}
+
+Status StatementRunner::Rebuild(std::shared_ptr<ERSchema> next_schema) {
+  auto fresh = MappedDatabase::Create(next_schema.get(), spec_);
+  if (!fresh.ok()) return fresh.status();
+  if (db_ != nullptr) {
+    ERBIUM_RETURN_NOT_OK(evolution::MigrateData(db_.get(), fresh->get()));
+  }
+  db_ = std::move(fresh).value();
+  schema_ = std::move(next_schema);
+  return Status::OK();
+}
+
+Result<StatementOutcome> StatementRunner::Execute(
+    const std::string& statement) {
+  StatementClass cls = Classify(statement);
+  if (cls == StatementClass::kRead) {
+    std::shared_lock<std::shared_mutex> lock(statement_mu_);
+    return ExecuteClassified(statement, cls);
+  }
+  std::unique_lock<std::shared_mutex> lock(statement_mu_);
+  return ExecuteClassified(statement, cls);
+}
+
+Result<StatementOutcome> StatementRunner::ExecuteClassified(
+    const std::string& statement, StatementClass cls) {
+  std::string word = LeadingKeyword(statement);
+  if (word == "create") return CreateLocked(statement);
+  if (word == "insert") return InsertLocked(statement);
+  if (word == "remap") return RemapLocked(statement);
+  if (word == "attach") return AttachLocked(statement);
+  if (cls == StatementClass::kRead || word == "checkpoint") {
+    ERBIUM_ASSIGN_OR_RETURN(erql::QueryResult result,
+                            erql::QueryEngine::Execute(db(), statement));
+    StatementOutcome outcome;
+    // EXPLAIN / TRACE / CHECKPOINT output is plain lines; SELECT and
+    // SHOW render as tables.
+    outcome.shape = (word == "explain" || word == "trace" ||
+                     word == "checkpoint")
+                        ? OutputShape::kLines
+                        : OutputShape::kTable;
+    outcome.result = std::move(result);
+    return outcome;
+  }
+  return Status::InvalidArgument(
+      "unsupported statement '" + word +
+      "': expected CREATE / INSERT / REMAP / ATTACH DATABASE / CHECKPOINT / "
+      "SELECT / EXPLAIN [ANALYZE] / SHOW / TRACE");
+}
+
+Result<StatementOutcome> StatementRunner::CreateLocked(
+    const std::string& statement) {
+  if (durable_ != nullptr) {
+    ERBIUM_RETURN_NOT_OK(durable_->ExecuteDdl(statement + ";"));
+  } else {
+    auto next = std::make_shared<ERSchema>(*schema_);
+    ERBIUM_RETURN_NOT_OK(DdlParser::Execute(statement + ";", next.get()));
+    ERBIUM_RETURN_NOT_OK(Rebuild(std::move(next)));
+    ddl_history_ += statement + ";\n";
+  }
+  StatementOutcome outcome;
+  outcome.message = "ok (" + std::to_string(db()->mapping().tables().size()) +
+                    " physical tables)";
+  return outcome;
+}
+
+/// INSERT <Entity> (attr = literal, ...): builds a struct value and goes
+/// through the logical insert (which also WAL-logs it when a database is
+/// attached).
+Result<StatementOutcome> StatementRunner::InsertLocked(
+    const std::string& statement) {
+  ERBIUM_ASSIGN_OR_RETURN(std::vector<Token> tokens,
+                          Lexer::Tokenize(statement));
+  TokenStream ts(std::move(tokens));
+  if (!ts.ConsumeKeyword("insert")) {
+    return Status::ParseError("expected INSERT");
+  }
+  ERBIUM_ASSIGN_OR_RETURN(std::string entity,
+                          ts.ExpectIdentifier("entity set name"));
+  ERBIUM_RETURN_NOT_OK(ts.ExpectSymbol("("));
+  Value::StructData fields;
+  while (true) {
+    ERBIUM_ASSIGN_OR_RETURN(std::string attr,
+                            ts.ExpectIdentifier("attribute name"));
+    ERBIUM_RETURN_NOT_OK(ts.ExpectSymbol("="));
+    bool negative = ts.ConsumeSymbol("-");
+    const Token& tok = ts.Advance();
+    Value value;
+    switch (tok.kind) {
+      case TokenKind::kInteger:
+        value = Value::Int64(negative ? -tok.int_value : tok.int_value);
+        break;
+      case TokenKind::kFloat:
+        value = Value::Float64(negative ? -tok.float_value : tok.float_value);
+        break;
+      case TokenKind::kString:
+        value = Value::String(tok.text);
+        break;
+      case TokenKind::kIdentifier:
+        if (tok.IsKeyword("true")) {
+          value = Value::Bool(true);
+        } else if (tok.IsKeyword("false")) {
+          value = Value::Bool(false);
+        } else if (tok.IsKeyword("null")) {
+          value = Value::Null();
+        } else {
+          return Status::ParseError("unexpected value '" + tok.text + "'");
+        }
+        break;
+      default:
+        return Status::ParseError("expected a literal value");
+    }
+    if (negative && tok.kind != TokenKind::kInteger &&
+        tok.kind != TokenKind::kFloat) {
+      return Status::ParseError("'-' must precede a numeric literal");
+    }
+    fields.emplace_back(std::move(attr), std::move(value));
+    if (ts.ConsumeSymbol(",")) continue;
+    ERBIUM_RETURN_NOT_OK(ts.ExpectSymbol(")"));
+    break;
+  }
+  if (!ts.AtEnd() && !ts.ConsumeSymbol(";")) {
+    return Status::ParseError("unexpected trailing input after INSERT");
+  }
+  ERBIUM_RETURN_NOT_OK(
+      db()->InsertEntity(entity, Value::Struct(std::move(fields))));
+  StatementOutcome outcome;
+  outcome.message = "ok";
+  return outcome;
+}
+
+/// REMAP <preset>: switch the physical mapping, migrating data.
+Result<StatementOutcome> StatementRunner::RemapLocked(
+    const std::string& statement) {
+  ERBIUM_ASSIGN_OR_RETURN(std::vector<Token> tokens,
+                          Lexer::Tokenize(statement));
+  TokenStream ts(std::move(tokens));
+  if (!ts.ConsumeKeyword("remap")) {
+    return Status::ParseError("expected REMAP");
+  }
+  ERBIUM_ASSIGN_OR_RETURN(std::string name,
+                          ts.ExpectIdentifier("mapping preset name"));
+  if (!ts.AtEnd() && !ts.ConsumeSymbol(";")) {
+    return Status::ParseError("unexpected trailing input after REMAP");
+  }
+  MappingSpec next = PresetByName(name);
+  ERBIUM_RETURN_NOT_OK(RemapSpec(next));
+  StatementOutcome outcome;
+  outcome.message = "remapped to " + next.ToString() + " (data migrated)";
+  return outcome;
+}
+
+Status StatementRunner::RemapSpec(const MappingSpec& next) {
+  if (durable_ != nullptr) return durable_->Remap(next);
+  MappingSpec old = spec_;
+  spec_ = next;
+  Status st = Rebuild(schema_);
+  if (!st.ok()) {
+    spec_ = std::move(old);
+    return st;
+  }
+  return Status::OK();
+}
+
+Status StatementRunner::RemapPreset(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(statement_mu_);
+  return RemapSpec(PresetByName(name));
+}
+
+Result<StatementOutcome> StatementRunner::AttachLocked(
+    const std::string& statement) {
+  ERBIUM_ASSIGN_OR_RETURN(erql::Query query, erql::Parser::Parse(statement));
+  if (query.statement != erql::StatementKind::kAttach) {
+    return Status::ParseError("expected ATTACH DATABASE '<dir>'");
+  }
+  if (durable_ != nullptr) {
+    return Status::InvalidArgument("already attached to " + durable_->dir());
+  }
+  StatementOutcome outcome;
+  ERBIUM_RETURN_NOT_OK(AttachDir(query.attach_path, &outcome.message));
+  return outcome;
+}
+
+Status StatementRunner::AttachDir(const std::string& dir,
+                                  std::string* message) {
+  durability::DurableDatabase::Options options;
+  options.spec = spec_;
+  options.initial_ddl = ddl_history_;
+  options.sync = sync_;
+  auto opened = durability::DurableDatabase::Open(dir, std::move(options));
+  if (!opened.ok()) return opened.status();
+  durable_ = std::move(opened).value();
+  db_.reset();
+  const auto& info = durable_->recovery_info();
+  *message = "attached " + dir + " (snapshot gen " +
+             std::to_string(info.snapshot_gen) + ", " +
+             std::to_string(info.records_replayed) + " records replayed" +
+             (info.wal_clean ? "" : ", torn WAL tail discarded") + ")";
+  return Status::OK();
+}
+
+Status StatementRunner::FinalCheckpoint() {
+  std::unique_lock<std::shared_mutex> lock(statement_mu_);
+  if (durable_ == nullptr) return Status::OK();
+  return durable_->Checkpoint().status();
+}
+
+}  // namespace api
+}  // namespace erbium

@@ -1,0 +1,141 @@
+#ifndef ERBIUM_API_STATEMENT_RUNNER_H_
+#define ERBIUM_API_STATEMENT_RUNNER_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+
+#include "common/status.h"
+#include "durability/durable_db.h"
+#include "er/er_schema.h"
+#include "erql/query_engine.h"
+#include "mapping/database.h"
+#include "mapping/mapping_spec.h"
+
+namespace erbium {
+namespace api {
+
+/// How a statement's output should be rendered by a text front end. The
+/// numeric values travel over the server wire protocol — stable, append
+/// only.
+enum class OutputShape : uint8_t {
+  kMessage = 0,  // a one-line acknowledgement (CREATE, INSERT, REMAP, ...)
+  kTable = 1,    // result rows as a bordered table (SELECT, SHOW)
+  kLines = 2,    // one-column plain lines (EXPLAIN, TRACE, CHECKPOINT)
+};
+
+/// The result of one statement: either an acknowledgement message or a
+/// materialized QueryResult plus how to render it.
+struct StatementOutcome {
+  OutputShape shape = OutputShape::kMessage;
+  std::string message;        // kMessage: the acknowledgement text
+  erql::QueryResult result;   // kTable / kLines: the rows
+};
+
+/// The statement-dispatch core shared by the interactive shell and the
+/// network server: one object owning the database state (in-memory or
+/// durable) and one Execute() entry point for every statement the system
+/// understands —
+///
+///   CREATE ...                      DDL (rebuilds the database, migrates)
+///   INSERT <Entity> (a = 1, ...)    one entity instance
+///   REMAP <preset>                  switch mapping preset (m1..m6, m6pg)
+///   ATTACH DATABASE '<dir>'         bind to disk (recovery + WAL)
+///   CHECKPOINT                      snapshot + WAL truncate
+///   SELECT / EXPLAIN [ANALYZE] / SHOW ... / TRACE ...
+///
+/// Concurrency: Execute() classifies the statement and takes the
+/// runner's statement lock accordingly — SELECT / EXPLAIN / SHOW / TRACE
+/// run shared (concurrent readers are safe under the Table contract:
+/// scans never mutate, and the parallel executor already reads shared),
+/// while CRUD, DDL, REMAP, ATTACH, and CHECKPOINT take the lock
+/// exclusively and therefore serialize. This is the engine-level
+/// concurrency control the server's sessions rely on; the debug-build
+/// WriterCheck guards underneath abort loudly if anyone bypasses it.
+class StatementRunner {
+ public:
+  struct Options {
+    MappingSpec spec = MappingSpec::Normalized("m1");
+    /// Preload the paper's Figure 4 schema and synthetic data.
+    bool figure4 = false;
+    int figure4_num_r = 1000;
+    int figure4_num_s = 300;
+    /// When non-empty, ATTACH DATABASE to this directory at startup.
+    std::string attach_dir;
+    durability::WalWriter::SyncMode sync =
+        durability::WalWriter::SyncMode::kNone;
+  };
+
+  /// Lock class of a statement: reads run shared, writes exclusive.
+  enum class StatementClass { kRead, kWrite };
+  /// Classification by leading keyword; unknown statements classify as
+  /// writes (they fail under the exclusive lock, which is always safe).
+  static StatementClass Classify(const std::string& statement);
+
+  static Result<std::unique_ptr<StatementRunner>> Create(Options options);
+
+  /// Runs one statement (no trailing ';' required) under the statement
+  /// lock and returns its outcome. Statement failures are returned as
+  /// error Status — the runner stays usable.
+  Result<StatementOutcome> Execute(const std::string& statement);
+
+  /// Switches the mapping preset (m1..m6, m6pg), migrating data. Takes
+  /// the exclusive lock; equivalent to Execute("REMAP <name>").
+  Status RemapPreset(const std::string& name);
+
+  /// Final CHECKPOINT for graceful shutdown; a no-op when no database is
+  /// attached. Takes the exclusive lock.
+  Status FinalCheckpoint();
+
+  /// The preset specs selectable by REMAP. Unknown names yield m1.
+  static MappingSpec PresetByName(const std::string& name);
+
+  // ---- Unlocked introspection ----------------------------------------------
+  // For single-threaded hosts (the shell's backslash commands). Callers
+  // must not run concurrent statements around these.
+  MappedDatabase* db() {
+    return durable_ ? durable_->db() : db_.get();
+  }
+  const ERSchema* SchemaView() const {
+    return durable_ ? &durable_->schema() : schema_.get();
+  }
+  durability::DurableDatabase* durable() { return durable_.get(); }
+  bool attached() const { return durable_ != nullptr; }
+  const MappingSpec& spec() const { return spec_; }
+
+ private:
+  StatementRunner() = default;
+
+  Result<StatementOutcome> ExecuteClassified(const std::string& statement,
+                                             StatementClass cls);
+  Result<StatementOutcome> CreateLocked(const std::string& statement);
+  Result<StatementOutcome> InsertLocked(const std::string& statement);
+  Result<StatementOutcome> RemapLocked(const std::string& statement);
+  Result<StatementOutcome> AttachLocked(const std::string& statement);
+  Status AttachDir(const std::string& dir, std::string* message);
+  Status RemapSpec(const MappingSpec& next);
+
+  /// Re-creates the database under `next_schema` (a separate object —
+  /// the old instance keeps reading the old schema while data migrates)
+  /// and the current spec, then swaps the schema in. Pass the existing
+  /// schema for a pure remap.
+  Status Rebuild(std::shared_ptr<ERSchema> next_schema);
+
+  /// Shared/exclusive statement lock (see class comment).
+  std::shared_mutex statement_mu_;
+
+  std::shared_ptr<ERSchema> schema_ = std::make_shared<ERSchema>();
+  std::unique_ptr<MappedDatabase> db_;
+  std::unique_ptr<durability::DurableDatabase> durable_;
+  MappingSpec spec_ = MappingSpec::Normalized("m1");
+  durability::WalWriter::SyncMode sync_ =
+      durability::WalWriter::SyncMode::kNone;
+  /// Every DDL statement executed so far; an ATTACH seeds the durable
+  /// database's schema with it.
+  std::string ddl_history_;
+};
+
+}  // namespace api
+}  // namespace erbium
+
+#endif  // ERBIUM_API_STATEMENT_RUNNER_H_

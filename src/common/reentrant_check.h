@@ -1,0 +1,75 @@
+#ifndef ERBIUM_COMMON_REENTRANT_CHECK_H_
+#define ERBIUM_COMMON_REENTRANT_CHECK_H_
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace erbium {
+
+/// Debug-build detector for unsynchronized concurrent mutators.
+///
+/// MappedDatabase's CRUD choke points and DurableDatabase's DDL/remap/
+/// checkpoint/WAL paths are single-writer by contract: callers (the
+/// statement runner, the server's exclusive statement lock) must
+/// serialize mutations. The contract used to be enforced only by
+/// convention — two threads inserting concurrently would corrupt tables
+/// silently. A WriterCheck::Scope at each choke point makes the misuse
+/// fail loudly in debug builds (including the sanitizer CI builds)
+/// instead: the second concurrent mutator aborts with a message naming
+/// the object. Re-entrant mutation from the owning thread is fine
+/// (entity-centric deletes recurse into owned weak entities).
+///
+/// Release (NDEBUG) builds compile the scope to nothing.
+class WriterCheck {
+ public:
+  class Scope {
+   public:
+#ifndef NDEBUG
+    Scope(WriterCheck* check, const char* what) : check_(check) {
+      std::thread::id self = std::this_thread::get_id();
+      std::thread::id none;
+      if (check_->owner_.load(std::memory_order_acquire) == self) {
+        ++check_->depth_;  // re-entrant call from the owning thread
+        return;
+      }
+      if (!check_->owner_.compare_exchange_strong(
+              none, self, std::memory_order_acq_rel)) {
+        std::fprintf(stderr,
+                     "FATAL: concurrent mutation of %s — callers must hold "
+                     "the exclusive statement lock around writes\n",
+                     what);
+        std::abort();
+      }
+      check_->depth_ = 1;
+    }
+    ~Scope() {
+      if (--check_->depth_ == 0) {
+        check_->owner_.store(std::thread::id(), std::memory_order_release);
+      }
+    }
+   private:
+    WriterCheck* check_;
+#else
+    Scope(WriterCheck*, const char*) {}
+#endif
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+  };
+
+  WriterCheck() = default;
+  WriterCheck(const WriterCheck&) = delete;
+  WriterCheck& operator=(const WriterCheck&) = delete;
+
+ private:
+  friend class Scope;
+  std::atomic<std::thread::id> owner_{};
+  // Only touched by the thread that owns `owner_`, so a plain int is
+  // race-free whenever the check itself passes.
+  int depth_ = 0;
+};
+
+}  // namespace erbium
+
+#endif  // ERBIUM_COMMON_REENTRANT_CHECK_H_

@@ -24,8 +24,43 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+StatusCode StatusCodeFromWire(int32_t wire) {
+  switch (wire) {
+    case 0:
+      return StatusCode::kOk;
+    case 1:
+      return StatusCode::kInvalidArgument;
+    case 2:
+      return StatusCode::kNotFound;
+    case 3:
+      return StatusCode::kAlreadyExists;
+    case 4:
+      return StatusCode::kConstraintViolation;
+    case 5:
+      return StatusCode::kParseError;
+    case 6:
+      return StatusCode::kAnalysisError;
+    case 7:
+      return StatusCode::kNotImplemented;
+    case 8:
+      return StatusCode::kInternal;
+    case 9:
+      return StatusCode::kIOError;
+    case 10:
+      return StatusCode::kDeadlineExceeded;
+    case 11:
+      return StatusCode::kUnavailable;
+    default:
+      return StatusCode::kInternal;
+  }
 }
 
 std::string Status::ToString() const {

@@ -11,21 +11,38 @@ namespace erbium {
 /// taxonomy of embedded database engines: the category tells the caller
 /// whether the failure is a usage error (InvalidArgument), a schema/query
 /// analysis error, a constraint violation, or an internal invariant breach.
-enum class StatusCode {
+///
+/// The numeric values are part of the wire protocol (src/server): an
+/// error travels to remote clients as its number, so values are stable —
+/// never renumber or reuse one, only append. StatusCodeFromWire maps
+/// numbers (including ones from a newer peer) back to a code.
+enum class StatusCode : int32_t {
   kOk = 0,
-  kInvalidArgument,
-  kNotFound,
-  kAlreadyExists,
-  kConstraintViolation,
-  kParseError,
-  kAnalysisError,
-  kNotImplemented,
-  kInternal,
-  kIOError,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kConstraintViolation = 4,
+  kParseError = 5,
+  kAnalysisError = 6,
+  kNotImplemented = 7,
+  kInternal = 8,
+  kIOError = 9,
+  kDeadlineExceeded = 10,
+  kUnavailable = 11,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
 const char* StatusCodeToString(StatusCode code);
+
+/// The stable wire number of a code (the enum value).
+constexpr int32_t StatusCodeToWire(StatusCode code) {
+  return static_cast<int32_t>(code);
+}
+
+/// Inverse of StatusCodeToWire. A number this build does not know (a
+/// newer peer, or garbage) decodes as kInternal rather than an invalid
+/// enum value, so the error is still surfaced, just without its category.
+StatusCode StatusCodeFromWire(int32_t wire);
 
 /// A Status carries either success (OK) or an error code plus message.
 /// This library does not throw exceptions across API boundaries; every
@@ -63,6 +80,12 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -213,10 +213,16 @@ Status DurableDatabase::ReplayRecord(const WalRecord& record) {
 }
 
 Status DurableDatabase::AppendRecord(WalRecord record) {
+  // Single-writer choke point for the log: every CRUD hook, DDL, and
+  // remap funnels here, so a concurrent unsynchronized mutator trips the
+  // debug check even when the races never collide in MappedDatabase.
+  WriterCheck::Scope write_scope(&writer_check_, "DurableDatabase (WAL)");
   return wal_->Append(std::move(record));
 }
 
 Status DurableDatabase::ExecuteDdl(const std::string& ddl) {
+  WriterCheck::Scope write_scope(&writer_check_,
+                                 "DurableDatabase (ExecuteDdl)");
   if (options_.faults != nullptr) {
     ERBIUM_RETURN_NOT_OK(options_.faults->Check());
   }
@@ -233,6 +239,7 @@ Status DurableDatabase::ExecuteDdl(const std::string& ddl) {
 }
 
 Status DurableDatabase::Remap(MappingSpec new_spec) {
+  WriterCheck::Scope write_scope(&writer_check_, "DurableDatabase (Remap)");
   if (options_.faults != nullptr) {
     ERBIUM_RETURN_NOT_OK(options_.faults->Check());
   }
@@ -305,6 +312,10 @@ Status DurableDatabase::LogDeleteRelationship(const std::string& rel_name,
 }
 
 Result<std::string> DurableDatabase::Checkpoint() {
+  // Checkpoint captures table state and truncates the WAL; racing it
+  // against any mutator would snapshot a half-applied world.
+  WriterCheck::Scope write_scope(&writer_check_,
+                                 "DurableDatabase (Checkpoint)");
   FaultInjector* faults = options_.faults;
   if (faults != nullptr) {
     ERBIUM_RETURN_NOT_OK(faults->Check());

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "common/reentrant_check.h"
 #include "common/status.h"
 #include "durability/fault.h"
 #include "durability/snapshot.h"
@@ -126,6 +127,10 @@ class DurableDatabase : public DurabilityHook {
   std::unique_ptr<WalWriter> wal_;
   RecoveryInfo recovery_;
   uint64_t latest_snapshot_gen_ = 0;
+  /// Debug-build guard (common/reentrant_check.h): WAL appends, DDL,
+  /// remap, and checkpoint are single-writer by contract; concurrent
+  /// unsynchronized callers abort loudly in debug builds.
+  WriterCheck writer_check_;
 };
 
 }  // namespace durability

@@ -75,6 +75,8 @@ enum class ExplainMode { kNone, kPlan, kAnalyze };
 /// telemetry introspection statements:
 ///   SHOW METRICS [LIKE '<glob>']   — the process metrics registry
 ///   SHOW QUERIES [SLOW] [LIMIT n]  — the query log / slow-query ring
+///   SHOW SESSIONS                  — live client sessions (shell, server
+///                                    connections) from the session registry
 ///   TRACE [INTO '<file>'] SELECT … — run under analyze, emit Chrome trace
 /// and the durability statements:
 ///   CHECKPOINT                     — snapshot + WAL truncate (needs a
@@ -86,6 +88,7 @@ enum class StatementKind {
   kSelect,
   kShowMetrics,
   kShowQueries,
+  kShowSessions,
   kTrace,
   kCheckpoint,
   kAttach,

@@ -136,11 +136,13 @@ class QueryParser {
     return Status::OK();
   }
 
-  /// After a consumed SHOW keyword: METRICS [LIKE '<glob>'] or
-  /// QUERIES [SLOW] [LIMIT n].
+  /// After a consumed SHOW keyword: METRICS [LIKE '<glob>'],
+  /// QUERIES [SLOW] [LIMIT n], or SESSIONS.
   Result<Query> ParseShow() {
     Query query;
-    if (ts_.ConsumeKeyword("metrics")) {
+    if (ts_.ConsumeKeyword("sessions")) {
+      query.statement = StatementKind::kShowSessions;
+    } else if (ts_.ConsumeKeyword("metrics")) {
       query.statement = StatementKind::kShowMetrics;
       if (ts_.ConsumeKeyword("like")) {
         if (ts_.Peek().kind != TokenKind::kString) {
@@ -158,7 +160,7 @@ class QueryParser {
         query.show_limit = ts_.Advance().int_value;
       }
     } else {
-      return ts_.ErrorHere("expected METRICS or QUERIES after SHOW");
+      return ts_.ErrorHere("expected METRICS, QUERIES, or SESSIONS after SHOW");
     }
     if (!ts_.AtEnd() && !ts_.ConsumeSymbol(";")) {
       return ts_.ErrorHere("unexpected trailing input");

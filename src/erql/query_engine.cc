@@ -8,6 +8,7 @@
 #include "erql/parser.h"
 #include "exec/explain.h"
 #include "obs/export.h"
+#include "obs/session.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 
@@ -115,6 +116,7 @@ std::string StatementKindName(const Query& query) {
   switch (query.statement) {
     case StatementKind::kShowMetrics:
     case StatementKind::kShowQueries:
+    case StatementKind::kShowSessions:
       return "show";
     case StatementKind::kTrace:
       return "trace";
@@ -229,15 +231,16 @@ QueryResult ShowMetrics(const Query& query) {
 
 /// SHOW QUERIES [SLOW] [LIMIT n]: the query log (or slow-query ring),
 /// newest first. Slow entries add a spans column (size of the captured
-/// span tree).
+/// span tree). The session column attributes each statement to the
+/// connection (or shell) that issued it.
 QueryResult ShowQueries(const Query& query) {
   obs::QueryTelemetry& telemetry = obs::QueryTelemetry::Global();
   size_t limit = query.show_limit >= 0
                      ? static_cast<size_t>(query.show_limit)
                      : std::numeric_limits<size_t>::max();
   QueryResult result;
-  result.columns = {"seq",  "kind",    "mapping", "wall",  "cpu",
-                    "rows", "threads", "status",  "query"};
+  result.columns = {"seq",  "kind",    "mapping", "wall",    "cpu",
+                    "rows", "threads", "status",  "session", "query"};
   auto record_row = [](const obs::QueryRecord& r) {
     return Row{Value::Int64(static_cast<int64_t>(r.seq)),
                Value::String(r.kind),
@@ -247,6 +250,7 @@ QueryResult ShowQueries(const Query& query) {
                Value::Int64(static_cast<int64_t>(r.rows_out)),
                Value::Int64(r.threads),
                Value::String(r.ok ? "ok" : r.error),
+               Value::String(r.session.empty() ? "-" : r.session),
                Value::String(r.text)};
   };
   if (query.show_slow) {
@@ -261,6 +265,29 @@ QueryResult ShowQueries(const Query& query) {
     for (const obs::QueryRecord& record : telemetry.Recent(limit)) {
       result.rows.push_back(record_row(record));
     }
+  }
+  return result;
+}
+
+/// SHOW SESSIONS: every live session from the process-wide registry,
+/// ordered by id — the shell's own session locally, one row per client
+/// connection on a server.
+QueryResult ShowSessions() {
+  uint64_t now = obs::MonotonicNowNs();
+  QueryResult result;
+  result.columns = {"id",     "session", "peer", "state",         "statements",
+                    "errors", "age",     "idle", "last_statement"};
+  for (const obs::SessionInfo& info : obs::SessionRegistry::Global().List()) {
+    result.rows.push_back(Row{
+        Value::Int64(static_cast<int64_t>(info.id)),
+        Value::String(info.name),
+        Value::String(info.peer),
+        Value::String(info.state),
+        Value::Int64(static_cast<int64_t>(info.statements)),
+        Value::Int64(static_cast<int64_t>(info.errors)),
+        Value::String(obs::FormatNs(now - info.connected_ns)),
+        Value::String(obs::FormatNs(now - info.last_active_ns)),
+        Value::String(info.last_statement)});
   }
   return result;
 }
@@ -328,6 +355,8 @@ Result<QueryResult> ExecuteParsed(MappedDatabase* db, const Query& query,
       return ShowMetrics(query);
     case StatementKind::kShowQueries:
       return ShowQueries(query);
+    case StatementKind::kShowSessions:
+      return ShowSessions();
     case StatementKind::kTrace:
       return TraceQuery(db, query, text, opts, record, stats_out, have_stats);
     case StatementKind::kCheckpoint: {

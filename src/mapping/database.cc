@@ -51,6 +51,8 @@ Status MappedDatabase::Counted(Status s, const char* counter_name) {
 
 Status MappedDatabase::InsertEntity(const std::string& class_name,
                                     const Value& entity) {
+  WriterCheck::Scope write_scope(&writer_check_,
+                                 "MappedDatabase (InsertEntity)");
   Status s = Counted(InsertEntityImpl(class_name, entity),
                      "crud.entity_inserts");
   if (s.ok() && durability_ != nullptr) {
@@ -61,6 +63,8 @@ Status MappedDatabase::InsertEntity(const std::string& class_name,
 
 Status MappedDatabase::DeleteEntity(const std::string& class_name,
                                     const IndexKey& key) {
+  WriterCheck::Scope write_scope(&writer_check_,
+                                 "MappedDatabase (DeleteEntity)");
   Status s = Counted(DeleteEntityImpl(class_name, key), "crud.entity_deletes");
   if (s.ok() && durability_ != nullptr) {
     return durability_->LogDeleteEntity(class_name, key);
@@ -72,6 +76,8 @@ Status MappedDatabase::UpdateAttribute(const std::string& class_name,
                                        const IndexKey& key,
                                        const std::string& attr,
                                        const Value& value) {
+  WriterCheck::Scope write_scope(&writer_check_,
+                                 "MappedDatabase (UpdateAttribute)");
   Status s = Counted(UpdateAttributeImpl(class_name, key, attr, value),
                      "crud.attribute_updates");
   if (s.ok() && durability_ != nullptr) {
@@ -84,6 +90,8 @@ Status MappedDatabase::InsertRelationship(const std::string& rel_name,
                                           const IndexKey& left_key,
                                           const IndexKey& right_key,
                                           const Value& attrs) {
+  WriterCheck::Scope write_scope(&writer_check_,
+                                 "MappedDatabase (InsertRelationship)");
   Status s = Counted(InsertRelationshipImpl(rel_name, left_key, right_key,
                                             attrs),
                      "crud.relationship_inserts");
@@ -97,6 +105,8 @@ Status MappedDatabase::InsertRelationship(const std::string& rel_name,
 Status MappedDatabase::DeleteRelationship(const std::string& rel_name,
                                           const IndexKey& left_key,
                                           const IndexKey& right_key) {
+  WriterCheck::Scope write_scope(&writer_check_,
+                                 "MappedDatabase (DeleteRelationship)");
   Status s = Counted(DeleteRelationshipImpl(rel_name, left_key, right_key),
                      "crud.relationship_deletes");
   if (s.ok() && durability_ != nullptr) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/reentrant_check.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "exec/operator.h"
@@ -218,6 +219,11 @@ class MappedDatabase {
   Catalog catalog_;
   std::map<std::string, std::unique_ptr<FactorizedPair>> pairs_;
   DurabilityHook* durability_ = nullptr;
+  /// Debug-build guard: the five public CRUD entry points above are
+  /// single-writer by contract (hold an exclusive statement lock around
+  /// them); a second concurrent mutator aborts loudly instead of
+  /// corrupting tables. See common/reentrant_check.h.
+  WriterCheck writer_check_;
 };
 
 }  // namespace erbium

@@ -1,0 +1,62 @@
+#include "obs/session.h"
+
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace erbium {
+namespace obs {
+
+namespace {
+thread_local std::string t_session_tag;
+}  // namespace
+
+SessionRegistry& SessionRegistry::Global() {
+  static SessionRegistry* registry = new SessionRegistry();
+  return *registry;
+}
+
+uint64_t SessionRegistry::Register(SessionInfo info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  info.id = next_id_++;
+  info.connected_ns = MonotonicNowNs();
+  info.last_active_ns = info.connected_ns;
+  uint64_t id = info.id;
+  sessions_.emplace(id, std::move(info));
+  return id;
+}
+
+void SessionRegistry::Deregister(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.erase(id);
+}
+
+void SessionRegistry::Update(uint64_t id,
+                             const std::function<void(SessionInfo*)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it != sessions_.end()) fn(&it->second);
+}
+
+std::vector<SessionInfo> SessionRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SessionInfo> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, info] : sessions_) out.push_back(info);
+  return out;
+}
+
+size_t SessionRegistry::ActiveCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+ScopedSessionTag::ScopedSessionTag(std::string tag)
+    : prev_(std::exchange(t_session_tag, std::move(tag))) {}
+
+ScopedSessionTag::~ScopedSessionTag() { t_session_tag = std::move(prev_); }
+
+const std::string& CurrentSessionTag() { return t_session_tag; }
+
+}  // namespace obs
+}  // namespace erbium

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/session.h"
+
 namespace erbium {
 namespace obs {
 namespace {
@@ -54,6 +56,8 @@ uint64_t QueryTelemetry::Record(QueryRecord record, const QueryStats* stats) {
   }
   if (record.mapping.empty()) record.mapping = "none";
   if (record.kind.empty()) record.kind = "unknown";
+  if (record.session.empty()) record.session = CurrentSessionTag();
+  if (record.session.empty()) record.session = "-";
 
   double ms = static_cast<double>(record.wall_ns) / 1e6;
   registry_->counter("erql.queries").Increment();

@@ -24,6 +24,9 @@ struct QueryRecord {
   std::string kind;       // select / explain / explain_analyze / show /
                           // trace / invalid
   std::string mapping;    // active mapping name (e.g. "m1")
+  std::string session;    // session tag of the issuing connection; filled
+                          // from obs::CurrentSessionTag() when empty
+                          // ("-" when the thread has no session)
   uint64_t wall_ns = 0;   // end-to-end wall time incl. parse + translate
   uint64_t cpu_ns = 0;    // calling thread's CPU time over the same window
   uint64_t rows_out = 0;  // materialized result rows

@@ -1,0 +1,82 @@
+#ifndef ERBIUM_SERVER_CLIENT_H_
+#define ERBIUM_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "api/statement_runner.h"
+#include "common/status.h"
+#include "server/protocol.h"
+
+namespace erbium {
+namespace server {
+
+/// Synchronous ErbiumDB client driver: one TCP connection, one request
+/// in flight at a time (the protocol answers frames in order). Not
+/// thread-safe — use one Client per thread.
+///
+///   auto client = Client::Connect({.port = 7177});
+///   auto outcome = (*client)->Execute("SELECT r_id FROM R");
+///
+/// A statement the server rejects comes back as the transported Status
+/// (its code round-trips through the wire numbering), so remote errors
+/// are indistinguishable in kind from local ones.
+class Client {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;
+    /// Attribution name, shown by SHOW SESSIONS and SHOW QUERIES.
+    std::string name = "client";
+    /// Budget for the handshake reply / for each statement response.
+    int connect_timeout_ms = 5'000;
+    int recv_timeout_ms = 60'000;
+    /// Retries for the initial TCP connect (the server may still be
+    /// binding, e.g. in a CI smoke test), with a short pause between.
+    int connect_retries = 0;
+    int connect_retry_pause_ms = 200;
+  };
+
+  /// Connects, performs the Hello handshake, and returns a ready client.
+  /// A server at max_connections surfaces as kUnavailable.
+  static Result<std::unique_ptr<Client>> Connect(Options options);
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Runs one statement remotely and returns its outcome (or the
+  /// server's error). An I/O failure poisons the connection — every
+  /// later call fails fast with the same error.
+  Result<api::StatementOutcome> Execute(const std::string& statement);
+
+  /// Liveness round-trip (kPing -> kPong).
+  Status Ping();
+
+  /// Sends Goodbye and closes; further calls fail. The destructor calls
+  /// this implicitly.
+  void Close();
+
+  /// The server-assigned session id from the handshake.
+  uint64_t session_id() const { return session_id_; }
+  const std::string& server_banner() const { return banner_; }
+
+ private:
+  explicit Client(Options options) : options_(std::move(options)) {}
+
+  /// One request/response exchange, with connection poisoning.
+  Result<Frame> RoundTrip(FrameType type, const std::string& body);
+
+  Options options_;
+  std::unique_ptr<FrameSocket> sock_;
+  uint64_t session_id_ = 0;
+  std::string banner_;
+  /// First transport error, replayed by later calls.
+  Status broken_ = Status::OK();
+};
+
+}  // namespace server
+}  // namespace erbium
+
+#endif  // ERBIUM_SERVER_CLIENT_H_

@@ -1,0 +1,147 @@
+#ifndef ERBIUM_SERVER_PROTOCOL_H_
+#define ERBIUM_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "api/statement_runner.h"
+#include "common/status.h"
+#include "erql/query_engine.h"
+
+namespace erbium {
+namespace server {
+
+/// The ErbiumDB wire protocol: length-prefixed binary frames over TCP,
+/// reusing the WAL's little-endian serde helpers and CRC so both on-disk
+/// and on-wire bytes share one encoding discipline.
+///
+/// Frame layout (everything little-endian):
+///
+///   [u32 payload_len][u32 crc32(payload)][payload]
+///   payload = [u8 frame_type][type-specific body]
+///
+/// Conversation: the client opens with kHello and the server answers
+/// kHelloOk (or kError, e.g. when at max connections). After that each
+/// client frame gets exactly one server frame in order:
+///
+///   kStatement -> kResult | kError
+///   kPing      -> kPong
+///   kGoodbye   -> (none; both sides close)
+///
+/// Bodies:
+///   kHello     u32 protocol_version, string client_name
+///   kHelloOk   u32 protocol_version, u64 session_id, string banner
+///   kStatement string statement_text
+///   kPing      (empty)
+///   kGoodbye   (empty)
+///   kResult    u8 shape (api::OutputShape), string message,
+///              u32 n_columns, n_columns * string,
+///              u32 n_rows, n_rows * Values (serde PutValues)
+///   kError     u32 status_code (StatusCodeToWire), string message
+///   kPong      (empty)
+///
+/// Malformed input (bad CRC, oversized length, truncated frame, unknown
+/// type) is always answered with a typed kError frame when the socket
+/// still permits a write, then the connection closes — never a silent
+/// drop, never a crash.
+enum class FrameType : uint8_t {
+  // Client -> server.
+  kHello = 1,
+  kStatement = 2,
+  kPing = 3,
+  kGoodbye = 4,
+  // Server -> client (high bit set).
+  kHelloOk = 0x81,
+  kResult = 0x82,
+  kError = 0x83,
+  kPong = 0x84,
+};
+
+/// Bumped only for incompatible changes; the server rejects mismatches
+/// in the handshake with kError(InvalidArgument).
+constexpr uint32_t kProtocolVersion = 1;
+
+/// Upper bound on a frame payload. A length prefix above this is
+/// rejected before any buffering, so a garbage header cannot cause a
+/// multi-gigabyte allocation. 16 MiB comfortably fits real result sets;
+/// larger ones should page through LIMIT.
+constexpr uint32_t kMaxFramePayloadBytes = 16u << 20;
+
+/// A decoded frame: the type tag plus the raw type-specific body.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string body;
+};
+
+/// Encodes a complete wire frame (header + CRC + payload).
+std::string EncodeFrame(FrameType type, const std::string& body);
+
+// ---- Body encoders --------------------------------------------------------
+
+std::string EncodeHelloBody(const std::string& client_name);
+std::string EncodeHelloOkBody(uint64_t session_id, const std::string& banner);
+std::string EncodeStatementBody(const std::string& statement);
+std::string EncodeResultBody(const api::StatementOutcome& outcome);
+std::string EncodeErrorBody(const Status& status);
+
+// ---- Body decoders --------------------------------------------------------
+// Each fails with Status::IOError on truncated or malformed bodies; a
+// decoded kError body comes back as the transported Status itself.
+
+struct HelloBody {
+  uint32_t version = 0;
+  std::string client_name;
+};
+Result<HelloBody> DecodeHelloBody(const std::string& body);
+
+struct HelloOkBody {
+  uint32_t version = 0;
+  uint64_t session_id = 0;
+  std::string banner;
+};
+Result<HelloOkBody> DecodeHelloOkBody(const std::string& body);
+
+Result<std::string> DecodeStatementBody(const std::string& body);
+Result<api::StatementOutcome> DecodeResultBody(const std::string& body);
+/// Decodes the Status a kError frame transports into *out (its code
+/// round-trips through StatusCodeToWire/FromWire). The return value
+/// reports decode failures — a truncated or garbled error body.
+Status DecodeErrorBody(const std::string& body, Status* out);
+
+/// A connected socket speaking the frame protocol — the single I/O path
+/// shared by the server's sessions and the client driver. Owns the fd
+/// and closes it on destruction.
+class FrameSocket {
+ public:
+  explicit FrameSocket(int fd) : fd_(fd) {}
+  ~FrameSocket();
+
+  FrameSocket(const FrameSocket&) = delete;
+  FrameSocket& operator=(const FrameSocket&) = delete;
+
+  int fd() const { return fd_; }
+
+  /// Writes one complete frame (retrying short writes). SIGPIPE is
+  /// suppressed; a peer that vanished surfaces as Status::IOError.
+  Status Send(FrameType type, const std::string& body);
+
+  /// Reads one complete frame. `timeout_ms` bounds the whole read
+  /// (poll-based); negative blocks forever. Error taxonomy:
+  ///   kUnavailable       orderly EOF at a frame boundary (peer closed)
+  ///   kDeadlineExceeded  nothing (or only part of a frame) arrived in time
+  ///   kIOError           torn frame, CRC mismatch, oversized length,
+  ///                      empty payload, or a socket error
+  Result<Frame> Recv(int timeout_ms);
+
+  /// Shuts down the read side, unblocking a concurrent Recv with EOF.
+  /// Used by graceful shutdown to drain sessions.
+  void ShutdownRead();
+
+ private:
+  int fd_;
+};
+
+}  // namespace server
+}  // namespace erbium
+
+#endif  // ERBIUM_SERVER_PROTOCOL_H_

@@ -1,0 +1,279 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "server/protocol.h"
+
+namespace erbium {
+namespace server {
+
+namespace {
+
+std::string PeerName(const struct sockaddr_in& addr) {
+  char ip[INET_ADDRSTRLEN] = {0};
+  ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
+  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Server>> Server::Start(ServerOptions options) {
+  std::unique_ptr<Server> server(new Server(std::move(options)));
+
+  SessionManager::Options manager_options;
+  manager_options.runner = server->options_.runner;
+  manager_options.max_sessions = server->options_.max_connections;
+  manager_options.request_deadline_ms = server->options_.request_deadline_ms;
+  ERBIUM_ASSIGN_OR_RETURN(server->manager_,
+                          SessionManager::Create(std::move(manager_options)));
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket failed: ") +
+                           std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server->options_.port));
+  if (::inet_pton(AF_INET, server->options_.host.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable listen address '" +
+                                   server->options_.host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st = Status::IOError("bind to " + server->options_.host + ":" +
+                                std::to_string(server->options_.port) +
+                                " failed: " + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, server->options_.accept_backlog) < 0) {
+    Status st =
+        Status::IOError(std::string("listen failed: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &addr_len);
+  server->port_ = ntohs(addr.sin_port);
+  server->listen_fd_ = fd;
+  server->accept_thread_ = std::thread([raw = server.get()] {
+    raw->AcceptLoop();
+  });
+  return server;
+}
+
+Server::~Server() { Stop(); }
+
+void Server::AcceptLoop() {
+  auto accepted = obs::MetricsRegistry::Global()
+                      .counter("server.connections.accepted");
+  while (!stopping_.load()) {
+    // Reap connection threads that finished since the last accept, so a
+    // long-lived server does not accumulate unjoined handles.
+    std::vector<std::thread> finished;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      finished.swap(finished_threads_);
+    }
+    for (std::thread& t : finished) {
+      if (t.joinable()) t.join();
+    }
+
+    struct sockaddr_in peer_addr;
+    socklen_t peer_len = sizeof(peer_addr);
+    int fd = ::accept(listen_fd_.load(),
+                      reinterpret_cast<struct sockaddr*>(&peer_addr),
+                      &peer_len);
+    if (fd < 0) {
+      if (stopping_.load()) break;
+      if (errno == EINTR) continue;
+      // Transient accept failures (EMFILE under load, aborted
+      // connections) must not kill the listener.
+      continue;
+    }
+    accepted.Increment();
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    uint64_t conn_id = next_conn_id_.fetch_add(1);
+    std::string peer = PeerName(peer_addr);
+    std::lock_guard<std::mutex> lock(mu_);
+    conn_fds_[conn_id] = fd;
+    conn_threads_[conn_id] = std::thread(
+        [this, fd, conn_id, peer] { ServeConnection(fd, conn_id, peer); });
+  }
+}
+
+void Server::ServeConnection(int fd, uint64_t conn_id,
+                             const std::string& peer) {
+  auto protocol_errors =
+      obs::MetricsRegistry::Global().counter("server.protocol_errors");
+  {
+    FrameSocket sock(fd);
+    std::unique_ptr<Session> session;
+
+    // ---- Handshake: expect kHello within the idle budget. ----------------
+    Result<Frame> first = sock.Recv(options_.idle_timeout_ms);
+    if (first.ok() && first->type == FrameType::kHello) {
+      Result<HelloBody> hello = DecodeHelloBody(first->body);
+      if (!hello.ok()) {
+        protocol_errors.Increment();
+        sock.Send(FrameType::kError, EncodeErrorBody(hello.status()));
+      } else if (hello->version != kProtocolVersion) {
+        sock.Send(FrameType::kError,
+                  EncodeErrorBody(Status::InvalidArgument(
+                      "protocol version " + std::to_string(hello->version) +
+                      " not supported (server speaks " +
+                      std::to_string(kProtocolVersion) + ")")));
+      } else {
+        std::string name = hello->client_name.empty()
+                               ? "conn-" + std::to_string(conn_id)
+                               : hello->client_name;
+        Result<std::unique_ptr<Session>> opened =
+            manager_->OpenSession(name, peer);
+        if (!opened.ok()) {
+          // Typed backpressure: at max_connections the client is told
+          // kUnavailable and can retry, never silently dropped.
+          sock.Send(FrameType::kError, EncodeErrorBody(opened.status()));
+        } else {
+          session = std::move(opened).value();
+          Status st = sock.Send(
+              FrameType::kHelloOk,
+              EncodeHelloOkBody(session->id(), "ErbiumDB"));
+          if (!st.ok()) session.reset();
+        }
+      }
+    } else if (first.ok()) {
+      protocol_errors.Increment();
+      sock.Send(FrameType::kError,
+                EncodeErrorBody(Status::InvalidArgument(
+                    "expected a Hello frame to open the session")));
+    } else if (first.status().code() == StatusCode::kIOError) {
+      // Malformed bytes before the handshake (fuzzers, port scanners):
+      // answer typed and close.
+      protocol_errors.Increment();
+      sock.Send(FrameType::kError, EncodeErrorBody(first.status()));
+    }
+    // EOF / timeout before Hello: nothing useful to say; just close.
+
+    // ---- Statement loop. -------------------------------------------------
+    while (session != nullptr) {
+      Result<Frame> frame = sock.Recv(options_.idle_timeout_ms);
+      if (!frame.ok()) {
+        if (frame.status().code() == StatusCode::kDeadlineExceeded &&
+            !stopping_.load()) {
+          sock.Send(FrameType::kError,
+                    EncodeErrorBody(Status::DeadlineExceeded(
+                        "connection idle past " +
+                        std::to_string(options_.idle_timeout_ms) +
+                        " ms; closing")));
+        } else if (frame.status().code() == StatusCode::kIOError) {
+          protocol_errors.Increment();
+          sock.Send(FrameType::kError, EncodeErrorBody(frame.status()));
+        }
+        // kUnavailable: orderly close (or shutdown drain) — say nothing.
+        break;
+      }
+      if (frame->type == FrameType::kGoodbye) break;
+      if (frame->type == FrameType::kPing) {
+        if (!sock.Send(FrameType::kPong, "").ok()) break;
+        continue;
+      }
+      if (frame->type != FrameType::kStatement) {
+        protocol_errors.Increment();
+        sock.Send(FrameType::kError,
+                  EncodeErrorBody(Status::InvalidArgument(
+                      "unexpected frame type " +
+                      std::to_string(static_cast<int>(frame->type)))));
+        break;
+      }
+      Result<std::string> statement = DecodeStatementBody(frame->body);
+      if (!statement.ok()) {
+        protocol_errors.Increment();
+        sock.Send(FrameType::kError, EncodeErrorBody(statement.status()));
+        break;
+      }
+      Result<api::StatementOutcome> outcome = session->Execute(*statement);
+      Status send_st =
+          outcome.ok()
+              ? sock.Send(FrameType::kResult, EncodeResultBody(*outcome))
+              : sock.Send(FrameType::kError,
+                          EncodeErrorBody(outcome.status()));
+      if (!send_st.ok()) break;
+    }
+  }  // FrameSocket closes the fd; Session deregisters.
+
+  // Hand our thread handle to the reaper (or to Stop(), which may have
+  // taken it already).
+  std::lock_guard<std::mutex> lock(mu_);
+  conn_fds_.erase(conn_id);
+  auto it = conn_threads_.find(conn_id);
+  if (it != conn_threads_.end()) {
+    finished_threads_.push_back(std::move(it->second));
+    conn_threads_.erase(it);
+  }
+}
+
+Status Server::Stop() {
+  if (stopping_.exchange(true)) return Status::OK();
+
+  // 1. Close the listener so no new connections arrive; accept() fails
+  //    and the accept loop exits.
+  int listener = listen_fd_.exchange(-1);
+  if (listener >= 0) {
+    ::shutdown(listener, SHUT_RDWR);
+    ::close(listener);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Drain: shut down every connection's read side. A session blocked
+  //    in Recv wakes with EOF and exits; one mid-statement finishes,
+  //    sends its result (write side stays open), then exits.
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& entry : conn_fds_) {
+      ::shutdown(entry.second, SHUT_RD);
+    }
+    for (auto& entry : conn_threads_) to_join.push_back(std::move(entry.second));
+    conn_threads_.clear();
+    for (std::thread& t : finished_threads_) to_join.push_back(std::move(t));
+    finished_threads_.clear();
+  }
+  for (std::thread& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+  {
+    // Threads that finished while we were joining parked their handles.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::thread& t : finished_threads_) to_join.push_back(std::move(t));
+    finished_threads_.clear();
+  }
+  for (std::thread& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+
+  // 3. Final checkpoint once everything is quiet.
+  if (options_.checkpoint_on_shutdown && manager_ != nullptr) {
+    return manager_->FinalCheckpoint();
+  }
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace erbium

@@ -1,0 +1,102 @@
+#ifndef ERBIUM_SERVER_SERVER_H_
+#define ERBIUM_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "server/session.h"
+
+namespace erbium {
+namespace server {
+
+/// Network server configuration. The runner options decide what database
+/// the server fronts (empty, --figure4 preloaded, or attached to disk).
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the bound one back with port().
+  int port = 0;
+  /// Admission limit; connection #max+1 gets kError(kUnavailable) and a
+  /// close — typed backpressure, never a silent drop.
+  int max_connections = 64;
+  /// listen(2) backlog — the bounded accept queue. Connections beyond
+  /// backlog while the accept thread is busy queue in the kernel; the
+  /// admission check above bounds what we accept.
+  int accept_backlog = 16;
+  /// A connection idle (no complete frame) this long is told
+  /// kError(kDeadlineExceeded) and closed. <= 0 disables.
+  int idle_timeout_ms = 60'000;
+  /// Per-statement budget (see Session::Execute). <= 0 disables.
+  int request_deadline_ms = 30'000;
+  /// Database configuration (mapping preset, figure4 preload, attach
+  /// directory, WAL sync mode).
+  api::StatementRunner::Options runner;
+  /// CHECKPOINT once all sessions have drained during Stop(), when a
+  /// database is attached.
+  bool checkpoint_on_shutdown = true;
+};
+
+/// Thread-per-connection TCP server speaking the frame protocol of
+/// server/protocol.h. One accept thread admits connections (refusing
+/// typed-and-loud beyond max_connections); each connection gets a thread
+/// running handshake -> statement loop against a Session from the shared
+/// SessionManager, which serializes writers and lets readers overlap.
+///
+/// Stop() (also the destructor) is graceful: the listener closes first
+/// so no new work arrives, then every connection's read side is shut
+/// down — a session blocked in Recv wakes with EOF and exits, a session
+/// mid-statement finishes, sends its result, and exits on the next
+/// read — then all threads are joined and, when a database is attached,
+/// a final CHECKPOINT collapses the WAL.
+class Server {
+ public:
+  static Result<std::unique_ptr<Server>> Start(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound TCP port (resolves ephemeral binds).
+  int port() const { return port_; }
+
+  /// Graceful shutdown; idempotent. Returns the final-checkpoint status
+  /// (OK when nothing is attached or checkpointing is disabled).
+  Status Stop();
+
+  SessionManager* session_manager() { return manager_.get(); }
+  size_t active_connections() const { return manager_->active_sessions(); }
+
+ private:
+  explicit Server(ServerOptions options) : options_(std::move(options)) {}
+
+  void AcceptLoop();
+  void ServeConnection(int fd, uint64_t conn_id, const std::string& peer);
+
+  ServerOptions options_;
+  int port_ = 0;
+  // Written by Start()/Stop(), read by the accept thread — atomic so the
+  // close-on-shutdown handoff is race-free.
+  std::atomic<int> listen_fd_{-1};
+  std::unique_ptr<SessionManager> manager_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> next_conn_id_{1};
+
+  /// Live connection threads plus their fds, so Stop() can shut down
+  /// read sides and join. Guarded by mu_.
+  std::mutex mu_;
+  std::map<uint64_t, std::thread> conn_threads_;
+  std::map<uint64_t, int> conn_fds_;
+  /// Threads whose connections already finished, awaiting join.
+  std::vector<std::thread> finished_threads_;
+};
+
+}  // namespace server
+}  // namespace erbium
+
+#endif  // ERBIUM_SERVER_SERVER_H_

@@ -1,0 +1,101 @@
+#ifndef ERBIUM_SERVER_SESSION_H_
+#define ERBIUM_SERVER_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "api/statement_runner.h"
+#include "common/status.h"
+
+namespace erbium {
+namespace server {
+
+class SessionManager;
+
+/// Per-connection engine state: an admission slot in the SessionManager,
+/// an entry in the obs::SessionRegistry (so the session shows up in
+/// SHOW SESSIONS and its statements carry attribution in SHOW QUERIES),
+/// and the Execute() entry point the transport layer calls once per
+/// kStatement frame. The transport (socket, read loop, frame encoding)
+/// lives in Server; a Session knows nothing about the wire.
+class Session {
+ public:
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// The obs registry id — also the wire session_id in kHelloOk.
+  uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Runs one statement under this session's attribution tag and the
+  /// engine's shared/exclusive statement lock. The per-request deadline
+  /// is enforced cooperatively: execution is never interrupted mid-
+  /// flight, but a statement that finishes past its deadline has its
+  /// result discarded and returns kDeadlineExceeded — the client gets a
+  /// typed error, never a silently late result.
+  Result<api::StatementOutcome> Execute(const std::string& statement);
+
+  /// Updates the session's SHOW SESSIONS state ("idle", "draining", ...).
+  void SetState(const std::string& state);
+
+ private:
+  friend class SessionManager;
+  Session(SessionManager* manager, uint64_t id, std::string name)
+      : manager_(manager), id_(id), name_(std::move(name)) {}
+
+  SessionManager* manager_;
+  uint64_t id_;
+  std::string name_;
+};
+
+/// Engine-level concurrency control for a set of sessions sharing one
+/// database: admission (bounded session count) plus the shared
+/// StatementRunner whose internal shared/exclusive lock lets SELECT /
+/// EXPLAIN / SHOW / TRACE from different sessions run concurrently
+/// while CRUD, DDL, REMAP, ATTACH, and CHECKPOINT serialize. Used by
+/// the network server; usable headless in tests.
+class SessionManager {
+ public:
+  struct Options {
+    api::StatementRunner::Options runner;
+    /// Admission limit; OpenSession fails with kUnavailable beyond it.
+    int max_sessions = 64;
+    /// Per-statement budget in ms; <= 0 disables the deadline.
+    int request_deadline_ms = 0;
+  };
+
+  static Result<std::unique_ptr<SessionManager>> Create(Options options);
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Admits one session (or fails with kUnavailable at the limit),
+  /// registering it with obs. The returned Session must not outlive the
+  /// manager; destroying it releases the slot and deregisters.
+  Result<std::unique_ptr<Session>> OpenSession(const std::string& name,
+                                               const std::string& peer);
+
+  api::StatementRunner* runner() { return runner_.get(); }
+  size_t active_sessions() const { return active_.load(); }
+  int max_sessions() const { return options_.max_sessions; }
+
+  /// Graceful-shutdown hook: CHECKPOINT when a database is attached.
+  Status FinalCheckpoint() { return runner_->FinalCheckpoint(); }
+
+ private:
+  friend class Session;
+  explicit SessionManager(Options options) : options_(std::move(options)) {}
+
+  Options options_;
+  std::unique_ptr<api::StatementRunner> runner_;
+  std::atomic<size_t> active_{0};
+};
+
+}  // namespace server
+}  // namespace erbium
+
+#endif  // ERBIUM_SERVER_SESSION_H_

@@ -1,0 +1,364 @@
+// Wire-protocol tests: status-code wire round-trips, body encoders and
+// decoders, FrameSocket framing over a socketpair, and a fuzz suite that
+// throws malformed bytes (bad CRC, oversized lengths, truncated frames,
+// garbage) at a live server and asserts it answers with a typed error
+// frame or a clean close — and never crashes.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+
+#include "durability/serde.h"
+#include "gtest/gtest.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace erbium {
+namespace server {
+namespace {
+
+// ---- Status codes over the wire -------------------------------------------
+
+TEST(StatusWireTest, EveryCodeRoundTrips) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kConstraintViolation, StatusCode::kParseError,
+      StatusCode::kAnalysisError, StatusCode::kNotImplemented,
+      StatusCode::kInternal,     StatusCode::kIOError,
+      StatusCode::kDeadlineExceeded, StatusCode::kUnavailable,
+  };
+  for (StatusCode code : codes) {
+    EXPECT_EQ(StatusCodeFromWire(StatusCodeToWire(code)), code)
+        << StatusCodeToString(code);
+  }
+}
+
+TEST(StatusWireTest, NumbersAreStable) {
+  // These values are on the wire and on disk; a renumbering is a
+  // protocol break. Pin them.
+  EXPECT_EQ(StatusCodeToWire(StatusCode::kOk), 0);
+  EXPECT_EQ(StatusCodeToWire(StatusCode::kInvalidArgument), 1);
+  EXPECT_EQ(StatusCodeToWire(StatusCode::kNotFound), 2);
+  EXPECT_EQ(StatusCodeToWire(StatusCode::kAlreadyExists), 3);
+  EXPECT_EQ(StatusCodeToWire(StatusCode::kConstraintViolation), 4);
+  EXPECT_EQ(StatusCodeToWire(StatusCode::kParseError), 5);
+  EXPECT_EQ(StatusCodeToWire(StatusCode::kAnalysisError), 6);
+  EXPECT_EQ(StatusCodeToWire(StatusCode::kNotImplemented), 7);
+  EXPECT_EQ(StatusCodeToWire(StatusCode::kInternal), 8);
+  EXPECT_EQ(StatusCodeToWire(StatusCode::kIOError), 9);
+  EXPECT_EQ(StatusCodeToWire(StatusCode::kDeadlineExceeded), 10);
+  EXPECT_EQ(StatusCodeToWire(StatusCode::kUnavailable), 11);
+}
+
+TEST(StatusWireTest, UnknownNumbersDecodeAsInternal) {
+  EXPECT_EQ(StatusCodeFromWire(99), StatusCode::kInternal);
+  EXPECT_EQ(StatusCodeFromWire(-5), StatusCode::kInternal);
+}
+
+TEST(StatusWireTest, ErrorBodyRoundTripsEveryCodeAndMessage) {
+  for (int32_t wire = 0; wire <= 11; ++wire) {
+    Status original(StatusCodeFromWire(wire),
+                    "message for code " + std::to_string(wire));
+    Status decoded;
+    ASSERT_TRUE(DecodeErrorBody(EncodeErrorBody(original), &decoded).ok());
+    EXPECT_EQ(decoded.code(), original.code());
+    EXPECT_EQ(decoded.message(), original.message());
+  }
+}
+
+// ---- Body round-trips -----------------------------------------------------
+
+TEST(ProtocolBodyTest, HelloRoundTrips) {
+  auto hello = DecodeHelloBody(EncodeHelloBody("tester"));
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(hello->version, kProtocolVersion);
+  EXPECT_EQ(hello->client_name, "tester");
+}
+
+TEST(ProtocolBodyTest, HelloOkRoundTrips) {
+  auto hello = DecodeHelloOkBody(EncodeHelloOkBody(42, "ErbiumDB"));
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(hello->session_id, 42u);
+  EXPECT_EQ(hello->banner, "ErbiumDB");
+}
+
+TEST(ProtocolBodyTest, StatementRoundTrips) {
+  auto statement =
+      DecodeStatementBody(EncodeStatementBody("SELECT r_id FROM R"));
+  ASSERT_TRUE(statement.ok());
+  EXPECT_EQ(*statement, "SELECT r_id FROM R");
+}
+
+TEST(ProtocolBodyTest, ResultRoundTripsAllValueKinds) {
+  api::StatementOutcome outcome;
+  outcome.shape = api::OutputShape::kTable;
+  outcome.message = "unused for tables";
+  outcome.result.columns = {"i", "f", "s", "b", "n", "arr"};
+  outcome.result.rows.push_back(
+      {Value::Int64(-7), Value::Float64(2.5), Value::String("hi"),
+       Value::Bool(true), Value::Null(),
+       Value::Array({Value::Int64(1), Value::Int64(2)})});
+  outcome.result.rows.push_back(
+      {Value::Int64(8), Value::Float64(-0.25), Value::String(""),
+       Value::Bool(false), Value::Null(), Value::Array({})});
+
+  auto decoded = DecodeResultBody(EncodeResultBody(outcome));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->shape, api::OutputShape::kTable);
+  ASSERT_EQ(decoded->result.columns, outcome.result.columns);
+  ASSERT_EQ(decoded->result.rows.size(), 2u);
+  EXPECT_EQ(decoded->result.rows[0][0].as_int64(), -7);
+  EXPECT_EQ(decoded->result.rows[0][2].as_string(), "hi");
+  EXPECT_EQ(decoded->result.rows[0][5].array().size(), 2u);
+  EXPECT_EQ(decoded->result.rows[1][3].as_bool(), false);
+}
+
+TEST(ProtocolBodyTest, TruncatedBodiesFailCleanly) {
+  api::StatementOutcome outcome;
+  outcome.shape = api::OutputShape::kTable;
+  outcome.result.columns = {"a"};
+  outcome.result.rows.push_back({Value::Int64(1)});
+  std::string body = EncodeResultBody(outcome);
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    auto decoded = DecodeResultBody(body.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "cut at " << cut;
+  }
+  EXPECT_FALSE(DecodeHelloBody("xy").ok());
+  Status out;
+  EXPECT_FALSE(DecodeErrorBody("z", &out).ok());
+}
+
+TEST(ProtocolBodyTest, ResultWithLyingCountsFailsCleanly) {
+  // A count field larger than the remaining bytes must be rejected, not
+  // trusted into a huge allocation.
+  std::string body;
+  body.push_back(static_cast<char>(api::OutputShape::kTable));
+  body += std::string(4, '\0');                  // empty message
+  body += std::string("\xff\xff\xff\x7f", 4);    // 2^31-ish column count
+  auto decoded = DecodeResultBody(body);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kIOError);
+}
+
+// ---- FrameSocket over a socketpair ----------------------------------------
+
+class FramePairTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a_ = std::make_unique<FrameSocket>(fds[0]);
+    b_ = std::make_unique<FrameSocket>(fds[1]);
+  }
+  std::unique_ptr<FrameSocket> a_, b_;
+};
+
+TEST_F(FramePairTest, SendRecvRoundTrips) {
+  ASSERT_TRUE(a_->Send(FrameType::kStatement,
+                       EncodeStatementBody("SELECT 1")).ok());
+  auto frame = b_->Recv(1000);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, FrameType::kStatement);
+  auto statement = DecodeStatementBody(frame->body);
+  ASSERT_TRUE(statement.ok());
+  EXPECT_EQ(*statement, "SELECT 1");
+}
+
+TEST_F(FramePairTest, RecvTimesOutWhenIdle) {
+  auto frame = b_->Recv(50);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(FramePairTest, OrderlyCloseIsUnavailable) {
+  a_.reset();  // closes the peer fd
+  auto frame = b_->Recv(1000);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(FramePairTest, TornFrameIsIOError) {
+  std::string wire = EncodeFrame(FrameType::kPing, "");
+  ASSERT_GT(wire.size(), 4u);
+  // Send only part of the frame, then close.
+  ASSERT_EQ(::send(a_->fd(), wire.data(), 5, MSG_NOSIGNAL), 5);
+  a_.reset();
+  auto frame = b_->Recv(1000);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(FramePairTest, CorruptCrcIsIOError) {
+  std::string wire = EncodeFrame(FrameType::kPing, "");
+  wire[wire.size() - 1] ^= 0x01;  // flip a payload bit; CRC now lies
+  ASSERT_EQ(::send(a_->fd(), wire.data(), wire.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(wire.size()));
+  auto frame = b_->Recv(1000);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kIOError);
+  EXPECT_NE(frame.status().message().find("CRC"), std::string::npos);
+}
+
+TEST_F(FramePairTest, OversizedLengthIsRejectedBeforeBuffering) {
+  std::string header;
+  durability::PutU32(kMaxFramePayloadBytes + 1, &header);
+  durability::PutU32(0xdeadbeef, &header);
+  ASSERT_EQ(::send(a_->fd(), header.data(), header.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(header.size()));
+  auto frame = b_->Recv(1000);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kIOError);
+  EXPECT_NE(frame.status().message().find("exceeds"), std::string::npos);
+}
+
+TEST_F(FramePairTest, EmptyPayloadIsRejected) {
+  std::string header;
+  durability::PutU32(0, &header);
+  durability::PutU32(0, &header);
+  ASSERT_EQ(::send(a_->fd(), header.data(), header.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(header.size()));
+  auto frame = b_->Recv(1000);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kIOError);
+}
+
+// ---- Fuzzing a live server ------------------------------------------------
+
+class ServerFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerOptions options;
+    options.port = 0;
+    options.idle_timeout_ms = 500;
+    auto server = Server::Start(std::move(options));
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(server).value();
+  }
+
+  /// Opens a raw TCP connection to the server under test.
+  int RawConnect() {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(server_->port()));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    return fd;
+  }
+
+  /// Writes `bytes`, then asserts the server either answers a valid
+  /// kError frame or closes cleanly — never hangs past the timeout,
+  /// never crashes (the post-fuzz sanity check proves liveness).
+  void ExpectErrorFrameOrClose(const std::string& bytes) {
+    FrameSocket sock(RawConnect());
+    if (!bytes.empty()) {
+      ASSERT_EQ(::send(sock.fd(), bytes.data(), bytes.size(), MSG_NOSIGNAL),
+                static_cast<ssize_t>(bytes.size()));
+    }
+    ::shutdown(sock.fd(), SHUT_WR);
+    // Drain until close; every decodable frame on the way out must be a
+    // well-formed kError.
+    for (int i = 0; i < 8; ++i) {
+      auto frame = sock.Recv(5000);
+      if (!frame.ok()) {
+        EXPECT_NE(frame.status().code(), StatusCode::kDeadlineExceeded)
+            << "server went silent instead of answering or closing";
+        return;  // closed — fine
+      }
+      EXPECT_EQ(frame->type, FrameType::kError);
+      Status transported;
+      EXPECT_TRUE(DecodeErrorBody(frame->body, &transported).ok());
+      EXPECT_FALSE(transported.ok());
+    }
+    FAIL() << "server kept streaming frames at a fuzzer";
+  }
+
+  /// The server must still serve a well-behaved client.
+  void ExpectServerAlive() {
+    Client::Options options;
+    options.port = server_->port();
+    options.name = "liveness";
+    auto client = Client::Connect(options);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    EXPECT_TRUE((*client)->Ping().ok());
+  }
+
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerFuzzTest, GarbageBytesGetErrorFrameOrClose) {
+  std::mt19937 rng(20260806);
+  for (int round = 0; round < 8; ++round) {
+    std::string garbage(64 + round * 37, '\0');
+    for (char& c : garbage) {
+      c = static_cast<char>(rng() & 0xff);
+    }
+    ExpectErrorFrameOrClose(garbage);
+  }
+  ExpectServerAlive();
+}
+
+TEST_F(ServerFuzzTest, OversizedLengthPrefix) {
+  std::string bytes;
+  durability::PutU32(0xffffffffu, &bytes);
+  durability::PutU32(0, &bytes);
+  bytes += "trailing";
+  ExpectErrorFrameOrClose(bytes);
+  ExpectServerAlive();
+}
+
+TEST_F(ServerFuzzTest, TruncatedFrame) {
+  std::string wire = EncodeFrame(FrameType::kHello, EncodeHelloBody("x"));
+  ExpectErrorFrameOrClose(wire.substr(0, wire.size() / 2));
+  ExpectServerAlive();
+}
+
+TEST_F(ServerFuzzTest, BadCrcFrame) {
+  std::string wire = EncodeFrame(FrameType::kHello, EncodeHelloBody("x"));
+  wire[wire.size() - 1] ^= 0x40;
+  ExpectErrorFrameOrClose(wire);
+  ExpectServerAlive();
+}
+
+TEST_F(ServerFuzzTest, ValidFrameOfWrongTypeBeforeHandshake) {
+  ExpectErrorFrameOrClose(
+      EncodeFrame(FrameType::kStatement, EncodeStatementBody("SELECT 1")));
+  ExpectServerAlive();
+}
+
+TEST_F(ServerFuzzTest, EmptyPayloadFrame) {
+  std::string bytes;
+  durability::PutU32(0, &bytes);
+  durability::PutU32(0, &bytes);
+  ExpectErrorFrameOrClose(bytes);
+  ExpectServerAlive();
+}
+
+TEST_F(ServerFuzzTest, ImmediateClose) {
+  ExpectErrorFrameOrClose("");
+  ExpectServerAlive();
+}
+
+TEST_F(ServerFuzzTest, TruncatedFramesAtEveryPrefixLength) {
+  std::string wire = EncodeFrame(FrameType::kHello, EncodeHelloBody("fz"));
+  for (size_t cut = 1; cut < wire.size(); cut += 3) {
+    ExpectErrorFrameOrClose(wire.substr(0, cut));
+  }
+  ExpectServerAlive();
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace erbium

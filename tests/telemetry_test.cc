@@ -418,20 +418,23 @@ TEST_F(TelemetryE2ETest, StatementKindsLandInQueryLog) {
 TEST_F(TelemetryE2ETest, ShowQueriesListsTheLog) {
   Run("SELECT r_id FROM R WHERE r_id = 7");
   erql::QueryResult log = Run("SHOW QUERIES LIMIT 5");
-  ASSERT_EQ(log.columns.size(), 9u);
+  ASSERT_EQ(log.columns.size(), 10u);
   EXPECT_EQ(log.columns[0], "seq");
-  EXPECT_EQ(log.columns[8], "query");
+  EXPECT_EQ(log.columns[8], "session");
+  EXPECT_EQ(log.columns[9], "query");
   ASSERT_FALSE(log.rows.empty());
   EXPECT_LE(log.rows.size(), 5u);
   // Newest first: row 0 is the SHOW QUERIES statement itself? No — the
   // SHOW statement is recorded after it materializes its result, so row
   // 0 is the SELECT above.
-  EXPECT_EQ(log.rows[0][8].as_string(), "SELECT r_id FROM R WHERE r_id = 7");
+  EXPECT_EQ(log.rows[0][9].as_string(), "SELECT r_id FROM R WHERE r_id = 7");
   EXPECT_EQ(log.rows[0][1].as_string(), "select");
   EXPECT_EQ(log.rows[0][7].as_string(), "ok");
+  // No session tag was installed, so attribution shows the placeholder.
+  EXPECT_EQ(log.rows[0][8].as_string(), "-");
   // And the SHOW statement itself lands in the log for the next reader.
   erql::QueryResult next = Run("SHOW QUERIES LIMIT 1");
-  EXPECT_EQ(next.rows[0][8].as_string(), "SHOW QUERIES LIMIT 5");
+  EXPECT_EQ(next.rows[0][9].as_string(), "SHOW QUERIES LIMIT 5");
   EXPECT_EQ(next.rows[0][1].as_string(), "show");
 }
 
@@ -443,12 +446,12 @@ TEST_F(TelemetryE2ETest, ShowQueriesSlowCapturesSpans) {
   telemetry.set_slow_threshold_ns(saved);
 
   erql::QueryResult slow = Run("SHOW QUERIES SLOW LIMIT 3");
-  ASSERT_EQ(slow.columns.size(), 10u);
+  ASSERT_EQ(slow.columns.size(), 11u);
   EXPECT_EQ(slow.columns[5], "spans");
   ASSERT_FALSE(slow.rows.empty());
   bool found = false;
   for (const Row& row : slow.rows) {
-    if (row[9].as_string() != "SELECT r_id FROM R") continue;
+    if (row[10].as_string() != "SELECT r_id FROM R") continue;
     found = true;
     EXPECT_GT(row[5].as_int64(), 0) << "slow select kept no span tree";
   }
