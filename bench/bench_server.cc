@@ -1,18 +1,29 @@
 // Network server throughput/latency benchmark: requests per second and
 // p50/p99 latency for point reads and single-row inserts, as the number
-// of concurrent client connections scales through 1, 8, and 64. All
-// traffic runs over real TCP loopback connections through the full
-// frame protocol, so the numbers include framing, CRC, and the engine's
-// shared/exclusive statement lock — reads overlap, inserts serialize.
+// of concurrent client connections scales through 1, 8, and 64 — plus a
+// pipelined variant (16-statement batches per round-trip) and a
+// 1000-connection idle+burst scenario measuring what idle connections
+// cost the reactor (fds and RSS, not threads). All traffic runs over
+// real TCP loopback connections through the full frame protocol, so the
+// numbers include framing, CRC, and the engine's shared/exclusive
+// statement lock — reads overlap, inserts serialize.
 //
 // Percentiles land in the metrics dump (BENCH_server.json) as gauges:
 //   server.bench.point_read.c<N>.p50_us / .p99_us
 //   server.bench.insert.c<N>.p50_us     / .p99_us
+//   server.bench.point_read_pipelined.c<N>.p50_us / .p99_us  (per stmt)
+//   server.bench.idle_burst.{p50_us,p99_us,rss_mb,threads,connections}
+
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <random>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -38,6 +49,10 @@ server::Server* GetServer() {
     options.runner.figure4 = true;
     options.runner.figure4_num_r = kNumR;
     options.runner.figure4_num_s = kNumR * 3 / 10;
+    // Point reads draw from kNumR distinct statement texts (literals are
+    // part of the cache key); size the plan cache so the steady state is
+    // all hits rather than LRU thrash.
+    options.runner.plan_cache_capacity = 4096;
     auto server = server::Server::Start(std::move(options));
     if (!server.ok()) {
       std::fprintf(stderr, "server start failed: %s\n",
@@ -153,10 +168,227 @@ void BM_Insert(benchmark::State& state) {
   RunServerBenchmark(state, "insert", 15);
 }
 
+/// Pipelined point reads: every client ships 16-statement batches, so
+/// framing and scheduling amortize across one round-trip. Latency is
+/// recorded per statement (batch wall time / batch size) to stay
+/// comparable with BM_PointRead.
+void BM_PointReadPipelined(benchmark::State& state) {
+  constexpr int kBatch = 16;
+  const int clients = static_cast<int>(state.range(0));
+  server::Server* server = GetServer();
+
+  std::vector<std::unique_ptr<server::Client>> connections;
+  connections.reserve(clients);
+  for (int i = 0; i < clients; ++i) {
+    server::Client::Options options;
+    options.port = server->port();
+    options.name = "bench-pipeline-" + std::to_string(i);
+    options.connect_retries = 10;
+    auto client = server::Client::Connect(std::move(options));
+    if (!client.ok()) {
+      state.SkipWithError(client.status().ToString().c_str());
+      return;
+    }
+    connections.push_back(std::move(client).value());
+  }
+
+  std::vector<double> all_latencies_us;
+  for (auto _ : state) {
+    std::vector<std::vector<double>> per_thread(clients);
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int i = 0; i < clients; ++i) {
+      threads.emplace_back([&, i] {
+        std::mt19937 rng(static_cast<uint32_t>(41 + i));
+        for (int round = 0; round < 4 && !failed.load(); ++round) {
+          std::vector<std::string> statements;
+          statements.reserve(kBatch);
+          for (int k = 0; k < kBatch; ++k) {
+            statements.push_back("SELECT r_a1 FROM R WHERE r_id = " +
+                                 std::to_string(1 + rng() % kNumR));
+          }
+          auto start = std::chrono::steady_clock::now();
+          auto batch = connections[i]->ExecuteBatch(statements);
+          auto end = std::chrono::steady_clock::now();
+          if (!batch.ok() || batch->size() != statements.size()) {
+            failed.store(true);
+            break;
+          }
+          double per_stmt_us =
+              std::chrono::duration<double, std::micro>(end - start).count() /
+              kBatch;
+          for (int k = 0; k < kBatch; ++k) {
+            per_thread[i].push_back(per_stmt_us);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    if (failed.load()) {
+      state.SkipWithError("a pipelined batch failed");
+      return;
+    }
+    for (const auto& latencies : per_thread) {
+      all_latencies_us.insert(all_latencies_us.end(), latencies.begin(),
+                              latencies.end());
+    }
+  }
+
+  state.SetItemsProcessed(static_cast<int64_t>(all_latencies_us.size()));
+  double p50 = Percentile(&all_latencies_us, 0.50);
+  double p99 = Percentile(&all_latencies_us, 0.99);
+  state.counters["p50_us"] = p50;
+  state.counters["p99_us"] = p99;
+  std::string prefix =
+      "server.bench.point_read_pipelined.c" + std::to_string(clients);
+  obs::MetricsRegistry::Global()
+      .gauge(prefix + ".p50_us")
+      .Set(static_cast<int64_t>(std::llround(p50)));
+  obs::MetricsRegistry::Global()
+      .gauge(prefix + ".p99_us")
+      .Set(static_cast<int64_t>(std::llround(p99)));
+}
+
+/// Reads a numeric field (kB for VmRSS) from /proc/self/status.
+int64_t ProcSelfStatus(const char* field) {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(field, 0) == 0) {
+      std::istringstream values(line.substr(std::strlen(field) + 1));
+      int64_t value = 0;
+      values >> value;
+      return value;
+    }
+  }
+  return -1;
+}
+
+/// The reactor's headline scenario: 1000 connections sit idle (costing
+/// the server fds, not threads), then 64 of them burst point reads.
+/// Reported: burst p50/p99 plus process RSS and thread count while all
+/// 1000 connections are open. Server runs in-process, so RSS/threads
+/// cover server + clients — an upper bound on the server's own cost.
+void BM_IdleBurst(benchmark::State& state) {
+  constexpr int kIdle = 1000;
+  constexpr int kBurst = 64;
+  constexpr int kReadsPerConn = 20;
+
+  // 1000 client fds + 1000 server-side fds + slack.
+  struct rlimit lim;
+  if (::getrlimit(RLIMIT_NOFILE, &lim) == 0 && lim.rlim_cur < 8192) {
+    lim.rlim_cur = std::min<rlim_t>(8192, lim.rlim_max);
+    ::setrlimit(RLIMIT_NOFILE, &lim);
+  }
+
+  // A dedicated server: the idle population must not share the main
+  // benchmark server's connection budget.
+  server::ServerOptions options;
+  options.port = 0;
+  options.max_connections = kIdle + kBurst + 8;
+  options.accept_backlog = 128;
+  options.idle_timeout_ms = 600'000;
+  options.request_deadline_ms = 0;
+  options.runner.figure4 = true;
+  options.runner.figure4_num_r = kNumR;
+  options.runner.figure4_num_s = kNumR * 3 / 10;
+  options.runner.plan_cache_capacity = 4096;
+  auto started = server::Server::Start(std::move(options));
+  if (!started.ok()) {
+    state.SkipWithError(started.status().ToString().c_str());
+    return;
+  }
+  std::unique_ptr<server::Server> server = std::move(started).value();
+
+  std::vector<std::unique_ptr<server::Client>> idle;
+  idle.reserve(kIdle);
+  for (int i = 0; i < kIdle; ++i) {
+    server::Client::Options copts;
+    copts.port = server->port();
+    copts.name = "idle-" + std::to_string(i);
+    copts.connect_retries = 10;
+    auto client = server::Client::Connect(std::move(copts));
+    if (!client.ok()) {
+      state.SkipWithError(("idle connect " + std::to_string(i) + ": " +
+                           client.status().ToString())
+                              .c_str());
+      return;
+    }
+    idle.push_back(std::move(client).value());
+  }
+
+  int64_t rss_kb = ProcSelfStatus("VmRSS:");
+  int64_t threads = ProcSelfStatus("Threads:");
+
+  std::vector<double> latencies_us;
+  for (auto _ : state) {
+    std::vector<std::vector<double>> per_thread(kBurst);
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> burst;
+    burst.reserve(kBurst);
+    for (int i = 0; i < kBurst; ++i) {
+      burst.emplace_back([&, i] {
+        // Burst from established idle connections — the scenario is
+        // "mostly-idle fleet, sudden hot subset".
+        server::Client* client = idle[static_cast<size_t>(i)].get();
+        std::mt19937 rng(static_cast<uint32_t>(97 + i));
+        for (int k = 0; k < kReadsPerConn && !failed.load(); ++k) {
+          std::string statement = "SELECT r_a1 FROM R WHERE r_id = " +
+                                  std::to_string(1 + rng() % kNumR);
+          auto start = std::chrono::steady_clock::now();
+          auto outcome = client->Execute(statement);
+          auto end = std::chrono::steady_clock::now();
+          if (!outcome.ok()) {
+            failed.store(true);
+            break;
+          }
+          per_thread[i].push_back(
+              std::chrono::duration<double, std::micro>(end - start)
+                  .count());
+        }
+      });
+    }
+    for (std::thread& t : burst) t.join();
+    if (failed.load()) {
+      state.SkipWithError("a burst request failed");
+      return;
+    }
+    for (const auto& lats : per_thread) {
+      latencies_us.insert(latencies_us.end(), lats.begin(), lats.end());
+    }
+  }
+
+  state.SetItemsProcessed(static_cast<int64_t>(latencies_us.size()));
+  double p50 = Percentile(&latencies_us, 0.50);
+  double p99 = Percentile(&latencies_us, 0.99);
+  state.counters["p50_us"] = p50;
+  state.counters["p99_us"] = p99;
+  state.counters["rss_mb"] = static_cast<double>(rss_kb) / 1024.0;
+  state.counters["threads"] = static_cast<double>(threads);
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.gauge("server.bench.idle_burst.p50_us")
+      .Set(static_cast<int64_t>(std::llround(p50)));
+  registry.gauge("server.bench.idle_burst.p99_us")
+      .Set(static_cast<int64_t>(std::llround(p99)));
+  registry.gauge("server.bench.idle_burst.rss_mb")
+      .Set(rss_kb >= 0 ? rss_kb / 1024 : -1);
+  registry.gauge("server.bench.idle_burst.threads").Set(threads);
+  registry.gauge("server.bench.idle_burst.connections")
+      .Set(static_cast<int64_t>(server->active_connections()));
+
+  idle.clear();
+  server->Stop();
+}
+
 BENCHMARK(BM_PointRead)->Arg(1)->Arg(8)->Arg(64)->UseRealTime()
     ->Iterations(3)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Insert)->Arg(1)->Arg(8)->Arg(64)->UseRealTime()
     ->Iterations(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PointReadPipelined)->Arg(1)->Arg(8)->UseRealTime()
+    ->Iterations(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IdleBurst)->UseRealTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace bench

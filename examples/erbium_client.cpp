@@ -10,6 +10,8 @@
 //   --name <s>       session name shown by SHOW SESSIONS (default the
 //                    process id as "cli-<pid>")
 //   --retries <n>    connect retries, for racing a server still binding
+//   --pipeline       send all -e statements as one pipelined batch (one
+//                    network round-trip) instead of one at a time
 //   -e <statement>   execute one statement and continue (repeatable);
 //                    with no -e an interactive prompt reads from stdin
 //
@@ -53,6 +55,7 @@ int main(int argc, char** argv) {
   options.port = 7177;
   options.name = "cli-" + std::to_string(getpid());
   std::vector<std::string> statements;
+  bool pipeline = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--port" && i + 1 < argc) {
@@ -63,6 +66,8 @@ int main(int argc, char** argv) {
       options.name = argv[++i];
     } else if (arg == "--retries" && i + 1 < argc) {
       options.connect_retries = std::atoi(argv[++i]);
+    } else if (arg == "--pipeline") {
+      pipeline = true;
     } else if (arg == "-e" && i + 1 < argc) {
       statements.push_back(argv[++i]);
     } else {
@@ -89,6 +94,25 @@ int main(int argc, char** argv) {
   };
 
   if (!statements.empty()) {
+    if (pipeline) {
+      // All statements ship in one burst; responses come back tagged and
+      // in order. A failed statement reports in place without stopping
+      // the rest of the batch.
+      auto batch = (*client)->ExecuteBatch(statements);
+      if (!batch.ok()) {
+        std::fprintf(stderr, "%s\n", batch.status().ToString().c_str());
+        return 1;
+      }
+      for (const auto& item : *batch) {
+        if (!item.status.ok()) {
+          std::printf("%s\n", item.status.ToString().c_str());
+          all_ok = false;
+          continue;
+        }
+        Render(item.outcome);
+      }
+      return all_ok ? 0 : 1;
+    }
     for (const std::string& statement : statements) run(statement);
     return all_ok ? 0 : 1;
   }

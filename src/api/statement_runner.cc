@@ -56,6 +56,10 @@ Result<std::unique_ptr<StatementRunner>> StatementRunner::Create(
   std::unique_ptr<StatementRunner> runner(new StatementRunner());
   runner->spec_ = std::move(options.spec);
   runner->sync_ = options.sync;
+  if (options.plan_cache_capacity > 0) {
+    runner->plan_cache_ =
+        std::make_unique<erql::PlanCache>(options.plan_cache_capacity);
+  }
   if (options.figure4) {
     ERBIUM_ASSIGN_OR_RETURN(ERSchema schema, MakeFigure4Schema());
     *runner->schema_ = std::move(schema);
@@ -105,8 +109,13 @@ Result<StatementOutcome> StatementRunner::ExecuteClassified(
   if (word == "remap") return RemapLocked(statement);
   if (word == "attach") return AttachLocked(statement);
   if (cls == StatementClass::kRead || word == "checkpoint") {
-    ERBIUM_ASSIGN_OR_RETURN(erql::QueryResult result,
-                            erql::QueryEngine::Execute(db(), statement));
+    // Only plain SELECTs go through the plan cache; SHOW/EXPLAIN/TRACE
+    // would only pollute the hit/miss metrics with guaranteed misses.
+    erql::PlanCache* cache = word == "select" ? plan_cache_.get() : nullptr;
+    ERBIUM_ASSIGN_OR_RETURN(
+        erql::QueryResult result,
+        erql::QueryEngine::Execute(db(), statement, ExecOptions::Default(),
+                                   cache, mapping_generation()));
     StatementOutcome outcome;
     // EXPLAIN / TRACE / CHECKPOINT output is plain lines; SELECT and
     // SHOW render as tables.
@@ -133,6 +142,8 @@ Result<StatementOutcome> StatementRunner::CreateLocked(
     ERBIUM_RETURN_NOT_OK(Rebuild(std::move(next)));
     ddl_history_ += statement + ";\n";
   }
+  // Either branch rebuilt the physical tables; cached plans are stale.
+  BumpMappingGeneration();
   StatementOutcome outcome;
   outcome.message = "ok (" + std::to_string(db()->mapping().tables().size()) +
                     " physical tables)";
@@ -226,7 +237,11 @@ Result<StatementOutcome> StatementRunner::RemapLocked(
 }
 
 Status StatementRunner::RemapSpec(const MappingSpec& next) {
-  if (durable_ != nullptr) return durable_->Remap(next);
+  if (durable_ != nullptr) {
+    ERBIUM_RETURN_NOT_OK(durable_->Remap(next));
+    BumpMappingGeneration();
+    return Status::OK();
+  }
   MappingSpec old = spec_;
   spec_ = next;
   Status st = Rebuild(schema_);
@@ -234,6 +249,7 @@ Status StatementRunner::RemapSpec(const MappingSpec& next) {
     spec_ = std::move(old);
     return st;
   }
+  BumpMappingGeneration();
   return Status::OK();
 }
 
@@ -266,12 +282,21 @@ Status StatementRunner::AttachDir(const std::string& dir,
   if (!opened.ok()) return opened.status();
   durable_ = std::move(opened).value();
   db_.reset();
+  // The in-memory database (and every plan bound to it) just got
+  // replaced by the recovered one.
+  BumpMappingGeneration();
   const auto& info = durable_->recovery_info();
   *message = "attached " + dir + " (snapshot gen " +
              std::to_string(info.snapshot_gen) + ", " +
              std::to_string(info.records_replayed) + " records replayed" +
              (info.wal_clean ? "" : ", torn WAL tail discarded") + ")";
   return Status::OK();
+}
+
+void StatementRunner::BumpMappingGeneration() {
+  uint64_t next =
+      mapping_generation_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (plan_cache_ != nullptr) plan_cache_->InvalidateBelow(next);
 }
 
 Status StatementRunner::FinalCheckpoint() {

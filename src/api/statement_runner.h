@@ -1,6 +1,7 @@
 #ifndef ERBIUM_API_STATEMENT_RUNNER_H_
 #define ERBIUM_API_STATEMENT_RUNNER_H_
 
+#include <atomic>
 #include <memory>
 #include <shared_mutex>
 #include <string>
@@ -8,6 +9,7 @@
 #include "common/status.h"
 #include "durability/durable_db.h"
 #include "er/er_schema.h"
+#include "erql/plan_cache.h"
 #include "erql/query_engine.h"
 #include "mapping/database.h"
 #include "mapping/mapping_spec.h"
@@ -64,6 +66,9 @@ class StatementRunner {
     std::string attach_dir;
     durability::WalWriter::SyncMode sync =
         durability::WalWriter::SyncMode::kNone;
+    /// Prepared-statement plan cache capacity (distinct normalized
+    /// SELECT texts); 0 disables caching entirely.
+    size_t plan_cache_capacity = 1024;
   };
 
   /// Lock class of a statement: reads run shared, writes exclusive.
@@ -103,6 +108,15 @@ class StatementRunner {
   bool attached() const { return durable_ != nullptr; }
   const MappingSpec& spec() const { return spec_; }
 
+  /// The prepared-statement plan cache (null when disabled) and the
+  /// mapping generation its entries are keyed by. The generation counts
+  /// every rebuild of the underlying database — DDL, REMAP, ATTACH —
+  /// i.e. every event that dangles a compiled plan's Table bindings.
+  erql::PlanCache* plan_cache() { return plan_cache_.get(); }
+  uint64_t mapping_generation() const {
+    return mapping_generation_.load(std::memory_order_relaxed);
+  }
+
  private:
   StatementRunner() = default;
 
@@ -121,6 +135,11 @@ class StatementRunner {
   /// schema for a pure remap.
   Status Rebuild(std::shared_ptr<ERSchema> next_schema);
 
+  /// Advances the mapping generation and purges now-stale cached plans.
+  /// Must be called with the exclusive statement lock held (or before
+  /// the runner is shared), after any rebuild of the database object.
+  void BumpMappingGeneration();
+
   /// Shared/exclusive statement lock (see class comment).
   std::shared_mutex statement_mu_;
 
@@ -133,6 +152,13 @@ class StatementRunner {
   /// Every DDL statement executed so far; an ATTACH seeds the durable
   /// database's schema with it.
   std::string ddl_history_;
+
+  /// Prepared-statement support: compiled SELECT plans keyed by
+  /// (normalized text, mapping_generation_). Readers check plans out
+  /// under the shared lock; DDL/REMAP/ATTACH bump the generation under
+  /// the exclusive lock, so a stale plan can never execute.
+  std::unique_ptr<erql::PlanCache> plan_cache_;
+  std::atomic<uint64_t> mapping_generation_{1};
 };
 
 }  // namespace api

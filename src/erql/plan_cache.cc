@@ -1,0 +1,173 @@
+#include "erql/plan_cache.h"
+
+#include <cctype>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace erbium {
+namespace erql {
+
+namespace {
+
+obs::Counter HitCounter() {
+  return obs::MetricsRegistry::Global().counter("plan_cache.hits");
+}
+obs::Counter MissCounter() {
+  return obs::MetricsRegistry::Global().counter("plan_cache.misses");
+}
+obs::Counter EvictionCounter() {
+  return obs::MetricsRegistry::Global().counter("plan_cache.evictions");
+}
+obs::Counter InvalidationCounter() {
+  return obs::MetricsRegistry::Global().counter("plan_cache.invalidations");
+}
+
+void UpdateEntriesGauge(size_t entries) {
+  obs::MetricsRegistry::Global()
+      .gauge("plan_cache.entries")
+      .Set(static_cast<int64_t>(entries));
+}
+
+}  // namespace
+
+PlanCache::PlanCache(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+PlanCache::~PlanCache() = default;
+
+std::string PlanCache::NormalizeStatement(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  bool in_string = false;
+  bool pending_space = false;
+  for (char c : text) {
+    if (in_string) {
+      out.push_back(c);
+      if (c == '\'') in_string = false;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(c);
+    if (c == '\'') in_string = true;
+  }
+  // A trailing ';' (shell habit) does not change the statement.
+  while (!out.empty() && (out.back() == ';' || out.back() == ' ')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+std::unique_ptr<CompiledQuery> PlanCache::Checkout(const std::string& key,
+                                                   uint64_t generation) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    lock.unlock();
+    MissCounter().Increment();
+    return nullptr;
+  }
+  LruList::iterator entry = it->second;
+  if (entry->generation != generation) {
+    // A stale survivor (its tables are gone); purge instead of serving.
+    EraseLocked(entry);
+    size_t entries = lru_.size();
+    lock.unlock();
+    EvictionCounter().Increment();
+    MissCounter().Increment();
+    UpdateEntriesGauge(entries);
+    return nullptr;
+  }
+  if (entry->plans.empty()) {
+    // All instances for this key are checked out right now.
+    lock.unlock();
+    MissCounter().Increment();
+    return nullptr;
+  }
+  std::unique_ptr<CompiledQuery> plan = std::move(entry->plans.back());
+  entry->plans.pop_back();
+  // Touch: move to the front of the LRU list.
+  lru_.splice(lru_.begin(), lru_, entry);
+  lock.unlock();
+  HitCounter().Increment();
+  return plan;
+}
+
+void PlanCache::CheckIn(const std::string& key, uint64_t generation,
+                        std::unique_ptr<CompiledQuery> plan) {
+  if (plan == nullptr) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    LruList::iterator entry = it->second;
+    if (entry->generation != generation) {
+      // The mapping changed while this plan ran (cannot actually happen
+      // under the statement lock, but stay safe): drop both.
+      EraseLocked(entry);
+      size_t entries = lru_.size();
+      lock.unlock();
+      EvictionCounter().Increment();
+      UpdateEntriesGauge(entries);
+      return;
+    }
+    if (entry->plans.size() < kPlansPerKey) {
+      entry->plans.push_back(std::move(plan));
+    }
+    lru_.splice(lru_.begin(), lru_, entry);
+    return;
+  }
+  // New key: evict from the cold end until there is room.
+  size_t evicted = 0;
+  while (lru_.size() >= capacity_) {
+    EraseLocked(std::prev(lru_.end()));
+    ++evicted;
+  }
+  Entry entry;
+  entry.key = key;
+  entry.generation = generation;
+  entry.plans.push_back(std::move(plan));
+  lru_.push_front(std::move(entry));
+  index_[key] = lru_.begin();
+  size_t entries = lru_.size();
+  lock.unlock();
+  if (evicted > 0) EvictionCounter().Increment(evicted);
+  UpdateEntriesGauge(entries);
+}
+
+void PlanCache::InvalidateBelow(uint64_t generation) {
+  std::unique_lock<std::mutex> lock(mu_);
+  size_t purged = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->generation < generation) {
+      auto next = std::next(it);
+      EraseLocked(it);
+      it = next;
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  size_t entries = lru_.size();
+  lock.unlock();
+  if (purged > 0) InvalidationCounter().Increment(purged);
+  UpdateEntriesGauge(entries);
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void PlanCache::EraseLocked(LruList::iterator it) {
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+}  // namespace erql
+}  // namespace erbium

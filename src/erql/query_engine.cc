@@ -342,13 +342,17 @@ Result<QueryResult> TraceQuery(MappedDatabase* db, const Query& query,
 /// threads filled; kind is set here, rows_out only by TRACE (the engine
 /// fills it from the result for everything else). Statements that run a
 /// plan under an analyze window export the span tree via `stats_out`.
+/// A plain SELECT compiled here is checked into `cache` (when non-null)
+/// under `cache_key`/`generation` after a successful run.
 Result<QueryResult> ExecuteParsed(MappedDatabase* db, const Query& query,
                                   const std::string& text,
                                   const ExecOptions& opts,
                                   uint64_t start_wall_ns,
                                   obs::QueryRecord* record,
                                   obs::QueryStats* stats_out,
-                                  bool* have_stats) {
+                                  bool* have_stats, PlanCache* cache,
+                                  uint64_t generation,
+                                  const std::string& cache_key) {
   record->kind = StatementKindName(query);
   switch (query.statement) {
     case StatementKind::kShowMetrics:
@@ -399,8 +403,16 @@ Result<QueryResult> ExecuteParsed(MappedDatabase* db, const Query& query,
     *have_stats = true;
   }
   QueryResult result;
-  result.columns = std::move(compiled.columns);
   result.rows = std::move(rows);
+  if (cache != nullptr) {
+    // Keep the plan for the next execution of this statement; columns
+    // are copied because the plan outlives this result.
+    result.columns = compiled.columns;
+    cache->CheckIn(cache_key, generation,
+                   std::make_unique<CompiledQuery>(std::move(compiled)));
+  } else {
+    result.columns = std::move(compiled.columns);
+  }
   return result;
 }
 
@@ -408,7 +420,9 @@ Result<QueryResult> ExecuteParsed(MappedDatabase* db, const Query& query,
 
 Result<QueryResult> QueryEngine::Execute(MappedDatabase* db,
                                          const std::string& text,
-                                         const ExecOptions& opts) {
+                                         const ExecOptions& opts,
+                                         PlanCache* cache,
+                                         uint64_t generation) {
   uint64_t start_wall = obs::MonotonicNowNs();
   uint64_t start_cpu = obs::ThreadCpuNowNs();
   obs::QueryRecord record;
@@ -417,12 +431,38 @@ Result<QueryResult> QueryEngine::Execute(MappedDatabase* db,
   record.threads = opts.num_threads;
   record.kind = "invalid";  // overwritten once the statement parses
 
+  // Prepared-statement fast path: a cached plan skips parse + translate.
+  // Only plain SELECTs ever live in the cache, so a hit implies the kind.
+  std::string cache_key;
+  std::unique_ptr<CompiledQuery> cached;
+  if (cache != nullptr) {
+    cache_key = PlanCache::NormalizeStatement(text);
+    cached = cache->Checkout(cache_key, generation);
+  }
+
   obs::QueryStats stats;
   bool have_stats = false;
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    if (cached != nullptr) {
+      record.kind = "select";
+      // A failed run drops the plan (`cached` dies on early return) —
+      // only healthy plans go back in the pool.
+      ERBIUM_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                              CollectRows(cached->plan.get()));
+      uint64_t threshold = obs::QueryTelemetry::Global().slow_threshold_ns();
+      if (obs::MonotonicNowNs() - start_wall >= threshold) {
+        stats = CollectQueryStats(*cached->plan);
+        have_stats = true;
+      }
+      QueryResult reused;
+      reused.columns = cached->columns;
+      reused.rows = std::move(rows);
+      cache->CheckIn(cache_key, generation, std::move(cached));
+      return reused;
+    }
     ERBIUM_ASSIGN_OR_RETURN(Query query, Parser::Parse(text));
     return ExecuteParsed(db, query, text, opts, start_wall, &record, &stats,
-                         &have_stats);
+                         &have_stats, cache, generation, cache_key);
   }();
 
   record.wall_ns = obs::MonotonicNowNs() - start_wall;

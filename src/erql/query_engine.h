@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "common/value.h"
+#include "erql/plan_cache.h"
 #include "erql/translator.h"
 #include "mapping/database.h"
 
@@ -53,9 +54,21 @@ class QueryEngine {
       const ExecOptions& opts = ExecOptions::Default());
 
   /// Parses, compiles, executes, and materializes.
+  ///
+  /// With a non-null `cache`, plain SELECTs (no EXPLAIN/TRACE) first try
+  /// to check a compiled plan out of the cache under `generation` — a
+  /// hit skips parse and translate entirely — and check the plan back in
+  /// after a successful run (a failed run drops it). The caller owns the
+  /// generation counter and must bump it whenever the database the plans
+  /// are bound to is rebuilt (DDL/REMAP/ATTACH); it must also ensure no
+  /// writer mutates the database while a checked-out plan executes (the
+  /// statement lock in api::StatementRunner provides both). All cached
+  /// executions must share one ExecOptions value: plan shape depends on
+  /// it, and the cache key does not include it.
   static Result<QueryResult> Execute(
       MappedDatabase* db, const std::string& text,
-      const ExecOptions& opts = ExecOptions::Default());
+      const ExecOptions& opts = ExecOptions::Default(),
+      PlanCache* cache = nullptr, uint64_t generation = 0);
 };
 
 }  // namespace erql

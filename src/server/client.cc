@@ -146,6 +146,70 @@ Result<api::StatementOutcome> Client::Execute(const std::string& statement) {
   return DecodeResultBody(reply.body);
 }
 
+Result<std::vector<Client::BatchItem>> Client::ExecuteBatch(
+    const std::vector<std::string>& statements) {
+  if (sock_ == nullptr || !broken_.ok()) {
+    return broken_.ok() ? Status::Unavailable("client is closed") : broken_;
+  }
+  if (statements.empty()) return std::vector<BatchItem>{};
+
+  // Phase 1: pipeline — every statement goes out before any reply is
+  // read. The socket's send buffer plus the server's pending queue
+  // absorb the burst; the server stops reading (TCP backpressure) past
+  // its pipeline depth rather than dropping anything.
+  uint64_t first_seq = next_seq_;
+  for (const std::string& statement : statements) {
+    Status st = sock_->Send(FrameType::kStatementSeq,
+                            EncodeStatementSeqBody(next_seq_, statement));
+    if (!st.ok()) {
+      broken_ = st;
+      return st;
+    }
+    ++next_seq_;
+  }
+
+  // Phase 2: collect — the server answers in order with matching tags,
+  // so the i-th reply must carry seq first_seq + i. A mismatch means
+  // the stream is corrupt beyond recovery: poison.
+  std::vector<BatchItem> items;
+  items.reserve(statements.size());
+  for (size_t i = 0; i < statements.size(); ++i) {
+    Result<Frame> reply = sock_->Recv(options_.recv_timeout_ms);
+    if (!reply.ok()) {
+      broken_ = reply.status();
+      return broken_;
+    }
+    if (reply->type != FrameType::kResultSeq &&
+        reply->type != FrameType::kErrorSeq) {
+      broken_ = Status::IOError(
+          "expected a seq-tagged response frame, got type " +
+          std::to_string(static_cast<int>(reply->type)));
+      return broken_;
+    }
+    std::string body;
+    Result<uint64_t> seq = DecodeSeqPrefix(reply->body, &body);
+    if (!seq.ok()) {
+      broken_ = seq.status();
+      return broken_;
+    }
+    if (*seq != first_seq + i) {
+      broken_ = Status::IOError(
+          "pipelined response out of order: expected seq " +
+          std::to_string(first_seq + i) + ", got " + std::to_string(*seq));
+      return broken_;
+    }
+    BatchItem item;
+    if (reply->type == FrameType::kErrorSeq) {
+      // A per-statement failure — the batch (and connection) live on.
+      ERBIUM_RETURN_NOT_OK(DecodeErrorBody(body, &item.status));
+    } else {
+      ERBIUM_ASSIGN_OR_RETURN(item.outcome, DecodeResultBody(body));
+    }
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
 Status Client::Ping() {
   ERBIUM_ASSIGN_OR_RETURN(Frame reply, RoundTrip(FrameType::kPing, ""));
   if (reply.type == FrameType::kError) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "api/statement_runner.h"
 #include "common/status.h"
@@ -51,6 +52,24 @@ class Client {
   /// later call fails fast with the same error.
   Result<api::StatementOutcome> Execute(const std::string& statement);
 
+  /// One pipelined statement's result: the server's per-statement
+  /// Status plus, on success, its outcome.
+  struct BatchItem {
+    Status status = Status::OK();
+    api::StatementOutcome outcome;
+  };
+
+  /// Pipelines a batch: sends every statement as a seq-tagged frame in
+  /// one burst, then reads the responses — one network round-trip's
+  /// latency for the whole batch instead of one per statement. The
+  /// server executes the batch strictly in order; results come back in
+  /// the same order (index i answers statements[i]). A statement the
+  /// server rejects fills its item's error status WITHOUT aborting the
+  /// rest of the batch; only transport failures (or a seq-tag mismatch,
+  /// which means the stream is corrupt) poison the connection.
+  Result<std::vector<BatchItem>> ExecuteBatch(
+      const std::vector<std::string>& statements);
+
   /// Liveness round-trip (kPing -> kPong).
   Status Ping();
 
@@ -71,6 +90,7 @@ class Client {
   Options options_;
   std::unique_ptr<FrameSocket> sock_;
   uint64_t session_id_ = 0;
+  uint64_t next_seq_ = 1;
   std::string banner_;
   /// First transport error, replayed by later calls.
   Status broken_ = Status::OK();

@@ -87,6 +87,28 @@ std::string EncodeErrorBody(const Status& status) {
   return body;
 }
 
+std::string EncodeStatementSeqBody(uint64_t seq, const std::string& statement) {
+  std::string body;
+  PutU64(seq, &body);
+  PutString(statement, &body);
+  return body;
+}
+
+std::string EncodeResultSeqBody(uint64_t seq,
+                                const api::StatementOutcome& outcome) {
+  std::string body;
+  PutU64(seq, &body);
+  body += EncodeResultBody(outcome);
+  return body;
+}
+
+std::string EncodeErrorSeqBody(uint64_t seq, const Status& status) {
+  std::string body;
+  PutU64(seq, &body);
+  body += EncodeErrorBody(status);
+  return body;
+}
+
 Result<HelloBody> DecodeHelloBody(const std::string& body) {
   ByteReader reader(body.data(), body.size());
   HelloBody hello;
@@ -145,6 +167,21 @@ Result<api::StatementOutcome> DecodeResultBody(const std::string& body) {
   return outcome;
 }
 
+Result<StatementSeqBody> DecodeStatementSeqBody(const std::string& body) {
+  ByteReader reader(body.data(), body.size());
+  StatementSeqBody out;
+  ERBIUM_ASSIGN_OR_RETURN(out.seq, reader.U64());
+  ERBIUM_ASSIGN_OR_RETURN(out.statement, reader.String());
+  return out;
+}
+
+Result<uint64_t> DecodeSeqPrefix(const std::string& body, std::string* rest) {
+  ByteReader reader(body.data(), body.size());
+  ERBIUM_ASSIGN_OR_RETURN(uint64_t seq, reader.U64());
+  *rest = body.substr(8);
+  return seq;
+}
+
 Status DecodeErrorBody(const std::string& body, Status* out) {
   ByteReader reader(body.data(), body.size());
   ERBIUM_ASSIGN_OR_RETURN(uint32_t wire_code, reader.U32());
@@ -152,6 +189,41 @@ Status DecodeErrorBody(const std::string& body, Status* out) {
   *out = Status(StatusCodeFromWire(static_cast<int32_t>(wire_code)),
                 std::move(message));
   return Status::OK();
+}
+
+void FrameDecoder::Feed(const char* data, size_t size) {
+  // Compact the consumed prefix before growing — keeps the buffer bounded
+  // by (one partial frame + one read) instead of the connection's history.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 4096)) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, size);
+}
+
+Result<bool> FrameDecoder::Next(Frame* out) {
+  if (buffered() < 8) return false;
+  ByteReader head(buf_.data() + pos_, 8);
+  uint32_t payload_len = head.U32().value();
+  uint32_t expected_crc = head.U32().value();
+  if (payload_len == 0) {
+    return Status::IOError("frame has empty payload");
+  }
+  if (payload_len > kMaxFramePayloadBytes) {
+    return Status::IOError("frame payload of " + std::to_string(payload_len) +
+                           " bytes exceeds the " +
+                           std::to_string(kMaxFramePayloadBytes) +
+                           "-byte limit");
+  }
+  if (buffered() < 8 + static_cast<size_t>(payload_len)) return false;
+  const char* payload = buf_.data() + pos_ + 8;
+  if (Crc32(payload, payload_len) != expected_crc) {
+    return Status::IOError("frame CRC mismatch");
+  }
+  out->type = static_cast<FrameType>(static_cast<uint8_t>(payload[0]));
+  out->body.assign(payload + 1, payload_len - 1);
+  pos_ += 8 + payload_len;
+  return true;
 }
 
 FrameSocket::~FrameSocket() {

@@ -22,23 +22,38 @@ namespace server {
 ///
 /// Conversation: the client opens with kHello and the server answers
 /// kHelloOk (or kError, e.g. when at max connections). After that each
-/// client frame gets exactly one server frame in order:
+/// client frame gets exactly one server frame:
 ///
-///   kStatement -> kResult | kError
-///   kPing      -> kPong
-///   kGoodbye   -> (none; both sides close)
+///   kStatement    -> kResult | kError
+///   kStatementSeq -> kResultSeq | kErrorSeq   (pipelined, tagged)
+///   kPing         -> kPong
+///   kGoodbye      -> (none; both sides close)
+///
+/// Pipelining: a client may send any number of kStatementSeq frames
+/// without waiting for replies. The server executes each session's
+/// statements strictly in arrival order and answers with the same `seq`
+/// tag, in the same order — different sessions proceed concurrently,
+/// one session never reorders. kPing is answered immediately and may
+/// therefore overtake pending pipelined responses; kStatement (untagged)
+/// keeps its classic one-in-flight request/response use. Statements
+/// queued past the server's per-connection pipeline depth are not
+/// dropped — the server simply stops reading that socket until the
+/// queue drains (TCP backpressure).
 ///
 /// Bodies:
-///   kHello     u32 protocol_version, string client_name
-///   kHelloOk   u32 protocol_version, u64 session_id, string banner
-///   kStatement string statement_text
-///   kPing      (empty)
-///   kGoodbye   (empty)
-///   kResult    u8 shape (api::OutputShape), string message,
-///              u32 n_columns, n_columns * string,
-///              u32 n_rows, n_rows * Values (serde PutValues)
-///   kError     u32 status_code (StatusCodeToWire), string message
-///   kPong      (empty)
+///   kHello        u32 protocol_version, string client_name
+///   kHelloOk      u32 protocol_version, u64 session_id, string banner
+///   kStatement    string statement_text
+///   kStatementSeq u64 seq, string statement_text
+///   kPing         (empty)
+///   kGoodbye      (empty)
+///   kResult       u8 shape (api::OutputShape), string message,
+///                 u32 n_columns, n_columns * string,
+///                 u32 n_rows, n_rows * Values (serde PutValues)
+///   kResultSeq    u64 seq, then a kResult body
+///   kError        u32 status_code (StatusCodeToWire), string message
+///   kErrorSeq     u64 seq, then a kError body
+///   kPong         (empty)
 ///
 /// Malformed input (bad CRC, oversized length, truncated frame, unknown
 /// type) is always answered with a typed kError frame when the socket
@@ -50,15 +65,20 @@ enum class FrameType : uint8_t {
   kStatement = 2,
   kPing = 3,
   kGoodbye = 4,
+  kStatementSeq = 5,
   // Server -> client (high bit set).
   kHelloOk = 0x81,
   kResult = 0x82,
   kError = 0x83,
   kPong = 0x84,
+  kResultSeq = 0x85,
+  kErrorSeq = 0x86,
 };
 
 /// Bumped only for incompatible changes; the server rejects mismatches
-/// in the handshake with kError(InvalidArgument).
+/// in the handshake with kError(InvalidArgument). New frame *types* are
+/// append-only and do not bump the version: a peer that never sends
+/// kStatementSeq never sees a seq-tagged reply.
 constexpr uint32_t kProtocolVersion = 1;
 
 /// Upper bound on a frame payload. A length prefix above this is
@@ -83,6 +103,11 @@ std::string EncodeHelloOkBody(uint64_t session_id, const std::string& banner);
 std::string EncodeStatementBody(const std::string& statement);
 std::string EncodeResultBody(const api::StatementOutcome& outcome);
 std::string EncodeErrorBody(const Status& status);
+/// Seq-tagged variants for pipelining: `u64 seq` then the untagged body.
+std::string EncodeStatementSeqBody(uint64_t seq, const std::string& statement);
+std::string EncodeResultSeqBody(uint64_t seq,
+                                const api::StatementOutcome& outcome);
+std::string EncodeErrorSeqBody(uint64_t seq, const Status& status);
 
 // ---- Body decoders --------------------------------------------------------
 // Each fails with Status::IOError on truncated or malformed bodies; a
@@ -103,10 +128,43 @@ Result<HelloOkBody> DecodeHelloOkBody(const std::string& body);
 
 Result<std::string> DecodeStatementBody(const std::string& body);
 Result<api::StatementOutcome> DecodeResultBody(const std::string& body);
+
+struct StatementSeqBody {
+  uint64_t seq = 0;
+  std::string statement;
+};
+Result<StatementSeqBody> DecodeStatementSeqBody(const std::string& body);
+/// Splits a seq-tagged server body (kResultSeq / kErrorSeq) into the
+/// tag and the untagged remainder, decodable by the plain decoders.
+Result<uint64_t> DecodeSeqPrefix(const std::string& body, std::string* rest);
 /// Decodes the Status a kError frame transports into *out (its code
 /// round-trips through StatusCodeToWire/FromWire). The return value
 /// reports decode failures — a truncated or garbled error body.
 Status DecodeErrorBody(const std::string& body, Status* out);
+
+/// Incremental frame decoder for non-blocking sockets: the reactor
+/// feeds whatever bytes recv() produced and pulls out as many complete
+/// frames as those bytes contain. Tolerates frames torn across any
+/// number of reads; byte-level garbage (bad CRC, oversized or empty
+/// payload) is unrecoverable because framing is lost — the connection
+/// must be closed.
+class FrameDecoder {
+ public:
+  /// Appends raw socket bytes to the internal buffer.
+  void Feed(const char* data, size_t size);
+
+  /// Extracts the next complete frame. Returns true and fills *out when
+  /// a frame was decoded, false when more bytes are needed; an error
+  /// Status (kIOError) means the stream is garbled beyond recovery.
+  Result<bool> Next(Frame* out);
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix, compacted lazily
+};
 
 /// A connected socket speaking the frame protocol — the single I/O path
 /// shared by the server's sessions and the client driver. Owns the fd

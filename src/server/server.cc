@@ -1,23 +1,33 @@
 #include "server/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
-#include "server/protocol.h"
 
 namespace erbium {
 namespace server {
 
 namespace {
+
+constexpr uint64_t kListenerTag = 0;
+constexpr uint64_t kWakeTag = 1;
+/// How long Stop() keeps flushing responses toward peers that stopped
+/// reading before dropping them on the floor.
+constexpr int64_t kDrainDeadlineMs = 5'000;
 
 std::string PeerName(const struct sockaddr_in& addr) {
   char ip[INET_ADDRSTRLEN] = {0};
@@ -25,7 +35,52 @@ std::string PeerName(const struct sockaddr_in& addr) {
   return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
 }
 
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
 }  // namespace
+
+/// Per-connection reactor state. Everything here is owned by the loop
+/// thread, with two exceptions a worker may touch while `executing` is
+/// true: `id` and the `session` pointer (set once at handshake, cleared
+/// only after the last reference drops). The loop never closes a
+/// connection while a statement is executing, so a worker's Session
+/// stays valid for the whole statement.
+struct Server::Connection {
+  int fd = -1;
+  uint64_t id = 0;
+  std::string peer;
+  std::unique_ptr<Session> session;  // null until the Hello handshake
+  FrameDecoder decoder;
+
+  /// Encoded response frames awaiting the socket; front() is partially
+  /// written up to out_offset.
+  std::deque<std::string> out;
+  size_t out_offset = 0;
+
+  /// Statements decoded but not yet handed to a worker; at most one is
+  /// executing at a time, preserving per-session statement order.
+  std::deque<PendingStatement> pending;
+  bool executing = false;
+
+  bool draining = false;     // stop reading; close once work + out drain
+  bool broken = false;       // socket unusable; close once not executing
+  bool read_paused = false;  // pipeline depth reached; EPOLLIN de-armed
+  uint32_t armed = 0;        // last epoll event mask requested
+  int64_t last_activity_ms = 0;
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+};
 
 Result<std::unique_ptr<Server>> Server::Start(ServerOptions options) {
   std::unique_ptr<Server> server(new Server(std::move(options)));
@@ -71,204 +126,508 @@ Result<std::unique_ptr<Server>> Server::Start(ServerOptions options) {
   socklen_t addr_len = sizeof(addr);
   ::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &addr_len);
   server->port_ = ntohs(addr.sin_port);
+  SetNonBlocking(fd);
   server->listen_fd_ = fd;
-  server->accept_thread_ = std::thread([raw = server.get()] {
-    raw->AcceptLoop();
-  });
+
+  server->epoll_fd_ = ::epoll_create1(0);
+  server->wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (server->epoll_fd_ < 0 || server->wake_fd_ < 0) {
+    return Status::IOError(std::string("epoll/eventfd setup failed: ") +
+                           std::strerror(errno));
+  }
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerTag;
+  ::epoll_ctl(server->epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  ev.data.u64 = kWakeTag;
+  ::epoll_ctl(server->epoll_fd_, EPOLL_CTL_ADD, server->wake_fd_, &ev);
+
+  int workers = server->options_.worker_threads;
+  if (workers <= 0) {
+    workers = std::max(2u, std::thread::hardware_concurrency());
+  }
+  server->workers_ = std::make_unique<ThreadPool>(workers);
+  server->loop_thread_ = std::thread([raw = server.get()] { raw->EventLoop(); });
   return server;
 }
 
 Server::~Server() { Stop(); }
 
-void Server::AcceptLoop() {
-  auto accepted = obs::MetricsRegistry::Global()
-                      .counter("server.connections.accepted");
-  while (!stopping_.load()) {
-    // Reap connection threads that finished since the last accept, so a
-    // long-lived server does not accumulate unjoined handles.
-    std::vector<std::thread> finished;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      finished.swap(finished_threads_);
-    }
-    for (std::thread& t : finished) {
-      if (t.joinable()) t.join();
-    }
+void Server::WakeLoop() {
+  uint64_t one = 1;
+  ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+  (void)ignored;  // EAGAIN just means a wakeup is already pending.
+}
 
+// ---- The reactor ----------------------------------------------------------
+
+void Server::EventLoop() {
+  std::vector<struct epoll_event> events(128);
+  for (;;) {
+    if (stopping_.load() && !shutdown_started_) {
+      shutdown_started_ = true;
+      drain_deadline_ms_ = NowMs() + kDrainDeadlineMs;
+      if (listen_fd_ >= 0) {
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      // Stop reading everywhere; in-flight and queued statements finish
+      // and their responses flush before each connection closes.
+      std::vector<std::shared_ptr<Connection>> all;
+      all.reserve(conns_.size());
+      for (const auto& entry : conns_) all.push_back(entry.second);
+      for (const auto& conn : all) BeginDrain(conn);
+    }
+    if (shutdown_started_ && conns_.empty()) break;
+
+    int n = ::epoll_wait(epoll_fd_, events.data(),
+                         static_cast<int>(events.size()), ComputeTimeoutMs());
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < n; ++i) {
+      uint64_t tag = events[i].data.u64;
+      uint32_t ev = events[i].events;
+      if (tag == kListenerTag) {
+        HandleAccept();
+        continue;
+      }
+      if (tag == kWakeTag) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      auto it = conns_.find(tag);
+      if (it == conns_.end()) continue;  // closed earlier in this batch
+      std::shared_ptr<Connection> conn = it->second;
+      if (ev & (EPOLLERR | EPOLLHUP)) {
+        conn->broken = true;
+        conn->pending.clear();
+        conn->out.clear();
+      }
+      if ((ev & EPOLLOUT) && !conn->broken) FlushWrites(conn);
+      if ((ev & EPOLLIN) && !conn->broken && !conn->draining) {
+        HandleReadable(conn);
+      }
+      UpdateEpoll(conn);
+      MaybeClose(conn);
+    }
+    DrainCompletions();
+    HandleTimeouts();
+  }
+}
+
+int Server::ComputeTimeoutMs() const {
+  if (shutdown_started_) return 50;
+  if (options_.idle_timeout_ms <= 0) return -1;
+  int64_t min_deadline = INT64_MAX;
+  for (const auto& entry : conns_) {
+    const Connection& conn = *entry.second;
+    if (conn.draining || conn.broken || conn.executing ||
+        !conn.pending.empty()) {
+      continue;  // busy connections are not idle
+    }
+    min_deadline = std::min(
+        min_deadline, conn.last_activity_ms + options_.idle_timeout_ms);
+  }
+  if (min_deadline == INT64_MAX) return -1;
+  int64_t wait = min_deadline - NowMs();
+  return static_cast<int>(std::clamp<int64_t>(wait, 0, 60'000));
+}
+
+void Server::HandleTimeouts() {
+  int64_t now = NowMs();
+  std::vector<std::shared_ptr<Connection>> expired;
+  if (options_.idle_timeout_ms > 0 && !shutdown_started_) {
+    for (const auto& entry : conns_) {
+      const auto& conn = entry.second;
+      if (conn->draining || conn->broken || conn->executing ||
+          !conn->pending.empty()) {
+        continue;
+      }
+      if (now - conn->last_activity_ms >= options_.idle_timeout_ms) {
+        expired.push_back(conn);
+      }
+    }
+    for (const auto& conn : expired) {
+      if (conn->session != nullptr) {
+        QueueFrame(conn, FrameType::kError,
+                   EncodeErrorBody(Status::DeadlineExceeded(
+                       "connection idle past " +
+                       std::to_string(options_.idle_timeout_ms) +
+                       " ms; closing")));
+      }
+      // Pre-handshake idlers (port scanners) get a silent close.
+      BeginDrain(conn);
+    }
+  }
+  if (shutdown_started_ && now >= drain_deadline_ms_) {
+    // Peers that stopped reading forfeit their buffered responses; we
+    // still wait out executing statements (their deadline bounds them).
+    std::vector<std::shared_ptr<Connection>> stuck;
+    for (const auto& entry : conns_) {
+      if (!entry.second->executing) stuck.push_back(entry.second);
+    }
+    for (const auto& conn : stuck) {
+      conn->pending.clear();
+      conn->out.clear();
+      CloseConnection(conn);
+    }
+  }
+}
+
+// ---- Accept + read path ---------------------------------------------------
+
+void Server::HandleAccept() {
+  auto accepted =
+      obs::MetricsRegistry::Global().counter("server.connections.accepted");
+  for (;;) {
     struct sockaddr_in peer_addr;
     socklen_t peer_len = sizeof(peer_addr);
-    int fd = ::accept(listen_fd_.load(),
-                      reinterpret_cast<struct sockaddr*>(&peer_addr),
-                      &peer_len);
+    int fd = ::accept4(listen_fd_,
+                       reinterpret_cast<struct sockaddr*>(&peer_addr),
+                       &peer_len, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
-      if (stopping_.load()) break;
       if (errno == EINTR) continue;
-      // Transient accept failures (EMFILE under load, aborted
-      // connections) must not kill the listener.
-      continue;
+      // EAGAIN: queue drained. Anything else (EMFILE under load, aborted
+      // connections) must not kill the listener either.
+      break;
     }
     accepted.Increment();
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    uint64_t conn_id = next_conn_id_.fetch_add(1);
-    std::string peer = PeerName(peer_addr);
-    std::lock_guard<std::mutex> lock(mu_);
-    conn_fds_[conn_id] = fd;
-    conn_threads_[conn_id] = std::thread(
-        [this, fd, conn_id, peer] { ServeConnection(fd, conn_id, peer); });
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->peer = PeerName(peer_addr);
+    conn->last_activity_ms = NowMs();
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      continue;  // conn destructor closes the fd
+    }
+    conn->armed = EPOLLIN;
+    conns_[conn->id] = conn;
   }
 }
 
-void Server::ServeConnection(int fd, uint64_t conn_id,
-                             const std::string& peer) {
+void Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  char buf[64 * 1024];
+  bool eof = false;
+  for (;;) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->decoder.Feed(buf, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buf)) break;  // drained
+      continue;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    conn->broken = true;
+    conn->pending.clear();
+    conn->out.clear();
+    return;
+  }
+  DrainDecoder(conn);
+  // EOF: the peer is done talking; finish its outstanding statements,
+  // flush, close.
+  if (eof && !conn->draining) BeginDrain(conn);
+}
+
+void Server::DrainDecoder(const std::shared_ptr<Connection>& conn) {
   auto protocol_errors =
       obs::MetricsRegistry::Global().counter("server.protocol_errors");
-  {
-    FrameSocket sock(fd);
-    std::unique_ptr<Session> session;
-
-    // ---- Handshake: expect kHello within the idle budget. ----------------
-    Result<Frame> first = sock.Recv(options_.idle_timeout_ms);
-    if (first.ok() && first->type == FrameType::kHello) {
-      Result<HelloBody> hello = DecodeHelloBody(first->body);
-      if (!hello.ok()) {
-        protocol_errors.Increment();
-        sock.Send(FrameType::kError, EncodeErrorBody(hello.status()));
-      } else if (hello->version != kProtocolVersion) {
-        sock.Send(FrameType::kError,
-                  EncodeErrorBody(Status::InvalidArgument(
-                      "protocol version " + std::to_string(hello->version) +
-                      " not supported (server speaks " +
-                      std::to_string(kProtocolVersion) + ")")));
-      } else {
-        std::string name = hello->client_name.empty()
-                               ? "conn-" + std::to_string(conn_id)
-                               : hello->client_name;
-        Result<std::unique_ptr<Session>> opened =
-            manager_->OpenSession(name, peer);
-        if (!opened.ok()) {
-          // Typed backpressure: at max_connections the client is told
-          // kUnavailable and can retry, never silently dropped.
-          sock.Send(FrameType::kError, EncodeErrorBody(opened.status()));
-        } else {
-          session = std::move(opened).value();
-          Status st = sock.Send(
-              FrameType::kHelloOk,
-              EncodeHelloOkBody(session->id(), "ErbiumDB"));
-          if (!st.ok()) session.reset();
-        }
-      }
-    } else if (first.ok()) {
-      protocol_errors.Increment();
-      sock.Send(FrameType::kError,
-                EncodeErrorBody(Status::InvalidArgument(
-                    "expected a Hello frame to open the session")));
-    } else if (first.status().code() == StatusCode::kIOError) {
-      // Malformed bytes before the handshake (fuzzers, port scanners):
-      // answer typed and close.
-      protocol_errors.Increment();
-      sock.Send(FrameType::kError, EncodeErrorBody(first.status()));
+  while (!conn->draining && !conn->broken) {
+    // Backpressure: at max_pipeline_depth stop decoding (and reading —
+    // UpdateEpoll de-arms EPOLLIN via read_paused). Buffered bytes keep
+    // their place; DrainCompletions resumes us as responses drain.
+    int depth = static_cast<int>(conn->pending.size()) +
+                (conn->executing ? 1 : 0);
+    if (conn->session != nullptr && depth >= options_.max_pipeline_depth) {
+      conn->read_paused = true;
+      break;
     }
-    // EOF / timeout before Hello: nothing useful to say; just close.
-
-    // ---- Statement loop. -------------------------------------------------
-    while (session != nullptr) {
-      Result<Frame> frame = sock.Recv(options_.idle_timeout_ms);
-      if (!frame.ok()) {
-        if (frame.status().code() == StatusCode::kDeadlineExceeded &&
-            !stopping_.load()) {
-          sock.Send(FrameType::kError,
-                    EncodeErrorBody(Status::DeadlineExceeded(
-                        "connection idle past " +
-                        std::to_string(options_.idle_timeout_ms) +
-                        " ms; closing")));
-        } else if (frame.status().code() == StatusCode::kIOError) {
-          protocol_errors.Increment();
-          sock.Send(FrameType::kError, EncodeErrorBody(frame.status()));
-        }
-        // kUnavailable: orderly close (or shutdown drain) — say nothing.
-        break;
-      }
-      if (frame->type == FrameType::kGoodbye) break;
-      if (frame->type == FrameType::kPing) {
-        if (!sock.Send(FrameType::kPong, "").ok()) break;
-        continue;
-      }
-      if (frame->type != FrameType::kStatement) {
-        protocol_errors.Increment();
-        sock.Send(FrameType::kError,
-                  EncodeErrorBody(Status::InvalidArgument(
-                      "unexpected frame type " +
-                      std::to_string(static_cast<int>(frame->type)))));
-        break;
-      }
-      Result<std::string> statement = DecodeStatementBody(frame->body);
-      if (!statement.ok()) {
-        protocol_errors.Increment();
-        sock.Send(FrameType::kError, EncodeErrorBody(statement.status()));
-        break;
-      }
-      Result<api::StatementOutcome> outcome = session->Execute(*statement);
-      Status send_st =
-          outcome.ok()
-              ? sock.Send(FrameType::kResult, EncodeResultBody(*outcome))
-              : sock.Send(FrameType::kError,
-                          EncodeErrorBody(outcome.status()));
-      if (!send_st.ok()) break;
+    Frame frame;
+    Result<bool> has = conn->decoder.Next(&frame);
+    if (!has.ok()) {
+      // Garbled bytes: framing is lost, so answer typed and close. The
+      // responses of statements already decoded still flush first.
+      protocol_errors.Increment();
+      QueueFrame(conn, FrameType::kError, EncodeErrorBody(has.status()));
+      BeginDrain(conn);
+      break;
     }
-  }  // FrameSocket closes the fd; Session deregisters.
-
-  // Hand our thread handle to the reaper (or to Stop(), which may have
-  // taken it already).
-  std::lock_guard<std::mutex> lock(mu_);
-  conn_fds_.erase(conn_id);
-  auto it = conn_threads_.find(conn_id);
-  if (it != conn_threads_.end()) {
-    finished_threads_.push_back(std::move(it->second));
-    conn_threads_.erase(it);
+    if (!*has) break;
+    conn->last_activity_ms = NowMs();
+    HandleFrame(conn, frame.type, frame.body);
   }
 }
+
+void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
+                         FrameType type, const std::string& body) {
+  auto protocol_errors =
+      obs::MetricsRegistry::Global().counter("server.protocol_errors");
+
+  // ---- Handshake: the first frame must be kHello. -------------------------
+  if (conn->session == nullptr) {
+    if (type != FrameType::kHello) {
+      protocol_errors.Increment();
+      QueueFrame(conn, FrameType::kError,
+                 EncodeErrorBody(Status::InvalidArgument(
+                     "expected a Hello frame to open the session")));
+      BeginDrain(conn);
+      return;
+    }
+    Result<HelloBody> hello = DecodeHelloBody(body);
+    if (!hello.ok()) {
+      protocol_errors.Increment();
+      QueueFrame(conn, FrameType::kError, EncodeErrorBody(hello.status()));
+      BeginDrain(conn);
+      return;
+    }
+    if (hello->version != kProtocolVersion) {
+      QueueFrame(conn, FrameType::kError,
+                 EncodeErrorBody(Status::InvalidArgument(
+                     "protocol version " + std::to_string(hello->version) +
+                     " not supported (server speaks " +
+                     std::to_string(kProtocolVersion) + ")")));
+      BeginDrain(conn);
+      return;
+    }
+    std::string name = hello->client_name.empty()
+                           ? "conn-" + std::to_string(conn->id)
+                           : hello->client_name;
+    Result<std::unique_ptr<Session>> opened =
+        manager_->OpenSession(name, conn->peer);
+    if (!opened.ok()) {
+      // Typed backpressure: at max_connections the client is told
+      // kUnavailable and can retry, never silently dropped.
+      QueueFrame(conn, FrameType::kError, EncodeErrorBody(opened.status()));
+      BeginDrain(conn);
+      return;
+    }
+    conn->session = std::move(opened).value();
+    QueueFrame(conn, FrameType::kHelloOk,
+               EncodeHelloOkBody(conn->session->id(), "ErbiumDB"));
+    return;
+  }
+
+  // ---- Established session. -----------------------------------------------
+  switch (type) {
+    case FrameType::kPing:
+      // Answered inline by the loop — a Ping measures reactor liveness
+      // and may overtake queued statement responses.
+      QueueFrame(conn, FrameType::kPong, "");
+      return;
+    case FrameType::kGoodbye:
+      BeginDrain(conn);
+      return;
+    case FrameType::kStatement: {
+      Result<std::string> statement = DecodeStatementBody(body);
+      if (!statement.ok()) {
+        protocol_errors.Increment();
+        QueueFrame(conn, FrameType::kError,
+                   EncodeErrorBody(statement.status()));
+        BeginDrain(conn);
+        return;
+      }
+      PendingStatement item;
+      item.text = std::move(*statement);
+      conn->pending.push_back(std::move(item));
+      ScheduleNext(conn);
+      return;
+    }
+    case FrameType::kStatementSeq: {
+      Result<StatementSeqBody> statement = DecodeStatementSeqBody(body);
+      if (!statement.ok()) {
+        protocol_errors.Increment();
+        QueueFrame(conn, FrameType::kError,
+                   EncodeErrorBody(statement.status()));
+        BeginDrain(conn);
+        return;
+      }
+      PendingStatement item;
+      item.tagged = true;
+      item.seq = statement->seq;
+      item.text = std::move(statement->statement);
+      conn->pending.push_back(std::move(item));
+      ScheduleNext(conn);
+      return;
+    }
+    default:
+      protocol_errors.Increment();
+      QueueFrame(conn, FrameType::kError,
+                 EncodeErrorBody(Status::InvalidArgument(
+                     "unexpected frame type " +
+                     std::to_string(static_cast<int>(type)))));
+      BeginDrain(conn);
+      return;
+  }
+}
+
+// ---- Statement execution --------------------------------------------------
+
+void Server::ScheduleNext(const std::shared_ptr<Connection>& conn) {
+  if (conn->executing || conn->pending.empty() || conn->broken) return;
+  PendingStatement item = std::move(conn->pending.front());
+  conn->pending.pop_front();
+  conn->executing = true;
+  workers_->Submit([this, conn, item = std::move(item)]() mutable {
+    ExecuteOnWorker(conn, std::move(item));
+  });
+}
+
+void Server::ExecuteOnWorker(std::shared_ptr<Connection> conn,
+                             PendingStatement item) {
+  Result<api::StatementOutcome> outcome = conn->session->Execute(item.text);
+  std::string frame;
+  if (item.tagged) {
+    frame = outcome.ok()
+                ? EncodeFrame(FrameType::kResultSeq,
+                              EncodeResultSeqBody(item.seq, *outcome))
+                : EncodeFrame(FrameType::kErrorSeq,
+                              EncodeErrorSeqBody(item.seq, outcome.status()));
+  } else {
+    frame = outcome.ok()
+                ? EncodeFrame(FrameType::kResult, EncodeResultBody(*outcome))
+                : EncodeFrame(FrameType::kError,
+                              EncodeErrorBody(outcome.status()));
+  }
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    completions_.push_back(Completion{conn->id, std::move(frame)});
+  }
+  WakeLoop();
+}
+
+void Server::DrainCompletions() {
+  std::deque<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& done : batch) {
+    auto it = conns_.find(done.conn_id);
+    if (it == conns_.end()) continue;
+    std::shared_ptr<Connection> conn = it->second;
+    conn->executing = false;
+    if (!conn->broken) conn->out.push_back(std::move(done.frame));
+    ScheduleNext(conn);
+    if (conn->read_paused) {
+      // Below the pipeline bound again: decode what we buffered, then
+      // let UpdateEpoll re-arm EPOLLIN.
+      conn->read_paused = false;
+      DrainDecoder(conn);
+    }
+    FlushWrites(conn);
+    UpdateEpoll(conn);
+    MaybeClose(conn);
+  }
+}
+
+// ---- Write path + lifecycle -----------------------------------------------
+
+void Server::QueueFrame(const std::shared_ptr<Connection>& conn,
+                        FrameType type, const std::string& body) {
+  if (conn->fd < 0 || conn->broken) return;
+  conn->out.push_back(EncodeFrame(type, body));
+  FlushWrites(conn);
+}
+
+void Server::FlushWrites(const std::shared_ptr<Connection>& conn) {
+  while (conn->fd >= 0 && !conn->broken && !conn->out.empty()) {
+    const std::string& front = conn->out.front();
+    ssize_t n = ::send(conn->fd, front.data() + conn->out_offset,
+                       front.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // EPOLLOUT arms
+      conn->broken = true;
+      conn->pending.clear();
+      conn->out.clear();
+      conn->out_offset = 0;
+      break;
+    }
+    conn->out_offset += static_cast<size_t>(n);
+    if (conn->out_offset == front.size()) {
+      conn->out.pop_front();
+      conn->out_offset = 0;
+    }
+  }
+}
+
+void Server::BeginDrain(const std::shared_ptr<Connection>& conn) {
+  conn->draining = true;
+  UpdateEpoll(conn);
+  MaybeClose(conn);
+}
+
+void Server::UpdateEpoll(const std::shared_ptr<Connection>& conn) {
+  if (conn->fd < 0) return;
+  uint32_t want = 0;
+  if (!conn->draining && !conn->broken && !conn->read_paused) {
+    want |= EPOLLIN;
+  }
+  if (!conn->out.empty() && !conn->broken) want |= EPOLLOUT;
+  if (want == conn->armed) return;
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = want;
+  ev.data.u64 = conn->id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  conn->armed = want;
+}
+
+void Server::MaybeClose(const std::shared_ptr<Connection>& conn) {
+  if (conn->fd < 0 || conn->executing) return;
+  if (conn->broken) {
+    CloseConnection(conn);
+    return;
+  }
+  if (conn->draining && conn->pending.empty() && conn->out.empty()) {
+    CloseConnection(conn);
+  }
+}
+
+void Server::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  if (conn->fd < 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conn->fd = -1;
+  // Erasing drops the loop's reference; the Session (and its admission
+  // slot) dies with the last reference — usually right here.
+  conns_.erase(conn->id);
+}
+
+// ---- Shutdown -------------------------------------------------------------
 
 Status Server::Stop() {
   if (stopping_.exchange(true)) return Status::OK();
-
-  // 1. Close the listener so no new connections arrive; accept() fails
-  //    and the accept loop exits.
-  int listener = listen_fd_.exchange(-1);
-  if (listener >= 0) {
-    ::shutdown(listener, SHUT_RDWR);
-    ::close(listener);
+  WakeLoop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // Join the workers before closing the eventfd: a worker between its
+  // completion push and WakeLoop must not write a dead (reusable) fd.
+  workers_.reset();
+  if (listen_fd_ >= 0) {
+    // Only reachable when Start() failed before the loop thread ran.
+    ::close(listen_fd_);
+    listen_fd_ = -1;
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
-
-  // 2. Drain: shut down every connection's read side. A session blocked
-  //    in Recv wakes with EOF and exits; one mid-statement finishes,
-  //    sends its result (write side stays open), then exits.
-  std::vector<std::thread> to_join;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& entry : conn_fds_) {
-      ::shutdown(entry.second, SHUT_RD);
-    }
-    for (auto& entry : conn_threads_) to_join.push_back(std::move(entry.second));
-    conn_threads_.clear();
-    for (std::thread& t : finished_threads_) to_join.push_back(std::move(t));
-    finished_threads_.clear();
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
   }
-  for (std::thread& t : to_join) {
-    if (t.joinable()) t.join();
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
   }
-  {
-    // Threads that finished while we were joining parked their handles.
-    std::lock_guard<std::mutex> lock(mu_);
-    for (std::thread& t : finished_threads_) to_join.push_back(std::move(t));
-    finished_threads_.clear();
-  }
-  for (std::thread& t : to_join) {
-    if (t.joinable()) t.join();
-  }
-
-  // 3. Final checkpoint once everything is quiet.
   if (options_.checkpoint_on_shutdown && manager_ != nullptr) {
     return manager_->FinalCheckpoint();
   }

@@ -3,13 +3,16 @@
 
 #include <atomic>
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
+#include "server/protocol.h"
 #include "server/session.h"
 
 namespace erbium {
@@ -21,18 +24,26 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   /// 0 binds an ephemeral port; read the bound one back with port().
   int port = 0;
-  /// Admission limit; connection #max+1 gets kError(kUnavailable) and a
-  /// close — typed backpressure, never a silent drop.
+  /// Admission limit; connection #max+1 gets kError(kUnavailable) at its
+  /// Hello and a close — typed backpressure, never a silent drop.
   int max_connections = 64;
-  /// listen(2) backlog — the bounded accept queue. Connections beyond
-  /// backlog while the accept thread is busy queue in the kernel; the
-  /// admission check above bounds what we accept.
+  /// listen(2) backlog — the bounded accept queue.
   int accept_backlog = 16;
   /// A connection idle (no complete frame) this long is told
   /// kError(kDeadlineExceeded) and closed. <= 0 disables.
   int idle_timeout_ms = 60'000;
   /// Per-statement budget (see Session::Execute). <= 0 disables.
   int request_deadline_ms = 30'000;
+  /// Statement-execution worker threads. 0 sizes to the hardware
+  /// concurrency (at least 2). The server owns a dedicated pool — never
+  /// ThreadPool::Shared(), whose contract forbids intra-pool waits and
+  /// which parallel query execution submits to from these very workers.
+  int worker_threads = 0;
+  /// Per-connection pipelining bound: once this many statements are
+  /// queued or executing for one connection, the reactor stops reading
+  /// its socket until responses drain (TCP backpressure — statements are
+  /// delayed, never dropped).
+  int max_pipeline_depth = 128;
   /// Database configuration (mapping preset, figure4 preload, attach
   /// directory, WAL sync mode).
   api::StatementRunner::Options runner;
@@ -41,18 +52,28 @@ struct ServerOptions {
   bool checkpoint_on_shutdown = true;
 };
 
-/// Thread-per-connection TCP server speaking the frame protocol of
-/// server/protocol.h. One accept thread admits connections (refusing
-/// typed-and-loud beyond max_connections); each connection gets a thread
-/// running handshake -> statement loop against a Session from the shared
-/// SessionManager, which serializes writers and lets readers overlap.
+/// Event-driven TCP server speaking the frame protocol of
+/// server/protocol.h. One reactor thread owns every socket: an epoll
+/// loop accepts connections, reads frames through the incremental
+/// FrameDecoder, and answers handshakes and Pings inline. Decoded
+/// statements are handed to a small dedicated worker pool; responses
+/// come back through a completion queue (eventfd wakeup) and are
+/// written by the loop, buffered when the peer's window is full. An
+/// idle connection therefore costs one fd and ~one Connection struct —
+/// not a thread — so thousands of idle sessions are cheap.
 ///
-/// Stop() (also the destructor) is graceful: the listener closes first
-/// so no new work arrives, then every connection's read side is shut
-/// down — a session blocked in Recv wakes with EOF and exits, a session
-/// mid-statement finishes, sends its result, and exits on the next
-/// read — then all threads are joined and, when a database is attached,
-/// a final CHECKPOINT collapses the WAL.
+/// Ordering: each connection's statements execute strictly in arrival
+/// order (one in flight per connection; the rest wait in its pending
+/// queue), and responses are written in that same order. Clients may
+/// pipeline kStatementSeq frames without waiting; different connections
+/// execute concurrently across the worker pool, subject to the
+/// engine's shared/exclusive statement lock.
+///
+/// Stop() (also the destructor) is graceful: the listener closes first,
+/// every connection stops reading, in-flight and queued statements
+/// finish and their responses flush (bounded by a drain deadline for
+/// peers that stopped reading), then the loop and workers join and,
+/// when a database is attached, a final CHECKPOINT collapses the WAL.
 class Server {
  public:
   static Result<std::unique_ptr<Server>> Start(ServerOptions options);
@@ -72,28 +93,63 @@ class Server {
   size_t active_connections() const { return manager_->active_sessions(); }
 
  private:
+  struct Connection;
+  /// A worker's finished statement: the already-encoded response frame,
+  /// routed back to its connection by id (the connection may be gone).
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string frame;
+  };
+  struct PendingStatement {
+    bool tagged = false;  // kStatementSeq (reply carries seq) vs kStatement
+    uint64_t seq = 0;
+    std::string text;
+  };
+
   explicit Server(ServerOptions options) : options_(std::move(options)) {}
 
-  void AcceptLoop();
-  void ServeConnection(int fd, uint64_t conn_id, const std::string& peer);
+  void EventLoop();
+  void HandleAccept();
+  void HandleReadable(const std::shared_ptr<Connection>& conn);
+  void DrainDecoder(const std::shared_ptr<Connection>& conn);
+  void HandleFrame(const std::shared_ptr<Connection>& conn,
+                   FrameType type, const std::string& body);
+  void ScheduleNext(const std::shared_ptr<Connection>& conn);
+  void ExecuteOnWorker(std::shared_ptr<Connection> conn,
+                       PendingStatement item);
+  void DrainCompletions();
+  void QueueFrame(const std::shared_ptr<Connection>& conn, FrameType type,
+                  const std::string& body);
+  void FlushWrites(const std::shared_ptr<Connection>& conn);
+  void BeginDrain(const std::shared_ptr<Connection>& conn);
+  void UpdateEpoll(const std::shared_ptr<Connection>& conn);
+  void MaybeClose(const std::shared_ptr<Connection>& conn);
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+  void HandleTimeouts();
+  int ComputeTimeoutMs() const;
+  void WakeLoop();
 
   ServerOptions options_;
   int port_ = 0;
-  // Written by Start()/Stop(), read by the accept thread — atomic so the
-  // close-on-shutdown handoff is race-free.
-  std::atomic<int> listen_fd_{-1};
-  std::unique_ptr<SessionManager> manager_;
-  std::thread accept_thread_;
-  std::atomic<bool> stopping_{false};
-  std::atomic<uint64_t> next_conn_id_{1};
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: workers (and Stop) wake the loop
 
-  /// Live connection threads plus their fds, so Stop() can shut down
-  /// read sides and join. Guarded by mu_.
-  std::mutex mu_;
-  std::map<uint64_t, std::thread> conn_threads_;
-  std::map<uint64_t, int> conn_fds_;
-  /// Threads whose connections already finished, awaiting join.
-  std::vector<std::thread> finished_threads_;
+  std::unique_ptr<SessionManager> manager_;
+  /// Dedicated statement-execution pool (see ServerOptions::worker_threads).
+  std::unique_ptr<ThreadPool> workers_;
+  std::thread loop_thread_;
+  std::atomic<bool> stopping_{false};
+  bool shutdown_started_ = false;  // loop-thread only
+  int64_t drain_deadline_ms_ = 0;  // loop-thread only
+
+  /// Loop-thread-owned connection table; workers never touch it — they
+  /// reference connections by id through the completion queue.
+  std::unordered_map<uint64_t, std::shared_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = wake eventfd
+
+  std::mutex completions_mu_;
+  std::deque<Completion> completions_;
 };
 
 }  // namespace server

@@ -121,6 +121,48 @@ TEST(ProtocolBodyTest, ResultRoundTripsAllValueKinds) {
   EXPECT_EQ(decoded->result.rows[1][3].as_bool(), false);
 }
 
+TEST(ProtocolBodyTest, StatementSeqRoundTrips) {
+  auto decoded = DecodeStatementSeqBody(
+      EncodeStatementSeqBody(7, "SELECT r_id FROM R"));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->seq, 7u);
+  EXPECT_EQ(decoded->statement, "SELECT r_id FROM R");
+}
+
+TEST(ProtocolBodyTest, ResultSeqRoundTrips) {
+  api::StatementOutcome outcome;
+  outcome.shape = api::OutputShape::kTable;
+  outcome.result.columns = {"a"};
+  outcome.result.rows.push_back({Value::Int64(3)});
+  std::string body = EncodeResultSeqBody(99, outcome);
+  std::string rest;
+  auto seq = DecodeSeqPrefix(body, &rest);
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, 99u);
+  auto decoded = DecodeResultBody(rest);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->result.rows.size(), 1u);
+  EXPECT_EQ(decoded->result.rows[0][0].as_int64(), 3);
+}
+
+TEST(ProtocolBodyTest, ErrorSeqRoundTrips) {
+  std::string body =
+      EncodeErrorSeqBody(12, Status::NotFound("no such attribute"));
+  std::string rest;
+  auto seq = DecodeSeqPrefix(body, &rest);
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, 12u);
+  Status transported;
+  ASSERT_TRUE(DecodeErrorBody(rest, &transported).ok());
+  EXPECT_EQ(transported.code(), StatusCode::kNotFound);
+  EXPECT_EQ(transported.message(), "no such attribute");
+}
+
+TEST(ProtocolBodyTest, SeqPrefixOnShortBodyFails) {
+  std::string rest;
+  EXPECT_FALSE(DecodeSeqPrefix("1234567", &rest).ok());
+}
+
 TEST(ProtocolBodyTest, TruncatedBodiesFailCleanly) {
   api::StatementOutcome outcome;
   outcome.shape = api::OutputShape::kTable;
@@ -146,6 +188,104 @@ TEST(ProtocolBodyTest, ResultWithLyingCountsFailsCleanly) {
   auto decoded = DecodeResultBody(body);
   ASSERT_FALSE(decoded.ok());
   EXPECT_EQ(decoded.status().code(), StatusCode::kIOError);
+}
+
+// ---- FrameDecoder: incremental decoding for the reactor -------------------
+
+TEST(FrameDecoderTest, DecodesAFrameFedByteByByte) {
+  std::string wire = EncodeFrame(FrameType::kStatement,
+                                 EncodeStatementBody("SELECT 1"));
+  FrameDecoder decoder;
+  Frame frame;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    decoder.Feed(wire.data() + i, 1);
+    auto has = decoder.Next(&frame);
+    ASSERT_TRUE(has.ok());
+    EXPECT_FALSE(*has) << "frame complete after only " << i + 1 << " bytes";
+  }
+  decoder.Feed(wire.data() + wire.size() - 1, 1);
+  auto has = decoder.Next(&frame);
+  ASSERT_TRUE(has.ok());
+  ASSERT_TRUE(*has);
+  EXPECT_EQ(frame.type, FrameType::kStatement);
+  EXPECT_EQ(*DecodeStatementBody(frame.body), "SELECT 1");
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameDecoderTest, PullsMultipleFramesFromOneFeed) {
+  std::string wire;
+  for (int i = 0; i < 5; ++i) {
+    wire += EncodeFrame(FrameType::kStatementSeq,
+                        EncodeStatementSeqBody(static_cast<uint64_t>(i),
+                                               "SELECT " + std::to_string(i)));
+  }
+  wire += EncodeFrame(FrameType::kPing, "");
+  FrameDecoder decoder;
+  decoder.Feed(wire.data(), wire.size());
+  for (int i = 0; i < 5; ++i) {
+    Frame frame;
+    auto has = decoder.Next(&frame);
+    ASSERT_TRUE(has.ok());
+    ASSERT_TRUE(*has);
+    ASSERT_EQ(frame.type, FrameType::kStatementSeq);
+    auto body = DecodeStatementSeqBody(frame.body);
+    ASSERT_TRUE(body.ok());
+    EXPECT_EQ(body->seq, static_cast<uint64_t>(i));
+  }
+  Frame frame;
+  ASSERT_TRUE(*decoder.Next(&frame));
+  EXPECT_EQ(frame.type, FrameType::kPing);
+  EXPECT_FALSE(*decoder.Next(&frame));
+}
+
+TEST(FrameDecoderTest, TornThenCompletedAcrossFeeds) {
+  std::string wire = EncodeFrame(FrameType::kGoodbye, "") +
+                     EncodeFrame(FrameType::kPing, "");
+  FrameDecoder decoder;
+  size_t cut = wire.size() / 2 + 3;
+  decoder.Feed(wire.data(), cut);
+  Frame frame;
+  ASSERT_TRUE(*decoder.Next(&frame));  // first frame fits in the cut
+  EXPECT_EQ(frame.type, FrameType::kGoodbye);
+  EXPECT_FALSE(*decoder.Next(&frame));
+  decoder.Feed(wire.data() + cut, wire.size() - cut);
+  ASSERT_TRUE(*decoder.Next(&frame));
+  EXPECT_EQ(frame.type, FrameType::kPing);
+}
+
+TEST(FrameDecoderTest, BadCrcIsUnrecoverable) {
+  std::string wire = EncodeFrame(FrameType::kPing, "");
+  wire[wire.size() - 1] ^= 0x01;
+  FrameDecoder decoder;
+  decoder.Feed(wire.data(), wire.size());
+  Frame frame;
+  auto has = decoder.Next(&frame);
+  ASSERT_FALSE(has.ok());
+  EXPECT_EQ(has.status().code(), StatusCode::kIOError);
+  EXPECT_NE(has.status().message().find("CRC"), std::string::npos);
+}
+
+TEST(FrameDecoderTest, OversizedAndEmptyPayloadsAreRejected) {
+  {
+    std::string header;
+    durability::PutU32(kMaxFramePayloadBytes + 1, &header);
+    durability::PutU32(0, &header);
+    FrameDecoder decoder;
+    decoder.Feed(header.data(), header.size());
+    Frame frame;
+    auto has = decoder.Next(&frame);
+    ASSERT_FALSE(has.ok());
+    EXPECT_EQ(has.status().code(), StatusCode::kIOError);
+  }
+  {
+    std::string header(8, '\0');  // zero length, zero CRC
+    FrameDecoder decoder;
+    decoder.Feed(header.data(), header.size());
+    Frame frame;
+    auto has = decoder.Next(&frame);
+    ASSERT_FALSE(has.ok());
+    EXPECT_EQ(has.status().code(), StatusCode::kIOError);
+  }
 }
 
 // ---- FrameSocket over a socketpair ----------------------------------------
