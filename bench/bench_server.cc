@@ -13,6 +13,12 @@
 //   server.bench.insert.c<N>.p50_us     / .p99_us
 //   server.bench.point_read_pipelined.c<N>.p50_us / .p99_us  (per stmt)
 //   server.bench.idle_burst.{p50_us,p99_us,rss_mb,threads,connections}
+//   server.bench.lifecycle.{queue_wait,execute,write_stall}_mean_us
+//
+// The lifecycle gauges summarize where a statement's server-side time
+// went across the whole run (means over the server.queue_wait_us /
+// server.execute_us / server.write_stall_us histograms, which the dump
+// also carries in full).
 
 #include <sys/resource.h>
 
@@ -250,6 +256,24 @@ void BM_PointReadPipelined(benchmark::State& state) {
       .Set(static_cast<int64_t>(std::llround(p99)));
 }
 
+/// Folds the statement-lifecycle histograms the server populated over
+/// the whole run into per-phase mean gauges, so the committed dump
+/// answers "where does a statement's server-side time go" at a glance.
+/// Called from the last benchmark; the full histograms ride along in
+/// the dump regardless.
+void RecordLifecycleSplit() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::RegistrySnapshot snapshot = registry.Snapshot();
+  for (const char* phase : {"queue_wait", "execute", "write_stall"}) {
+    auto it = snapshot.histograms.find("server." + std::string(phase) + "_us");
+    if (it == snapshot.histograms.end() || it->second.count == 0) continue;
+    registry
+        .gauge("server.bench.lifecycle." + std::string(phase) + "_mean_us")
+        .Set(static_cast<int64_t>(
+            std::llround(it->second.sum / it->second.count)));
+  }
+}
+
 /// Reads a numeric field (kB for VmRSS) from /proc/self/status.
 int64_t ProcSelfStatus(const char* field) {
   std::ifstream in("/proc/self/status");
@@ -379,6 +403,7 @@ void BM_IdleBurst(benchmark::State& state) {
 
   idle.clear();
   server->Stop();
+  RecordLifecycleSplit();
 }
 
 BENCHMARK(BM_PointRead)->Arg(1)->Arg(8)->Arg(64)->UseRealTime()

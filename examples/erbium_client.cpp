@@ -12,6 +12,10 @@
 //   --retries <n>    connect retries, for racing a server still binding
 //   --pipeline       send all -e statements as one pipelined batch (one
 //                    network round-trip) instead of one at a time
+//   --timing         print the server-timing footer after each result
+//                    (queue wait + execute, as measured server-side).
+//                    Statements are routed through the pipelined path,
+//                    whose responses carry the footer.
 //   -e <statement>   execute one statement and continue (repeatable);
 //                    with no -e an interactive prompt reads from stdin
 //
@@ -48,6 +52,13 @@ void Render(const erbium::api::StatementOutcome& outcome) {
   }
 }
 
+void RenderTiming(const erbium::server::ServerTiming& timing) {
+  if (!timing.present) return;
+  std::printf("-- server timing: queue_wait=%lluus execute=%lluus\n",
+              static_cast<unsigned long long>(timing.queue_wait_us),
+              static_cast<unsigned long long>(timing.execute_us));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -56,6 +67,7 @@ int main(int argc, char** argv) {
   options.name = "cli-" + std::to_string(getpid());
   std::vector<std::string> statements;
   bool pipeline = false;
+  bool timing = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--port" && i + 1 < argc) {
@@ -68,6 +80,8 @@ int main(int argc, char** argv) {
       options.connect_retries = std::atoi(argv[++i]);
     } else if (arg == "--pipeline") {
       pipeline = true;
+    } else if (arg == "--timing") {
+      timing = true;
     } else if (arg == "-e" && i + 1 < argc) {
       statements.push_back(argv[++i]);
     } else {
@@ -84,6 +98,25 @@ int main(int argc, char** argv) {
 
   bool all_ok = true;
   auto run = [&](const std::string& statement) {
+    if (timing) {
+      // Only seq-tagged responses carry the server-timing footer, so a
+      // timed statement travels as a batch of one.
+      auto batch = (*client)->ExecuteBatch({statement});
+      if (!batch.ok()) {
+        std::printf("%s\n", batch.status().ToString().c_str());
+        all_ok = false;
+        return;
+      }
+      const auto& item = (*batch)[0];
+      if (!item.status.ok()) {
+        std::printf("%s\n", item.status.ToString().c_str());
+        all_ok = false;
+        return;
+      }
+      Render(item.outcome);
+      RenderTiming(item.timing);
+      return;
+    }
     auto outcome = (*client)->Execute(statement);
     if (!outcome.ok()) {
       std::printf("%s\n", outcome.status().ToString().c_str());
@@ -110,6 +143,7 @@ int main(int argc, char** argv) {
           continue;
         }
         Render(item.outcome);
+        if (timing) RenderTiming(item.timing);
       }
       return all_ok ? 0 : 1;
     }

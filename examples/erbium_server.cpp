@@ -17,6 +17,9 @@
 //   --max-connections <n>  admission limit (default 64)
 //   --idle-timeout-ms <n>  drop connections idle this long (default 60000)
 //   --deadline-ms <n>      per-statement budget (default 30000; 0 = off)
+//   --metrics-port <n>     serve HTTP GET /metrics (Prometheus text) and
+//                          GET /healthz on this port (0 = ephemeral;
+//                          omit the flag to disable the endpoint)
 
 #include <signal.h>
 
@@ -49,6 +52,8 @@ int main(int argc, char** argv) {
       options.idle_timeout_ms = next_int(options.idle_timeout_ms);
     } else if (arg == "--deadline-ms") {
       options.request_deadline_ms = next_int(options.request_deadline_ms);
+    } else if (arg == "--metrics-port") {
+      options.metrics_port = next_int(options.metrics_port);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -74,6 +79,10 @@ int main(int argc, char** argv) {
               options.runner.attach_dir.empty()
                   ? ""
                   : (" (attached " + options.runner.attach_dir + ")").c_str());
+  if ((*server)->metrics_port() >= 0) {
+    std::printf("metrics on http://%s:%d/metrics (healthz on /healthz)\n",
+                options.host.c_str(), (*server)->metrics_port());
+  }
   std::fflush(stdout);
 
   int sig = 0;

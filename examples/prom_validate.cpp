@@ -1,0 +1,40 @@
+// Prometheus text-exposition validator: reads an exposition from stdin
+// (or from a file argument) and applies the same conformance rules the
+// test suite enforces on ExportPrometheusText output. Exits 0 when the
+// text conforms, 1 with a diagnostic on stderr otherwise — the CI smoke
+// job pipes a live `curl /metrics` scrape through it.
+//
+//   curl -fsS localhost:7178/metrics | ./build/examples/prom_validate
+//   ./build/examples/prom_validate BENCH_server.prom
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/export.h"
+
+int main(int argc, char** argv) {
+  std::ostringstream text;
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: prom_validate [file]  (default: stdin)\n");
+    return 2;
+  }
+  if (argc == 2) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "prom_validate: cannot open %s\n", argv[1]);
+      return 2;
+    }
+    text << in.rdbuf();
+  } else {
+    text << std::cin.rdbuf();
+  }
+  std::string error = erbium::obs::PrometheusFormatError(text.str());
+  if (!error.empty()) {
+    std::fprintf(stderr, "prom_validate: %s\n", error.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -6,6 +6,8 @@
 
 #include "common/lexer.h"
 #include "er/ddl_parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "erql/parser.h"
 #include "evolution/evolution.h"
 #include "workload/figure4.h"
@@ -90,14 +92,38 @@ Status StatementRunner::Rebuild(std::shared_ptr<ERSchema> next_schema) {
   return Status::OK();
 }
 
+namespace {
+
+/// Acquires a deferred statement lock, attributing any blocking to the
+/// statement.lock_wait_us histogram. The uncontended path is try_lock
+/// only — no clock reads — so the statement clock-read budget (4 per
+/// statement, all in the server) survives this instrumentation.
+template <typename Lock>
+void AcquireStatementLock(Lock* lock) {
+  if (lock->try_lock()) return;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.counter("statement.lock_contended").Increment();
+  uint64_t start = obs::MonotonicNowNs();
+  lock->lock();
+  static const std::vector<double>* bounds = new std::vector<double>{
+      10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000,
+      50000, 100000, 250000, 1e6};
+  registry.histogram("statement.lock_wait_us", *bounds)
+      .Observe(static_cast<double>(obs::MonotonicNowNs() - start) / 1e3);
+}
+
+}  // namespace
+
 Result<StatementOutcome> StatementRunner::Execute(
     const std::string& statement) {
   StatementClass cls = Classify(statement);
   if (cls == StatementClass::kRead) {
-    std::shared_lock<std::shared_mutex> lock(statement_mu_);
+    std::shared_lock<std::shared_mutex> lock(statement_mu_, std::defer_lock);
+    AcquireStatementLock(&lock);
     return ExecuteClassified(statement, cls);
   }
-  std::unique_lock<std::shared_mutex> lock(statement_mu_);
+  std::unique_lock<std::shared_mutex> lock(statement_mu_, std::defer_lock);
+  AcquireStatementLock(&lock);
   return ExecuteClassified(statement, cls);
 }
 

@@ -239,14 +239,23 @@ QueryResult ShowQueries(const Query& query) {
                      ? static_cast<size_t>(query.show_limit)
                      : std::numeric_limits<size_t>::max();
   QueryResult result;
-  result.columns = {"seq",  "kind",    "mapping", "wall",    "cpu",
-                    "rows", "threads", "status",  "session", "query"};
-  auto record_row = [](const obs::QueryRecord& r) {
+  result.columns = {"seq",        "kind",    "mapping",     "wall",
+                    "cpu",        "queue_wait", "write_stall", "rows",
+                    "threads",    "status",  "session",     "query"};
+  // Transport columns render "-" for statements that never crossed the
+  // wire (shell, embedded API) so local logs stay uncluttered.
+  auto server_ns = [](uint64_t ns, bool remote) {
+    return Value::String(remote ? obs::FormatNs(ns) : "-");
+  };
+  auto record_row = [&](const obs::QueryRecord& r) {
+    bool remote = r.queue_wait_ns > 0 || r.server_total_ns > 0;
     return Row{Value::Int64(static_cast<int64_t>(r.seq)),
                Value::String(r.kind),
                Value::String(r.mapping),
                Value::String(obs::FormatNs(r.wall_ns)),
                Value::String(obs::FormatNs(r.cpu_ns)),
+               server_ns(r.queue_wait_ns, remote),
+               server_ns(r.write_stall_ns, remote),
                Value::Int64(static_cast<int64_t>(r.rows_out)),
                Value::Int64(r.threads),
                Value::String(r.ok ? "ok" : r.error),
@@ -254,10 +263,10 @@ QueryResult ShowQueries(const Query& query) {
                Value::String(r.text)};
   };
   if (query.show_slow) {
-    result.columns.insert(result.columns.begin() + 5, "spans");
+    result.columns.insert(result.columns.begin() + 7, "spans");
     for (const obs::SlowQueryRecord& slow : telemetry.RecentSlow(limit)) {
       Row row = record_row(slow.record);
-      row.insert(row.begin() + 5,
+      row.insert(row.begin() + 7,
                  Value::Int64(static_cast<int64_t>(slow.stats.spans.size())));
       result.rows.push_back(std::move(row));
     }
@@ -275,8 +284,10 @@ QueryResult ShowQueries(const Query& query) {
 QueryResult ShowSessions() {
   uint64_t now = obs::MonotonicNowNs();
   QueryResult result;
-  result.columns = {"id",     "session", "peer", "state",         "statements",
-                    "errors", "age",     "idle", "last_statement"};
+  result.columns = {"id",       "session",  "peer",     "state",
+                    "statements", "errors", "bytes_in", "bytes_out",
+                    "pipeline", "peak_out", "age",      "idle",
+                    "last_statement"};
   for (const obs::SessionInfo& info : obs::SessionRegistry::Global().List()) {
     result.rows.push_back(Row{
         Value::Int64(static_cast<int64_t>(info.id)),
@@ -285,6 +296,10 @@ QueryResult ShowSessions() {
         Value::String(info.state),
         Value::Int64(static_cast<int64_t>(info.statements)),
         Value::Int64(static_cast<int64_t>(info.errors)),
+        Value::Int64(static_cast<int64_t>(info.bytes_in)),
+        Value::Int64(static_cast<int64_t>(info.bytes_out)),
+        Value::Int64(static_cast<int64_t>(info.pipeline_depth)),
+        Value::Int64(static_cast<int64_t>(info.peak_write_buffer)),
         Value::String(obs::FormatNs(now - info.connected_ns)),
         Value::String(obs::FormatNs(now - info.last_active_ns)),
         Value::String(info.last_statement)});

@@ -1,5 +1,8 @@
 #include "obs/export.h"
 
+#include <cstring>
+#include <regex>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -75,6 +78,48 @@ std::string ExportPrometheusText(const MetricsRegistry& registry) {
     out << prom << "_count " << snap.count << '\n';
   }
   return out.str();
+}
+
+std::string PrometheusFormatError(const std::string& text) {
+  static const std::regex kTypeLine(
+      R"(# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram))");
+  static const std::regex kSampleLine(
+      R"(([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?|\+Inf|-Inf|NaN))");
+  std::set<std::string> families;
+  std::istringstream lines(text);
+  std::string line;
+  int samples = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    std::smatch m;
+    if (line[0] == '#') {
+      if (!std::regex_match(line, m, kTypeLine)) {
+        return "malformed TYPE line: " + line;
+      }
+      families.insert(m[1]);
+      continue;
+    }
+    if (!std::regex_match(line, m, kSampleLine)) {
+      return "malformed sample line: " + line;
+    }
+    std::string name = m[1];
+    // _bucket/_sum/_count samples belong to the histogram family name.
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      size_t len = std::strlen(suffix);
+      if (name.size() > len &&
+          name.compare(name.size() - len, len, suffix) == 0 &&
+          families.count(name.substr(0, name.size() - len)) > 0) {
+        name = name.substr(0, name.size() - len);
+        break;
+      }
+    }
+    if (families.count(name) == 0) {
+      return "sample without TYPE declaration: " + line;
+    }
+    ++samples;
+  }
+  if (samples == 0) return "no samples in exposition";
+  return "";
 }
 
 std::string ExportChromeTrace(const QueryStats& stats,

@@ -21,6 +21,16 @@ std::string PrometheusName(const std::string& name);
 std::string ExportPrometheusText();
 std::string ExportPrometheusText(const MetricsRegistry& registry);
 
+/// Line-level conformance check for the text exposition format: every
+/// comment is a well-formed "# TYPE <name> counter|gauge|histogram"
+/// line, every sample parses and is preceded by its family's TYPE line
+/// (histogram _bucket/_sum/_count samples count toward the histogram's
+/// family), and the text carries at least one sample. Returns the empty
+/// string when `text` conforms, else a one-line description of the
+/// first violation. Shared by the exporter tests and the prom_validate
+/// CLI the CI smoke job pipes live scrapes through.
+std::string PrometheusFormatError(const std::string& text);
+
 /// Renders a collected query span tree as Chrome trace_event JSON — an
 /// object with a "traceEvents" array of complete ("ph":"X") events, one
 /// per span, loadable in Perfetto / chrome://tracing. Timestamps are

@@ -26,6 +26,14 @@ struct SessionInfo {
   std::string last_statement;
   uint64_t connected_ns = 0;    // MonotonicNowNs() at registration
   uint64_t last_active_ns = 0;  // MonotonicNowNs() of the last statement
+
+  // Transport counters, synced by the reactor loop thread (zero for the
+  // local shell session, which has no socket).
+  uint64_t bytes_in = 0;             // payload bytes read off the socket
+  uint64_t bytes_out = 0;            // payload bytes written to the socket
+  uint64_t pipeline_depth = 0;       // statements queued or executing now
+  uint64_t peak_write_buffer = 0;    // high-water mark of buffered response
+                                     // bytes awaiting flush
 };
 
 /// Process-wide registry of live sessions, the data source of

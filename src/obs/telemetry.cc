@@ -19,6 +19,10 @@ const std::vector<double>& LatencyBoundsMs() {
   return *bounds;
 }
 
+/// Active lifecycle scope of the executing thread, nullptr when the
+/// statement did not come through the network server.
+thread_local ScopedStatementLifecycle* t_lifecycle = nullptr;
+
 uint64_t SlowThresholdFromEnv() {
   const char* ms = std::getenv("ERBIUM_SLOW_QUERY_MS");
   if (ms == nullptr || *ms == '\0') {
@@ -31,6 +35,13 @@ uint64_t SlowThresholdFromEnv() {
 }
 
 }  // namespace
+
+ScopedStatementLifecycle::ScopedStatementLifecycle(uint64_t queue_wait_ns)
+    : queue_wait_ns_(queue_wait_ns), prev_(t_lifecycle) {
+  t_lifecycle = this;
+}
+
+ScopedStatementLifecycle::~ScopedStatementLifecycle() { t_lifecycle = prev_; }
 
 QueryTelemetry& QueryTelemetry::Global() {
   static QueryTelemetry* global = [] {
@@ -50,6 +61,10 @@ QueryTelemetry::QueryTelemetry(size_t capacity, size_t slow_capacity,
 uint64_t QueryTelemetry::Record(QueryRecord record, const QueryStats* stats) {
   uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   record.seq = seq;
+  if (t_lifecycle != nullptr) {
+    record.queue_wait_ns = t_lifecycle->queue_wait_ns_;
+    t_lifecycle->recorded_seq_ = seq;
+  }
   if (record.text.size() > kMaxTextBytes) {
     record.text.resize(kMaxTextBytes);
     record.text += "...";
@@ -77,6 +92,16 @@ uint64_t QueryTelemetry::Record(QueryRecord record, const QueryStats* stats) {
     SlowQueryRecord entry;
     entry.record = record;
     if (stats != nullptr) entry.stats = *stats;
+    if (entry.record.queue_wait_ns > 0) {
+      // Depth-0 siblings render sequentially in the Chrome-trace
+      // exporter, so a leading span turns the slow capture into a
+      // queue-wait -> execution timeline.
+      SpanRecord wait;
+      wait.name = "server.queue_wait";
+      wait.detail = "reactor";
+      wait.stats.wall_ns = entry.record.queue_wait_ns;
+      entry.stats.spans.insert(entry.stats.spans.begin(), wait);
+    }
     std::lock_guard<std::mutex> lock(slow_mu_);
     if (slow_ring_.size() < slow_capacity_) {
       slow_ring_.push_back(std::move(entry));
@@ -95,6 +120,33 @@ uint64_t QueryTelemetry::Record(QueryRecord record, const QueryStats* stats) {
     shard.next = (shard.next + 1) % shard_capacity_;
   }
   return seq;
+}
+
+void QueryTelemetry::AnnotateWriteStall(uint64_t seq, uint64_t write_stall_ns,
+                                        uint64_t server_total_ns) {
+  if (seq == 0) return;
+  Shard& shard = shards_[seq % kShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (QueryRecord& record : shard.ring) {
+      if (record.seq != seq) continue;
+      record.write_stall_ns = write_stall_ns;
+      record.server_total_ns = server_total_ns;
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  for (SlowQueryRecord& entry : slow_ring_) {
+    if (entry.record.seq != seq) continue;
+    entry.record.write_stall_ns = write_stall_ns;
+    entry.record.server_total_ns = server_total_ns;
+    SpanRecord stall;
+    stall.name = "server.write_stall";
+    stall.detail = "reactor";
+    stall.stats.wall_ns = write_stall_ns;
+    entry.stats.spans.push_back(stall);
+    break;
+  }
 }
 
 std::vector<QueryRecord> QueryTelemetry::Recent(size_t limit) const {

@@ -33,6 +33,15 @@ struct QueryRecord {
   int threads = 1;        // ExecOptions::num_threads the statement ran with
   bool ok = true;
   std::string error;      // status message when !ok
+
+  // Server transport lifecycle, zero for statements that never crossed
+  // the wire (local shell, embedded API). queue_wait is stamped by
+  // Record() from the ScopedStatementLifecycle of the executing worker;
+  // write_stall / server_total arrive later via AnnotateWriteStall()
+  // once the reactor has flushed the response to the socket.
+  uint64_t queue_wait_ns = 0;    // frame decode -> worker picked it up
+  uint64_t write_stall_ns = 0;   // response queued -> last byte written
+  uint64_t server_total_ns = 0;  // frame decode -> last byte written
 };
 
 /// A slow query keeps its full span tree (per-operator rows, and wall/cpu
@@ -82,6 +91,15 @@ class QueryTelemetry {
   /// has an empty span tree). Returns the assigned sequence id.
   uint64_t Record(QueryRecord record, const QueryStats* stats = nullptr);
 
+  /// Back-fills the transport tail of an already-recorded statement:
+  /// the reactor only learns the write-stall once the response's last
+  /// byte leaves the socket, which is after Record() ran on the worker.
+  /// Locates seq in its shard ring (and the slow ring, where it also
+  /// appends a "server.write_stall" span) and stamps both durations.
+  /// A seq that has already been overwritten is silently ignored.
+  void AnnotateWriteStall(uint64_t seq, uint64_t write_stall_ns,
+                          uint64_t server_total_ns);
+
   /// Most recent records, newest first, at most `limit`.
   std::vector<QueryRecord> Recent(
       size_t limit = std::numeric_limits<size_t>::max()) const;
@@ -125,6 +143,34 @@ class QueryTelemetry {
   mutable std::mutex slow_mu_;
   std::vector<SlowQueryRecord> slow_ring_;
   size_t slow_next_ = 0;
+};
+
+/// Carries the server-side lifecycle of one statement from the reactor
+/// into QueryTelemetry::Record() without widening every Execute()
+/// signature in between. The worker thread opens a scope around the
+/// statement (with the queue wait it measured); Record() — called deep
+/// inside the engine — stamps that wait into the QueryRecord and leaves
+/// the assigned seq behind, which the worker forwards to the reactor so
+/// the flush path can AnnotateWriteStall() the same entry. Thread-local
+/// and re-entrant (nested scopes shadow, then restore).
+class ScopedStatementLifecycle {
+ public:
+  explicit ScopedStatementLifecycle(uint64_t queue_wait_ns);
+  ~ScopedStatementLifecycle();
+  ScopedStatementLifecycle(const ScopedStatementLifecycle&) = delete;
+  ScopedStatementLifecycle& operator=(const ScopedStatementLifecycle&) = delete;
+
+  /// Seq assigned by the (last) Record() that ran inside this scope;
+  /// 0 when the statement never reached the telemetry log.
+  uint64_t recorded_seq() const { return recorded_seq_; }
+
+  uint64_t queue_wait_ns() const { return queue_wait_ns_; }
+
+ private:
+  friend class QueryTelemetry;
+  uint64_t queue_wait_ns_;
+  uint64_t recorded_seq_ = 0;
+  ScopedStatementLifecycle* prev_;
 };
 
 }  // namespace obs

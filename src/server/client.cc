@@ -203,7 +203,8 @@ Result<std::vector<Client::BatchItem>> Client::ExecuteBatch(
       // A per-statement failure — the batch (and connection) live on.
       ERBIUM_RETURN_NOT_OK(DecodeErrorBody(body, &item.status));
     } else {
-      ERBIUM_ASSIGN_OR_RETURN(item.outcome, DecodeResultBody(body));
+      ERBIUM_ASSIGN_OR_RETURN(item.outcome,
+                              DecodeResultBody(body, &item.timing));
     }
     items.push_back(std::move(item));
   }

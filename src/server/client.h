@@ -53,10 +53,12 @@ class Client {
   Result<api::StatementOutcome> Execute(const std::string& statement);
 
   /// One pipelined statement's result: the server's per-statement
-  /// Status plus, on success, its outcome.
+  /// Status plus, on success, its outcome and — when the server sent a
+  /// timing footer — where the statement's server-side time went.
   struct BatchItem {
     Status status = Status::OK();
     api::StatementOutcome outcome;
+    ServerTiming timing;
   };
 
   /// Pipelines a batch: sends every statement as a seq-tagged frame in

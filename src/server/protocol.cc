@@ -131,7 +131,23 @@ Result<std::string> DecodeStatementBody(const std::string& body) {
   return reader.String();
 }
 
+std::string EncodeServerTimingFooter(const ServerTiming& timing) {
+  std::string footer;
+  PutU8(kServerTimingMarker, &footer);
+  PutU8(2, &footer);
+  PutString("queue_wait_us", &footer);
+  PutU64(timing.queue_wait_us, &footer);
+  PutString("execute_us", &footer);
+  PutU64(timing.execute_us, &footer);
+  return footer;
+}
+
 Result<api::StatementOutcome> DecodeResultBody(const std::string& body) {
+  return DecodeResultBody(body, nullptr);
+}
+
+Result<api::StatementOutcome> DecodeResultBody(const std::string& body,
+                                               ServerTiming* timing) {
   ByteReader reader(body.data(), body.size());
   api::StatementOutcome outcome;
   ERBIUM_ASSIGN_OR_RETURN(uint8_t shape, reader.U8());
@@ -160,6 +176,27 @@ Result<api::StatementOutcome> DecodeResultBody(const std::string& body) {
   for (uint32_t i = 0; i < n_rows; ++i) {
     ERBIUM_ASSIGN_OR_RETURN(Row row, reader.ReadValues());
     outcome.result.rows.push_back(std::move(row));
+  }
+  if (!reader.AtEnd() && timing != nullptr) {
+    // Optional server-timing footer. Fields are name-tagged so the
+    // server may append new ones without a version bump; unknown names
+    // are skipped. A malformed footer is a framing error like any other
+    // truncated body.
+    ERBIUM_ASSIGN_OR_RETURN(uint8_t marker, reader.U8());
+    if (marker != kServerTimingMarker) {
+      return Status::IOError("result frame has trailing bytes");
+    }
+    ERBIUM_ASSIGN_OR_RETURN(uint8_t n_fields, reader.U8());
+    for (uint8_t i = 0; i < n_fields; ++i) {
+      ERBIUM_ASSIGN_OR_RETURN(std::string name, reader.String());
+      ERBIUM_ASSIGN_OR_RETURN(uint64_t value, reader.U64());
+      if (name == "queue_wait_us") {
+        timing->queue_wait_us = value;
+      } else if (name == "execute_us") {
+        timing->execute_us = value;
+      }
+    }
+    timing->present = true;
   }
   if (!reader.AtEnd()) {
     return Status::IOError("result frame has trailing bytes");

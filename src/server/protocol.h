@@ -129,6 +129,36 @@ Result<HelloOkBody> DecodeHelloOkBody(const std::string& body);
 Result<std::string> DecodeStatementBody(const std::string& body);
 Result<api::StatementOutcome> DecodeResultBody(const std::string& body);
 
+/// Server-side latency breakdown a kResultSeq frame may carry as a
+/// trailing footer — the server measured where the statement's time
+/// went, the client gets to see it without a second round-trip.
+/// write-stall is intentionally absent: the server only knows it after
+/// the response (including this footer) has left the socket.
+struct ServerTiming {
+  bool present = false;
+  uint64_t queue_wait_us = 0;  // frame decode -> worker pickup
+  uint64_t execute_us = 0;     // worker execute window
+};
+
+/// Footer layout, appended after a kResultSeq result body:
+///
+///   [u8 0xF7 marker][u8 n_fields][n_fields * (string name, u64 value)]
+///
+/// Self-describing so fields are append-only: a decoder skips names it
+/// does not know, and a v1 client that never asks for timing still
+/// decodes the body via the strict overload's prefix. Only kResultSeq
+/// carries it — plain kResult keeps its exact-length contract, which is
+/// the corruption tripwire for classic one-shot clients.
+constexpr uint8_t kServerTimingMarker = 0xF7;
+
+std::string EncodeServerTimingFooter(const ServerTiming& timing);
+
+/// Timing-aware overload: decodes the result body and, when a
+/// well-formed timing footer trails it, fills *timing (present = true).
+/// Trailing bytes that are not a timing footer are still an error.
+Result<api::StatementOutcome> DecodeResultBody(const std::string& body,
+                                               ServerTiming* timing);
+
 struct StatementSeqBody {
   uint64_t seq = 0;
   std::string statement;

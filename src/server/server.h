@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "server/protocol.h"
 #include "server/session.h"
 
@@ -50,6 +51,12 @@ struct ServerOptions {
   /// CHECKPOINT once all sessions have drained during Stop(), when a
   /// database is attached.
   bool checkpoint_on_shutdown = true;
+  /// Second listener, served by the same epoll loop, speaking just
+  /// enough HTTP for `GET /metrics` (Prometheus text exposition) and
+  /// `GET /healthz` — the server is scrapeable without a wire-protocol
+  /// session. -1 disables; 0 binds an ephemeral port (read it back
+  /// with metrics_port()).
+  int metrics_port = -1;
 };
 
 /// Event-driven TCP server speaking the frame protocol of
@@ -85,6 +92,9 @@ class Server {
   /// The bound TCP port (resolves ephemeral binds).
   int port() const { return port_; }
 
+  /// The bound metrics/health HTTP port, -1 when disabled.
+  int metrics_port() const { return metrics_port_; }
+
   /// Graceful shutdown; idempotent. Returns the final-checkpoint status
   /// (OK when nothing is attached or checkpointing is disabled).
   Status Stop();
@@ -95,22 +105,32 @@ class Server {
  private:
   struct Connection;
   /// A worker's finished statement: the already-encoded response frame,
-  /// routed back to its connection by id (the connection may be gone).
+  /// routed back to its connection by id (the connection may be gone),
+  /// plus the lifecycle stamps the flush path needs to finish the
+  /// statement's timing story once the last byte leaves the socket.
   struct Completion {
     uint64_t conn_id = 0;
     std::string frame;
+    uint64_t telemetry_seq = 0;  // QueryTelemetry seq, 0 if unrecorded
+    uint64_t decode_ns = 0;      // statement frame decoded (t0)
+    uint64_t done_ns = 0;        // worker finished executing (t2); also
+                                 // the completion-queue push time the
+                                 // loop-lag histogram measures against
   };
   struct PendingStatement {
     bool tagged = false;  // kStatementSeq (reply carries seq) vs kStatement
     uint64_t seq = 0;
     std::string text;
+    uint64_t decode_ns = 0;  // MonotonicNowNs() at frame decode (t0)
   };
 
   explicit Server(ServerOptions options) : options_(std::move(options)) {}
 
   void EventLoop();
-  void HandleAccept();
+  void HandleAccept(int listen_fd, bool http);
   void HandleReadable(const std::shared_ptr<Connection>& conn);
+  void HandleHttpReadable(const std::shared_ptr<Connection>& conn);
+  void HandleHttpRequest(const std::shared_ptr<Connection>& conn);
   void DrainDecoder(const std::shared_ptr<Connection>& conn);
   void HandleFrame(const std::shared_ptr<Connection>& conn,
                    FrameType type, const std::string& body);
@@ -120,6 +140,14 @@ class Server {
   void DrainCompletions();
   void QueueFrame(const std::shared_ptr<Connection>& conn, FrameType type,
                   const std::string& body);
+  /// Appends pre-encoded bytes to conn's write queue, maintaining the
+  /// backlog accounting (gauge + per-connection peak).
+  void QueueBytes(const std::shared_ptr<Connection>& conn, std::string bytes,
+                  uint64_t telemetry_seq = 0, uint64_t decode_ns = 0,
+                  uint64_t done_ns = 0);
+  /// Drops conn's write queue (broken socket / forced close), keeping
+  /// the backlog gauge honest.
+  void DiscardOutput(const std::shared_ptr<Connection>& conn);
   void FlushWrites(const std::shared_ptr<Connection>& conn);
   void BeginDrain(const std::shared_ptr<Connection>& conn);
   void UpdateEpoll(const std::shared_ptr<Connection>& conn);
@@ -128,12 +156,19 @@ class Server {
   void HandleTimeouts();
   int ComputeTimeoutMs() const;
   void WakeLoop();
+  /// Pushes conn's transport counters into the SessionRegistry (the
+  /// SHOW SESSIONS source); per-event granularity, never per byte.
+  void SyncSessionStats(const std::shared_ptr<Connection>& conn);
+  void RegisterMetrics();
 
   ServerOptions options_;
   int port_ = 0;
   int listen_fd_ = -1;
+  int metrics_listen_fd_ = -1;
+  int metrics_port_ = -1;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;  // eventfd: workers (and Stop) wake the loop
+  uint64_t start_ns_ = 0;  // MonotonicNowNs() at Start, for the uptime gauge
 
   std::unique_ptr<SessionManager> manager_;
   /// Dedicated statement-execution pool (see ServerOptions::worker_threads).
@@ -146,10 +181,31 @@ class Server {
   /// Loop-thread-owned connection table; workers never touch it — they
   /// reference connections by id through the completion queue.
   std::unordered_map<uint64_t, std::shared_ptr<Connection>> conns_;
-  uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = wake eventfd
+  uint64_t next_conn_id_ = 3;  // 0 = listener, 1 = wake eventfd,
+                               // 2 = metrics listener
 
   std::mutex completions_mu_;
   std::deque<Completion> completions_;
+
+  // Cached handles for the reactor/lifecycle metrics (registration takes
+  // the registry lock; the hot path must not). All registered once in
+  // RegisterMetrics() before the loop thread starts.
+  obs::Histogram hist_queue_wait_us_;
+  obs::Histogram hist_execute_us_;
+  obs::Histogram hist_write_stall_us_;
+  obs::Histogram hist_total_us_;
+  obs::Histogram hist_loop_lag_us_;
+  obs::Histogram hist_loop_iter_us_;
+  obs::Histogram hist_pipeline_depth_;
+  obs::Counter ctr_bytes_in_;
+  obs::Counter ctr_bytes_out_;
+  obs::Counter ctr_scrapes_;
+  obs::Gauge gauge_worker_queue_;
+  obs::Gauge gauge_write_backlog_;
+  obs::Gauge gauge_uptime_;
+  /// Loop-thread shadow of gauge_write_backlog_ (buffered response bytes
+  /// across all connections).
+  int64_t write_backlog_bytes_ = 0;
 };
 
 }  // namespace server

@@ -1,0 +1,25 @@
+// Shared Prometheus text-exposition validation for tests: used by the
+// exporter conformance tests (telemetry_test.cc) and against live
+// scrapes of the server's /metrics endpoint (server_metrics_test.cc).
+// The format rules themselves live in obs::PrometheusFormatError so
+// the prom_validate CLI (CI smoke job) applies the identical check.
+#ifndef ERBIUM_TESTS_PROM_TESTLIB_H_
+#define ERBIUM_TESTS_PROM_TESTLIB_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.h"
+
+namespace erbium {
+namespace obs {
+
+inline void ValidatePrometheusText(const std::string& text) {
+  EXPECT_EQ(PrometheusFormatError(text), "");
+}
+
+}  // namespace obs
+}  // namespace erbium
+
+#endif  // ERBIUM_TESTS_PROM_TESTLIB_H_

@@ -1,0 +1,326 @@
+// Server observability integration tests: the live /metrics + /healthz
+// HTTP endpoint served off the reactor's epoll loop, the statement
+// lifecycle histograms (queue wait / execute / write stall / total),
+// the server-timing footer round-tripping through Client::ExecuteBatch,
+// and the per-statement invariant queue_wait + wall + write_stall <=
+// server_total on QueryTelemetry records. The hammer test scrapes
+// /metrics concurrently with eight pipelining clients and validates
+// every exposition against the Prometheus text format. Runs under TSan
+// in CI (the `server` label).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/telemetry.h"
+#include "prom_testlib.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace erbium {
+namespace server {
+namespace {
+
+ServerOptions Figure4ServerOptions() {
+  ServerOptions options;
+  options.port = 0;
+  options.runner.figure4 = true;
+  options.runner.figure4_num_r = 200;
+  options.runner.figure4_num_s = 80;
+  options.metrics_port = 0;  // ephemeral scrape endpoint
+  return options;
+}
+
+Client::Options ClientFor(const Server& server, const std::string& name) {
+  Client::Options options;
+  options.port = server.port();
+  options.name = name;
+  return options;
+}
+
+/// One-shot HTTP exchange over a raw TCP socket: sends `request`
+/// verbatim and reads until the server closes (the endpoint answers
+/// every request with Connection: close). Returns the full response
+/// text, empty on connect failure.
+std::string MiniHttpExchange(int port, const std::string& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string MiniHttpGet(int port, const std::string& target) {
+  return MiniHttpExchange(port,
+                          "GET " + target + " HTTP/1.1\r\nHost: test\r\n\r\n");
+}
+
+/// "HTTP/1.1 200 OK\r\n..." -> 200; 0 when unparsable.
+int StatusCodeOf(const std::string& response) {
+  size_t space = response.find(' ');
+  if (space == std::string::npos) return 0;
+  return std::atoi(response.c_str() + space + 1);
+}
+
+std::string BodyOf(const std::string& response) {
+  size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+TEST(ServerMetricsTest, EndpointDisabledByDefault) {
+  auto server = Server::Start(ServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  EXPECT_EQ((*server)->metrics_port(), -1);
+  EXPECT_TRUE((*server)->Stop().ok());
+}
+
+TEST(ServerMetricsTest, ScrapeServesMetricsAndHealth) {
+  auto server = Server::Start(Figure4ServerOptions());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  int port = (*server)->metrics_port();
+  ASSERT_GT(port, 0);
+
+  // Run a pipelined batch first so every lifecycle histogram has
+  // observations: queue_wait/execute stamp on the worker, write_stall/
+  // total stamp when the response frame drains to the socket — all
+  // before ExecuteBatch returns.
+  auto client = Client::Connect(ClientFor(**server, "scrape"));
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto batch = (*client)->ExecuteBatch({
+      "SELECT r_id FROM R WHERE r_id < 10",
+      "SELECT s_id FROM S WHERE s_id < 30",
+      "SHOW SESSIONS",
+  });
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+
+  std::string health = MiniHttpGet(port, "/healthz");
+  EXPECT_EQ(StatusCodeOf(health), 200) << health;
+  EXPECT_EQ(BodyOf(health), "ok\n");
+
+  std::string scrape = MiniHttpGet(port, "/metrics");
+  ASSERT_EQ(StatusCodeOf(scrape), 200) << scrape;
+  EXPECT_NE(scrape.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(scrape.find("Connection: close"), std::string::npos);
+  std::string body = BodyOf(scrape);
+  obs::ValidatePrometheusText(body);
+
+  // The three lifecycle histograms plus total, reactor health, and the
+  // build/uptime/plan-cache gauges all appear in one scrape.
+  for (const char* family : {
+           "# TYPE erbium_server_queue_wait_us histogram",
+           "# TYPE erbium_server_execute_us histogram",
+           "# TYPE erbium_server_write_stall_us histogram",
+           "# TYPE erbium_server_statement_total_us histogram",
+           "# TYPE erbium_server_loop_lag_us histogram",
+           "# TYPE erbium_server_loop_iteration_us histogram",
+           "# TYPE erbium_server_pipeline_depth histogram",
+           "# TYPE erbium_build_info gauge",
+           "# TYPE erbium_server_uptime_seconds gauge",
+           "# TYPE erbium_plan_cache_entries gauge",
+           "# TYPE erbium_server_bytes_in counter",
+           "# TYPE erbium_server_bytes_out counter",
+           "# TYPE erbium_server_metrics_scrapes counter",
+       }) {
+    EXPECT_NE(body.find(family), std::string::npos) << family;
+  }
+  // Every pipelined statement flowed through the full lifecycle.
+  EXPECT_NE(body.find("erbium_server_queue_wait_us_count"), std::string::npos);
+  EXPECT_NE(body.find("erbium_build_info 1"), std::string::npos);
+
+  // Unknown path, wrong method, and garbage each get an HTTP error
+  // without disturbing the endpoint.
+  EXPECT_EQ(StatusCodeOf(MiniHttpGet(port, "/nope")), 404);
+  EXPECT_EQ(StatusCodeOf(MiniHttpExchange(
+                port, "POST /metrics HTTP/1.1\r\nHost: test\r\n\r\n")),
+            405);
+  EXPECT_EQ(StatusCodeOf(MiniHttpExchange(port, "how is this http\r\n\r\n")),
+            400);
+  EXPECT_EQ(StatusCodeOf(MiniHttpGet(port, "/metrics")), 200);
+
+  EXPECT_TRUE((*server)->Stop().ok());
+}
+
+TEST(ServerMetricsTest, ServerTimingFooterRoundTripsThroughBatch) {
+  auto server = Server::Start(Figure4ServerOptions());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto client = Client::Connect(ClientFor(**server, "timing"));
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto batch = (*client)->ExecuteBatch({
+      "SELECT r_id FROM R WHERE r_id < 5",
+      "SELECT nope FROM R",  // error: no footer on kErrorSeq frames
+      "SELECT s_id FROM S WHERE s_id < 40",
+  });
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), 3u);
+
+  EXPECT_TRUE((*batch)[0].status.ok());
+  EXPECT_TRUE((*batch)[0].timing.present);
+  EXPECT_FALSE((*batch)[1].status.ok());
+  EXPECT_FALSE((*batch)[1].timing.present);
+  EXPECT_TRUE((*batch)[2].status.ok());
+  EXPECT_TRUE((*batch)[2].timing.present);
+
+  // Sanity bounds: the server measured real time, not garbage. A
+  // statement that takes a minute of queue wait in this test means the
+  // footer decoded the wrong field.
+  for (size_t i : {size_t{0}, size_t{2}}) {
+    const auto& timing = (*batch)[i].timing;
+    EXPECT_LT(timing.queue_wait_us, 60'000'000u) << i;
+    EXPECT_LT(timing.execute_us, 60'000'000u) << i;
+  }
+  EXPECT_TRUE((*server)->Stop().ok());
+}
+
+TEST(ServerMetricsTest, LifecycleBreakdownBoundedByServerTotal) {
+  auto server = Server::Start(Figure4ServerOptions());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto client = Client::Connect(ClientFor(**server, "lifecycle-inv"));
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  constexpr int kStatements = 12;
+  std::vector<std::string> statements;
+  for (int i = 0; i < kStatements; ++i) {
+    statements.push_back("SELECT r_id FROM R WHERE r_id < " +
+                         std::to_string(20 + i));
+  }
+  auto batch = (*client)->ExecuteBatch(statements);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+
+  // AnnotateWriteStall runs on the loop thread when the response frame
+  // finishes draining to the socket — concurrently with the client
+  // reading it — so poll briefly for the annotations to land.
+  std::vector<obs::QueryRecord> mine;
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    mine.clear();
+    for (const obs::QueryRecord& r : obs::QueryTelemetry::Global().Recent()) {
+      if (r.session == "lifecycle-inv" && r.server_total_ns > 0) {
+        mine.push_back(r);
+      }
+    }
+    if (static_cast<int>(mine.size()) >= kStatements) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(static_cast<int>(mine.size()), kStatements);
+
+  // The breakdown is measured on one clock at four points (decode t0,
+  // execute start t1, execute end t2, flush t3), and the engine's wall
+  // window nests inside [t1, t2] — so the sum of the parts can never
+  // exceed the server total.
+  uint64_t max_queue_wait = 0;
+  for (const obs::QueryRecord& r : mine) {
+    max_queue_wait = std::max(max_queue_wait, r.queue_wait_ns);
+    EXPECT_LE(r.queue_wait_ns + r.wall_ns + r.write_stall_ns,
+              r.server_total_ns)
+        << r.text;
+  }
+  EXPECT_GT(max_queue_wait, 0u);
+  EXPECT_TRUE((*server)->Stop().ok());
+}
+
+TEST(ServerMetricsTest, ConcurrentScrapeUnderEightClientHammer) {
+  auto server = Server::Start(Figure4ServerOptions());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  int metrics_port = (*server)->metrics_port();
+  ASSERT_GT(metrics_port, 0);
+
+  constexpr int kClients = 8;
+  constexpr int kBatchesPerClient = 12;
+  constexpr int kScrapers = 2;
+  constexpr int kScrapesEach = 10;
+
+  std::atomic<int> statement_errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients + kScrapers);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client =
+          Client::Connect(ClientFor(**server, "hammer-" + std::to_string(c)));
+      if (!client.ok()) {
+        statement_errors.fetch_add(1);
+        return;
+      }
+      for (int b = 0; b < kBatchesPerClient; ++b) {
+        auto batch = (*client)->ExecuteBatch({
+            "SELECT r_id FROM R WHERE r_id < " + std::to_string(10 + b),
+            "SELECT s_id, s_a1 FROM S WHERE s_id < 25",
+            "SELECT r_a1 FROM R WHERE r_id = " + std::to_string(1 + c),
+            "SHOW METRICS LIKE 'server.*'",
+        });
+        if (!batch.ok()) {
+          statement_errors.fetch_add(1);
+          return;
+        }
+        for (const auto& item : *batch) {
+          if (!item.status.ok() || !item.timing.present) {
+            statement_errors.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+
+  // Scrapers collect raw responses; validation happens on the main
+  // thread after join (gtest assertions are not thread-safe).
+  std::vector<std::vector<std::string>> scrapes(kScrapers);
+  for (int s = 0; s < kScrapers; ++s) {
+    threads.emplace_back([&, s] {
+      for (int i = 0; i < kScrapesEach; ++i) {
+        scrapes[s].push_back(MiniHttpGet(metrics_port, "/metrics"));
+        scrapes[s].push_back(MiniHttpGet(metrics_port, "/healthz"));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(statement_errors.load(), 0);
+  for (const auto& per_thread : scrapes) {
+    ASSERT_EQ(per_thread.size(), 2u * kScrapesEach);
+    for (size_t i = 0; i < per_thread.size(); i += 2) {
+      const std::string& metrics = per_thread[i];
+      ASSERT_EQ(StatusCodeOf(metrics), 200);
+      obs::ValidatePrometheusText(BodyOf(metrics));
+      EXPECT_EQ(StatusCodeOf(per_thread[i + 1]), 200);
+      EXPECT_EQ(BodyOf(per_thread[i + 1]), "ok\n");
+    }
+  }
+  EXPECT_TRUE((*server)->Stop().ok());
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace erbium

@@ -145,6 +145,73 @@ TEST(ProtocolBodyTest, ResultSeqRoundTrips) {
   EXPECT_EQ(decoded->result.rows[0][0].as_int64(), 3);
 }
 
+TEST(ProtocolBodyTest, ServerTimingFooterRoundTrips) {
+  api::StatementOutcome outcome;
+  outcome.shape = api::OutputShape::kTable;
+  outcome.result.columns = {"a"};
+  outcome.result.rows.push_back({Value::Int64(3)});
+
+  ServerTiming timing;
+  timing.present = true;
+  timing.queue_wait_us = 1'234;
+  timing.execute_us = 98'765;
+  std::string body = EncodeResultBody(outcome) + EncodeServerTimingFooter(timing);
+
+  ServerTiming decoded_timing;
+  auto decoded = DecodeResultBody(body, &decoded_timing);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->result.rows.size(), 1u);
+  EXPECT_EQ(decoded->result.rows[0][0].as_int64(), 3);
+  EXPECT_TRUE(decoded_timing.present);
+  EXPECT_EQ(decoded_timing.queue_wait_us, 1'234u);
+  EXPECT_EQ(decoded_timing.execute_us, 98'765u);
+}
+
+TEST(ProtocolBodyTest, FooterIsAbsentOnPlainBodies) {
+  // A body without a footer decodes with timing untouched — that is how
+  // the client stays compatible with footer-less (older) servers.
+  api::StatementOutcome outcome;
+  outcome.shape = api::OutputShape::kMessage;
+  outcome.message = "ok";
+  ServerTiming timing;
+  auto decoded = DecodeResultBody(EncodeResultBody(outcome), &timing);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(timing.present);
+}
+
+TEST(ProtocolBodyTest, StrictDecodeRejectsFooteredBody) {
+  // The footer rides only on seq-tagged responses; the plain kResult
+  // path keeps its trailing-bytes strictness.
+  api::StatementOutcome outcome;
+  outcome.shape = api::OutputShape::kMessage;
+  outcome.message = "ok";
+  ServerTiming timing;
+  timing.present = true;
+  timing.queue_wait_us = 1;
+  timing.execute_us = 2;
+  std::string body = EncodeResultBody(outcome) + EncodeServerTimingFooter(timing);
+  auto decoded = DecodeResultBody(body);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kIOError);
+}
+
+TEST(ProtocolBodyTest, TruncatedFooterFailsCleanly) {
+  api::StatementOutcome outcome;
+  outcome.shape = api::OutputShape::kMessage;
+  outcome.message = "ok";
+  ServerTiming timing;
+  timing.present = true;
+  timing.queue_wait_us = 7;
+  timing.execute_us = 8;
+  std::string plain = EncodeResultBody(outcome);
+  std::string footer = EncodeServerTimingFooter(timing);
+  for (size_t cut = 1; cut < footer.size(); ++cut) {
+    ServerTiming out;
+    auto decoded = DecodeResultBody(plain + footer.substr(0, cut), &out);
+    EXPECT_FALSE(decoded.ok()) << "cut at " << cut;
+  }
+}
+
 TEST(ProtocolBodyTest, ErrorSeqRoundTrips) {
   std::string body =
       EncodeErrorSeqBody(12, Status::NotFound("no such attribute"));

@@ -18,6 +18,7 @@
 #include "erql/query_engine.h"
 #include "mini_json.h"
 #include "obs/export.h"
+#include "prom_testlib.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "workload/figure4.h"
@@ -128,6 +129,65 @@ TEST(TelemetryTest, RecordFeedsRegistryMetrics) {
             1u);
 }
 
+TEST(TelemetryTest, LifecycleScopeStampsQueueWaitAndReportsSeq) {
+  MetricsRegistry registry;
+  QueryTelemetry telemetry(16, 4, &registry);
+  telemetry.set_slow_threshold_ns(UINT64_MAX);
+
+  // Without a scope the record carries no transport lifecycle.
+  telemetry.Record(MakeRecord("local"));
+  EXPECT_EQ(telemetry.Recent(1).front().queue_wait_ns, 0u);
+
+  uint64_t seq = 0;
+  {
+    ScopedStatementLifecycle lifecycle(/*queue_wait_ns=*/12'345);
+    telemetry.Record(MakeRecord("remote"));
+    seq = lifecycle.recorded_seq();
+  }
+  ASSERT_NE(seq, 0u);
+  QueryRecord stored = telemetry.Recent(1).front();
+  EXPECT_EQ(stored.seq, seq);
+  EXPECT_EQ(stored.queue_wait_ns, 12'345u);
+  EXPECT_EQ(stored.write_stall_ns, 0u);  // not annotated yet
+
+  telemetry.AnnotateWriteStall(seq, /*write_stall_ns=*/777,
+                               /*server_total_ns=*/99'999);
+  stored = telemetry.Recent(1).front();
+  EXPECT_EQ(stored.write_stall_ns, 777u);
+  EXPECT_EQ(stored.server_total_ns, 99'999u);
+  // Unknown (evicted) seqs are ignored, not invented.
+  telemetry.AnnotateWriteStall(seq + 1000, 1, 1);
+}
+
+TEST(TelemetryTest, SlowCaptureGrowsServerSpans) {
+  MetricsRegistry registry;
+  QueryTelemetry telemetry(16, 4, &registry);
+  telemetry.set_slow_threshold_ns(0);  // everything is slow
+
+  uint64_t seq = 0;
+  QueryStats stats;
+  SpanRecord scan;
+  scan.name = "Scan";
+  stats.spans.push_back(scan);
+  {
+    ScopedStatementLifecycle lifecycle(5'000);
+    telemetry.Record(MakeRecord("remote slow"), &stats);
+    seq = lifecycle.recorded_seq();
+  }
+  telemetry.AnnotateWriteStall(seq, 2'000, 50'000);
+
+  std::vector<SlowQueryRecord> slow = telemetry.RecentSlow(1);
+  ASSERT_EQ(slow.size(), 1u);
+  // queue-wait span prepended at capture, write-stall appended by the
+  // annotation — the capture renders as a transport-to-engine timeline.
+  ASSERT_EQ(slow[0].stats.spans.size(), 3u);
+  EXPECT_EQ(slow[0].stats.spans.front().name, "server.queue_wait");
+  EXPECT_EQ(slow[0].stats.spans.front().stats.wall_ns, 5'000u);
+  EXPECT_EQ(slow[0].stats.spans[1].name, "Scan");
+  EXPECT_EQ(slow[0].stats.spans.back().name, "server.write_stall");
+  EXPECT_EQ(slow[0].stats.spans.back().stats.wall_ns, 2'000u);
+}
+
 TEST(TelemetryTest, ClearEmptiesRingsButKeepsNumbering) {
   MetricsRegistry registry;
   QueryTelemetry telemetry(16, 4, &registry);
@@ -197,44 +257,8 @@ TEST(TelemetryTest, ConcurrentRecordingKeepsInvariants) {
 // ---------------------------------------------------------------------
 // Prometheus exporter.
 
-// Line-level validator for the text exposition format: TYPE comments,
-// sample syntax, every sample preceded by its family's TYPE line, and
-// histogram invariants (cumulative buckets, le="+Inf" == _count).
-void ValidatePrometheusText(const std::string& text) {
-  static const std::regex kTypeLine(
-      R"(# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram))");
-  static const std::regex kSampleLine(
-      R"(([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?|\+Inf|-Inf|NaN))");
-  std::set<std::string> families;
-  std::istringstream lines(text);
-  std::string line;
-  int samples = 0;
-  while (std::getline(lines, line)) {
-    if (line.empty()) continue;
-    std::smatch m;
-    if (line[0] == '#') {
-      ASSERT_TRUE(std::regex_match(line, m, kTypeLine)) << line;
-      families.insert(m[1]);
-      continue;
-    }
-    ASSERT_TRUE(std::regex_match(line, m, kSampleLine)) << line;
-    std::string name = m[1];
-    // _bucket/_sum/_count samples belong to the histogram family name.
-    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
-      size_t len = std::strlen(suffix);
-      if (name.size() > len &&
-          name.compare(name.size() - len, len, suffix) == 0 &&
-          families.count(name.substr(0, name.size() - len)) > 0) {
-        name = name.substr(0, name.size() - len);
-        break;
-      }
-    }
-    EXPECT_TRUE(families.count(name) > 0)
-        << "sample without TYPE declaration: " << line;
-    ++samples;
-  }
-  EXPECT_GT(samples, 0);
-}
+// ValidatePrometheusText lives in prom_testlib.h so the live-scrape
+// tests (server_metrics_test.cc) run the exact same validator.
 
 TEST(PrometheusExportTest, NameSanitization) {
   EXPECT_EQ(PrometheusName("erql.queries"), "erbium_erql_queries");
@@ -418,23 +442,29 @@ TEST_F(TelemetryE2ETest, StatementKindsLandInQueryLog) {
 TEST_F(TelemetryE2ETest, ShowQueriesListsTheLog) {
   Run("SELECT r_id FROM R WHERE r_id = 7");
   erql::QueryResult log = Run("SHOW QUERIES LIMIT 5");
-  ASSERT_EQ(log.columns.size(), 10u);
+  ASSERT_EQ(log.columns.size(), 12u);
   EXPECT_EQ(log.columns[0], "seq");
-  EXPECT_EQ(log.columns[8], "session");
-  EXPECT_EQ(log.columns[9], "query");
+  EXPECT_EQ(log.columns[5], "queue_wait");
+  EXPECT_EQ(log.columns[6], "write_stall");
+  EXPECT_EQ(log.columns[10], "session");
+  EXPECT_EQ(log.columns[11], "query");
   ASSERT_FALSE(log.rows.empty());
   EXPECT_LE(log.rows.size(), 5u);
   // Newest first: row 0 is the SHOW QUERIES statement itself? No — the
   // SHOW statement is recorded after it materializes its result, so row
   // 0 is the SELECT above.
-  EXPECT_EQ(log.rows[0][9].as_string(), "SELECT r_id FROM R WHERE r_id = 7");
+  EXPECT_EQ(log.rows[0][11].as_string(), "SELECT r_id FROM R WHERE r_id = 7");
   EXPECT_EQ(log.rows[0][1].as_string(), "select");
-  EXPECT_EQ(log.rows[0][7].as_string(), "ok");
+  EXPECT_EQ(log.rows[0][9].as_string(), "ok");
+  // A local statement never crossed the wire, so the transport columns
+  // show the placeholder.
+  EXPECT_EQ(log.rows[0][5].as_string(), "-");
+  EXPECT_EQ(log.rows[0][6].as_string(), "-");
   // No session tag was installed, so attribution shows the placeholder.
-  EXPECT_EQ(log.rows[0][8].as_string(), "-");
+  EXPECT_EQ(log.rows[0][10].as_string(), "-");
   // And the SHOW statement itself lands in the log for the next reader.
   erql::QueryResult next = Run("SHOW QUERIES LIMIT 1");
-  EXPECT_EQ(next.rows[0][9].as_string(), "SHOW QUERIES LIMIT 5");
+  EXPECT_EQ(next.rows[0][11].as_string(), "SHOW QUERIES LIMIT 5");
   EXPECT_EQ(next.rows[0][1].as_string(), "show");
 }
 
@@ -446,14 +476,14 @@ TEST_F(TelemetryE2ETest, ShowQueriesSlowCapturesSpans) {
   telemetry.set_slow_threshold_ns(saved);
 
   erql::QueryResult slow = Run("SHOW QUERIES SLOW LIMIT 3");
-  ASSERT_EQ(slow.columns.size(), 11u);
-  EXPECT_EQ(slow.columns[5], "spans");
+  ASSERT_EQ(slow.columns.size(), 13u);
+  EXPECT_EQ(slow.columns[7], "spans");
   ASSERT_FALSE(slow.rows.empty());
   bool found = false;
   for (const Row& row : slow.rows) {
-    if (row[10].as_string() != "SELECT r_id FROM R") continue;
+    if (row[12].as_string() != "SELECT r_id FROM R") continue;
     found = true;
-    EXPECT_GT(row[5].as_int64(), 0) << "slow select kept no span tree";
+    EXPECT_GT(row[7].as_int64(), 0) << "slow select kept no span tree";
   }
   EXPECT_TRUE(found);
 }
