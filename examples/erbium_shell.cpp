@@ -18,6 +18,10 @@
 //   SHOW METRICS [LIKE '<glob>'];  dump the process metrics registry
 //   SHOW QUERIES [SLOW] [LIMIT n]; the query log / slow-query ring
 //   SHOW SESSIONS ;                live sessions (shell + server clients)
+//   SHOW WORKLOAD [LIMIT n];       captured E/R access profile + hot shapes
+//   ADVISE [LIMIT n];              rank candidate mappings by live traffic
+//   EXPORT WORKLOAD INTO '<file>'; snapshot the workload profile as JSON
+//   LOAD WORKLOAD FROM '<file>';   replace the profile from a snapshot
 //   TRACE [INTO '<file>'] SELECT ...;  run + emit a Chrome trace JSON
 //   ATTACH DATABASE '<dir>' ;      bind to an on-disk directory (runs
 //                                  recovery; subsequent writes are WAL'd)
@@ -182,8 +186,9 @@ int main(int argc, char** argv) {
 
   std::printf("ErbiumDB shell — \\tables \\mapping \\remap \\plan \\metrics "
               "\\schema \\graph \\cover \\quit; SHOW METRICS / SHOW QUERIES "
-              "[SLOW] / SHOW SESSIONS / TRACE SELECT ...; ATTACH DATABASE "
-              "'<dir>' / CHECKPOINT / INSERT / REMAP ...; end statements "
+              "[SLOW] / SHOW SESSIONS / SHOW WORKLOAD / ADVISE / TRACE "
+              "SELECT ...; EXPORT|LOAD WORKLOAD / ATTACH DATABASE '<dir>' / "
+              "CHECKPOINT / INSERT / REMAP ...; end statements "
               "with ';'\n");
   std::string buffer;
   std::string line;

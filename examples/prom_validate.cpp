@@ -2,12 +2,18 @@
 // (or from a file argument) and applies the same conformance rules the
 // test suite enforces on ExportPrometheusText output. Exits 0 when the
 // text conforms, 1 with a diagnostic on stderr otherwise — the CI smoke
-// job pipes a live `curl /metrics` scrape through it.
+// job pipes a live `curl /metrics` scrape through it, and
+// scripts/run_benches.sh validates every committed BENCH_*.prom.
+//
+// Empty input is an error: a scrape that returns zero bytes means the
+// exporter (or the pipe feeding it) is broken, and silently passing it
+// would defeat the CI check.
 //
 //   curl -fsS localhost:7178/metrics | ./build/examples/prom_validate
 //   ./build/examples/prom_validate BENCH_server.prom
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -17,7 +23,15 @@
 
 int main(int argc, char** argv) {
   std::ostringstream text;
+  const char* source = "stdin";
   if (argc > 2) {
+    std::fprintf(stderr, "usage: prom_validate [file]  (default: stdin)\n");
+    return 2;
+  }
+  if (argc == 2 && argv[1][0] == '-') {
+    // No flags exist; anything dash-prefixed is a typo, not a file, and
+    // treating it as one would silently validate nothing.
+    std::fprintf(stderr, "prom_validate: unknown flag '%s'\n", argv[1]);
     std::fprintf(stderr, "usage: prom_validate [file]  (default: stdin)\n");
     return 2;
   }
@@ -28,10 +42,17 @@ int main(int argc, char** argv) {
       return 2;
     }
     text << in.rdbuf();
+    source = argv[1];
   } else {
     text << std::cin.rdbuf();
   }
-  std::string error = erbium::obs::PrometheusFormatError(text.str());
+  std::string exposition = text.str();
+  if (exposition.empty()) {
+    std::fprintf(stderr, "prom_validate: %s is empty — nothing to validate\n",
+                 source);
+    return 1;
+  }
+  std::string error = erbium::obs::PrometheusFormatError(exposition);
   if (!error.empty()) {
     std::fprintf(stderr, "prom_validate: %s\n", error.c_str());
     return 1;

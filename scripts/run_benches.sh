@@ -72,4 +72,19 @@ for bin in "$build"/bench/bench_*; do
   rm -f "$results/$name.json"
 done
 
+# Conformance gate: every committed Prometheus exposition must pass the
+# same validator CI runs against live scrapes. Catches a broken exporter
+# (or a bench that wrote an empty/truncated .prom) before it lands.
+validator="$build/examples/prom_validate"
+if [ ! -x "$validator" ]; then
+  cmake --build "$build" -j "$(nproc)" --target prom_validate >/dev/null
+fi
+for prom in "$results"/BENCH_*.prom; do
+  [ -e "$prom" ] || continue
+  if ! "$validator" < "$prom"; then
+    echo "invalid Prometheus exposition: $prom" >&2
+    exit 1
+  fi
+done
+
 echo "results in $results/"

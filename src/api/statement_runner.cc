@@ -1,13 +1,18 @@
 #include "api/statement_runner.h"
 
+#include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <mutex>
+#include <numeric>
 #include <utility>
 
 #include "common/lexer.h"
 #include "er/ddl_parser.h"
+#include "mapping/advisor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/workload_profile.h"
 #include "erql/parser.h"
 #include "evolution/evolution.h"
 #include "workload/figure4.h"
@@ -37,7 +42,10 @@ StatementRunner::StatementClass StatementRunner::Classify(
     const std::string& statement) {
   std::string word = LeadingKeyword(statement);
   if (word == "select" || word == "explain" || word == "show" ||
-      word == "trace") {
+      word == "trace" || word == "advise" || word == "export") {
+    // ADVISE and EXPORT WORKLOAD only *read* the database (candidate
+    // databases are populated by scanning the live one) and the workload
+    // profile is internally synchronized, so both run shared.
     return StatementClass::kRead;
   }
   return StatementClass::kWrite;
@@ -134,7 +142,9 @@ Result<StatementOutcome> StatementRunner::ExecuteClassified(
   if (word == "insert") return InsertLocked(statement);
   if (word == "remap") return RemapLocked(statement);
   if (word == "attach") return AttachLocked(statement);
-  if (cls == StatementClass::kRead || word == "checkpoint") {
+  if (word == "advise") return AdviseLocked(statement);
+  if (cls == StatementClass::kRead || word == "checkpoint" ||
+      word == "load") {
     // Only plain SELECTs go through the plan cache; SHOW/EXPLAIN/TRACE
     // would only pollute the hit/miss metrics with guaranteed misses.
     erql::PlanCache* cache = word == "select" ? plan_cache_.get() : nullptr;
@@ -143,10 +153,11 @@ Result<StatementOutcome> StatementRunner::ExecuteClassified(
         erql::QueryEngine::Execute(db(), statement, ExecOptions::Default(),
                                    cache, mapping_generation()));
     StatementOutcome outcome;
-    // EXPLAIN / TRACE / CHECKPOINT output is plain lines; SELECT and
-    // SHOW render as tables.
+    // EXPLAIN / TRACE / CHECKPOINT / EXPORT / LOAD output is plain lines;
+    // SELECT and SHOW render as tables.
     outcome.shape = (word == "explain" || word == "trace" ||
-                     word == "checkpoint")
+                     word == "checkpoint" || word == "export" ||
+                     word == "load")
                         ? OutputShape::kLines
                         : OutputShape::kTable;
     outcome.result = std::move(result);
@@ -155,7 +166,8 @@ Result<StatementOutcome> StatementRunner::ExecuteClassified(
   return Status::InvalidArgument(
       "unsupported statement '" + word +
       "': expected CREATE / INSERT / REMAP / ATTACH DATABASE / CHECKPOINT / "
-      "SELECT / EXPLAIN [ANALYZE] / SHOW / TRACE");
+      "SELECT / EXPLAIN [ANALYZE] / SHOW / TRACE / ADVISE / "
+      "EXPORT WORKLOAD / LOAD WORKLOAD");
 }
 
 Result<StatementOutcome> StatementRunner::CreateLocked(
@@ -236,6 +248,11 @@ Result<StatementOutcome> StatementRunner::InsertLocked(
   }
   ERBIUM_RETURN_NOT_OK(
       db()->InsertEntity(entity, Value::Struct(std::move(fields))));
+  // Feed the workload profiler at the statement level (not inside
+  // MappedDatabase) so REMAP migration, recovery replay, and ADVISE
+  // candidate population never pollute the CRUD counters.
+  obs::WorkloadProfile::Global().RecordEntityCrud(entity,
+                                                  obs::CrudKind::kInsert);
   StatementOutcome outcome;
   outcome.message = "ok";
   return outcome;
@@ -317,6 +334,101 @@ Status StatementRunner::AttachDir(const std::string& dir,
              std::to_string(info.records_replayed) + " records replayed" +
              (info.wal_clean ? "" : ", torn WAL tail discarded") + ")";
   return Status::OK();
+}
+
+namespace {
+
+/// Fixed-point milliseconds for the ADVISE table ("1.234").
+std::string FormatMs(double ms) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", ms);
+  return buffer;
+}
+
+}  // namespace
+
+Result<StatementOutcome> StatementRunner::AdviseLocked(
+    const std::string& statement) {
+  ERBIUM_ASSIGN_OR_RETURN(erql::Query query, erql::Parser::Parse(statement));
+  if (query.statement != erql::StatementKind::kAdvise) {
+    return Status::ParseError("expected ADVISE [LIMIT n]");
+  }
+  obs::WorkloadSnapshot snapshot = obs::WorkloadProfile::Global().Snapshot();
+  Workload workload = WorkloadFromProfile(snapshot);
+  if (workload.queries.empty()) {
+    std::string hint;
+    if (!obs::WorkloadProfile::CompiledIn()) {
+      hint = " (capture is compiled out)";
+    } else if (!obs::WorkloadProfile::Global().enabled()) {
+      hint = " (capture is disabled)";
+    }
+    return Status::InvalidArgument(
+        "ADVISE: no captured SELECT traffic to advise from" + hint +
+        " — run queries first, or LOAD WORKLOAD FROM a snapshot");
+  }
+  // The active spec goes in as candidate #0 (deduped out of the
+  // enumeration) so every row has a well-defined delta against what the
+  // system is running right now.
+  const MappingSpec& active =
+      durable_ != nullptr ? durable_->spec() : spec_;
+  std::vector<MappingSpec> candidates;
+  candidates.push_back(active);
+  const std::string active_json = active.ToJson();
+  std::vector<MappingSpec> enumerated =
+      MappingAdvisor::EnumerateCandidates(*SchemaView(), /*limit=*/16);
+  for (MappingSpec& spec : enumerated) {
+    if (spec.ToJson() == active_json) continue;
+    candidates.push_back(std::move(spec));
+  }
+  MappedDatabase* live = db();
+  auto populate = [live](MappedDatabase* dst) {
+    return evolution::MigrateData(live, dst);
+  };
+  ERBIUM_ASSIGN_OR_RETURN(
+      MappingAdvisor::Advice advice,
+      MappingAdvisor::Advise(SchemaView(), candidates, populate, workload,
+                             /*repetitions=*/2));
+
+  // Rank: valid candidates by measured cost, invalid ones last.
+  std::vector<size_t> order(advice.candidates.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const MappingAdvisor::Candidate& ca = advice.candidates[a];
+    const MappingAdvisor::Candidate& cb = advice.candidates[b];
+    if (ca.valid != cb.valid) return ca.valid;
+    return ca.total_cost_ms < cb.total_cost_ms;
+  });
+  const MappingAdvisor::Candidate& active_candidate = advice.candidates[0];
+
+  erql::QueryResult result;
+  result.columns = {"rank", "mapping", "cost_ms", "vs_active", "note"};
+  int64_t limit = query.show_limit;
+  size_t rank = 0;
+  for (size_t index : order) {
+    if (limit >= 0 && static_cast<int64_t>(rank) >= limit) break;
+    const MappingAdvisor::Candidate& candidate = advice.candidates[index];
+    ++rank;
+    std::string cost = candidate.valid ? FormatMs(candidate.total_cost_ms)
+                                       : "n/a";
+    std::string delta = "n/a";
+    if (candidate.valid && active_candidate.valid) {
+      double d = candidate.total_cost_ms - active_candidate.total_cost_ms;
+      delta = (d >= 0 ? "+" : "") + FormatMs(d);
+    }
+    std::string note;
+    if (index == advice.best_index) note = "best";
+    if (index == 0) note += note.empty() ? "active" : ", active";
+    if (!candidate.valid) note = "invalid: " + candidate.invalid_reason;
+    result.rows.push_back({Value::Int64(static_cast<int64_t>(rank)),
+                           Value::String(candidate.spec.ToString()),
+                           Value::String(std::move(cost)),
+                           Value::String(std::move(delta)),
+                           Value::String(std::move(note))});
+  }
+  StatementOutcome outcome;
+  outcome.shape = OutputShape::kTable;
+  outcome.result = std::move(result);
+  return outcome;
 }
 
 void StatementRunner::BumpMappingGeneration() {

@@ -45,6 +45,9 @@ struct StatementOutcome {
 ///   ATTACH DATABASE '<dir>'         bind to disk (recovery + WAL)
 ///   CHECKPOINT                      snapshot + WAL truncate
 ///   SELECT / EXPLAIN [ANALYZE] / SHOW ... / TRACE ...
+///   ADVISE [LIMIT n]                rank candidate mappings by captured traffic
+///   EXPORT WORKLOAD INTO '<file>'   snapshot the workload profile as JSON
+///   LOAD WORKLOAD FROM '<file>'     replace the profile from a snapshot
 ///
 /// Concurrency: Execute() classifies the statement and takes the
 /// runner's statement lock accordingly — SELECT / EXPLAIN / SHOW / TRACE
@@ -122,6 +125,11 @@ class StatementRunner {
 
   Result<StatementOutcome> ExecuteClassified(const std::string& statement,
                                              StatementClass cls);
+  /// ADVISE [LIMIT n]: feeds the captured workload profile through
+  /// MappingAdvisor against live data and renders the ranked candidates.
+  /// Runs under the shared lock — candidate databases are populated by
+  /// *reading* the live one via evolution::MigrateData.
+  Result<StatementOutcome> AdviseLocked(const std::string& statement);
   Result<StatementOutcome> CreateLocked(const std::string& statement);
   Result<StatementOutcome> InsertLocked(const std::string& statement);
   Result<StatementOutcome> RemapLocked(const std::string& statement);

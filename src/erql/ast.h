@@ -78,20 +78,32 @@ enum class ExplainMode { kNone, kPlan, kAnalyze };
 ///   SHOW SESSIONS                  — live client sessions (shell, server
 ///                                    connections) from the session registry
 ///   TRACE [INTO '<file>'] SELECT … — run under analyze, emit Chrome trace
-/// and the durability statements:
+/// the durability statements:
 ///   CHECKPOINT                     — snapshot + WAL truncate (needs a
 ///                                    durable database attached)
 ///   ATTACH DATABASE '<dir>'        — bind the session to an on-disk
 ///                                    directory (handled by the host
 ///                                    application, not the engine)
+/// and the workload-profiler statements:
+///   SHOW WORKLOAD [LIMIT n]        — captured E/R access profile (LIMIT
+///                                    bounds the query-shape rows)
+///   EXPORT WORKLOAD INTO '<file>'  — write the profile as a JSON snapshot
+///   LOAD WORKLOAD FROM '<file>'    — replace the profile from a snapshot
+///   ADVISE [LIMIT n]               — cost candidate mappings against the
+///                                    captured workload (handled by the
+///                                    host application, like ATTACH)
 enum class StatementKind {
   kSelect,
   kShowMetrics,
   kShowQueries,
   kShowSessions,
+  kShowWorkload,
   kTrace,
   kCheckpoint,
   kAttach,
+  kExportWorkload,
+  kLoadWorkload,
+  kAdvise,
 };
 
 /// One parsed ERQL SELECT query (paper Figure 1(iii) dialect): SQL with
@@ -111,6 +123,8 @@ struct Query {
   std::string trace_into;
   /// ATTACH DATABASE '<dir>': the database directory.
   std::string attach_path;
+  /// EXPORT WORKLOAD INTO / LOAD WORKLOAD FROM: the snapshot file path.
+  std::string workload_path;
 
   ExplainMode explain = ExplainMode::kNone;
   bool distinct = false;

@@ -46,6 +46,39 @@ class QueryParser {
       ERBIUM_RETURN_NOT_OK(ExpectEnd());
       return query;
     }
+    if (ts_.ConsumeKeyword("advise")) {
+      query.statement = StatementKind::kAdvise;
+      if (ts_.ConsumeKeyword("limit")) {
+        if (ts_.Peek().kind != TokenKind::kInteger) {
+          return ts_.ErrorHere("expected integer after LIMIT");
+        }
+        query.show_limit = ts_.Advance().int_value;
+      }
+      ERBIUM_RETURN_NOT_OK(ExpectEnd());
+      return query;
+    }
+    if (ts_.ConsumeKeyword("export")) {
+      ERBIUM_RETURN_NOT_OK(ts_.ExpectKeyword("workload"));
+      ERBIUM_RETURN_NOT_OK(ts_.ExpectKeyword("into"));
+      if (ts_.Peek().kind != TokenKind::kString) {
+        return ts_.ErrorHere("expected 'file path' after EXPORT WORKLOAD INTO");
+      }
+      query.statement = StatementKind::kExportWorkload;
+      query.workload_path = ts_.Advance().text;
+      ERBIUM_RETURN_NOT_OK(ExpectEnd());
+      return query;
+    }
+    if (ts_.ConsumeKeyword("load")) {
+      ERBIUM_RETURN_NOT_OK(ts_.ExpectKeyword("workload"));
+      ERBIUM_RETURN_NOT_OK(ts_.ExpectKeyword("from"));
+      if (ts_.Peek().kind != TokenKind::kString) {
+        return ts_.ErrorHere("expected 'file path' after LOAD WORKLOAD FROM");
+      }
+      query.statement = StatementKind::kLoadWorkload;
+      query.workload_path = ts_.Advance().text;
+      ERBIUM_RETURN_NOT_OK(ExpectEnd());
+      return query;
+    }
     if (ts_.ConsumeKeyword("trace")) {
       query.statement = StatementKind::kTrace;
       if (ts_.ConsumeKeyword("into")) {
@@ -137,11 +170,19 @@ class QueryParser {
   }
 
   /// After a consumed SHOW keyword: METRICS [LIKE '<glob>'],
-  /// QUERIES [SLOW] [LIMIT n], or SESSIONS.
+  /// QUERIES [SLOW] [LIMIT n], SESSIONS, or WORKLOAD [LIMIT n].
   Result<Query> ParseShow() {
     Query query;
     if (ts_.ConsumeKeyword("sessions")) {
       query.statement = StatementKind::kShowSessions;
+    } else if (ts_.ConsumeKeyword("workload")) {
+      query.statement = StatementKind::kShowWorkload;
+      if (ts_.ConsumeKeyword("limit")) {
+        if (ts_.Peek().kind != TokenKind::kInteger) {
+          return ts_.ErrorHere("expected integer after LIMIT");
+        }
+        query.show_limit = ts_.Advance().int_value;
+      }
     } else if (ts_.ConsumeKeyword("metrics")) {
       query.statement = StatementKind::kShowMetrics;
       if (ts_.ConsumeKeyword("like")) {
@@ -160,7 +201,8 @@ class QueryParser {
         query.show_limit = ts_.Advance().int_value;
       }
     } else {
-      return ts_.ErrorHere("expected METRICS, QUERIES, or SESSIONS after SHOW");
+      return ts_.ErrorHere(
+          "expected METRICS, QUERIES, SESSIONS, or WORKLOAD after SHOW");
     }
     if (!ts_.AtEnd() && !ts_.ConsumeSymbol(";")) {
       return ts_.ErrorHere("unexpected trailing input");

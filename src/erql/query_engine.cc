@@ -11,6 +11,7 @@
 #include "obs/session.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "obs/workload_profile.h"
 
 namespace erbium {
 namespace erql {
@@ -117,6 +118,7 @@ std::string StatementKindName(const Query& query) {
     case StatementKind::kShowMetrics:
     case StatementKind::kShowQueries:
     case StatementKind::kShowSessions:
+    case StatementKind::kShowWorkload:
       return "show";
     case StatementKind::kTrace:
       return "trace";
@@ -124,6 +126,12 @@ std::string StatementKindName(const Query& query) {
       return "checkpoint";
     case StatementKind::kAttach:
       return "attach";
+    case StatementKind::kExportWorkload:
+      return "export";
+    case StatementKind::kLoadWorkload:
+      return "load";
+    case StatementKind::kAdvise:
+      return "advise";
     case StatementKind::kSelect:
       break;
   }
@@ -307,19 +315,80 @@ QueryResult ShowSessions() {
   return result;
 }
 
+/// SHOW WORKLOAD [LIMIT n]: the captured E/R access profile — one row
+/// per entity set, relationship set, and touched attribute with their
+/// access-path counters, then the query shapes ordered by weight
+/// (accumulated wall time). LIMIT bounds the shape rows only; the
+/// counter sections are bounded by the schema itself.
+QueryResult ShowWorkload(const Query& query) {
+  obs::WorkloadSnapshot snap = obs::WorkloadProfile::Global().Snapshot();
+  size_t limit = query.show_limit >= 0
+                     ? static_cast<size_t>(query.show_limit)
+                     : std::numeric_limits<size_t>::max();
+  QueryResult result;
+  result.columns = {"section", "name", "detail"};
+  auto add = [&](const char* section, std::string name, std::string detail) {
+    result.rows.push_back(Row{Value::String(section),
+                              Value::String(std::move(name)),
+                              Value::String(std::move(detail))});
+  };
+  std::string summary = "profiled=" + std::to_string(snap.statements) +
+                        " shapes=" + std::to_string(snap.shapes.size());
+  if (!obs::WorkloadProfile::CompiledIn()) summary += " (capture compiled out)";
+  if (!obs::WorkloadProfile::Global().enabled()) summary += " (disabled)";
+  add("profile", "statements", std::move(summary));
+  for (const auto& [name, e] : snap.entities) {
+    add("entity", name,
+        "scans=" + std::to_string(e.scans) +
+            " probes=" + std::to_string(e.probes) +
+            " join_sides=" + std::to_string(e.join_sides) +
+            " inserts=" + std::to_string(e.inserts) +
+            " deletes=" + std::to_string(e.deletes) +
+            " updates=" + std::to_string(e.updates));
+  }
+  for (const auto& [name, r] : snap.relationships) {
+    add("relationship", name,
+        "joins=" + std::to_string(r.joins) +
+            " fused_scans=" + std::to_string(r.fused_scans) +
+            " inserts=" + std::to_string(r.inserts) +
+            " deletes=" + std::to_string(r.deletes));
+  }
+  for (const auto& [name, a] : snap.attributes) {
+    add("attribute", name,
+        "predicates=" + std::to_string(a.predicates) +
+            " projections=" + std::to_string(a.projections));
+  }
+  size_t shown = 0;
+  for (const obs::WorkloadSnapshot::Shape& shape : snap.shapes) {
+    if (shown++ >= limit) break;
+    uint64_t mean = shape.count > 0 ? shape.total_wall_ns / shape.count : 0;
+    add("shape", shape.shape,
+        "count=" + std::to_string(shape.count) + " mean=" +
+            obs::FormatNs(mean) + " total=" +
+            obs::FormatNs(shape.total_wall_ns) + " kind=" + shape.kind);
+  }
+  return result;
+}
+
 /// TRACE [INTO '<file>'] SELECT …: compiles the inner query, runs it to
 /// completion under an analyze window, and renders the collected span
 /// tree as Chrome trace_event JSON — returned as a one-row result, or
 /// written to the file with a confirmation row. The span tree is also
 /// exported so the engine can feed the slow-query ring, and the traced
 /// query's output cardinality lands in record->rows_out.
-Result<QueryResult> TraceQuery(MappedDatabase* db, const Query& query,
-                               const std::string& text,
-                               const ExecOptions& opts,
-                               obs::QueryRecord* record,
-                               obs::QueryStats* stats_out, bool* have_stats) {
+Result<QueryResult> TraceQuery(
+    MappedDatabase* db, const Query& query, const std::string& text,
+    const ExecOptions& opts, obs::QueryRecord* record,
+    obs::QueryStats* stats_out, bool* have_stats,
+    std::shared_ptr<obs::StatementFootprint>* footprint_out) {
   ERBIUM_ASSIGN_OR_RETURN(CompiledQuery compiled,
                           Translator::Translate(db, query, opts));
+  if (compiled.footprint != nullptr) {
+    if (compiled.footprint->shape.empty()) {
+      compiled.footprint->shape = obs::NormalizeShape(text);
+    }
+    *footprint_out = compiled.footprint;
+  }
   obs::ScopedAnalyze analyze_window;
   uint64_t start = obs::MonotonicNowNs();
   ERBIUM_ASSIGN_OR_RETURN(std::vector<Row> rows,
@@ -359,15 +428,12 @@ Result<QueryResult> TraceQuery(MappedDatabase* db, const Query& query,
 /// plan under an analyze window export the span tree via `stats_out`.
 /// A plain SELECT compiled here is checked into `cache` (when non-null)
 /// under `cache_key`/`generation` after a successful run.
-Result<QueryResult> ExecuteParsed(MappedDatabase* db, const Query& query,
-                                  const std::string& text,
-                                  const ExecOptions& opts,
-                                  uint64_t start_wall_ns,
-                                  obs::QueryRecord* record,
-                                  obs::QueryStats* stats_out,
-                                  bool* have_stats, PlanCache* cache,
-                                  uint64_t generation,
-                                  const std::string& cache_key) {
+Result<QueryResult> ExecuteParsed(
+    MappedDatabase* db, const Query& query, const std::string& text,
+    const ExecOptions& opts, uint64_t start_wall_ns, obs::QueryRecord* record,
+    obs::QueryStats* stats_out, bool* have_stats, PlanCache* cache,
+    uint64_t generation, const std::string& cache_key,
+    std::shared_ptr<obs::StatementFootprint>* footprint_out) {
   record->kind = StatementKindName(query);
   switch (query.statement) {
     case StatementKind::kShowMetrics:
@@ -376,8 +442,56 @@ Result<QueryResult> ExecuteParsed(MappedDatabase* db, const Query& query,
       return ShowQueries(query);
     case StatementKind::kShowSessions:
       return ShowSessions();
+    case StatementKind::kShowWorkload:
+      return ShowWorkload(query);
+    case StatementKind::kExportWorkload: {
+      std::string json = obs::WorkloadProfile::Global().ToJson();
+      std::ofstream file(query.workload_path,
+                         std::ios::binary | std::ios::trunc);
+      if (!file) {
+        return Status::InvalidArgument("cannot write workload snapshot " +
+                                       query.workload_path);
+      }
+      file << json;
+      if (!file.good()) {
+        return Status::Internal("failed writing workload snapshot " +
+                                query.workload_path);
+      }
+      QueryResult result;
+      result.columns = {"export"};
+      result.rows.push_back(Row{Value::String(
+          "wrote " + query.workload_path + " (" +
+          std::to_string(json.size()) + " bytes)")});
+      return result;
+    }
+    case StatementKind::kLoadWorkload: {
+      std::ifstream file(query.workload_path, std::ios::binary);
+      if (!file) {
+        return Status::InvalidArgument("cannot read workload snapshot " +
+                                       query.workload_path);
+      }
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      ERBIUM_RETURN_NOT_OK(
+          obs::WorkloadProfile::Global().LoadJson(buffer.str()));
+      obs::WorkloadSnapshot snap = obs::WorkloadProfile::Global().Snapshot();
+      QueryResult result;
+      result.columns = {"load"};
+      result.rows.push_back(Row{Value::String(
+          "loaded " + query.workload_path + " (" +
+          std::to_string(snap.shapes.size()) + " shapes, " +
+          std::to_string(snap.statements) + " statements)")});
+      return result;
+    }
+    case StatementKind::kAdvise:
+      // Costing candidate mappings needs the advisor (a layer above this
+      // library) and the live database's owner.
+      return Status::InvalidArgument(
+          "ADVISE is handled by the host application (api::StatementRunner), "
+          "not the query engine");
     case StatementKind::kTrace:
-      return TraceQuery(db, query, text, opts, record, stats_out, have_stats);
+      return TraceQuery(db, query, text, opts, record, stats_out, have_stats,
+                        footprint_out);
     case StatementKind::kCheckpoint: {
       DurabilityHook* hook = db->durability_hook();
       if (hook == nullptr) {
@@ -402,6 +516,14 @@ Result<QueryResult> ExecuteParsed(MappedDatabase* db, const Query& query,
   }
   ERBIUM_ASSIGN_OR_RETURN(CompiledQuery compiled,
                           Translator::Translate(db, query, opts));
+  if (compiled.footprint != nullptr) {
+    // Stamp the normalized shape once; the footprint (shape included) is
+    // immutable from here on and rides along with cached plans.
+    if (compiled.footprint->shape.empty()) {
+      compiled.footprint->shape = obs::NormalizeShape(text);
+    }
+    *footprint_out = compiled.footprint;
+  }
   if (compiled.explain != ExplainMode::kNone) {
     return ExplainQuery(&compiled, stats_out, have_stats);
   }
@@ -457,9 +579,13 @@ Result<QueryResult> QueryEngine::Execute(MappedDatabase* db,
 
   obs::QueryStats stats;
   bool have_stats = false;
+  std::shared_ptr<obs::StatementFootprint> footprint;
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     if (cached != nullptr) {
       record.kind = "select";
+      // The footprint was derived when this plan was first compiled; a
+      // cache hit replays it into the workload profile for free.
+      footprint = cached->footprint;
       // A failed run drops the plan (`cached` dies on early return) —
       // only healthy plans go back in the pool.
       ERBIUM_ASSIGN_OR_RETURN(std::vector<Row> rows,
@@ -477,7 +603,8 @@ Result<QueryResult> QueryEngine::Execute(MappedDatabase* db,
     }
     ERBIUM_ASSIGN_OR_RETURN(Query query, Parser::Parse(text));
     return ExecuteParsed(db, query, text, opts, start_wall, &record, &stats,
-                         &have_stats, cache, generation, cache_key);
+                         &have_stats, cache, generation, cache_key,
+                         &footprint);
   }();
 
   record.wall_ns = obs::MonotonicNowNs() - start_wall;
@@ -490,6 +617,13 @@ Result<QueryResult> QueryEngine::Execute(MappedDatabase* db,
   }
   if (have_stats && stats.total_wall_ns == 0) {
     stats.total_wall_ns = record.wall_ns;
+  }
+  // Feed the workload profiler with the E/R footprint + shape. Reuses
+  // the wall time measured above — the profiler itself reads no clocks.
+  if (result.ok()) {
+    obs::WorkloadProfile::Global().RecordStatement(footprint.get(),
+                                                   record.kind, text,
+                                                   record.wall_ns);
   }
   obs::QueryTelemetry::Global().Record(std::move(record),
                                        have_stats ? &stats : nullptr);

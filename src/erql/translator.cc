@@ -103,11 +103,20 @@ class TranslatorImpl {
   Result<AliasDecl*> ResolveAlias(const std::string& qualifier,
                                   const std::string& attr);
 
+  // Workload-profile footprint assembly: which entity/relationship sets
+  // the plan reaches (and how), plus per-attribute predicate/projection
+  // touches. Derived while planning so plan-cache hits replay it free.
+  void TouchEntity(const std::string& entity, obs::EntityPath path);
+  void TouchRelationship(const std::string& relationship, bool fused);
+  Status CollectAttrTouches(const ExprAst& ast, bool predicate);
+  Status CollectFootprintAttrs();
+
   /// Builds the base plan for one alias, applying its pushed-down
   /// conjuncts (and a key lookup when they pin the full key).
+  /// `join_side` marks aliases brought in by a JOIN for the footprint.
   Result<OperatorPtr> BuildAliasPlan(AliasDecl* decl,
                                      std::vector<ExprAstPtr> conjuncts,
-                                     AliasInfo* info_out);
+                                     AliasInfo* info_out, bool join_side);
 
   Result<ExprPtr> Bind(const ExprAst& ast, Scope* scope);
 
@@ -122,6 +131,8 @@ class TranslatorImpl {
   const Query& query_;
   ExecOptions opts_;
   std::vector<AliasDecl> decls_;
+  obs::StatementFootprint footprint_;
+  std::set<std::string> attr_touches_seen_;
 };
 
 Status TranslatorImpl::CollectAliases() {
@@ -202,6 +213,59 @@ Status TranslatorImpl::CollectNeeded(const ExprAst& ast) {
   if (ast.kind == ExprAst::Kind::kIdent) return CollectIdent(ast);
   for (const ExprAstPtr& child : ast.children) {
     ERBIUM_RETURN_NOT_OK(CollectNeeded(*child));
+  }
+  return Status::OK();
+}
+
+void TranslatorImpl::TouchEntity(const std::string& entity,
+                                 obs::EntityPath path) {
+  footprint_.entities.push_back({entity, path});
+}
+
+void TranslatorImpl::TouchRelationship(const std::string& relationship,
+                                       bool fused) {
+  footprint_.relationships.push_back({relationship, fused});
+}
+
+Status TranslatorImpl::CollectAttrTouches(const ExprAst& ast, bool predicate) {
+  if (ast.kind == ExprAst::Kind::kIdent) {
+    // Ambiguity and unknown-column errors are reported by the real
+    // analysis passes; the footprint records only what resolves cleanly.
+    Result<AliasDecl*> resolved = ResolveAlias(ast.qualifier, ast.name);
+    if (!resolved.ok() || *resolved == nullptr) return Status::OK();
+    AliasDecl* decl = *resolved;
+    if (decl->visible.count(ast.name) == 0) return Status::OK();
+    std::string seen =
+        (predicate ? "p|" : "o|") + decl->entity + "|" + ast.name;
+    if (attr_touches_seen_.insert(std::move(seen)).second) {
+      footprint_.attributes.push_back({decl->entity, ast.name, predicate});
+    }
+    return Status::OK();
+  }
+  for (const ExprAstPtr& child : ast.children) {
+    ERBIUM_RETURN_NOT_OK(CollectAttrTouches(*child, predicate));
+  }
+  return Status::OK();
+}
+
+Status TranslatorImpl::CollectFootprintAttrs() {
+  for (const SelectItem& item : query_.select) {
+    ERBIUM_RETURN_NOT_OK(CollectAttrTouches(*item.expr, /*predicate=*/false));
+  }
+  for (const ExprAstPtr& g : query_.group_by) {
+    ERBIUM_RETURN_NOT_OK(CollectAttrTouches(*g, /*predicate=*/false));
+  }
+  for (const OrderItem& item : query_.order_by) {
+    ERBIUM_RETURN_NOT_OK(CollectAttrTouches(*item.expr, /*predicate=*/false));
+  }
+  if (query_.where) {
+    ERBIUM_RETURN_NOT_OK(CollectAttrTouches(*query_.where, /*predicate=*/true));
+  }
+  for (const JoinClause& join : query_.joins) {
+    if (join.on_expr) {
+      ERBIUM_RETURN_NOT_OK(
+          CollectAttrTouches(*join.on_expr, /*predicate=*/true));
+    }
   }
   return Status::OK();
 }
@@ -318,7 +382,8 @@ Result<ExprPtr> TranslatorImpl::Bind(const ExprAst& ast, Scope* scope) {
 }
 
 Result<OperatorPtr> TranslatorImpl::BuildAliasPlan(
-    AliasDecl* decl, std::vector<ExprAstPtr> conjuncts, AliasInfo* info_out) {
+    AliasDecl* decl, std::vector<ExprAstPtr> conjuncts, AliasInfo* info_out,
+    bool join_side) {
   // Detect a full-key point lookup: equality conjuncts ident = literal
   // (or literal = ident) covering every key attribute.
   std::map<std::string, Value> pinned;
@@ -346,6 +411,9 @@ Result<OperatorPtr> TranslatorImpl::BuildAliasPlan(
   OperatorPtr plan;
   bool point_lookup = pinned.size() == decl->key_names.size() &&
                       !decl->key_names.empty();
+  TouchEntity(decl->entity, join_side       ? obs::EntityPath::kJoinSide
+                            : point_lookup ? obs::EntityPath::kProbe
+                                           : obs::EntityPath::kScan);
   if (point_lookup) {
     IndexKey key;
     for (const std::string& name : decl->key_names) {
@@ -384,6 +452,7 @@ Result<OperatorPtr> TranslatorImpl::BuildAliasPlan(
 
 Result<CompiledQuery> TranslatorImpl::Run() {
   ERBIUM_RETURN_NOT_OK(CollectAliases());
+  ERBIUM_RETURN_NOT_OK(CollectFootprintAttrs());
 
   // ---- Unnest fast path --------------------------------------------------
   // SELECT <key attrs...>, unnest(<mv attr>) FROM E [WHERE <key-only>]:
@@ -437,6 +506,7 @@ Result<CompiledQuery> TranslatorImpl::Run() {
                               db_->schema().AllAttributes(decl.entity));
       const AttributeDef* attr_def = FindAttribute(visible_attrs, mv_attr);
       if (eligible && attr_def != nullptr && attr_def->multi_valued) {
+        TouchEntity(decl.entity, obs::EntityPath::kScan);
         ERBIUM_ASSIGN_OR_RETURN(OperatorPtr plan,
                                 db_->ScanMultiValued(decl.entity, mv_attr));
         // Scope over the stream: key columns then the element column.
@@ -486,6 +556,8 @@ Result<CompiledQuery> TranslatorImpl::Run() {
         CompiledQuery compiled;
         compiled.plan = std::move(plan);
         compiled.columns = std::move(names);
+        compiled.footprint =
+            std::make_shared<obs::StatementFootprint>(std::move(footprint_));
         return compiled;
       }
     }
@@ -595,6 +667,10 @@ Result<CompiledQuery> TranslatorImpl::Run() {
           } else {
             scope.width = static_cast<int>(plan->output_columns().size());
             first_join = 1;
+            // One pass over the joined structure serves both entities.
+            TouchRelationship(rel->name, /*fused=*/true);
+            TouchEntity(left_decl->entity, obs::EntityPath::kScan);
+            TouchEntity(right_decl->entity, obs::EntityPath::kJoinSide);
             // Per-alias pushed conjuncts apply on top of the fused scan.
             std::vector<ExprPtr> bound;
             for (AliasDecl* decl : {left_decl, right_decl}) {
@@ -615,8 +691,8 @@ Result<CompiledQuery> TranslatorImpl::Run() {
   if (plan == nullptr) {
     AliasInfo first_info;
     ERBIUM_ASSIGN_OR_RETURN(
-        plan,
-        BuildAliasPlan(&decls_[0], pushed[decls_[0].alias], &first_info));
+        plan, BuildAliasPlan(&decls_[0], pushed[decls_[0].alias], &first_info,
+                             /*join_side=*/false));
     scope.aliases.clear();
     scope.aliases.push_back(first_info);
     scope.width = static_cast<int>(plan->output_columns().size());
@@ -630,7 +706,8 @@ Result<CompiledQuery> TranslatorImpl::Run() {
     AliasInfo right_info;
     ERBIUM_ASSIGN_OR_RETURN(
         OperatorPtr right_plan,
-        BuildAliasPlan(decl, pushed[decl->alias], &right_info));
+        BuildAliasPlan(decl, pushed[decl->alias], &right_info,
+                       /*join_side=*/true));
     int right_width = static_cast<int>(right_plan->output_columns().size());
 
     if (!join.relationship.empty()) {
@@ -679,6 +756,7 @@ Result<CompiledQuery> TranslatorImpl::Run() {
               "no in-scope entity participates in " + rel_name);
         }
         // plan ⋈ rel-instances ⋈ new entity.
+        TouchRelationship(rel_name, /*fused=*/false);
         ERBIUM_ASSIGN_OR_RETURN(OperatorPtr rel_scan,
                                 db_->ScanRelationship(rel_name));
         ERBIUM_ASSIGN_OR_RETURN(std::vector<Column> old_key_cols,
@@ -805,6 +883,7 @@ Result<CompiledQuery> TranslatorImpl::Run() {
         return Status::AnalysisError("no in-scope participant for " +
                                      rel_name);
       }
+      TouchRelationship(rel_name, /*fused=*/false);
       ERBIUM_ASSIGN_OR_RETURN(std::vector<Column> owner_key,
                               db_->mapping().KeyColumns(owner));
       std::vector<ExprPtr> left_keys;
@@ -1081,6 +1160,8 @@ Result<CompiledQuery> TranslatorImpl::Run() {
   CompiledQuery compiled;
   compiled.plan = std::move(plan);
   compiled.columns = std::move(output_names);
+  compiled.footprint =
+      std::make_shared<obs::StatementFootprint>(std::move(footprint_));
   return compiled;
 }
 

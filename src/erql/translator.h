@@ -4,11 +4,14 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "common/status.h"
 #include "erql/ast.h"
 #include "exec/operator.h"
 #include "exec/parallel.h"
 #include "mapping/database.h"
+#include "obs/workload_profile.h"
 
 namespace erbium {
 namespace erql {
@@ -25,6 +28,13 @@ struct CompiledQuery {
   ExplainMode explain = ExplainMode::kNone;
   std::string mapping_summary;
   std::vector<std::string> mapping_notes;
+
+  /// E/R access footprint for the workload profiler, derived while
+  /// planning (which entity/relationship sets the plan reaches and how).
+  /// Shared so plan-cache hits replay it without copying; the engine
+  /// stamps `footprint->shape` once after translation and treats it as
+  /// immutable from then on.
+  std::shared_ptr<obs::StatementFootprint> footprint;
 };
 
 /// Compiles a parsed ERQL query against a database's E/R schema and its

@@ -1,11 +1,35 @@
 #include "mapping/advisor.h"
 
+#include <algorithm>
 #include <chrono>
 #include <limits>
 
 #include "erql/query_engine.h"
 
 namespace erbium {
+
+Workload WorkloadFromProfile(const obs::WorkloadSnapshot& snapshot,
+                             size_t max_queries) {
+  // Snapshot() already sorts shapes by weight (total wall time)
+  // descending, so the hottest traffic comes first; we just filter to
+  // SELECT statements (the only kind the advisor can replay against a
+  // candidate mapping) and cap the count.
+  Workload workload;
+  for (const obs::WorkloadSnapshot::Shape& shape : snapshot.shapes) {
+    if (shape.kind != "select") continue;
+    if (workload.queries.size() >= max_queries) break;
+    WorkloadQuery query;
+    query.erql = shape.sample;
+    // Weight by accumulated wall milliseconds so "frequent and slow"
+    // dominates exactly as it does live; floor at 1.0 so sub-millisecond
+    // shapes still participate.
+    query.weight =
+        std::max(1.0, static_cast<double>(shape.weight_ns()) / 1e6);
+    query.label = shape.shape;
+    workload.queries.push_back(std::move(query));
+  }
+  return workload;
+}
 
 std::vector<MappingSpec> MappingAdvisor::EnumerateCandidates(
     const ERSchema& schema, size_t limit) {

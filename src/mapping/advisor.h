@@ -9,6 +9,7 @@
 #include "er/er_schema.h"
 #include "mapping/database.h"
 #include "mapping/mapping_spec.h"
+#include "obs/workload_profile.h"
 
 namespace erbium {
 
@@ -22,6 +23,16 @@ struct WorkloadQuery {
 struct Workload {
   std::vector<WorkloadQuery> queries;
 };
+
+/// Converts a captured workload-profile snapshot (obs::WorkloadProfile)
+/// into the advisor's weighted Workload: the top `max_queries` SELECT
+/// shapes by weight (accumulated wall time), each represented by its
+/// stored concrete sample statement. Weights are the shapes' total wall
+/// milliseconds, so "frequent and slow" dominates the advice exactly as
+/// it dominates the live system. This is the bridge ADVISE uses to feed
+/// MappingAdvisor from live traffic.
+Workload WorkloadFromProfile(const obs::WorkloadSnapshot& snapshot,
+                             size_t max_queries = 8);
 
 /// The workload-aware mapping search the paper calls "the natural
 /// optimization problem" (Section 4): enumerate valid covers of the E/R

@@ -251,6 +251,9 @@ void Server::RegisterMetrics() {
   ctr_bytes_in_ = registry.counter("server.bytes_in");
   ctr_bytes_out_ = registry.counter("server.bytes_out");
   ctr_scrapes_ = registry.counter("server.metrics.scrapes");
+  ctr_scrape_requests_ = registry.counter("server.scrape.requests");
+  hist_scrape_duration_us_ =
+      registry.histogram("server.scrape.duration_us", LatencyBoundsUs());
   gauge_worker_queue_ = registry.gauge("server.worker.queue_depth");
   gauge_write_backlog_ = registry.gauge("server.write_backlog_bytes");
   gauge_uptime_ = registry.gauge("server.uptime_seconds");
@@ -544,10 +547,15 @@ void Server::HandleHttpRequest(const std::shared_ptr<Connection>& conn) {
   }
   if (target == "/metrics") {
     ctr_scrapes_.Increment();
+    ctr_scrape_requests_.Increment();
+    uint64_t scrape_start = obs::MonotonicNowNs();
     gauge_uptime_.Set(
-        static_cast<int64_t>((obs::MonotonicNowNs() - start_ns_) / 1'000'000'000ULL));
+        static_cast<int64_t>((scrape_start - start_ns_) / 1'000'000'000ULL));
+    std::string body = obs::ExportPrometheusText();
+    hist_scrape_duration_us_.Observe(
+        static_cast<double>(obs::MonotonicNowNs() - scrape_start) / 1e3);
     respond("200 OK", "text/plain; version=0.0.4; charset=utf-8",
-            obs::ExportPrometheusText());
+            std::move(body));
     return;
   }
   if (target == "/healthz") {

@@ -200,6 +200,8 @@ class Server {
   obs::Counter ctr_bytes_in_;
   obs::Counter ctr_bytes_out_;
   obs::Counter ctr_scrapes_;
+  obs::Counter ctr_scrape_requests_;
+  obs::Histogram hist_scrape_duration_us_;
   obs::Gauge gauge_worker_queue_;
   obs::Gauge gauge_write_backlog_;
   obs::Gauge gauge_uptime_;

@@ -356,6 +356,65 @@ TEST(ChromeTraceTest, StructurallyValidAndNested) {
   EXPECT_EQ(other->Find("query")->str, "SELECT \"quoted\" query");
 }
 
+TEST(ChromeTraceTest, ServerLifecycleSpansRenderAsSiblings) {
+  // A slow capture carries server.queue_wait (prepended at Record) and
+  // server.write_stall (appended by AnnotateWriteStall) as depth-0
+  // siblings around the plan spans. The Chrome-trace export must keep
+  // all three on the same track, laid out sequentially — the capture
+  // reads as a transport-to-engine-to-transport timeline.
+  MetricsRegistry registry;
+  QueryTelemetry telemetry(16, 4, &registry);
+  telemetry.set_slow_threshold_ns(0);  // everything is slow
+
+  QueryStats stats;
+  SpanRecord scan;
+  scan.name = "Scan";
+  scan.stats.wall_ns = 40'000;
+  stats.spans.push_back(scan);
+  stats.total_wall_ns = 40'000;
+  uint64_t seq = 0;
+  {
+    ScopedStatementLifecycle lifecycle(5'000);
+    telemetry.Record(MakeRecord("lifecycle trace"), &stats);
+    seq = lifecycle.recorded_seq();
+  }
+  telemetry.AnnotateWriteStall(seq, /*write_stall_ns=*/2'000,
+                               /*server_total_ns=*/50'000);
+
+  std::vector<SlowQueryRecord> slow = telemetry.RecentSlow(1);
+  ASSERT_EQ(slow.size(), 1u);
+  std::string json = ExportChromeTrace(slow[0].stats, slow[0].record.text);
+
+  testjson::Node root;
+  std::string error;
+  ASSERT_TRUE(testjson::ParseJson(json, &root, &error)) << error << "\n"
+                                                        << json;
+  const testjson::Node* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->elements.size(), 3u);
+
+  const testjson::Node& wait = events->elements[0];
+  const testjson::Node& scan_event = events->elements[1];
+  const testjson::Node& stall = events->elements[2];
+  EXPECT_EQ(wait.Find("name")->str, "server.queue_wait");
+  EXPECT_EQ(scan_event.Find("name")->str, "Scan");
+  EXPECT_EQ(stall.Find("name")->str, "server.write_stall");
+  // Siblings: all three render on the depth-0 track.
+  EXPECT_EQ(wait.Find("tid")->number, 0.0);
+  EXPECT_EQ(scan_event.Find("tid")->number, 0.0);
+  EXPECT_EQ(stall.Find("tid")->number, 0.0);
+  // Sequential layout in microseconds: wait [0,5), scan [5,45),
+  // stall starting where the scan ends.
+  EXPECT_EQ(wait.Find("ts")->number, 0.0);
+  EXPECT_EQ(wait.Find("dur")->number, 5.0);
+  EXPECT_EQ(scan_event.Find("ts")->number,
+            wait.Find("ts")->number + wait.Find("dur")->number);
+  EXPECT_EQ(stall.Find("ts")->number,
+            scan_event.Find("ts")->number + scan_event.Find("dur")->number);
+  EXPECT_EQ(stall.Find("dur")->number, 2.0);
+  EXPECT_EQ(root.Find("otherData")->Find("query")->str, "lifecycle trace");
+}
+
 TEST(ChromeTraceTest, ZeroDurationSpansStillValid) {
   // Outside an analyze window all wall times are zero; the trace must
   // still parse and keep one event per span.
