@@ -13,6 +13,7 @@
 //   server.bench.insert.c<N>.p50_us     / .p99_us
 //   server.bench.point_read_pipelined.c<N>.p50_us / .p99_us  (per stmt)
 //   server.bench.idle_burst.{p50_us,p99_us,rss_mb,threads,connections}
+//   server.bench.read_under_writes.{idle,writes,checkpoint}.{p50_us,p99_us}
 //   server.bench.lifecycle.{queue_wait,execute,write_stall}_mean_us
 //
 // The lifecycle gauges summarize where a statement's server-side time
@@ -27,6 +28,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <random>
 #include <sstream>
@@ -274,6 +276,188 @@ void RecordLifecycleSplit() {
   }
 }
 
+/// The MVCC snapshot-read headline: point-read latency from 8 reader
+/// connections, measured three ways on one dedicated durable server —
+///   idle        readers alone (the baseline)
+///   writes      readers while one client streams single-row inserts
+///   checkpoint  readers while the writer streams AND another client
+///               issues CHECKPOINT back to back
+/// Reads execute against pinned immutable versions, writers serialize
+/// per entity set, and CHECKPOINT writes its snapshot under a shared
+/// lock — so the `writes` and `checkpoint` p99 should sit within ~2× of
+/// `idle`, not behind the old multi-millisecond exclusive-lock stalls.
+void BM_ReadUnderWrites(benchmark::State& state) {
+  constexpr int kReaders = 8;
+  constexpr int kReadsPerConn = 60;
+  constexpr int kRows = 2000;
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "erbium_bench_ruw").string();
+  std::filesystem::remove_all(dir);
+
+  // A dedicated server attached to disk: CHECKPOINT needs a durable
+  // database, and the insert stream must not pollute the shared server.
+  server::ServerOptions options;
+  options.port = 0;
+  options.max_connections = kReaders + 8;
+  options.idle_timeout_ms = 600'000;
+  options.request_deadline_ms = 0;
+  options.runner.attach_dir = dir;
+  options.runner.plan_cache_capacity = 4096;
+  auto started = server::Server::Start(std::move(options));
+  if (!started.ok()) {
+    state.SkipWithError(started.status().ToString().c_str());
+    return;
+  }
+  std::unique_ptr<server::Server> server = std::move(started).value();
+
+  auto connect = [&](const std::string& name)
+      -> std::unique_ptr<server::Client> {
+    server::Client::Options copts;
+    copts.port = server->port();
+    copts.name = name;
+    copts.connect_retries = 10;
+    auto client = server::Client::Connect(std::move(copts));
+    if (!client.ok()) return nullptr;
+    return std::move(client).value();
+  };
+
+  // Populate through the front door: the attach replaced the in-memory
+  // database, so the working set is created and loaded via statements.
+  std::unique_ptr<server::Client> setup = connect("ruw-setup");
+  if (setup == nullptr ||
+      !setup->Execute("CREATE ENTITY RU ( id INT KEY, a1 INT )").ok()) {
+    state.SkipWithError("read_under_writes setup failed");
+    return;
+  }
+  for (int id = 1; id <= kRows; ++id) {
+    auto ack = setup->Execute("INSERT RU (id = " + std::to_string(id) +
+                              ", a1 = " + std::to_string(id * 7) + ")");
+    if (!ack.ok()) {
+      state.SkipWithError("read_under_writes data load failed");
+      return;
+    }
+  }
+
+  std::vector<std::unique_ptr<server::Client>> readers;
+  readers.reserve(kReaders);
+  for (int i = 0; i < kReaders; ++i) {
+    readers.push_back(connect("ruw-reader-" + std::to_string(i)));
+    if (readers.back() == nullptr) {
+      state.SkipWithError("read_under_writes reader connect failed");
+      return;
+    }
+  }
+  std::unique_ptr<server::Client> writer = connect("ruw-writer");
+  std::unique_ptr<server::Client> checkpointer = connect("ruw-checkpoint");
+  if (writer == nullptr || checkpointer == nullptr) {
+    state.SkipWithError("read_under_writes connect failed");
+    return;
+  }
+
+  struct Mode {
+    const char* name;
+    bool with_writer;
+    bool with_checkpoint;
+  };
+  constexpr Mode kModes[] = {{"idle", false, false},
+                             {"writes", true, false},
+                             {"checkpoint", true, true}};
+
+  for (auto _ : state) {
+    for (const Mode& mode : kModes) {
+      std::atomic<bool> stop{false};
+      std::atomic<bool> failed{false};
+      std::thread write_stream;
+      if (mode.with_writer) {
+        write_stream = std::thread([&] {
+          while (!stop.load()) {
+            auto ack = writer->Execute(
+                "INSERT RU (id = " +
+                std::to_string(g_next_insert_id.fetch_add(1)) +
+                ", a1 = 1)");
+            if (!ack.ok()) {
+              failed.store(true);
+              return;
+            }
+          }
+        });
+      }
+      std::thread checkpoint_stream;
+      if (mode.with_checkpoint) {
+        checkpoint_stream = std::thread([&] {
+          while (!stop.load()) {
+            auto ack = checkpointer->Execute("CHECKPOINT");
+            if (!ack.ok()) {
+              failed.store(true);
+              return;
+            }
+            // Checkpoints are periodic in real deployments; a tight
+            // loop would just measure CPU contention with the encoder.
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          }
+        });
+      }
+
+      std::vector<std::vector<double>> per_thread(kReaders);
+      std::vector<std::thread> threads;
+      threads.reserve(kReaders);
+      for (int i = 0; i < kReaders; ++i) {
+        threads.emplace_back([&, i] {
+          std::mt19937 rng(static_cast<uint32_t>(211 + i));
+          per_thread[i].reserve(kReadsPerConn);
+          for (int k = 0; k < kReadsPerConn && !failed.load(); ++k) {
+            std::string statement = "SELECT a1 FROM RU WHERE id = " +
+                                    std::to_string(1 + rng() % kRows);
+            auto start = std::chrono::steady_clock::now();
+            auto outcome = readers[i]->Execute(statement);
+            auto end = std::chrono::steady_clock::now();
+            if (!outcome.ok()) {
+              failed.store(true);
+              break;
+            }
+            per_thread[i].push_back(
+                std::chrono::duration<double, std::micro>(end - start)
+                    .count());
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      stop.store(true);
+      if (write_stream.joinable()) write_stream.join();
+      if (checkpoint_stream.joinable()) checkpoint_stream.join();
+      if (failed.load()) {
+        state.SkipWithError("a read_under_writes request failed");
+        return;
+      }
+
+      std::vector<double> latencies_us;
+      for (const auto& lats : per_thread) {
+        latencies_us.insert(latencies_us.end(), lats.begin(), lats.end());
+      }
+      double p50 = Percentile(&latencies_us, 0.50);
+      double p99 = Percentile(&latencies_us, 0.99);
+      state.counters[std::string(mode.name) + "_p50_us"] = p50;
+      state.counters[std::string(mode.name) + "_p99_us"] = p99;
+      std::string prefix =
+          "server.bench.read_under_writes." + std::string(mode.name);
+      obs::MetricsRegistry::Global()
+          .gauge(prefix + ".p50_us")
+          .Set(static_cast<int64_t>(std::llround(p50)));
+      obs::MetricsRegistry::Global()
+          .gauge(prefix + ".p99_us")
+          .Set(static_cast<int64_t>(std::llround(p99)));
+    }
+  }
+
+  readers.clear();
+  writer.reset();
+  checkpointer.reset();
+  setup.reset();
+  server->Stop();
+  std::filesystem::remove_all(dir);
+}
+
 /// Reads a numeric field (kB for VmRSS) from /proc/self/status.
 int64_t ProcSelfStatus(const char* field) {
   std::ifstream in("/proc/self/status");
@@ -412,6 +596,8 @@ BENCHMARK(BM_Insert)->Arg(1)->Arg(8)->Arg(64)->UseRealTime()
     ->Iterations(3)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PointReadPipelined)->Arg(1)->Arg(8)->UseRealTime()
     ->Iterations(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReadUnderWrites)->UseRealTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_IdleBurst)->UseRealTime()->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

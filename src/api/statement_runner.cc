@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <numeric>
 #include <utility>
@@ -22,10 +23,15 @@ namespace api {
 
 namespace {
 
-/// Leading keyword of a statement, lowercased ("" when none).
+/// Leading keyword of a statement, lowercased ("" when none). Skips any
+/// leading whitespace — including newlines and vertical whitespace — so
+/// "  \n select" classifies exactly like "SELECT".
 std::string LeadingKeyword(const std::string& statement) {
-  size_t begin = statement.find_first_not_of(" \t\r\n");
-  if (begin == std::string::npos) return "";
+  size_t begin = 0;
+  while (begin < statement.size() &&
+         std::isspace(static_cast<unsigned char>(statement[begin]))) {
+    ++begin;
+  }
   std::string word;
   for (size_t i = begin; i < statement.size(); ++i) {
     char c = statement[i];
@@ -48,7 +54,16 @@ StatementRunner::StatementClass StatementRunner::Classify(
     // profile is internally synchronized, so both run shared.
     return StatementClass::kRead;
   }
-  return StatementClass::kWrite;
+  if (word == "insert" || word == "load" || word == "checkpoint") {
+    // INSERT serializes per lock domain inside MappedDatabase — the
+    // statement lock is only held shared so structural statements can
+    // drain it. LOAD WORKLOAD replaces the internally synchronized
+    // profile. CHECKPOINT spends almost all its time in the shared
+    // snapshot-write phase (Execute routes it through its own
+    // three-phase dance).
+    return StatementClass::kCrud;
+  }
+  return StatementClass::kExclusive;
 }
 
 MappingSpec StatementRunner::PresetByName(const std::string& name) {
@@ -66,6 +81,7 @@ Result<std::unique_ptr<StatementRunner>> StatementRunner::Create(
   std::unique_ptr<StatementRunner> runner(new StatementRunner());
   runner->spec_ = std::move(options.spec);
   runner->sync_ = options.sync;
+  runner->faults_ = options.faults;
   if (options.plan_cache_capacity > 0) {
     runner->plan_cache_ =
         std::make_unique<erql::PlanCache>(options.plan_cache_capacity);
@@ -125,13 +141,22 @@ void AcquireStatementLock(Lock* lock) {
 Result<StatementOutcome> StatementRunner::Execute(
     const std::string& statement) {
   StatementClass cls = Classify(statement);
-  if (cls == StatementClass::kRead) {
-    std::shared_lock<std::shared_mutex> lock(statement_mu_, std::defer_lock);
+  if (LeadingKeyword(statement) == "checkpoint") {
+    // CHECKPOINT alternates lock modes across its three phases; it
+    // cannot run under one scoped acquisition.
+    return CheckpointStatement();
+  }
+  if (cls == StatementClass::kExclusive) {
+    std::unique_lock<std::shared_mutex> lock(statement_mu_, std::defer_lock);
     AcquireStatementLock(&lock);
+    StatementScope scope(this);
     return ExecuteClassified(statement, cls);
   }
-  std::unique_lock<std::shared_mutex> lock(statement_mu_, std::defer_lock);
+  // Reads and CRUD both run shared: readers execute against pinned
+  // versions, CRUD serializes per mapping lock domain underneath.
+  std::shared_lock<std::shared_mutex> lock(statement_mu_, std::defer_lock);
   AcquireStatementLock(&lock);
+  StatementScope scope(this);
   return ExecuteClassified(statement, cls);
 }
 
@@ -143,21 +168,20 @@ Result<StatementOutcome> StatementRunner::ExecuteClassified(
   if (word == "remap") return RemapLocked(statement);
   if (word == "attach") return AttachLocked(statement);
   if (word == "advise") return AdviseLocked(statement);
-  if (cls == StatementClass::kRead || word == "checkpoint" ||
-      word == "load") {
+  if (cls != StatementClass::kExclusive) {
     // Only plain SELECTs go through the plan cache; SHOW/EXPLAIN/TRACE
     // would only pollute the hit/miss metrics with guaranteed misses.
     erql::PlanCache* cache = word == "select" ? plan_cache_.get() : nullptr;
     ERBIUM_ASSIGN_OR_RETURN(
         erql::QueryResult result,
-        erql::QueryEngine::Execute(db(), statement, ExecOptions::Default(),
-                                   cache, mapping_generation()));
+        erql::QueryEngine::Execute(current_db(), statement,
+                                   ExecOptions::Default(), cache,
+                                   mapping_generation()));
     StatementOutcome outcome;
-    // EXPLAIN / TRACE / CHECKPOINT / EXPORT / LOAD output is plain lines;
-    // SELECT and SHOW render as tables.
+    // EXPLAIN / TRACE / EXPORT / LOAD output is plain lines; SELECT and
+    // SHOW render as tables.
     outcome.shape = (word == "explain" || word == "trace" ||
-                     word == "checkpoint" || word == "export" ||
-                     word == "load")
+                     word == "export" || word == "load")
                         ? OutputShape::kLines
                         : OutputShape::kTable;
     outcome.result = std::move(result);
@@ -183,7 +207,8 @@ Result<StatementOutcome> StatementRunner::CreateLocked(
   // Either branch rebuilt the physical tables; cached plans are stale.
   BumpMappingGeneration();
   StatementOutcome outcome;
-  outcome.message = "ok (" + std::to_string(db()->mapping().tables().size()) +
+  outcome.message = "ok (" +
+                    std::to_string(current_db()->mapping().tables().size()) +
                     " physical tables)";
   return outcome;
 }
@@ -247,7 +272,7 @@ Result<StatementOutcome> StatementRunner::InsertLocked(
     return Status::ParseError("unexpected trailing input after INSERT");
   }
   ERBIUM_RETURN_NOT_OK(
-      db()->InsertEntity(entity, Value::Struct(std::move(fields))));
+      current_db()->InsertEntity(entity, Value::Struct(std::move(fields))));
   // Feed the workload profiler at the statement level (not inside
   // MappedDatabase) so REMAP migration, recovery replay, and ADVISE
   // candidate population never pollute the CRUD counters.
@@ -298,6 +323,7 @@ Status StatementRunner::RemapSpec(const MappingSpec& next) {
 
 Status StatementRunner::RemapPreset(const std::string& name) {
   std::unique_lock<std::shared_mutex> lock(statement_mu_);
+  StatementScope scope(this);
   return RemapSpec(PresetByName(name));
 }
 
@@ -321,6 +347,7 @@ Status StatementRunner::AttachDir(const std::string& dir,
   options.spec = spec_;
   options.initial_ddl = ddl_history_;
   options.sync = sync_;
+  options.faults = faults_;
   auto opened = durability::DurableDatabase::Open(dir, std::move(options));
   if (!opened.ok()) return opened.status();
   durable_ = std::move(opened).value();
@@ -375,18 +402,18 @@ Result<StatementOutcome> StatementRunner::AdviseLocked(
   candidates.push_back(active);
   const std::string active_json = active.ToJson();
   std::vector<MappingSpec> enumerated =
-      MappingAdvisor::EnumerateCandidates(*SchemaView(), /*limit=*/16);
+      MappingAdvisor::EnumerateCandidates(*current_schema(), /*limit=*/16);
   for (MappingSpec& spec : enumerated) {
     if (spec.ToJson() == active_json) continue;
     candidates.push_back(std::move(spec));
   }
-  MappedDatabase* live = db();
+  MappedDatabase* live = current_db();
   auto populate = [live](MappedDatabase* dst) {
     return evolution::MigrateData(live, dst);
   };
   ERBIUM_ASSIGN_OR_RETURN(
       MappingAdvisor::Advice advice,
-      MappingAdvisor::Advise(SchemaView(), candidates, populate, workload,
+      MappingAdvisor::Advise(current_schema(), candidates, populate, workload,
                              /*repetitions=*/2));
 
   // Rank: valid candidates by measured cost, invalid ones last.
@@ -437,8 +464,77 @@ void StatementRunner::BumpMappingGeneration() {
   if (plan_cache_ != nullptr) plan_cache_->InvalidateBelow(next);
 }
 
+Result<StatementOutcome> StatementRunner::CheckpointStatement() {
+  // One CHECKPOINT at a time; later ones queue here (not on the
+  // statement lock, which phase B only holds shared).
+  std::lock_guard<std::mutex> checkpoint_lock(checkpoint_mu_);
+  durability::DurableDatabase::CheckpointPins pins;
+  {
+    // Phase A — brief exclusive barrier: pin every table/pair version and
+    // fix the WAL horizon. O(#tables), no IO.
+    std::unique_lock<std::shared_mutex> lock(statement_mu_, std::defer_lock);
+    AcquireStatementLock(&lock);
+    StatementScope scope(this);
+    if (durable_ == nullptr) {
+      return Status::InvalidArgument(
+          "CHECKPOINT requires a durable database — ATTACH DATABASE "
+          "'<dir>' first");
+    }
+    ERBIUM_ASSIGN_OR_RETURN(pins, durable_->PrepareCheckpoint());
+  }
+  // Phase B — shared lock: encode the pinned image and write it to disk
+  // while concurrent SELECTs and CRUD proceed. (ATTACH refuses when
+  // already attached, so durable_ cannot be replaced between phases.)
+  Result<std::string> summary = [&]() -> Result<std::string> {
+    std::shared_lock<std::shared_mutex> lock(statement_mu_, std::defer_lock);
+    AcquireStatementLock(&lock);
+    StatementScope scope(this);
+    return durable_->WriteSnapshotPhase(pins);
+  }();
+  if (!summary.ok()) {
+    durable_->AbortCheckpoint();
+    return summary.status();
+  }
+  {
+    // Phase C — also shared: rename the snapshot into place and compact
+    // the WAL down to the records appended during phase B. Readers never
+    // touch snapshot files or the WAL at runtime; concurrent appends
+    // order against the compaction on the WAL's internal mutex, and any
+    // record they add carries lsn > the checkpoint horizon, so the
+    // compaction keeps it. Only phase A's pin grab needs exclusivity.
+    std::shared_lock<std::shared_mutex> lock(statement_mu_, std::defer_lock);
+    AcquireStatementLock(&lock);
+    StatementScope scope(this);
+    ERBIUM_RETURN_NOT_OK(durable_->FinishCheckpoint(pins));
+  }
+  StatementOutcome outcome;
+  outcome.shape = OutputShape::kLines;
+  outcome.result.columns = {"checkpoint"};
+  outcome.result.rows.push_back(
+      Row{Value::String(std::move(summary).value())});
+  return outcome;
+}
+
+void StatementRunner::AssertQuiescent(const char* what) const {
+#ifndef NDEBUG
+  int active = active_statements_.load(std::memory_order_relaxed);
+  if (active != 0) {
+    std::fprintf(stderr,
+                 "FATAL: StatementRunner::%s called while %d statement(s) "
+                 "are in flight — the unlocked introspection accessors are "
+                 "only safe on a quiescent runner\n",
+                 what, active);
+    std::abort();
+  }
+#else
+  (void)what;
+#endif
+}
+
 Status StatementRunner::FinalCheckpoint() {
+  std::lock_guard<std::mutex> checkpoint_lock(checkpoint_mu_);
   std::unique_lock<std::shared_mutex> lock(statement_mu_);
+  StatementScope scope(this);
   if (durable_ == nullptr) return Status::OK();
   return durable_->Checkpoint().status();
 }

@@ -49,14 +49,25 @@ struct StatementOutcome {
 ///   EXPORT WORKLOAD INTO '<file>'   snapshot the workload profile as JSON
 ///   LOAD WORKLOAD FROM '<file>'     replace the profile from a snapshot
 ///
-/// Concurrency: Execute() classifies the statement and takes the
-/// runner's statement lock accordingly — SELECT / EXPLAIN / SHOW / TRACE
-/// run shared (concurrent readers are safe under the Table contract:
-/// scans never mutate, and the parallel executor already reads shared),
-/// while CRUD, DDL, REMAP, ATTACH, and CHECKPOINT take the lock
-/// exclusively and therefore serialize. This is the engine-level
-/// concurrency control the server's sessions rely on; the debug-build
-/// WriterCheck guards underneath abort loudly if anyone bypasses it.
+/// Concurrency: Execute() classifies the statement into three lock
+/// classes —
+///   - Reads (SELECT / EXPLAIN / SHOW / TRACE / ADVISE / EXPORT) take the
+///     statement lock shared and execute against pinned immutable
+///     versions (exec::ReadSnapshot): they never block behind writers and
+///     never observe a half-applied mutation.
+///   - CRUD (INSERT, and LOAD WORKLOAD) also takes the lock *shared*:
+///     writers serialize against each other per entity-set/relationship-
+///     set inside MappedDatabase (lock domains), not through this lock,
+///     so writers to unrelated schema parts run in parallel with each
+///     other and with all readers.
+///   - Structural statements (CREATE / REMAP / ATTACH, and anything
+///     unrecognized) take the lock exclusively: they replace the physical
+///     database, so every other statement drains first.
+/// CHECKPOINT is its own dance: pin versions under a brief exclusive
+/// barrier (the only exclusive moment), then write the snapshot and
+/// finish (rename + WAL compaction) under shared locks — reads and CRUD
+/// proceed for the whole disk phase, so reads no longer stall for the
+/// duration of the snapshot write.
 class StatementRunner {
  public:
   struct Options {
@@ -72,12 +83,18 @@ class StatementRunner {
     /// Prepared-statement plan cache capacity (distinct normalized
     /// SELECT texts); 0 disables caching entirely.
     size_t plan_cache_capacity = 1024;
+    /// Crash/gate hooks passed through to the durable database on
+    /// ATTACH; not owned, may be null. For the fault-injection tests.
+    durability::FaultInjector* faults = nullptr;
   };
 
-  /// Lock class of a statement: reads run shared, writes exclusive.
-  enum class StatementClass { kRead, kWrite };
-  /// Classification by leading keyword; unknown statements classify as
-  /// writes (they fail under the exclusive lock, which is always safe).
+  /// Lock class of a statement (see the class comment): reads and CRUD
+  /// run shared, structural statements exclusive.
+  enum class StatementClass { kRead, kCrud, kExclusive };
+  /// Classification by leading keyword — insensitive to case and to any
+  /// leading whitespace (spaces, tabs, newlines). Unknown statements
+  /// classify as exclusive (they fail under the exclusive lock, which is
+  /// always safe).
   static StatementClass Classify(const std::string& statement);
 
   static Result<std::unique_ptr<StatementRunner>> Create(Options options);
@@ -100,14 +117,21 @@ class StatementRunner {
 
   // ---- Unlocked introspection ----------------------------------------------
   // For single-threaded hosts (the shell's backslash commands). Callers
-  // must not run concurrent statements around these.
+  // must not run concurrent statements around these — a debug-build
+  // assert (WriterCheck-style: abort loudly, never corrupt silently)
+  // fires if any statement is in flight when one is called.
   MappedDatabase* db() {
-    return durable_ ? durable_->db() : db_.get();
+    AssertQuiescent("db()");
+    return current_db();
   }
   const ERSchema* SchemaView() const {
-    return durable_ ? &durable_->schema() : schema_.get();
+    AssertQuiescent("SchemaView()");
+    return current_schema();
   }
-  durability::DurableDatabase* durable() { return durable_.get(); }
+  durability::DurableDatabase* durable() {
+    AssertQuiescent("durable()");
+    return durable_.get();
+  }
   bool attached() const { return durable_ != nullptr; }
   const MappingSpec& spec() const { return spec_; }
 
@@ -123,8 +147,38 @@ class StatementRunner {
  private:
   StatementRunner() = default;
 
+  /// In-flight statement accounting for the debug asserts above. Scoped
+  /// inside Execute's lock acquisition.
+  struct StatementScope {
+    explicit StatementScope(StatementRunner* r) : runner(r) {
+      runner->active_statements_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~StatementScope() {
+      runner->active_statements_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    StatementScope(const StatementScope&) = delete;
+    StatementScope& operator=(const StatementScope&) = delete;
+    StatementRunner* runner;
+  };
+
+  /// Aborts (debug builds) when a statement is in flight: the unlocked
+  /// introspection accessors are only safe on a quiescent runner.
+  void AssertQuiescent(const char* what) const;
+
+  /// Accessors for statement-execution paths (which legitimately run
+  /// with active_statements_ > 0).
+  MappedDatabase* current_db() {
+    return durable_ ? durable_->db() : db_.get();
+  }
+  const ERSchema* current_schema() const {
+    return durable_ ? &durable_->schema() : schema_.get();
+  }
+
   Result<StatementOutcome> ExecuteClassified(const std::string& statement,
                                              StatementClass cls);
+  /// The CHECKPOINT lock dance (see the class comment): exclusive
+  /// prepare, shared snapshot write, shared finish.
+  Result<StatementOutcome> CheckpointStatement();
   /// ADVISE [LIMIT n]: feeds the captured workload profile through
   /// MappingAdvisor against live data and renders the ranked candidates.
   /// Runs under the shared lock — candidate databases are populated by
@@ -150,6 +204,11 @@ class StatementRunner {
 
   /// Shared/exclusive statement lock (see class comment).
   std::shared_mutex statement_mu_;
+  /// Serializes whole CHECKPOINT statements (all three phases): without
+  /// it, concurrent CHECKPOINTs would race PrepareCheckpoint and the
+  /// losers would fail with "already in progress" instead of queueing.
+  /// Always acquired before statement_mu_.
+  std::mutex checkpoint_mu_;
 
   std::shared_ptr<ERSchema> schema_ = std::make_shared<ERSchema>();
   std::unique_ptr<MappedDatabase> db_;
@@ -157,6 +216,7 @@ class StatementRunner {
   MappingSpec spec_ = MappingSpec::Normalized("m1");
   durability::WalWriter::SyncMode sync_ =
       durability::WalWriter::SyncMode::kNone;
+  durability::FaultInjector* faults_ = nullptr;
   /// Every DDL statement executed so far; an ATTACH seeds the durable
   /// database's schema with it.
   std::string ddl_history_;
@@ -167,6 +227,9 @@ class StatementRunner {
   /// the exclusive lock, so a stale plan can never execute.
   std::unique_ptr<erql::PlanCache> plan_cache_;
   std::atomic<uint64_t> mapping_generation_{1};
+  /// Statements currently inside Execute (any lock class); the unlocked
+  /// introspection accessors assert this is zero in debug builds.
+  mutable std::atomic<int> active_statements_{0};
 };
 
 }  // namespace api

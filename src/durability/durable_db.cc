@@ -213,16 +213,16 @@ Status DurableDatabase::ReplayRecord(const WalRecord& record) {
 }
 
 Status DurableDatabase::AppendRecord(WalRecord record) {
-  // Single-writer choke point for the log: every CRUD hook, DDL, and
-  // remap funnels here, so a concurrent unsynchronized mutator trips the
-  // debug check even when the races never collide in MappedDatabase.
-  WriterCheck::Scope write_scope(&writer_check_, "DurableDatabase (WAL)");
+  // Choke point for the log: every CRUD hook, DDL, and remap funnels
+  // here. Concurrent CRUD statements (serialized only per mapping lock
+  // domain) interleave freely — the WalWriter's internal mutex orders
+  // their records.
   return wal_->Append(std::move(record));
 }
 
 Status DurableDatabase::ExecuteDdl(const std::string& ddl) {
-  WriterCheck::Scope write_scope(&writer_check_,
-                                 "DurableDatabase (ExecuteDdl)");
+  // DDL rebuilds the physical database; callers hold the exclusive
+  // statement barrier (StatementRunner) or own the database outright.
   if (options_.faults != nullptr) {
     ERBIUM_RETURN_NOT_OK(options_.faults->Check());
   }
@@ -239,7 +239,7 @@ Status DurableDatabase::ExecuteDdl(const std::string& ddl) {
 }
 
 Status DurableDatabase::Remap(MappingSpec new_spec) {
-  WriterCheck::Scope write_scope(&writer_check_, "DurableDatabase (Remap)");
+  // Same exclusivity contract as ExecuteDdl.
   if (options_.faults != nullptr) {
     ERBIUM_RETURN_NOT_OK(options_.faults->Check());
   }
@@ -311,21 +311,56 @@ Status DurableDatabase::LogDeleteRelationship(const std::string& rel_name,
   return AppendRecord(std::move(record));
 }
 
-Result<std::string> DurableDatabase::Checkpoint() {
-  // Checkpoint captures table state and truncates the WAL; racing it
-  // against any mutator would snapshot a half-applied world.
-  WriterCheck::Scope write_scope(&writer_check_,
-                                 "DurableDatabase (Checkpoint)");
+Result<DurableDatabase::CheckpointPins> DurableDatabase::PrepareCheckpoint() {
+  if (checkpoint_running_.exchange(true)) {
+    return Status::Unavailable("another checkpoint is already in progress");
+  }
+  FaultInjector* faults = options_.faults;
+  if (faults != nullptr) {
+    Status alive = faults->Check();
+    if (!alive.ok()) {
+      checkpoint_running_.store(false);
+      return alive;
+    }
+    if (faults->ShouldCrash("checkpoint.begin")) {
+      checkpoint_running_.store(false);
+      return faults->Crash();
+    }
+  }
+  CheckpointPins pins;
+  // Records up to here are inside the pinned image; anything appended
+  // while the write phase runs stays in the compacted WAL.
+  pins.last_lsn = wal_->next_lsn() - 1;
+  pins.gen = latest_snapshot_gen_ + 1;
+  pins.ddl = ddl_;
+  pins.spec_json = db_->mapping().spec().ToJson();
+  for (const std::string& name : db_->catalog().TableNames()) {
+    if (name == MappedDatabase::kMappingCatalogTable) continue;
+    pins.tables.emplace_back(name,
+                             db_->catalog().GetTable(name)->PinVersion());
+  }
+  for (const auto& def : db_->mapping().pairs()) {
+    const FactorizedPair* pair = db_->pair(def.name);
+    if (pair != nullptr) pins.pairs.emplace_back(def.name, pair->PinVersion());
+  }
+  return pins;
+}
+
+Result<std::string> DurableDatabase::WriteSnapshotPhase(
+    const CheckpointPins& pins) {
   FaultInjector* faults = options_.faults;
   if (faults != nullptr) {
     ERBIUM_RETURN_NOT_OK(faults->Check());
-    if (faults->ShouldCrash("checkpoint.begin")) return faults->Crash();
+    // Test hook: park here (pins held, nothing on disk yet) so tests can
+    // prove reads and writes proceed mid-checkpoint.
+    faults->MaybeBlock("checkpoint.writing");
   }
-  uint64_t last_lsn = wal_->next_lsn() - 1;
-  SnapshotData data = CaptureSnapshot(*db_, last_lsn, ddl_);
+  SnapshotData data = CaptureSnapshotFromPins(pins.tables, pins.pairs,
+                                              pins.last_lsn, pins.ddl,
+                                              pins.spec_json);
   std::string bytes = EncodeSnapshot(data);
   if (bytes.size() - kSnapshotHeaderBytes > kMaxSnapshotPayloadBytes) {
-    // Fail here, before anything is renamed or truncated: a snapshot the
+    // Fail here, before anything is renamed or compacted: a snapshot the
     // decode side would reject (or whose size wraps the u32 length field)
     // must never supersede the WAL, or the next recovery silently falls
     // back to an older generation and everything since is lost.
@@ -335,31 +370,9 @@ Result<std::string> DurableDatabase::Checkpoint() {
         " bytes exceeds the " + std::to_string(kMaxSnapshotPayloadBytes) +
         "-byte format limit; checkpoint aborted (WAL left intact)");
   }
-  uint64_t gen = latest_snapshot_gen_ + 1;
-  std::string final_path = SnapshotPath(dir_, gen);
-  std::string tmp_path = final_path + ".tmp";
-
+  std::string tmp_path = SnapshotPath(dir_, pins.gen) + ".tmp";
   ERBIUM_RETURN_NOT_OK(WriteFileDurably(tmp_path, bytes));
   if (faults != nullptr && faults->ShouldCrash("checkpoint.tmp_written")) {
-    return faults->Crash();
-  }
-
-  std::error_code ec;
-  std::filesystem::rename(tmp_path, final_path, ec);
-  if (ec) {
-    return Status::IOError("snapshot rename failed: " + ec.message());
-  }
-  SyncDirectory(dir_);
-  if (faults != nullptr && faults->ShouldCrash("checkpoint.renamed")) {
-    return faults->Crash();
-  }
-
-  ERBIUM_RETURN_NOT_OK(wal_->Truncate());
-  latest_snapshot_gen_ = gen;
-  for (uint64_t old : ListSnapshotGens(dir_)) {
-    if (old < gen) std::filesystem::remove(SnapshotPath(dir_, old), ec);
-  }
-  if (faults != nullptr && faults->ShouldCrash("checkpoint.done")) {
     return faults->Crash();
   }
 
@@ -372,10 +385,56 @@ Result<std::string> DurableDatabase::Checkpoint() {
   char summary[160];
   std::snprintf(summary, sizeof(summary),
                 "checkpoint gen=%llu lsn=%llu tables=%zu rows=%zu bytes=%zu",
-                static_cast<unsigned long long>(gen),
-                static_cast<unsigned long long>(last_lsn), data.tables.size(),
-                rows, bytes.size());
+                static_cast<unsigned long long>(pins.gen),
+                static_cast<unsigned long long>(pins.last_lsn),
+                data.tables.size(), rows, bytes.size());
   return std::string(summary);
+}
+
+Status DurableDatabase::FinishCheckpoint(const CheckpointPins& pins) {
+  // Whatever happens below, the next checkpoint may start once we return.
+  struct ClearFlag {
+    std::atomic<bool>* flag;
+    ~ClearFlag() { flag->store(false); }
+  } clear{&checkpoint_running_};
+  FaultInjector* faults = options_.faults;
+  if (faults != nullptr) {
+    ERBIUM_RETURN_NOT_OK(faults->Check());
+  }
+  std::string final_path = SnapshotPath(dir_, pins.gen);
+  std::string tmp_path = final_path + ".tmp";
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return Status::IOError("snapshot rename failed: " + ec.message());
+  }
+  SyncDirectory(dir_);
+  if (faults != nullptr && faults->ShouldCrash("checkpoint.renamed")) {
+    return faults->Crash();
+  }
+
+  // Keep records appended during the write phase: only what the snapshot
+  // covers (lsn <= last_lsn) is dropped.
+  ERBIUM_RETURN_NOT_OK(wal_->CompactThrough(pins.last_lsn));
+  latest_snapshot_gen_ = pins.gen;
+  for (uint64_t old : ListSnapshotGens(dir_)) {
+    if (old < pins.gen) std::filesystem::remove(SnapshotPath(dir_, old), ec);
+  }
+  if (faults != nullptr && faults->ShouldCrash("checkpoint.done")) {
+    return faults->Crash();
+  }
+  return Status::OK();
+}
+
+Result<std::string> DurableDatabase::Checkpoint() {
+  ERBIUM_ASSIGN_OR_RETURN(CheckpointPins pins, PrepareCheckpoint());
+  Result<std::string> summary = WriteSnapshotPhase(pins);
+  if (!summary.ok()) {
+    AbortCheckpoint();
+    return summary.status();
+  }
+  ERBIUM_RETURN_NOT_OK(FinishCheckpoint(pins));
+  return summary;
 }
 
 }  // namespace durability

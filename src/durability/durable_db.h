@@ -1,11 +1,13 @@
 #ifndef ERBIUM_DURABILITY_DURABLE_DB_H_
 #define ERBIUM_DURABILITY_DURABLE_DB_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
-#include "common/reentrant_check.h"
 #include "common/status.h"
 #include "durability/fault.h"
 #include "durability/snapshot.h"
@@ -98,11 +100,43 @@ class DurableDatabase : public DurabilityHook {
                                const IndexKey& left_key,
                                const IndexKey& right_key) override;
 
-  /// Snapshot + WAL truncate. Protocol (each step crash-safe):
-  ///   1. capture state, encode               [checkpoint.begin]
-  ///   2. write snapshot-<g+1>.erbsnap.tmp    [checkpoint.tmp_written]
-  ///   3. rename tmp -> snapshot-<g+1>        [checkpoint.renamed]
-  ///   4. truncate WAL, delete older gens     [checkpoint.done]
+  /// Everything CHECKPOINT's write phase needs, captured under the
+  /// exclusive barrier: immutable version pins of every table and pair
+  /// (freezing a consistent image at `last_lsn`), plus copies of the
+  /// schema DDL / mapping JSON and the reserved snapshot generation.
+  struct CheckpointPins {
+    uint64_t last_lsn = 0;
+    uint64_t gen = 0;
+    std::string ddl;
+    std::string spec_json;
+    std::vector<std::pair<std::string, std::shared_ptr<const TableVersion>>>
+        tables;
+    std::vector<std::pair<std::string, std::shared_ptr<const PairVersion>>>
+        pairs;
+  };
+
+  /// Non-blocking CHECKPOINT, three phases (each step crash-safe):
+  ///   A. PrepareCheckpoint  — caller holds the exclusive statement
+  ///      barrier; pins versions, records the WAL horizon, reserves the
+  ///      generation. O(#tables), no IO.        [checkpoint.begin]
+  ///   B. WriteSnapshotPhase — runs with ONLY a shared statement lock:
+  ///      concurrent SELECTs and CRUD proceed while the image is
+  ///      encoded and written to snapshot-<g>.erbsnap.tmp. Returns the
+  ///      summary string.                       [checkpoint.tmp_written]
+  ///   C. FinishCheckpoint   — exclusive barrier again: rename tmp into
+  ///      place, compact the WAL keeping records with lsn > last_lsn
+  ///      (appended during B), delete older generations.
+  ///                                 [checkpoint.renamed, checkpoint.done]
+  /// A failed B/C must be followed by AbortCheckpoint so a later
+  /// CHECKPOINT can start.
+  Result<CheckpointPins> PrepareCheckpoint();
+  Result<std::string> WriteSnapshotPhase(const CheckpointPins& pins);
+  Status FinishCheckpoint(const CheckpointPins& pins);
+  /// Clears the in-progress flag after a failed write/finish phase.
+  void AbortCheckpoint() { checkpoint_running_.store(false); }
+
+  /// Legacy single-call form: A + B + C back to back (callers that hold
+  /// the database exclusively anyway, e.g. tests and the hook interface).
   Result<std::string> Checkpoint() override;
 
  private:
@@ -127,10 +161,10 @@ class DurableDatabase : public DurabilityHook {
   std::unique_ptr<WalWriter> wal_;
   RecoveryInfo recovery_;
   uint64_t latest_snapshot_gen_ = 0;
-  /// Debug-build guard (common/reentrant_check.h): WAL appends, DDL,
-  /// remap, and checkpoint are single-writer by contract; concurrent
-  /// unsynchronized callers abort loudly in debug builds.
-  WriterCheck writer_check_;
+  /// Set from PrepareCheckpoint until FinishCheckpoint/AbortCheckpoint:
+  /// only one checkpoint may be in flight (the reserved generation and
+  /// the WAL horizon are checkpoint-local state).
+  std::atomic<bool> checkpoint_running_{false};
 };
 
 }  // namespace durability

@@ -1,7 +1,9 @@
 #ifndef ERBIUM_DURABILITY_FAULT_H_
 #define ERBIUM_DURABILITY_FAULT_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -83,6 +85,52 @@ class FaultInjector {
   uint64_t partial_bytes() const { return partial_bytes_; }
   uint64_t error_partial_bytes() const { return error_partial_bytes_; }
 
+  // ---- Blocking gate ---------------------------------------------------------
+  // Unlike the crash/error hooks above (armed and fired on one thread),
+  // the gate is cross-thread by design: a test arms it, a background
+  // operation parks on it at MaybeBlock, the test observes the frozen
+  // system via WaitUntilBlocked, then ReleaseGate lets the operation
+  // finish. Used to pin CHECKPOINT mid-snapshot-write and prove reads
+  // don't stall behind it.
+  //
+  // Gate points:
+  //   checkpoint.writing   inside the shared snapshot-write phase, after
+  //                        versions are pinned but before bytes hit disk
+
+  /// Arms the gate at `point`; the next MaybeBlock(point) parks.
+  void ArmGate(std::string point) {
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    gate_point_ = std::move(point);
+    gate_open_ = false;
+    gate_blocked_ = false;
+  }
+
+  /// Blocks the calling test until some thread is parked on the gate.
+  void WaitUntilBlocked() {
+    std::unique_lock<std::mutex> lock(gate_mu_);
+    gate_cv_.wait(lock, [this] { return gate_blocked_; });
+  }
+
+  /// Opens the gate; the parked thread (and any future MaybeBlock on the
+  /// armed point) proceeds.
+  void ReleaseGate() {
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    gate_open_ = true;
+    gate_point_.clear();
+    gate_cv_.notify_all();
+  }
+
+  /// Called by durability code: parks when the gate is armed at `point`,
+  /// no-op otherwise.
+  void MaybeBlock(const char* point) {
+    std::unique_lock<std::mutex> lock(gate_mu_);
+    if (gate_point_ != point) return;
+    gate_blocked_ = true;
+    gate_cv_.notify_all();
+    gate_cv_.wait(lock, [this] { return gate_open_; });
+    gate_blocked_ = false;
+  }
+
  private:
   std::string point_;
   int countdown_ = 0;
@@ -91,6 +139,12 @@ class FaultInjector {
   int error_countdown_ = 0;
   uint64_t error_partial_bytes_ = 0;
   bool crashed_ = false;
+
+  std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
+  std::string gate_point_;
+  bool gate_open_ = false;
+  bool gate_blocked_ = false;
 };
 
 }  // namespace durability

@@ -170,6 +170,55 @@ SnapshotData CaptureSnapshot(const MappedDatabase& db, uint64_t last_lsn,
   return data;
 }
 
+SnapshotData CaptureSnapshotFromPins(
+    const std::vector<std::pair<std::string,
+                                std::shared_ptr<const TableVersion>>>& tables,
+    const std::vector<std::pair<std::string,
+                                std::shared_ptr<const PairVersion>>>& pairs,
+    uint64_t last_lsn, std::string ddl, std::string spec_json) {
+  SnapshotData data;
+  data.last_lsn = last_lsn;
+  data.ddl = std::move(ddl);
+  data.spec_json = std::move(spec_json);
+  for (const auto& [name, version] : tables) {
+    SnapshotData::TableImage image;
+    image.name = name;
+    image.rows.reserve(version->size());
+    for (RowId id = 0; id < version->slot_count(); ++id) {
+      const Row* row = version->row(id);
+      if (row != nullptr) image.rows.push_back(*row);
+    }
+    data.tables.push_back(std::move(image));
+  }
+  for (const auto& [name, version] : pairs) {
+    SnapshotData::PairImage image;
+    image.name = name;
+    std::unordered_map<uint64_t, uint64_t> left_dense;
+    std::unordered_map<uint64_t, uint64_t> right_dense;
+    for (size_t i = 0; i < version->left_slots(); ++i) {
+      const Row* row = version->left_row(i);
+      if (row == nullptr) continue;
+      left_dense[i] = image.left_rows.size();
+      image.left_rows.push_back(*row);
+    }
+    for (size_t i = 0; i < version->right_slots(); ++i) {
+      const Row* row = version->right_row(i);
+      if (row == nullptr) continue;
+      right_dense[i] = image.right_rows.size();
+      image.right_rows.push_back(*row);
+    }
+    for (size_t i = 0; i < version->left_slots(); ++i) {
+      if (version->left_row(i) == nullptr) continue;
+      for (uint32_t r : *version->right_neighbors(i)) {
+        if (version->right_row(r) == nullptr) continue;
+        image.edges.emplace_back(left_dense[i], right_dense[r]);
+      }
+    }
+    data.pairs.push_back(std::move(image));
+  }
+  return data;
+}
+
 Status LoadIntoDatabase(const SnapshotData& data, MappedDatabase* db) {
   for (const auto& image : data.tables) {
     Table* table = db->catalog().GetTable(image.name);

@@ -2,6 +2,7 @@
 #define ERBIUM_DURABILITY_SNAPSHOT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -58,9 +59,22 @@ std::string EncodeSnapshot(const SnapshotData& data);
 Result<SnapshotData> DecodeSnapshot(const std::string& bytes);
 
 /// Captures the current state of a database (skipping the mapping catalog
-/// table, which Create() regenerates).
+/// table, which Create() regenerates). Uses the working-state accessors,
+/// so the caller must hold the database exclusively.
 SnapshotData CaptureSnapshot(const MappedDatabase& db, uint64_t last_lsn,
                              std::string ddl);
+
+/// Captures from pinned immutable versions instead of the live working
+/// state: the non-blocking CHECKPOINT pins every table/pair version under
+/// an exclusive barrier, then calls this with writers running — the pins
+/// freeze a consistent image as of `last_lsn` no matter what mutates
+/// concurrently.
+SnapshotData CaptureSnapshotFromPins(
+    const std::vector<std::pair<std::string,
+                                std::shared_ptr<const TableVersion>>>& tables,
+    const std::vector<std::pair<std::string,
+                                std::shared_ptr<const PairVersion>>>& pairs,
+    uint64_t last_lsn, std::string ddl, std::string spec_json);
 
 /// Bulk-loads a decoded snapshot into a freshly created database whose
 /// schema/mapping match the snapshot's DDL + spec.

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
@@ -235,6 +236,7 @@ Status WalWriter::RestoreAfterFailure(Status cause) {
 }
 
 Status WalWriter::Append(WalRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (failed_) {
     return Status::IOError("WAL writer disabled after an earlier write "
                            "failure on " +
@@ -291,6 +293,7 @@ Status WalWriter::Append(WalRecord record) {
 }
 
 Status WalWriter::Truncate() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (failed_) {
     return Status::IOError("WAL writer disabled after an earlier write "
                            "failure on " +
@@ -309,6 +312,89 @@ Status WalWriter::Truncate() {
   ERBIUM_RETURN_NOT_OK(MaybeSync());
   offset_ = 0;
   obs::MetricsRegistry::Global().counter("wal.truncations").Increment();
+  return Status::OK();
+}
+
+Status WalWriter::CompactThrough(uint64_t last_lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (failed_) {
+    return Status::IOError("WAL writer disabled after an earlier write "
+                           "failure on " +
+                           path_);
+  }
+  if (faults_ != nullptr) {
+    ERBIUM_RETURN_NOT_OK(faults_->Check());
+  }
+  // Re-read the acknowledged prefix and keep only records past the
+  // snapshot horizon. Appends are blocked while we hold the mutex, so
+  // the file cannot grow under the scan.
+  Result<WalReadResult> read = ReadWal(path_);
+  if (!read.ok()) return read.status();
+  std::string survivors;
+  for (const WalRecord& record : read.value().records) {
+    if (record.lsn <= last_lsn) continue;
+    survivors += EncodeWalRecord(record);
+  }
+  if (survivors.empty()) {
+    // Nothing appended past the snapshot horizon: plain truncation.
+    if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) < 0) {
+      failed_ = true;
+      return Status::IOError("WAL truncate failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    ERBIUM_RETURN_NOT_OK(MaybeSync());
+    offset_ = 0;
+    obs::MetricsRegistry::Global().counter("wal.truncations").Increment();
+    return Status::OK();
+  }
+  // Rewrite via tmp + fsync + rename: a crash mid-compaction leaves
+  // either the old log or the new one, never a mix.
+  const std::string tmp = path_ + ".compact.tmp";
+  int tmp_fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tmp_fd < 0) {
+    return Status::IOError("cannot open " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  const char* data = survivors.data();
+  size_t size = survivors.size();
+  while (size > 0) {
+    ssize_t n = ::write(tmp_fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(tmp_fd);
+      ::unlink(tmp.c_str());
+      return Status::IOError("WAL compaction write failed: " +
+                             std::string(std::strerror(err)));
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  if (::fdatasync(tmp_fd) != 0) {
+    int err = errno;
+    ::close(tmp_fd);
+    ::unlink(tmp.c_str());
+    return Status::IOError("WAL compaction fdatasync failed: " +
+                           std::string(std::strerror(err)));
+  }
+  ::close(tmp_fd);
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    int err = errno;
+    ::unlink(tmp.c_str());
+    return Status::IOError("WAL compaction rename failed: " +
+                           std::string(std::strerror(err)));
+  }
+  // The old fd now points at the unlinked previous file; reattach to the
+  // compacted one, positioned at its end.
+  ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_WRONLY, 0644);
+  if (fd_ < 0 || ::lseek(fd_, 0, SEEK_END) < 0) {
+    failed_ = true;  // no usable fd; refuse future appends
+    return Status::IOError("cannot reopen compacted WAL " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  offset_ = survivors.size();
+  obs::MetricsRegistry::Global().counter("wal.compactions").Increment();
   return Status::OK();
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,11 @@ Result<WalReadResult> ReadWal(const std::string& path);
 /// Append-only writer over a POSIX fd. Assigns consecutive LSNs starting
 /// at the `next_lsn` it was opened with. All fault-injection points of
 /// the append path live here.
+///
+/// Thread-safe: an internal mutex serializes Append / Truncate /
+/// CompactThrough, so concurrent CRUD statements (which hold only their
+/// construct's mapping lock domain, not a global writer lock) can share
+/// one writer.
 class WalWriter {
  public:
   enum class SyncMode {
@@ -103,9 +109,23 @@ class WalWriter {
   /// Empties the log after a checkpoint made it redundant.
   Status Truncate();
 
-  uint64_t next_lsn() const { return next_lsn_; }
+  /// Drops every record with lsn <= `last_lsn` (they are covered by a
+  /// snapshot) and keeps the rest: records appended *while* the snapshot
+  /// was being written are not yet durable anywhere else. Rewrites the
+  /// file via tmp + fsync + rename so a crash mid-compaction leaves
+  /// either the old or the new log, never a mix. An empty survivor set
+  /// degenerates to Truncate.
+  Status CompactThrough(uint64_t last_lsn);
+
+  uint64_t next_lsn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_lsn_;
+  }
   /// Bytes of acknowledged records currently in the file.
-  uint64_t bytes() const { return offset_; }
+  uint64_t bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return offset_;
+  }
   const std::string& path() const { return path_; }
 
  private:
@@ -124,6 +144,7 @@ class WalWriter {
   /// writer when the rollback itself fails. Returns `cause` either way.
   Status RestoreAfterFailure(Status cause);
 
+  mutable std::mutex mu_;  // serializes Append/Truncate/CompactThrough
   std::string path_;
   int fd_;
   uint64_t offset_;

@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "erql/parser.h"
 #include "exec/explain.h"
+#include "exec/snapshot.h"
 #include "obs/export.h"
 #include "obs/session.h"
 #include "obs/telemetry.h"
@@ -560,6 +561,11 @@ Result<QueryResult> QueryEngine::Execute(MappedDatabase* db,
                                          const ExecOptions& opts,
                                          PlanCache* cache,
                                          uint64_t generation) {
+  // Per-statement read snapshot: every operator Open below this frame
+  // resolves its table/pair to one pinned version, so the whole
+  // statement sees a single consistent database state no matter what
+  // writers publish meanwhile.
+  exec::ReadSnapshot snapshot_scope;
   uint64_t start_wall = obs::MonotonicNowNs();
   uint64_t start_cpu = obs::ThreadCpuNowNs();
   obs::QueryRecord record;

@@ -1,6 +1,7 @@
 #include "exec/join.h"
 
 #include "exec/parallel.h"
+#include "exec/snapshot.h"
 
 namespace erbium {
 
@@ -199,6 +200,7 @@ IndexJoinOp::IndexJoinOp(OperatorPtr left, const Table* right,
 }
 
 Status IndexJoinOp::OpenImpl() {
+  right_version_ = exec::ResolveVersion(right_, &owned_pin_);
   has_left_ = false;
   matches_.clear();
   match_index_ = 0;
@@ -209,7 +211,7 @@ bool IndexJoinOp::NextImpl(Row* out) {
   while (true) {
     if (has_left_ && match_index_ < matches_.size()) {
       *out = current_left_;
-      AppendRow(right_->row(matches_[match_index_++]), out);
+      AppendRow(*right_version_->row(matches_[match_index_++]), out);
       return true;
     }
     has_left_ = false;
@@ -218,7 +220,8 @@ bool IndexJoinOp::NextImpl(Row* out) {
     match_index_ = 0;
     std::vector<Value> key = EvalKeys(left_keys_, current_left_);
     if (!KeyHasNull(key)) {
-      right_->LookupEqual(right_key_columns_, key, &matches_);
+      right_->LookupEqualIn(*right_version_, right_key_columns_, key,
+                            &matches_);
     }
     if (matches_.empty()) {
       if (join_type_ == JoinType::kLeftOuter) {

@@ -78,9 +78,9 @@ class NestedLoopJoinOp : public Operator {
 };
 
 /// Index nested-loop join: for each left row, evaluates key expressions
-/// and probes the right *table* through Table::LookupEqual (index-backed
-/// when an index on those columns exists). The physical analogue of a
-/// foreign-key dereference.
+/// and probes a pinned version of the right *table* (index-backed when an
+/// index on those columns exists). The physical analogue of a foreign-key
+/// dereference.
 class IndexJoinOp : public Operator {
  public:
   IndexJoinOp(OperatorPtr left, const Table* right,
@@ -102,6 +102,8 @@ class IndexJoinOp : public Operator {
  private:
   OperatorPtr left_;
   const Table* right_;
+  const TableVersion* right_version_ = nullptr;
+  std::shared_ptr<const TableVersion> owned_pin_;
   std::vector<ExprPtr> left_keys_;
   std::vector<int> right_key_columns_;
   JoinType join_type_;

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "exec/parallel.h"
+#include "exec/snapshot.h"
 
 namespace erbium {
 
@@ -72,15 +73,16 @@ SeqScan::SeqScan(const Table* table) : table_(table) {
 }
 
 Status SeqScan::OpenImpl() {
+  version_ = exec::ResolveVersion(table_, &owned_pin_);
   next_ = 0;
   return Status::OK();
 }
 
 bool SeqScan::NextImpl(Row* out) {
-  while (next_ < table_->slot_count()) {
-    RowId id = next_++;
-    if (table_->IsLive(id)) {
-      *out = table_->row(id);
+  while (next_ < version_->slot_count()) {
+    const Row* r = version_->row(next_++);
+    if (r != nullptr) {
+      *out = *r;
       return true;
     }
   }
@@ -102,15 +104,16 @@ IndexLookup::IndexLookup(const Table* table, std::vector<int> column_indexes,
 }
 
 Status IndexLookup::OpenImpl() {
+  version_ = exec::ResolveVersion(table_, &owned_pin_);
   matches_.clear();
   next_ = 0;
-  table_->LookupEqual(column_indexes_, key_, &matches_);
+  table_->LookupEqualIn(*version_, column_indexes_, key_, &matches_);
   return Status::OK();
 }
 
 bool IndexLookup::NextImpl(Row* out) {
   if (next_ >= matches_.size()) return false;
-  *out = table_->row(matches_[next_++]);
+  *out = *version_->row(matches_[next_++]);
   return true;
 }
 

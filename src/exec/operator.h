@@ -103,7 +103,8 @@ Result<std::vector<Row>> CollectRows(Operator* op);
 
 // ---- Leaf operators --------------------------------------------------------
 
-/// Full scan over the live rows of a table.
+/// Full scan over the live rows of a table, reading a version pinned at
+/// Open() (the ambient exec::ReadSnapshot's pin, or its own).
 class SeqScan : public Operator {
  public:
   explicit SeqScan(const Table* table);
@@ -116,11 +117,16 @@ class SeqScan : public Operator {
 
  private:
   const Table* table_;
+  /// Resolved at Open(); owned by the statement's ReadSnapshot (raw) or
+  /// by owned_pin_. Stale between executions, never dereferenced then.
+  const TableVersion* version_ = nullptr;
+  std::shared_ptr<const TableVersion> owned_pin_;
   RowId next_ = 0;
 };
 
 /// Point lookup of one key through the table's index on the given columns
-/// (falls back to scan inside Table::LookupEqual if no index exists).
+/// (falls back to scan if no index exists), probing a version pinned at
+/// Open() so it never blocks behind — or observes half of — a writer.
 class IndexLookup : public Operator {
  public:
   IndexLookup(const Table* table, std::vector<int> column_indexes,
@@ -134,6 +140,8 @@ class IndexLookup : public Operator {
 
  private:
   const Table* table_;
+  const TableVersion* version_ = nullptr;
+  std::shared_ptr<const TableVersion> owned_pin_;
   std::vector<int> column_indexes_;
   IndexKey key_;
   std::vector<RowId> matches_;

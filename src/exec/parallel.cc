@@ -1,5 +1,7 @@
 #include "exec/parallel.h"
 
+#include "exec/snapshot.h"
+
 #include <cerrno>
 #include <climits>
 #include <condition_variable>
@@ -97,7 +99,7 @@ ParallelContext::ParallelContext(ThreadPool* pool, const ExecOptions& opts,
 }
 
 ParallelContext::~ParallelContext() {
-  if (leases_held_) ReleaseReadLeases();
+  if (pins_held_) ReleaseScanVersions();
 }
 
 std::shared_ptr<MorselCursor> ParallelContext::CursorFor(const void* site,
@@ -149,18 +151,28 @@ size_t ParallelContext::TotalScanSlots() const {
   return total;
 }
 
-void ParallelContext::AcquireReadLeases() {
-  if (parent_ != nullptr) return;  // root holds the leases
-  if (leases_held_) return;
-  for (const Table* t : tables_) t->BeginConcurrentRead();
-  leases_held_ = true;
+void ParallelContext::PinScanVersions() {
+  if (parent_ != nullptr) return;  // root holds the pins
+  if (pins_held_) return;
+  // exec::SharedVersion resolves through the ambient ReadSnapshot when one
+  // is installed, so these pins are the SAME versions the worker pipelines
+  // resolve at Open — keeping their raw version pointers valid even if a
+  // detached worker outlives the statement's snapshot scope. Pin/release
+  // calls never overlap: Pin runs on the caller thread before workers
+  // launch, and Release runs either on the last worker to finish or on the
+  // caller after joining the futures.
+  pinned_versions_.reserve(tables_.size());
+  for (const Table* t : tables_) {
+    pinned_versions_.push_back(exec::SharedVersion(t));
+  }
+  pins_held_ = true;
 }
 
-void ParallelContext::ReleaseReadLeases() {
+void ParallelContext::ReleaseScanVersions() {
   if (parent_ != nullptr) return;
-  if (!leases_held_) return;
-  for (const Table* t : tables_) t->EndConcurrentRead();
-  leases_held_ = false;
+  if (!pins_held_) return;
+  pinned_versions_.clear();
+  pins_held_ = false;
 }
 
 // ---- ParallelScanOp ---------------------------------------------------------
@@ -174,17 +186,23 @@ ParallelScanOp::ParallelScanOp(const Table* table,
 Status ParallelScanOp::OpenImpl() {
   // The shared cursor is reset once per execution by the context (the
   // enclosing Gather/aggregate), not per worker.
+  version_ = exec::ResolveVersion(table_, &owned_pin_);
   pos_ = 0;
   limit_ = 0;
   return Status::OK();
 }
 
 bool ParallelScanOp::NextImpl(Row* out) {
+  // The cursor's range comes from the latest published slot_count, which
+  // may exceed this worker's pinned bound if a writer published between
+  // the cursor Reset and our Open; clamp claimed morsels to the pin.
+  const size_t bound = version_->slot_count();
   while (true) {
+    if (limit_ > bound) limit_ = bound;
     while (pos_ < limit_) {
-      RowId id = pos_++;
-      if (table_->IsLive(id)) {
-        *out = table_->row(id);
+      const Row* r = version_->row(pos_++);
+      if (r != nullptr) {
+        *out = *r;
         return true;
       }
     }
@@ -448,21 +466,21 @@ void GatherOp::Shutdown() {
   }
   futures_.clear();
   exchange_.reset();
-  // Leases were released by the last worker's MarkDone; this only covers
-  // the Open-failure path where no workers launched.
-  ctx_->ReleaseReadLeases();
+  // Pins were dropped by the last worker's MarkDone; this only covers the
+  // Open-failure path where no workers launched.
+  ctx_->ReleaseScanVersions();
 }
 
 Status GatherOp::OpenImpl() {
   Shutdown();
   ctx_->ResetForExecution();
-  ctx_->AcquireReadLeases();
+  ctx_->PinScanVersions();
   // Worker Opens run serially on the caller thread; the first probe of
   // each parallelized hash join builds the shared table here.
   for (const OperatorPtr& w : workers_) {
     Status s = w->Open();
     if (!s.ok()) {
-      ctx_->ReleaseReadLeases();
+      ctx_->ReleaseScanVersions();
       return s;
     }
   }
@@ -491,8 +509,8 @@ void GatherOp::WorkerMain(size_t worker) {
     }
   }
   if (!batch.empty()) ex->Push(worker, std::move(batch));
-  // The last producer out closes the read-shared window on the tables.
-  if (ex->MarkDone(worker)) ctx_->ReleaseReadLeases();
+  // The last producer out drops the version pins on the scanned tables.
+  if (ex->MarkDone(worker)) ctx_->ReleaseScanVersions();
 }
 
 bool GatherOp::NextImpl(Row* out) {
@@ -535,7 +553,7 @@ Status ParallelHashAggregateOp::OpenImpl() {
   merged_ = std::make_unique<AggGroupTable>();
   next_group_ = 0;
   ctx_->ResetForExecution();
-  ctx_->AcquireReadLeases();
+  ctx_->PinScanVersions();
   Status status = Status::OK();
   for (const OperatorPtr& w : worker_children_) {
     status = w->Open();
@@ -559,7 +577,7 @@ Status ParallelHashAggregateOp::OpenImpl() {
       merged_->Merge(aggregates_, std::move(partial));
     }
   }
-  ctx_->ReleaseReadLeases();
+  ctx_->ReleaseScanVersions();
   ERBIUM_RETURN_NOT_OK(status);
   // Global aggregate over empty input still emits one row.
   if (group_exprs_.empty() && merged_->states.empty()) {

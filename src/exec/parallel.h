@@ -20,8 +20,9 @@ namespace erbium {
 // Volcano operators. A serial plan is cloned into N identical worker
 // pipelines whose leaf scans share an atomic morsel cursor; a GatherOp (or
 // ParallelHashAggregateOp) runs the workers on the shared ThreadPool and
-// merges their output. Tables are read-shared for the duration: no writer
-// may run concurrently (debug-asserted via Table read leases).
+// merges their output. Every scanned table's version is pinned for the
+// workers' lifetime (ParallelContext::PinScanVersions), so workers read a
+// frozen snapshot while writers publish new versions concurrently.
 
 /// Knobs for one query execution. Defaults are serial (num_threads = 1),
 /// which produces plans identical to the classic single-threaded engine.
@@ -41,7 +42,10 @@ struct ExecOptions {
 
 /// A table's scan range [0, slot_count) handed out in fixed-size chunks.
 /// Claim() is wait-free; Reset() must not race with claims (the executor
-/// resets all cursors before launching workers).
+/// resets all cursors before launching workers). slot_count() is the
+/// latest *published* bound and may exceed the bound of the version the
+/// scans pinned; ParallelScanOp clamps each claimed morsel to its pinned
+/// version, so over-claimed tail slots are simply skipped.
 struct MorselCursor {
   MorselCursor(const Table* table, size_t morsel_size)
       : table(table), end(table->slot_count()), morsel_size(morsel_size) {}
@@ -69,8 +73,9 @@ class JoinBuildState;
 
 /// Shared state of one parallelized plan: the morsel cursors and join
 /// build states keyed by the address of the serial node they were cloned
-/// from, plus the set of tables the workers will read (for leases). Built
-/// at plan time by CloneForWorker, reset before each execution.
+/// from, plus the set of tables the workers will read (whose versions the
+/// context pins for the workers' lifetime). Built at plan time by
+/// CloneForWorker, reset before each execution.
 class ParallelContext {
  public:
   ParallelContext(ThreadPool* pool, const ExecOptions& opts,
@@ -105,9 +110,13 @@ class ParallelContext {
   /// sides — the translator's parallelism-threshold input.
   size_t TotalScanSlots() const;
 
-  /// Begin/end the read-shared window on every registered table.
-  void AcquireReadLeases();
-  void ReleaseReadLeases();
+  /// Pin/release the current version of every registered table. Pinned
+  /// through the ambient exec::ReadSnapshot (same versions the worker
+  /// pipelines resolved at Open), and held until every worker finished —
+  /// detached Gather workers may outlive the statement's snapshot scope,
+  /// and these pins keep their version pointers valid.
+  void PinScanVersions();
+  void ReleaseScanVersions();
 
   ThreadPool* pool() const { return pool_; }
   const ExecOptions& options() const { return opts_; }
@@ -120,7 +129,8 @@ class ParallelContext {
   std::vector<std::pair<const void*, std::shared_ptr<JoinBuildState>>>
       join_states_;
   std::vector<const Table*> tables_;
-  bool leases_held_ = false;
+  std::vector<std::shared_ptr<const TableVersion>> pinned_versions_;
+  bool pins_held_ = false;
 };
 
 /// Scan leaf of a worker pipeline: emits live rows of the morsels it
@@ -145,6 +155,11 @@ class ParallelScanOp : public Operator {
  private:
   const Table* table_;
   std::shared_ptr<MorselCursor> cursor_;
+  /// Pinned at Open() on the statement thread (never from a pool worker);
+  /// the context's PinScanVersions holds the same version alive for the
+  /// workers' — possibly detached — lifetime.
+  const TableVersion* version_ = nullptr;
+  std::shared_ptr<const TableVersion> owned_pin_;
   size_t pos_ = 0;
   size_t limit_ = 0;
   uint64_t morsels_ = 0;

@@ -1,0 +1,9 @@
+#include "exec/snapshot.h"
+
+namespace erbium {
+namespace exec {
+
+thread_local ReadSnapshot* ReadSnapshot::tls_current_ = nullptr;
+
+}  // namespace exec
+}  // namespace erbium

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/snapshot.h"
 #include "storage/table.h"
 
 namespace erbium {
@@ -15,7 +16,9 @@ FactorizedPair::FactorizedPair(std::string name,
       left_columns_(std::move(left_columns)),
       right_columns_(std::move(right_columns)),
       left_key_(std::move(left_key)),
-      right_key_(std::move(right_key)) {}
+      right_key_(std::move(right_key)) {
+  Publish();  // version 1: empty pair
+}
 
 IndexKey FactorizedPair::ExtractKey(const Row& row,
                                     const std::vector<int>& cols) const {
@@ -23,6 +26,43 @@ IndexKey FactorizedPair::ExtractKey(const Row& row,
   key.reserve(cols.size());
   for (int c : cols) key.push_back(row[c]);
   return key;
+}
+
+void FactorizedPair::Publish() {
+  auto version = std::make_shared<PairVersion>();
+  version->left = left_bank_.TakeSnapshot();
+  version->right = right_bank_.TakeSnapshot();
+  version->l2r = l2r_bank_.TakeSnapshot();
+  version->r2l = r2l_bank_.TakeSnapshot();
+  version->edge_count = edge_count_;
+  std::lock_guard<std::mutex> lock(version_mu_);
+  current_ = std::move(version);
+}
+
+void FactorizedPair::AddEdge(CowBank<std::vector<uint32_t>>* bank, size_t i,
+                             uint32_t value) {
+  auto list = std::make_shared<std::vector<uint32_t>>(*bank->Get(i));
+  list->push_back(value);
+  bank->Set(i, std::move(list));
+}
+
+void FactorizedPair::RemoveEdge(CowBank<std::vector<uint32_t>>* bank,
+                                size_t i, uint32_t value) {
+  auto list = std::make_shared<std::vector<uint32_t>>(*bank->Get(i));
+  list->erase(std::find(list->begin(), list->end(), value));
+  bank->Set(i, std::move(list));
+}
+
+const Row& FactorizedPair::left_row(size_t i) const {
+  static const Row kDeadRow;
+  const Row* r = left_bank_.Get(i);
+  return r == nullptr ? kDeadRow : *r;
+}
+
+const Row& FactorizedPair::right_row(size_t i) const {
+  static const Row kDeadRow;
+  const Row* r = right_bank_.Get(i);
+  return r == nullptr ? kDeadRow : *r;
 }
 
 Result<uint32_t> FactorizedPair::InsertLeft(Row row) {
@@ -33,11 +73,11 @@ Result<uint32_t> FactorizedPair::InsertLeft(Row row) {
   if (left_index_.count(key) > 0) {
     return Status::ConstraintViolation("duplicate left key in " + name_);
   }
-  uint32_t index = static_cast<uint32_t>(left_rows_.size());
+  uint32_t index = static_cast<uint32_t>(left_bank_.size());
   left_index_.emplace(std::move(key), index);
-  left_rows_.push_back(std::move(row));
-  left_live_.push_back(true);
-  left_to_right_.emplace_back();
+  left_bank_.Append(std::make_shared<const Row>(std::move(row)));
+  l2r_bank_.Append(std::make_shared<std::vector<uint32_t>>());
+  Publish();
   return index;
 }
 
@@ -49,11 +89,11 @@ Result<uint32_t> FactorizedPair::InsertRight(Row row) {
   if (right_index_.count(key) > 0) {
     return Status::ConstraintViolation("duplicate right key in " + name_);
   }
-  uint32_t index = static_cast<uint32_t>(right_rows_.size());
+  uint32_t index = static_cast<uint32_t>(right_bank_.size());
   right_index_.emplace(std::move(key), index);
-  right_rows_.push_back(std::move(row));
-  right_live_.push_back(true);
-  right_to_left_.emplace_back();
+  right_bank_.Append(std::make_shared<const Row>(std::move(row)));
+  r2l_bank_.Append(std::make_shared<std::vector<uint32_t>>());
+  Publish();
   return index;
 }
 
@@ -64,14 +104,15 @@ Status FactorizedPair::Connect(const IndexKey& left_key,
   if (l < 0 || r < 0) {
     return Status::NotFound("connect with unknown key in " + name_);
   }
-  auto& edges = left_to_right_[l];
+  const std::vector<uint32_t>& edges = *l2r_bank_.Get(l);
   if (std::find(edges.begin(), edges.end(), static_cast<uint32_t>(r)) !=
       edges.end()) {
     return Status::AlreadyExists("edge already present in " + name_);
   }
-  edges.push_back(static_cast<uint32_t>(r));
-  right_to_left_[r].push_back(static_cast<uint32_t>(l));
+  AddEdge(&l2r_bank_, l, static_cast<uint32_t>(r));
+  AddEdge(&r2l_bank_, r, static_cast<uint32_t>(l));
   ++edge_count_;
+  Publish();
   return Status::OK();
 }
 
@@ -82,30 +123,28 @@ Status FactorizedPair::Disconnect(const IndexKey& left_key,
   if (l < 0 || r < 0) {
     return Status::NotFound("disconnect with unknown key in " + name_);
   }
-  auto& lr = left_to_right_[l];
-  auto it = std::find(lr.begin(), lr.end(), static_cast<uint32_t>(r));
-  if (it == lr.end()) {
+  const std::vector<uint32_t>& lr = *l2r_bank_.Get(l);
+  if (std::find(lr.begin(), lr.end(), static_cast<uint32_t>(r)) == lr.end()) {
     return Status::NotFound("edge not present in " + name_);
   }
-  lr.erase(it);
-  auto& rl = right_to_left_[r];
-  rl.erase(std::find(rl.begin(), rl.end(), static_cast<uint32_t>(l)));
+  RemoveEdge(&l2r_bank_, l, static_cast<uint32_t>(r));
+  RemoveEdge(&r2l_bank_, r, static_cast<uint32_t>(l));
   --edge_count_;
+  Publish();
   return Status::OK();
 }
 
 Status FactorizedPair::EraseLeft(const IndexKey& key) {
   int64_t l = FindLeft(key);
   if (l < 0) return Status::NotFound("no left row with given key in " + name_);
-  for (uint32_t r : left_to_right_[l]) {
-    auto& rl = right_to_left_[r];
-    rl.erase(std::find(rl.begin(), rl.end(), static_cast<uint32_t>(l)));
+  for (uint32_t r : *l2r_bank_.Get(l)) {
+    RemoveEdge(&r2l_bank_, r, static_cast<uint32_t>(l));
     --edge_count_;
   }
-  left_to_right_[l].clear();
-  left_live_[l] = false;
-  left_rows_[l].clear();
+  l2r_bank_.Set(l, std::make_shared<std::vector<uint32_t>>());
+  left_bank_.Set(l, nullptr);
   left_index_.erase(key);
+  Publish();
   return Status::OK();
 }
 
@@ -114,15 +153,14 @@ Status FactorizedPair::EraseRight(const IndexKey& key) {
   if (r < 0) {
     return Status::NotFound("no right row with given key in " + name_);
   }
-  for (uint32_t l : right_to_left_[r]) {
-    auto& lr = left_to_right_[l];
-    lr.erase(std::find(lr.begin(), lr.end(), static_cast<uint32_t>(r)));
+  for (uint32_t l : *r2l_bank_.Get(r)) {
+    RemoveEdge(&l2r_bank_, l, static_cast<uint32_t>(r));
     --edge_count_;
   }
-  right_to_left_[r].clear();
-  right_live_[r] = false;
-  right_rows_[r].clear();
+  r2l_bank_.Set(r, std::make_shared<std::vector<uint32_t>>());
+  right_bank_.Set(r, nullptr);
   right_index_.erase(key);
+  Publish();
   return Status::OK();
 }
 
@@ -146,7 +184,8 @@ Status FactorizedPair::UpdateLeft(const IndexKey& key, Row row) {
     return Status::InvalidArgument(
         "key change not allowed through UpdateLeft in " + name_);
   }
-  left_rows_[l] = std::move(row);
+  left_bank_.Set(l, std::make_shared<const Row>(std::move(row)));
+  Publish();
   return Status::OK();
 }
 
@@ -162,21 +201,25 @@ Status FactorizedPair::UpdateRight(const IndexKey& key, Row row) {
     return Status::InvalidArgument(
         "key change not allowed through UpdateRight in " + name_);
   }
-  right_rows_[r] = std::move(row);
+  right_bank_.Set(r, std::make_shared<const Row>(std::move(row)));
+  Publish();
   return Status::OK();
 }
 
 size_t FactorizedPair::ApproximateDataBytes() const {
+  std::shared_ptr<const PairVersion> version = PinVersion();
   size_t total = 0;
-  for (size_t i = 0; i < left_rows_.size(); ++i) {
-    if (!left_live_[i]) continue;
-    for (const Value& v : left_rows_[i]) total += ApproximateValueBytes(v);
-    total += left_to_right_[i].size() * sizeof(uint32_t);
+  for (size_t i = 0; i < version->left_slots(); ++i) {
+    const Row* row = version->left_row(i);
+    if (row == nullptr) continue;
+    for (const Value& v : *row) total += ApproximateValueBytes(v);
+    total += version->right_neighbors(i)->size() * sizeof(uint32_t);
   }
-  for (size_t i = 0; i < right_rows_.size(); ++i) {
-    if (!right_live_[i]) continue;
-    for (const Value& v : right_rows_[i]) total += ApproximateValueBytes(v);
-    total += right_to_left_[i].size() * sizeof(uint32_t);
+  for (size_t i = 0; i < version->right_slots(); ++i) {
+    const Row* row = version->right_row(i);
+    if (row == nullptr) continue;
+    for (const Value& v : *row) total += ApproximateValueBytes(v);
+    total += version->left_neighbors(i)->size() * sizeof(uint32_t);
   }
   return total;
 }
@@ -192,31 +235,33 @@ FactorizedJoinScan::FactorizedJoinScan(const FactorizedPair* pair,
 }
 
 Status FactorizedJoinScan::OpenImpl() {
+  version_ = exec::ResolveVersion(pair_, &owned_pin_);
   left_index_ = 0;
   edge_index_ = 0;
   return Status::OK();
 }
 
 bool FactorizedJoinScan::NextImpl(Row* out) {
-  while (left_index_ < pair_->left_rows_.size()) {
-    if (!pair_->left_live_[left_index_]) {
+  while (left_index_ < version_->left_slots()) {
+    const Row* left = version_->left_row(left_index_);
+    if (left == nullptr) {
       ++left_index_;
       edge_index_ = 0;
       continue;
     }
-    const std::vector<uint32_t>& edges = pair_->left_to_right_[left_index_];
+    const std::vector<uint32_t>& edges =
+        *version_->right_neighbors(left_index_);
     if (edges.empty() && left_outer_ && edge_index_ == 0) {
-      *out = pair_->left_rows_[left_index_];
+      *out = *left;
       out->resize(out->size() + pair_->right_columns().size(), Value::Null());
       ++left_index_;
       edge_index_ = 0;
       return true;
     }
     if (edge_index_ < edges.size()) {
-      const Row& left = pair_->left_rows_[left_index_];
-      const Row& right = pair_->right_rows_[edges[edge_index_]];
-      *out = left;
-      out->insert(out->end(), right.begin(), right.end());
+      const Row* right = version_->right_row(edges[edge_index_]);
+      *out = *left;
+      out->insert(out->end(), right->begin(), right->end());
       ++edge_index_;
       return true;
     }
@@ -235,19 +280,20 @@ FactorizedSideScan::FactorizedSideScan(const FactorizedPair* pair,
 }
 
 Status FactorizedSideScan::OpenImpl() {
+  version_ = exec::ResolveVersion(pair_, &owned_pin_);
   index_ = 0;
   return Status::OK();
 }
 
 bool FactorizedSideScan::NextImpl(Row* out) {
-  const std::vector<Row>& rows =
-      left_side_ ? pair_->left_rows_ : pair_->right_rows_;
-  const std::vector<bool>& live =
-      left_side_ ? pair_->left_live_ : pair_->right_live_;
-  while (index_ < rows.size()) {
+  const size_t bound =
+      left_side_ ? version_->left_slots() : version_->right_slots();
+  while (index_ < bound) {
     size_t i = index_++;
-    if (live[i]) {
-      *out = rows[i];
+    const Row* row =
+        left_side_ ? version_->left_row(i) : version_->right_row(i);
+    if (row != nullptr) {
+      *out = *row;
       return true;
     }
   }
@@ -266,24 +312,26 @@ FactorizedGroupAggregate::FactorizedGroupAggregate(
 }
 
 Status FactorizedGroupAggregate::OpenImpl() {
+  version_ = exec::ResolveVersion(pair_, &owned_pin_);
   left_index_ = 0;
   return Status::OK();
 }
 
 bool FactorizedGroupAggregate::NextImpl(Row* out) {
-  while (left_index_ < pair_->left_rows_.size()) {
+  while (left_index_ < version_->left_slots()) {
     size_t l = left_index_++;
-    if (!pair_->left_live_[l]) continue;
+    const Row* left = version_->left_row(l);
+    if (left == nullptr) continue;
     std::vector<AggAccumulator> accumulators(aggregates_.size());
-    for (uint32_t r : pair_->left_to_right_[l]) {
-      const Row& right = pair_->right_rows_[r];
+    for (uint32_t r : *version_->right_neighbors(l)) {
+      const Row* right = version_->right_row(r);
       for (size_t i = 0; i < aggregates_.size(); ++i) {
         const AggregateSpec& spec = aggregates_[i];
-        Value v = spec.input ? spec.input->Eval(right) : Value::Null();
+        Value v = spec.input ? spec.input->Eval(*right) : Value::Null();
         accumulators[i].Update(spec, v);
       }
     }
-    *out = pair_->left_rows_[l];
+    *out = *left;
     for (size_t i = 0; i < aggregates_.size(); ++i) {
       out->push_back(accumulators[i].Finalize(aggregates_[i]));
     }

@@ -2,6 +2,7 @@
 #define ERBIUM_FACTORIZED_FACTORIZED_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,8 +12,35 @@
 #include "exec/aggregate.h"
 #include "exec/operator.h"
 #include "storage/schema.h"
+#include "storage/versioned_bank.h"
 
 namespace erbium {
+
+/// Immutable snapshot of a FactorizedPair: both sides' row banks, both
+/// adjacency banks, and the edge count, all frozen at one publication
+/// point. Same contract as TableVersion: safe to read from any thread
+/// with no locking for as long as the shared_ptr is held.
+struct PairVersion {
+  CowBank<Row>::Snapshot left;
+  CowBank<Row>::Snapshot right;
+  CowBank<std::vector<uint32_t>>::Snapshot l2r;
+  CowBank<std::vector<uint32_t>>::Snapshot r2l;
+  size_t edge_count = 0;
+
+  size_t left_slots() const { return left.bound; }
+  size_t right_slots() const { return right.bound; }
+  /// Row on the given side, or nullptr when the slot is dead.
+  const Row* left_row(size_t i) const { return left.Get(i); }
+  const Row* right_row(size_t i) const { return right.Get(i); }
+  /// Adjacency of a slot; dead slots keep an (empty) list, so the
+  /// pointer is non-null for every slot below the bound.
+  const std::vector<uint32_t>* right_neighbors(size_t left_index) const {
+    return l2r.Get(left_index);
+  }
+  const std::vector<uint32_t>* left_neighbors(size_t right_index) const {
+    return r2l.Get(right_index);
+  }
+};
 
 /// Multi-relational compressed (factorized) representation of the join of
 /// two relations (paper Section 4, third physical target family): each
@@ -26,8 +54,14 @@ namespace erbium {
 ///     through the join without materializing it.
 /// This also mirrors graph-database adjacency storage, which is the
 /// unification argument the paper makes for this representation.
+///
+/// Concurrency contract mirrors Table: one writer at a time (the owning
+/// entity/relationship set's lock domain serializes mutators), any number
+/// of readers through PinVersion(). The key→slot hash maps are
+/// writer-only state — reader operators never touch them.
 class FactorizedPair {
  public:
+  using VersionType = PairVersion;
   /// `left`/`right` describe the stored row shapes. `left_key` / `right_key`
   /// are column positions of the (logical) keys used to connect rows.
   FactorizedPair(std::string name, std::vector<Column> left_columns,
@@ -37,19 +71,28 @@ class FactorizedPair {
   const std::string& name() const { return name_; }
   const std::vector<Column>& left_columns() const { return left_columns_; }
   const std::vector<Column>& right_columns() const { return right_columns_; }
-  size_t left_size() const { return left_rows_.size(); }
-  size_t right_size() const { return right_rows_.size(); }
+  size_t left_size() const { return left_bank_.size(); }
+  size_t right_size() const { return right_bank_.size(); }
   size_t edge_count() const { return edge_count_; }
 
-  const Row& left_row(size_t i) const { return left_rows_[i]; }
-  const Row& right_row(size_t i) const { return right_rows_[i]; }
-  bool left_live(size_t i) const { return left_live_[i]; }
-  bool right_live(size_t i) const { return right_live_[i]; }
+  /// The last published version. Readers pin once per statement (via
+  /// exec::ReadSnapshot) and read it lock-free.
+  std::shared_ptr<const PairVersion> PinVersion() const {
+    std::lock_guard<std::mutex> lock(version_mu_);
+    return current_;
+  }
+
+  /// Writer-context working-state accessors (callers hold the pair's
+  /// lock domain). left_row/right_row on a dead slot returns an empty row.
+  const Row& left_row(size_t i) const;
+  const Row& right_row(size_t i) const;
+  bool left_live(size_t i) const { return left_bank_.Get(i) != nullptr; }
+  bool right_live(size_t i) const { return right_bank_.Get(i) != nullptr; }
   const std::vector<uint32_t>& right_neighbors(size_t left_index) const {
-    return left_to_right_[left_index];
+    return *l2r_bank_.Get(left_index);
   }
   const std::vector<uint32_t>& left_neighbors(size_t right_index) const {
-    return right_to_left_[right_index];
+    return *r2l_bank_.Get(right_index);
   }
 
   /// Inserts a row on one side; duplicate keys are rejected (sides hold
@@ -78,11 +121,18 @@ class FactorizedPair {
   size_t ApproximateDataBytes() const;
 
  private:
-  friend class FactorizedJoinScan;
-  friend class FactorizedSideScan;
-  friend class FactorizedGroupAggregate;
-
   IndexKey ExtractKey(const Row& row, const std::vector<int>& cols) const;
+
+  /// Swaps in a fresh PairVersion reflecting the working state. Called at
+  /// the end of every successful mutation, before the mutator returns.
+  void Publish();
+
+  /// Appends `value` to the adjacency list in `bank` slot `i` (COW).
+  static void AddEdge(CowBank<std::vector<uint32_t>>* bank, size_t i,
+                      uint32_t value);
+  /// Removes one occurrence of `value` from the list in slot `i` (COW).
+  static void RemoveEdge(CowBank<std::vector<uint32_t>>* bank, size_t i,
+                         uint32_t value);
 
   std::string name_;
   std::vector<Column> left_columns_;
@@ -90,13 +140,16 @@ class FactorizedPair {
   std::vector<int> left_key_;
   std::vector<int> right_key_;
 
-  std::vector<Row> left_rows_;
-  std::vector<Row> right_rows_;
-  std::vector<bool> left_live_;
-  std::vector<bool> right_live_;
-  std::vector<std::vector<uint32_t>> left_to_right_;
-  std::vector<std::vector<uint32_t>> right_to_left_;
+  /// Row banks: null slot = erased. Adjacency banks: one (possibly empty)
+  /// list per slot, never null below the bound.
+  CowBank<Row> left_bank_;
+  CowBank<Row> right_bank_;
+  CowBank<std::vector<uint32_t>> l2r_bank_;
+  CowBank<std::vector<uint32_t>> r2l_bank_;
   size_t edge_count_ = 0;
+
+  mutable std::mutex version_mu_;
+  std::shared_ptr<const PairVersion> current_;
 
   std::unordered_map<IndexKey, uint32_t, ValueVectorHash, ValueVectorEq>
       left_index_;
@@ -120,6 +173,8 @@ class FactorizedJoinScan : public Operator {
 
  private:
   const FactorizedPair* pair_;
+  const PairVersion* version_ = nullptr;
+  std::shared_ptr<const PairVersion> owned_pin_;
   bool left_outer_;
   size_t left_index_ = 0;
   size_t edge_index_ = 0;
@@ -139,6 +194,8 @@ class FactorizedSideScan : public Operator {
 
  private:
   const FactorizedPair* pair_;
+  const PairVersion* version_ = nullptr;
+  std::shared_ptr<const PairVersion> owned_pin_;
   bool left_side_;
   size_t index_ = 0;
 };
@@ -160,6 +217,8 @@ class FactorizedGroupAggregate : public Operator {
 
  private:
   const FactorizedPair* pair_;
+  const PairVersion* version_ = nullptr;
+  std::shared_ptr<const PairVersion> owned_pin_;
   std::vector<AggregateSpec> aggregates_;
   size_t left_index_ = 0;
 };

@@ -51,8 +51,7 @@ Status MappedDatabase::Counted(Status s, const char* counter_name) {
 
 Status MappedDatabase::InsertEntity(const std::string& class_name,
                                     const Value& entity) {
-  WriterCheck::Scope write_scope(&writer_check_,
-                                 "MappedDatabase (InsertEntity)");
+  std::lock_guard<std::recursive_mutex> domain(LockDomain(class_name));
   Status s = Counted(InsertEntityImpl(class_name, entity),
                      "crud.entity_inserts");
   if (s.ok() && durability_ != nullptr) {
@@ -63,8 +62,7 @@ Status MappedDatabase::InsertEntity(const std::string& class_name,
 
 Status MappedDatabase::DeleteEntity(const std::string& class_name,
                                     const IndexKey& key) {
-  WriterCheck::Scope write_scope(&writer_check_,
-                                 "MappedDatabase (DeleteEntity)");
+  std::lock_guard<std::recursive_mutex> domain(LockDomain(class_name));
   Status s = Counted(DeleteEntityImpl(class_name, key), "crud.entity_deletes");
   if (s.ok() && durability_ != nullptr) {
     return durability_->LogDeleteEntity(class_name, key);
@@ -76,8 +74,7 @@ Status MappedDatabase::UpdateAttribute(const std::string& class_name,
                                        const IndexKey& key,
                                        const std::string& attr,
                                        const Value& value) {
-  WriterCheck::Scope write_scope(&writer_check_,
-                                 "MappedDatabase (UpdateAttribute)");
+  std::lock_guard<std::recursive_mutex> domain(LockDomain(class_name));
   Status s = Counted(UpdateAttributeImpl(class_name, key, attr, value),
                      "crud.attribute_updates");
   if (s.ok() && durability_ != nullptr) {
@@ -90,8 +87,7 @@ Status MappedDatabase::InsertRelationship(const std::string& rel_name,
                                           const IndexKey& left_key,
                                           const IndexKey& right_key,
                                           const Value& attrs) {
-  WriterCheck::Scope write_scope(&writer_check_,
-                                 "MappedDatabase (InsertRelationship)");
+  std::lock_guard<std::recursive_mutex> domain(LockDomain(rel_name));
   Status s = Counted(InsertRelationshipImpl(rel_name, left_key, right_key,
                                             attrs),
                      "crud.relationship_inserts");
@@ -105,8 +101,7 @@ Status MappedDatabase::InsertRelationship(const std::string& rel_name,
 Status MappedDatabase::DeleteRelationship(const std::string& rel_name,
                                           const IndexKey& left_key,
                                           const IndexKey& right_key) {
-  WriterCheck::Scope write_scope(&writer_check_,
-                                 "MappedDatabase (DeleteRelationship)");
+  std::lock_guard<std::recursive_mutex> domain(LockDomain(rel_name));
   Status s = Counted(DeleteRelationshipImpl(rel_name, left_key, right_key),
                      "crud.relationship_deletes");
   if (s.ok() && durability_ != nullptr) {
@@ -156,7 +151,52 @@ Status MappedDatabase::Initialize() {
           ->Insert({Value::String(mapping_.spec().name),
                     Value::String(mapping_.spec().ToJson())})
           .status());
+  BuildLockDomains();
   return Status::OK();
+}
+
+void MappedDatabase::BuildLockDomains() {
+  // Union-find over construct names. Path-halving find; no ranks — the
+  // schema graph is tiny and this runs once.
+  std::unordered_map<std::string, std::string> parent;
+  auto find = [&parent](std::string name) {
+    parent.emplace(name, name);
+    while (parent[name] != name) {
+      parent[name] = parent[parent[name]];
+      name = parent[name];
+    }
+    return name;
+  };
+  auto unite = [&](const std::string& a, const std::string& b) {
+    parent[find(a)] = find(b);
+  };
+
+  for (const std::string& name : schema().EntitySetNames()) {
+    const EntitySetDef* def = schema().FindEntitySet(name);
+    find(name);
+    if (!def->parent.empty()) unite(name, def->parent);
+    if (def->weak && !def->owner.empty()) unite(name, def->owner);
+  }
+  for (const std::string& name : schema().RelationshipSetNames()) {
+    const RelationshipSetDef* def = schema().FindRelationshipSet(name);
+    unite(name, def->left.entity);
+    unite(name, def->right.entity);
+  }
+
+  std::unordered_map<std::string, std::shared_ptr<std::recursive_mutex>>
+      by_root;
+  lock_domains_.clear();
+  for (const auto& [name, unused] : parent) {
+    std::shared_ptr<std::recursive_mutex>& mu = by_root[find(name)];
+    if (mu == nullptr) mu = std::make_shared<std::recursive_mutex>();
+    lock_domains_.emplace(name, mu);
+  }
+}
+
+std::recursive_mutex& MappedDatabase::LockDomain(
+    const std::string& construct) {
+  auto it = lock_domains_.find(construct);
+  return it == lock_domains_.end() ? *fallback_domain_ : *it->second;
 }
 
 Result<MappingSpec> MappedDatabase::LoadPersistedSpec() const {

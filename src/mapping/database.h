@@ -3,10 +3,11 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
-#include "common/reentrant_check.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "exec/operator.h"
@@ -215,15 +216,31 @@ class MappedDatabase {
   Status ClearForeignKeysReferencing(const std::string& one_class,
                                      const IndexKey& key);
 
+  /// The writer lock domain of an entity or relationship set. Unknown
+  /// names (analysis errors surface inside the Impl) fall back to one
+  /// shared mutex.
+  std::recursive_mutex& LockDomain(const std::string& construct);
+
+  /// Partitions the schema graph into connected components (edges: ISA
+  /// parent, weak→owner, relationship→both participants) and assigns one
+  /// shared mutex per component. Called at the end of Initialize.
+  void BuildLockDomains();
+
   PhysicalMapping mapping_;
   Catalog catalog_;
   std::map<std::string, std::unique_ptr<FactorizedPair>> pairs_;
   DurabilityHook* durability_ = nullptr;
-  /// Debug-build guard: the five public CRUD entry points above are
-  /// single-writer by contract (hold an exclusive statement lock around
-  /// them); a second concurrent mutator aborts loudly instead of
-  /// corrupting tables. See common/reentrant_check.h.
-  WriterCheck writer_check_;
+  /// Writer serialization: the five public CRUD entry points lock their
+  /// construct's domain — every physical structure one logical mutation
+  /// can reach (hierarchy segments, weak cascades, FK clears, pair
+  /// edges) lives inside a single domain, so writers in unrelated parts
+  /// of the schema run in parallel. Recursive because DeleteEntity's
+  /// weak-entity cascade re-enters through the public entry point.
+  /// Readers never take these locks: they pin published versions.
+  std::unordered_map<std::string, std::shared_ptr<std::recursive_mutex>>
+      lock_domains_;
+  std::shared_ptr<std::recursive_mutex> fallback_domain_ =
+      std::make_shared<std::recursive_mutex>();
 };
 
 }  // namespace erbium

@@ -9,14 +9,9 @@ bool Index::IsIndexableKey(const IndexKey& key) {
   return true;
 }
 
-Status HashIndex::Insert(const IndexKey& key, RowId id) {
-  if (!IsIndexableKey(key)) return Status::OK();
-  if (unique() && map_.count(key) > 0) {
-    return Status::ConstraintViolation("duplicate key in unique index " +
-                                       name());
-  }
+void HashIndex::Add(const IndexKey& key, RowId id) {
+  if (!IsIndexableKey(key)) return;
   map_.emplace(key, id);
-  return Status::OK();
 }
 
 void HashIndex::Erase(const IndexKey& key, RowId id) {
@@ -40,14 +35,9 @@ bool HashIndex::Contains(const IndexKey& key) const {
   return map_.count(key) > 0;
 }
 
-Status OrderedIndex::Insert(const IndexKey& key, RowId id) {
-  if (!IsIndexableKey(key)) return Status::OK();
-  if (unique() && map_.count(key) > 0) {
-    return Status::ConstraintViolation("duplicate key in unique index " +
-                                       name());
-  }
+void OrderedIndex::Add(const IndexKey& key, RowId id) {
+  if (!IsIndexableKey(key)) return;
   map_.emplace(key, id);
-  return Status::OK();
 }
 
 void OrderedIndex::Erase(const IndexKey& key, RowId id) {

@@ -40,10 +40,12 @@ class Index {
   const std::vector<int>& columns() const { return columns_; }
   bool unique() const { return unique_; }
 
-  /// Adds an entry; fails with ConstraintViolation on duplicate key in a
-  /// unique index. Keys containing nulls are not indexed (SQL semantics:
-  /// null never equals null) and never violate uniqueness.
-  virtual Status Insert(const IndexKey& key, RowId id) = 0;
+  /// Adds an entry unconditionally. Uniqueness is enforced by the owning
+  /// Table against live row state — under deferred (epoch-based) erasure
+  /// the index may legitimately hold stale entries for a key, so the
+  /// index itself cannot police duplicates. Keys containing nulls are not
+  /// indexed (SQL semantics: null never equals null).
+  virtual void Add(const IndexKey& key, RowId id) = 0;
   virtual void Erase(const IndexKey& key, RowId id) = 0;
 
   /// Appends all row ids with the exact key.
@@ -76,7 +78,7 @@ class HashIndex : public Index {
  public:
   using Index::Index;
 
-  Status Insert(const IndexKey& key, RowId id) override;
+  void Add(const IndexKey& key, RowId id) override;
   void Erase(const IndexKey& key, RowId id) override;
   void Lookup(const IndexKey& key, std::vector<RowId>* out) const override;
   bool Contains(const IndexKey& key) const override;
@@ -93,7 +95,7 @@ class OrderedIndex : public Index {
  public:
   using Index::Index;
 
-  Status Insert(const IndexKey& key, RowId id) override;
+  void Add(const IndexKey& key, RowId id) override;
   void Erase(const IndexKey& key, RowId id) override;
   void Lookup(const IndexKey& key, std::vector<RowId>* out) const override;
   bool Contains(const IndexKey& key) const override;

@@ -1,5 +1,6 @@
 #include "storage/table.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace erbium {
@@ -9,6 +10,7 @@ Table::Table(TableSchema schema) : schema_(std::move(schema)) {
   inserts_ = metrics.counter("table." + name() + ".inserts");
   updates_ = metrics.counter("table." + name() + ".updates");
   deletes_ = metrics.counter("table." + name() + ".deletes");
+  Publish();  // version 1: the empty table
 }
 
 IndexKey Table::ExtractKey(const Row& row,
@@ -19,71 +21,151 @@ IndexKey Table::ExtractKey(const Row& row,
   return key;
 }
 
+const Row& Table::row(RowId id) const {
+  static const Row kDeadRow;
+  const Row* r = bank_.Get(id);
+  return r != nullptr ? *r : kDeadRow;
+}
+
+bool Table::HasLiveDuplicate(const Index& index, const IndexKey& key,
+                             RowId self) const {
+  std::vector<RowId> candidates;
+  index.Lookup(key, &candidates);
+  for (RowId id : candidates) {
+    if (id == self) continue;
+    const Row* r = bank_.Get(id);
+    if (r == nullptr) continue;  // tombstoned or not yet appended
+    // Deferred erasure: a candidate may carry a *different* key now.
+    if (ValueVectorEq()(ExtractKey(*r, index.columns()), key)) return true;
+  }
+  return false;
+}
+
+void Table::Publish() {
+  auto version = std::make_shared<TableVersion>();
+  version->rows = bank_.TakeSnapshot();
+  version->live_count = live_count_;
+  version->epoch = ++epoch_;
+  live_versions_.push_back(TrackedVersion{version->epoch, version});
+  {
+    std::lock_guard<std::mutex> lock(version_mu_);
+    current_ = std::move(version);
+  }
+  published_slots_.store(bank_.size(), std::memory_order_release);
+  published_live_.store(live_count_, std::memory_order_release);
+
+  // Epoch sweep: drop expired pins, then apply every queued erasure no
+  // pinned version can still see. current_ is always tracked, so
+  // min_live <= epoch_ and entries queued this mutation never apply yet.
+  uint64_t min_live = epoch_;
+  size_t kept = 0;
+  for (TrackedVersion& tracked : live_versions_) {
+    if (tracked.version.expired()) continue;
+    min_live = std::min(min_live, tracked.epoch);
+    live_versions_[kept++] = std::move(tracked);
+  }
+  live_versions_.resize(kept);
+  if (pending_erases_.empty() || pending_erases_.front().epoch >= min_live) {
+    return;
+  }
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  while (!pending_erases_.empty() &&
+         pending_erases_.front().epoch < min_live) {
+    PendingErase& pending = pending_erases_.front();
+    pending.index->Erase(pending.key, pending.id);
+    pending_erases_.pop_front();
+  }
+}
+
+void Table::DeferErase(Index* index, IndexKey key, RowId id) {
+  if (!Index::IsIndexableKey(key)) return;  // never entered the index
+  pending_erases_.push_back(PendingErase{epoch_, index, std::move(key), id});
+}
+
 Result<RowId> Table::Insert(Row row) {
-  assert(NoConcurrentReaders() && "Insert during a concurrent-read window");
+  WriterCheck::Scope write_scope(&writer_check_, "Table (Insert)");
   ERBIUM_RETURN_NOT_OK(schema_.ValidateRow(row));
-  // Check unique constraints before mutating anything.
+  // Check unique constraints against live working state before mutating
+  // anything (the index alone may hold stale entries).
   for (const auto& index : indexes_) {
     if (!index->unique()) continue;
     IndexKey key = ExtractKey(row, index->columns());
-    if (Index::IsIndexableKey(key) && index->Contains(key)) {
+    if (Index::IsIndexableKey(key) &&
+        HasLiveDuplicate(*index, key, static_cast<RowId>(-1))) {
       return Status::ConstraintViolation("duplicate key in unique index " +
                                          index->name() + " of table " +
                                          name());
     }
   }
-  RowId id = rows_.size();
-  for (const auto& index : indexes_) {
-    ERBIUM_RETURN_NOT_OK(index->Insert(ExtractKey(row, index->columns()), id));
+  RowId id = bank_.size();
+  {
+    std::unique_lock<std::shared_mutex> lock(index_mu_);
+    for (const auto& index : indexes_) {
+      index->Add(ExtractKey(row, index->columns()), id);
+    }
   }
-  rows_.push_back(std::move(row));
-  live_.push_back(true);
+  bank_.Append(std::make_shared<const Row>(std::move(row)));
   ++live_count_;
+  Publish();
   inserts_.Increment();
   return id;
 }
 
 Status Table::Update(RowId id, Row row) {
-  assert(NoConcurrentReaders() && "Update during a concurrent-read window");
-  if (!IsLive(id)) {
+  WriterCheck::Scope write_scope(&writer_check_, "Table (Update)");
+  const Row* old_row = bank_.Get(id);
+  if (old_row == nullptr) {
     return Status::NotFound("update of dead or out-of-range row id " +
                             std::to_string(id) + " in table " + name());
   }
   ERBIUM_RETURN_NOT_OK(schema_.ValidateRow(row));
-  const Row& old_row = rows_[id];
   for (const auto& index : indexes_) {
     if (!index->unique()) continue;
     IndexKey new_key = ExtractKey(row, index->columns());
-    IndexKey old_key = ExtractKey(old_row, index->columns());
     if (!Index::IsIndexableKey(new_key)) continue;
-    if (ValueVectorEq()(new_key, old_key)) continue;
-    if (index->Contains(new_key)) {
+    if (ValueVectorEq()(new_key, ExtractKey(*old_row, index->columns()))) {
+      continue;
+    }
+    if (HasLiveDuplicate(*index, new_key, id)) {
       return Status::ConstraintViolation("duplicate key in unique index " +
                                          index->name() + " of table " +
                                          name());
     }
   }
-  for (const auto& index : indexes_) {
-    index->Erase(ExtractKey(old_row, index->columns()), id);
-    ERBIUM_RETURN_NOT_OK(index->Insert(ExtractKey(row, index->columns()), id));
+  {
+    std::unique_lock<std::shared_mutex> lock(index_mu_);
+    for (const auto& index : indexes_) {
+      IndexKey old_key = ExtractKey(*old_row, index->columns());
+      IndexKey new_key = ExtractKey(row, index->columns());
+      // Unchanged key: the existing entry stays valid; adding again would
+      // duplicate it and the deferred erase would then remove the wrong
+      // (identical) copy.
+      if (ValueVectorEq()(old_key, new_key)) continue;
+      index->Add(new_key, id);
+      // Deferring outside the lock is fine (writer-only queue), but the
+      // key was extracted from *old_row which Set() below invalidates.
+      DeferErase(index.get(), std::move(old_key), id);
+    }
   }
-  rows_[id] = std::move(row);
+  bank_.Set(id, std::make_shared<const Row>(std::move(row)));
+  Publish();
   updates_.Increment();
   return Status::OK();
 }
 
 Status Table::Delete(RowId id) {
-  assert(NoConcurrentReaders() && "Delete during a concurrent-read window");
-  if (!IsLive(id)) {
+  WriterCheck::Scope write_scope(&writer_check_, "Table (Delete)");
+  const Row* old_row = bank_.Get(id);
+  if (old_row == nullptr) {
     return Status::NotFound("delete of dead or out-of-range row id " +
                             std::to_string(id) + " in table " + name());
   }
   for (const auto& index : indexes_) {
-    index->Erase(ExtractKey(rows_[id], index->columns()), id);
+    DeferErase(index.get(), ExtractKey(*old_row, index->columns()), id);
   }
-  live_[id] = false;
-  rows_[id].clear();
+  bank_.Set(id, nullptr);
   --live_count_;
+  Publish();
   deletes_.Increment();
   return Status::OK();
 }
@@ -91,8 +173,7 @@ Status Table::Delete(RowId id) {
 Status Table::CreateIndex(const std::string& index_name,
                           const std::vector<std::string>& column_names,
                           bool unique, bool ordered) {
-  assert(NoConcurrentReaders() &&
-         "CreateIndex during a concurrent-read window");
+  WriterCheck::Scope write_scope(&writer_check_, "Table (CreateIndex)");
   if (FindIndexByName(index_name) != nullptr) {
     return Status::AlreadyExists("index " + index_name + " already exists");
   }
@@ -111,10 +192,17 @@ Status Table::CreateIndex(const std::string& index_name,
   } else {
     index = std::make_unique<HashIndex>(index_name, columns, unique);
   }
-  for (RowId id = 0; id < rows_.size(); ++id) {
-    if (!live_[id]) continue;
-    ERBIUM_RETURN_NOT_OK(index->Insert(ExtractKey(rows_[id], columns), id));
+  for (RowId id = 0; id < bank_.size(); ++id) {
+    const Row* r = bank_.Get(id);
+    if (r == nullptr) continue;
+    IndexKey key = ExtractKey(*r, columns);
+    if (unique && Index::IsIndexableKey(key) && index->Contains(key)) {
+      return Status::ConstraintViolation("duplicate key in unique index " +
+                                         index_name + " of table " + name());
+    }
+    index->Add(std::move(key), id);
   }
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
   indexes_.push_back(std::move(index));
   return Status::OK();
 }
@@ -133,27 +221,74 @@ const Index* Table::FindIndexByName(const std::string& index_name) const {
   return nullptr;
 }
 
+namespace {
+
+bool RowMatchesKey(const Row& row, const std::vector<int>& column_indexes,
+                   const IndexKey& key) {
+  for (size_t i = 0; i < column_indexes.size(); ++i) {
+    if (row[column_indexes[i]] != key[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 void Table::LookupEqual(const std::vector<int>& column_indexes,
                         const IndexKey& key, std::vector<RowId>* out) const {
   const Index* index = FindIndex(column_indexes);
   if (index != nullptr) {
     std::vector<RowId> candidates;
     index->Lookup(key, &candidates);
+    // Deferred erasure can leave duplicate (key, id) entries and stale
+    // candidates: dedupe, then verify liveness and the key itself.
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
     for (RowId id : candidates) {
-      if (live_[id]) out->push_back(id);
+      const Row* r = bank_.Get(id);
+      if (r != nullptr && RowMatchesKey(*r, column_indexes, key)) {
+        out->push_back(id);
+      }
     }
     return;
   }
-  for (RowId id = 0; id < rows_.size(); ++id) {
-    if (!live_[id]) continue;
-    bool match = true;
-    for (size_t i = 0; i < column_indexes.size(); ++i) {
-      if (rows_[id][column_indexes[i]] != key[i]) {
-        match = false;
-        break;
+  for (RowId id = 0; id < bank_.size(); ++id) {
+    const Row* r = bank_.Get(id);
+    if (r != nullptr && RowMatchesKey(*r, column_indexes, key)) {
+      out->push_back(id);
+    }
+  }
+}
+
+void Table::LookupEqualIn(const TableVersion& version,
+                          const std::vector<int>& column_indexes,
+                          const IndexKey& key, std::vector<RowId>* out) const {
+  const Index* index = FindIndex(column_indexes);
+  if (index != nullptr) {
+    std::vector<RowId> candidates;
+    {
+      std::shared_lock<std::shared_mutex> lock(index_mu_);
+      index->Lookup(key, &candidates);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (RowId id : candidates) {
+      // The version filter makes the probe snapshot-exact: entries for
+      // rows born after the pin fall outside `bound`, tombstones are
+      // null, and stale entries fail the key comparison.
+      const Row* r = version.row(id);
+      if (r != nullptr && RowMatchesKey(*r, column_indexes, key)) {
+        out->push_back(id);
       }
     }
-    if (match) out->push_back(id);
+    return;
+  }
+  for (RowId id = 0; id < version.slot_count(); ++id) {
+    const Row* r = version.row(id);
+    if (r != nullptr && RowMatchesKey(*r, column_indexes, key)) {
+      out->push_back(id);
+    }
   }
 }
 
@@ -187,10 +322,12 @@ size_t ApproximateValueBytes(const Value& v) {
 }
 
 size_t Table::ApproximateDataBytes() const {
+  std::shared_ptr<const TableVersion> version = PinVersion();
   size_t total = 0;
-  for (RowId id = 0; id < rows_.size(); ++id) {
-    if (!live_[id]) continue;
-    for (const Value& v : rows_[id]) total += ApproximateValueBytes(v);
+  for (RowId id = 0; id < version->slot_count(); ++id) {
+    const Row* r = version->row(id);
+    if (r == nullptr) continue;
+    for (const Value& v : *r) total += ApproximateValueBytes(v);
   }
   return total;
 }

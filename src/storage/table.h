@@ -2,29 +2,64 @@
 #define ERBIUM_STORAGE_TABLE_H_
 
 #include <atomic>
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/reentrant_check.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "storage/index.h"
 #include "storage/schema.h"
+#include "storage/versioned_bank.h"
 
 namespace erbium {
 
-/// An in-memory heap table with stable row ids, tombstoned deletes, and
-/// attached indexes.
+/// One immutable published version of a table: a frozen row bank plus its
+/// live count, tagged with the epoch that produced it. Readers pin a
+/// version (Table::PinVersion) and read it without synchronization for as
+/// long as they hold the pin; a null row slot is a tombstone (or a slot
+/// appended after this version was published).
+struct TableVersion {
+  CowBank<Row>::Snapshot rows;
+  size_t live_count = 0;
+  uint64_t epoch = 0;
+
+  size_t size() const { return live_count; }
+  size_t slot_count() const { return rows.bound; }
+  const Row* row(RowId id) const { return rows.Get(id); }
+  bool IsLive(RowId id) const { return rows.Get(id) != nullptr; }
+};
+
+/// An in-memory heap table with stable row ids, tombstoned deletes,
+/// attached indexes, and MVCC snapshot reads.
 ///
-/// Concurrency contract (see DESIGN.md "Threading model"): the table is
-/// *read-shared*. Any number of threads may call the const accessors
-/// (row, IsLive, LookupEqual, ...) concurrently, but no mutating call
-/// (Insert/Update/Delete/CreateIndex) may overlap with them. Parallel
-/// query execution brackets its read window with BeginConcurrentRead /
-/// EndConcurrentRead; mutations assert (debug builds) that no such
-/// window is open. All other use is single-threaded, as before.
+/// Concurrency contract (see DESIGN.md "Threading model"):
+///   - Exactly one writer thread may mutate the table at a time (callers
+///     hold the entity-set's writer-domain lock; a WriterCheck aborts
+///     loudly in debug builds if two mutators race). Each mutation
+///     publishes a new immutable TableVersion before returning.
+///   - Any number of reader threads may concurrently PinVersion() and
+///     read the pinned version, including LookupEqualIn index probes —
+///     these never block behind the writer and never observe a
+///     half-applied mutation.
+///   - Index entries for deleted/updated rows are erased *deferred*: a
+///     probe may surface a stale candidate, so both probe paths verify
+///     liveness and key equality against their row view. Deferred
+///     erasures are applied once no pinned version can still see the row
+///     (epoch-based reclamation, swept on the writer's thread).
+///   - The working-state accessors (row, IsLive, LookupEqual) are for
+///     writer/exclusive contexts; concurrent readers must go through a
+///     pinned version.
 class Table {
  public:
+  /// For generic version pinning (exec::ReadSnapshot).
+  using VersionType = TableVersion;
+
   explicit Table(TableSchema schema);
 
   Table(const Table&) = delete;
@@ -33,32 +68,54 @@ class Table {
   const TableSchema& schema() const { return schema_; }
   const std::string& name() const { return schema_.name(); }
 
-  /// Number of live rows.
-  size_t size() const { return live_count_; }
-  /// Upper bound on row ids (including tombstones); scan range is [0, ...).
-  size_t slot_count() const { return rows_.size(); }
+  /// Number of live rows in the latest published version. Safe to call
+  /// from any thread.
+  size_t size() const {
+    return published_live_.load(std::memory_order_acquire);
+  }
+  /// Upper bound on row ids (including tombstones) in the latest
+  /// published version. Safe to call from any thread.
+  size_t slot_count() const {
+    return published_slots_.load(std::memory_order_acquire);
+  }
 
-  bool IsLive(RowId id) const { return id < rows_.size() && live_[id]; }
-  const Row& row(RowId id) const { return rows_[id]; }
+  /// Pins the latest published version. Cheap (one lock + shared_ptr
+  /// copy); holding the pin delays index-entry reclamation for rows it
+  /// can see, nothing else.
+  std::shared_ptr<const TableVersion> PinVersion() const {
+    std::lock_guard<std::mutex> lock(version_mu_);
+    return current_;
+  }
 
-  /// Validates the row, checks unique indexes, appends, and maintains
-  /// indexes. Returns the new row's id.
+  /// Working-state liveness/row access — writer/exclusive contexts only.
+  bool IsLive(RowId id) const { return bank_.Get(id) != nullptr; }
+  /// Row at `id`; dead or out-of-range slots yield an empty row (the
+  /// historical tombstone representation).
+  const Row& row(RowId id) const;
+
+  /// Validates the row, checks unique constraints against live working
+  /// state, appends, maintains indexes, and publishes a new version.
+  /// Returns the new row's id.
   Result<RowId> Insert(Row row);
 
-  /// Replaces the row at `id` (must be live). Index entries are updated.
+  /// Replaces the row at `id` (must be live); index entries for changed
+  /// keys are added now and the old ones erased once unreferenced.
   Status Update(RowId id, Row row);
 
-  /// Tombstones the row at `id` (must be live) and removes index entries.
+  /// Tombstones the row at `id` (must be live); index erasure deferred.
   Status Delete(RowId id);
 
   /// Creates an index over the named columns, backfilling existing rows.
   /// `ordered` selects OrderedIndex (range support) over HashIndex.
+  /// Exclusive contexts only (schema build / DDL barrier).
   Status CreateIndex(const std::string& index_name,
                      const std::vector<std::string>& column_names, bool unique,
                      bool ordered = false);
 
   /// Finds an index whose column list is exactly `column_indexes`
-  /// (order-sensitive). Returns nullptr if none.
+  /// (order-sensitive). Returns nullptr if none. The index *set* is
+  /// frozen outside DDL barriers, so concurrent lookup is safe; probing
+  /// the returned index's contents requires LookupEqual/LookupEqualIn.
   const Index* FindIndex(const std::vector<int>& column_indexes) const;
   /// Finds an index by name. Returns nullptr if none.
   const Index* FindIndexByName(const std::string& index_name) const;
@@ -67,37 +124,79 @@ class Table {
     return indexes_;
   }
 
-  /// Convenience point lookup through an index on the given columns; falls
-  /// back to a full scan when no matching index exists. Appends live ids.
+  /// Point lookup against *working* state — writer/exclusive contexts
+  /// only. Falls back to a full scan when no matching index exists.
+  /// Appends ids of live rows whose key columns equal `key` (candidates
+  /// are deduplicated and key-verified: deferred erasure means the index
+  /// may hold stale entries).
   void LookupEqual(const std::vector<int>& column_indexes, const IndexKey& key,
                    std::vector<RowId>* out) const;
 
-  /// Approximate bytes consumed by live row data (for the cost model and
-  /// storage-size reporting; counts Value payloads, not allocator slack).
-  size_t ApproximateDataBytes() const;
+  /// Snapshot point lookup: like LookupEqual but filtered against the
+  /// pinned `version` and safe to call concurrently with the writer
+  /// (probes take the index lock shared).
+  void LookupEqualIn(const TableVersion& version,
+                     const std::vector<int>& column_indexes,
+                     const IndexKey& key, std::vector<RowId>* out) const;
 
-  /// Opens/closes a read-shared window: while any lease is held the table
-  /// may be scanned from multiple threads and mutations are forbidden
-  /// (debug-asserted in Insert/Update/Delete/CreateIndex).
-  void BeginConcurrentRead() const {
-    concurrent_readers_.fetch_add(1, std::memory_order_acq_rel);
-  }
-  void EndConcurrentRead() const {
-    concurrent_readers_.fetch_sub(1, std::memory_order_acq_rel);
-  }
+  /// Approximate bytes consumed by live row data in the latest published
+  /// version (cost model / storage-size reporting; counts Value payloads,
+  /// not allocator slack). Safe to call from any thread.
+  size_t ApproximateDataBytes() const;
 
  private:
   IndexKey ExtractKey(const Row& row, const std::vector<int>& columns) const;
-  bool NoConcurrentReaders() const {
-    return concurrent_readers_.load(std::memory_order_acquire) == 0;
-  }
+  /// True when a live working row other than `self` carries `key` in the
+  /// index's columns (uniqueness must be checked against live state —
+  /// the index alone can hold stale and not-yet-visible entries).
+  bool HasLiveDuplicate(const Index& index, const IndexKey& key,
+                        RowId self) const;
+  /// Publishes the working state as a new immutable version and sweeps
+  /// deferred index erasures whose rows no pinned version can see.
+  void Publish();
+  /// Queues (key, id) for erasure from `index` once every version
+  /// published up to now (epoch <= current) is unpinned.
+  void DeferErase(Index* index, IndexKey key, RowId id);
 
   TableSchema schema_;
-  std::vector<Row> rows_;
-  std::vector<bool> live_;
-  size_t live_count_ = 0;
+  CowBank<Row> bank_;       // working row state (single writer)
+  size_t live_count_ = 0;   // working live count
+  uint64_t epoch_ = 0;      // epoch of the latest published version
+
+  /// Latest published version; guarded by version_mu_ (pin = copy).
+  mutable std::mutex version_mu_;
+  std::shared_ptr<const TableVersion> current_;
+  /// Published bounds mirrored as atomics so size()/slot_count() never
+  /// tear (readers planning scans, morsel cursors).
+  std::atomic<size_t> published_slots_{0};
+  std::atomic<size_t> published_live_{0};
+
+  /// Index contents: reader probes lock shared, writer entry mutations
+  /// (Add / swept Erase) lock unique. The writer's own probes are
+  /// unlocked — only the single writer mutates entries.
+  mutable std::shared_mutex index_mu_;
   std::vector<std::unique_ptr<Index>> indexes_;
-  mutable std::atomic<int> concurrent_readers_{0};
+
+  /// Epoch-based index reclamation (writer-thread only): erasures queued
+  /// FIFO with the epoch whose readers may still need the entry, applied
+  /// once the minimum pinned epoch passes it.
+  struct PendingErase {
+    uint64_t epoch;
+    Index* index;
+    IndexKey key;
+    RowId id;
+  };
+  std::deque<PendingErase> pending_erases_;
+  struct TrackedVersion {
+    uint64_t epoch;
+    std::weak_ptr<const TableVersion> version;
+  };
+  std::vector<TrackedVersion> live_versions_;
+
+  /// Debug-build guard: aborts loudly when two threads mutate the same
+  /// table concurrently (a writer-domain locking bug).
+  WriterCheck writer_check_;
+
   // Per-physical-table mutation counters ("table.<name>.inserts" etc.),
   // bumped only after the mutation succeeds.
   obs::Counter inserts_;

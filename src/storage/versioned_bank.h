@@ -1,0 +1,110 @@
+#ifndef ERBIUM_STORAGE_VERSIONED_BANK_H_
+#define ERBIUM_STORAGE_VERSIONED_BANK_H_
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace erbium {
+
+/// A chunked copy-on-write slot bank: the storage primitive behind MVCC
+/// snapshot reads (modeled on mirrored-buffer-cache designs — readers pin
+/// a frozen version, the single writer publishes new ones).
+///
+/// Layout: a directory vector of fixed-capacity chunks, each chunk an
+/// array of `shared_ptr<const T>` slots. A null slot is a tombstone.
+///
+/// Write protocol (single writer per bank, enforced by the owner):
+///   - Append writes the next tail slot *in place*. The chunk may be
+///     shared with published snapshots, but every snapshot's `bound` was
+///     taken before the append, so no reader ever dereferences that slot
+///     — disjoint memory, no race.
+///   - Set (update / tombstone) clones the affected chunk and the
+///     directory, then swaps the new directory in. Published snapshots
+///     keep the old chunk — and therefore the old slot value — alive.
+///   - Crossing into a new chunk clones only the directory (amortized
+///     1/kChunkSlots of appends).
+///
+/// Read protocol: take a Snapshot (two shared_ptr copies), then read any
+/// slot `< bound` without synchronization. The snapshot owns everything
+/// it can reach; raw pointers obtained from it stay valid for the
+/// snapshot's lifetime.
+template <typename T>
+class CowBank {
+ public:
+  static constexpr size_t kChunkSlots = 256;
+
+  struct Chunk {
+    std::array<std::shared_ptr<const T>, kChunkSlots> slots;
+  };
+  using ChunkVec = std::vector<std::shared_ptr<Chunk>>;
+
+  /// An immutable view of the bank: the first `bound` slots as of the
+  /// moment the snapshot was taken. Copyable, cheap, thread-safe to read.
+  struct Snapshot {
+    std::shared_ptr<const ChunkVec> chunks;
+    size_t bound = 0;
+
+    /// Slot value, or nullptr when out of range or tombstoned.
+    const T* Get(size_t i) const {
+      if (i >= bound) return nullptr;
+      return (*chunks)[i / kChunkSlots]->slots[i % kChunkSlots].get();
+    }
+  };
+
+  CowBank() : chunks_(std::make_shared<ChunkVec>()) {}
+
+  CowBank(const CowBank&) = delete;
+  CowBank& operator=(const CowBank&) = delete;
+
+  /// Number of slots ever appended (tombstones included). Writer-side
+  /// working value; readers use their Snapshot's bound.
+  size_t size() const { return size_; }
+
+  /// Working-state slot value, or nullptr when out of range / tombstoned.
+  /// Writer-context only (callers hold the owning object's writer lock).
+  const T* Get(size_t i) const {
+    if (i >= size_) return nullptr;
+    return (*chunks_)[i / kChunkSlots]->slots[i % kChunkSlots].get();
+  }
+
+  /// Appends a slot and returns its id. Null is allowed (a born-dead
+  /// slot) but unusual.
+  size_t Append(std::shared_ptr<const T> value) {
+    size_t id = size_;
+    if (id % kChunkSlots == 0) {
+      auto next = std::make_shared<ChunkVec>(*chunks_);
+      next->push_back(std::make_shared<Chunk>());
+      chunks_ = std::move(next);
+    }
+    (*chunks_)[id / kChunkSlots]->slots[id % kChunkSlots] = std::move(value);
+    ++size_;
+    return id;
+  }
+
+  /// Replaces slot `i` (pass nullptr to tombstone). Always clones the
+  /// chunk and the directory so every published snapshot keeps its view.
+  void Set(size_t i, std::shared_ptr<const T> value) {
+    size_t c = i / kChunkSlots;
+    auto fresh = std::make_shared<Chunk>(*(*chunks_)[c]);
+    fresh->slots[i % kChunkSlots] = std::move(value);
+    auto next = std::make_shared<ChunkVec>(*chunks_);
+    (*next)[c] = std::move(fresh);
+    chunks_ = std::move(next);
+  }
+
+  /// Freezes the current state. The caller publishes the result under
+  /// its version lock; readers then pin it concurrently with further
+  /// writer mutations.
+  Snapshot TakeSnapshot() const { return Snapshot{chunks_, size_}; }
+
+ private:
+  std::shared_ptr<ChunkVec> chunks_;  // writer's working directory
+  size_t size_ = 0;
+};
+
+}  // namespace erbium
+
+#endif  // ERBIUM_STORAGE_VERSIONED_BANK_H_

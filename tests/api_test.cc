@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "api/entity_store.h"
+#include "api/statement_runner.h"
 #include "er/ddl_parser.h"
 #include "workload/figure4.h"
 
@@ -128,6 +129,52 @@ TEST(EntityStorePiiTest, TaggingExportAndRedaction) {
   EXPECT_TRUE(redacted->FindField("name")->is_null());
   EXPECT_TRUE(redacted->FindField("email")->is_null());
   EXPECT_EQ(*redacted->FindField("favorite_color"), Value::String("teal"));
+}
+
+// Classification must depend only on the statement's leading keyword,
+// never on its spelling: leading whitespace (spaces, tabs, newlines) and
+// letter case classify identically to the canonical form. A
+// misclassified read would take the wrong lock mode — too strong costs
+// concurrency, too weak races structural statements.
+TEST(StatementClassifyTest, WhitespaceAndCaseInsensitive) {
+  using Runner = api::StatementRunner;
+  using Class = Runner::StatementClass;
+  struct Case {
+    const char* statement;
+    Class expected;
+  };
+  const Case kCases[] = {
+      {"SELECT r_id FROM R", Class::kRead},
+      {"select r_id from R", Class::kRead},
+      {"  \t SELECT r_id FROM R", Class::kRead},
+      {"\n\nselect r_id from R", Class::kRead},
+      {"\r\n  SeLeCt 1", Class::kRead},
+      {"EXPLAIN SELECT 1", Class::kRead},
+      {"\texplain analyze select 1", Class::kRead},
+      {"SHOW TABLES", Class::kRead},
+      {" show sessions", Class::kRead},
+      {"TRACE SELECT 1", Class::kRead},
+      {"ADVISE LIMIT 3", Class::kRead},
+      {"\n advise", Class::kRead},
+      {"EXPORT WORKLOAD INTO 'w.json'", Class::kRead},
+      {"INSERT R (r_id = 1)", Class::kCrud},
+      {"\n\tinsert R (r_id = 1)", Class::kCrud},
+      {"LOAD WORKLOAD FROM 'w.json'", Class::kCrud},
+      {"CHECKPOINT", Class::kCrud},
+      {"  checkpoint", Class::kCrud},
+      {"CREATE ENTITY Person (id INT KEY)", Class::kExclusive},
+      {"\ncreate entity P (id INT KEY)", Class::kExclusive},
+      {"REMAP m3", Class::kExclusive},
+      {"ATTACH DATABASE '/tmp/x'", Class::kExclusive},
+      {"  attach database '/tmp/x'", Class::kExclusive},
+      {"DROP TABLE R", Class::kExclusive},  // unknown: exclusive is safe
+      {"", Class::kExclusive},
+      {"   \n\t ", Class::kExclusive},
+  };
+  for (const Case& c : kCases) {
+    EXPECT_EQ(Runner::Classify(c.statement), c.expected)
+        << "statement: \"" << c.statement << "\"";
+  }
 }
 
 }  // namespace

@@ -136,7 +136,7 @@ TEST(TableTest, BackfillingIndexCreation) {
 TEST(OrderedIndexTest, RangeLookups) {
   OrderedIndex index("ord", {0}, /*unique=*/false);
   for (int i = 0; i < 10; ++i) {
-    ASSERT_TRUE(index.Insert({Value::Int64(i)}, i).ok());
+    index.Add({Value::Int64(i)}, i);
   }
   std::vector<RowId> hits;
   index.LookupRange({Value::Int64(3)}, true, {Value::Int64(6)}, true, &hits);
