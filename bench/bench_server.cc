@@ -15,6 +15,8 @@
 //   server.bench.idle_burst.{p50_us,p99_us,rss_mb,threads,connections}
 //   server.bench.read_under_writes.{idle,writes,checkpoint}.{p50_us,p99_us}
 //   server.bench.lifecycle.{queue_wait,execute,write_stall}_mean_us
+//   server.bench.sharded_inserts.s<N>.{inserts_per_sec,p50_us,p99_us}
+//   server.bench.sharded_inserts.s<N>.shard<k>.inserts   (routing spread)
 //
 // The lifecycle gauges summarize where a statement's server-side time
 // went across the whole run (means over the server.queue_wait_us /
@@ -590,6 +592,143 @@ void BM_IdleBurst(benchmark::State& state) {
   RecordLifecycleSplit();
 }
 
+/// Sharded-engine headline: single-row insert throughput as the entity
+/// sets partition across 1 / 2 / 4 / 8 intra-process shards. Each run
+/// boots a dedicated server with --shards N semantics
+/// (StatementRunner::Options::shards) and streams inserts from 8
+/// connections; writers serialize per shard, so on a multi-core box
+/// throughput should scale with N. The per-shard insert counters
+/// (shard.<k>.inserts) are snapshotted before/after and their deltas
+/// published as gauges — structural proof the router actually spread
+/// the keys even on machines where wall-clock scaling is flat
+/// (e.g. single-core CI).
+void BM_ShardedInserts(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  constexpr int kClients = 8;
+  constexpr int kInsertsPerClient = 150;
+
+  // A dedicated server per shard count: the shard layout is fixed at
+  // engine creation, and the insert stream must not pollute the shared
+  // benchmark server.
+  server::ServerOptions options;
+  options.port = 0;
+  options.max_connections = kClients + 4;
+  options.idle_timeout_ms = 600'000;
+  options.request_deadline_ms = 0;
+  options.runner.figure4 = true;
+  options.runner.figure4_num_r = 64;  // tiny preload; inserts dominate
+  options.runner.figure4_num_s = 16;
+  options.runner.plan_cache_capacity = 4096;
+  options.runner.shards = shards;
+  auto started = server::Server::Start(std::move(options));
+  if (!started.ok()) {
+    state.SkipWithError(started.status().ToString().c_str());
+    return;
+  }
+  std::unique_ptr<server::Server> server = std::move(started).value();
+
+  std::vector<std::unique_ptr<server::Client>> connections;
+  connections.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    server::Client::Options copts;
+    copts.port = server->port();
+    copts.name = "sharded-" + std::to_string(i);
+    copts.connect_retries = 10;
+    auto client = server::Client::Connect(std::move(copts));
+    if (!client.ok()) {
+      state.SkipWithError(client.status().ToString().c_str());
+      return;
+    }
+    connections.push_back(std::move(client).value());
+  }
+
+  // The per-shard counters are process-global and cumulative across the
+  // Arg sweep, so measure deltas.
+  auto& registry = obs::MetricsRegistry::Global();
+  auto shard_counter_name = [](int k) {
+    return "shard." + std::to_string(k) + ".inserts";
+  };
+  std::vector<int64_t> before(shards, 0);
+  for (int k = 0; k < shards; ++k) {
+    before[static_cast<size_t>(k)] =
+        registry.counter(shard_counter_name(k)).Value();
+  }
+
+  std::vector<double> all_latencies_us;
+  double total_seconds = 0.0;
+  for (auto _ : state) {
+    std::vector<std::vector<double>> per_thread(kClients);
+    std::atomic<bool> failed{false};
+    auto wall_start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+      threads.emplace_back([&, i] {
+        per_thread[i].reserve(kInsertsPerClient);
+        for (int k = 0; k < kInsertsPerClient && !failed.load(); ++k) {
+          std::string statement =
+              "INSERT R (r_id = " +
+              std::to_string(g_next_insert_id.fetch_add(1)) +
+              ", r_a1 = 1, r_a2 = 0.5, r_a3 = 'b', r_a4 = 1)";
+          auto start = std::chrono::steady_clock::now();
+          auto outcome = connections[i]->Execute(statement);
+          auto end = std::chrono::steady_clock::now();
+          if (!outcome.ok()) {
+            failed.store(true);
+            break;
+          }
+          per_thread[i].push_back(
+              std::chrono::duration<double, std::micro>(end - start)
+                  .count());
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    total_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    if (failed.load()) {
+      state.SkipWithError("a sharded insert failed");
+      return;
+    }
+    for (const auto& lats : per_thread) {
+      all_latencies_us.insert(all_latencies_us.end(), lats.begin(),
+                              lats.end());
+    }
+  }
+
+  state.SetItemsProcessed(static_cast<int64_t>(all_latencies_us.size()));
+  double p50 = Percentile(&all_latencies_us, 0.50);
+  double p99 = Percentile(&all_latencies_us, 0.99);
+  double per_sec = total_seconds > 0.0
+                       ? static_cast<double>(all_latencies_us.size()) /
+                             total_seconds
+                       : 0.0;
+  state.counters["p50_us"] = p50;
+  state.counters["p99_us"] = p99;
+  state.counters["inserts_per_sec"] = per_sec;
+  std::string prefix =
+      "server.bench.sharded_inserts.s" + std::to_string(shards);
+  registry.gauge(prefix + ".p50_us")
+      .Set(static_cast<int64_t>(std::llround(p50)));
+  registry.gauge(prefix + ".p99_us")
+      .Set(static_cast<int64_t>(std::llround(p99)));
+  registry.gauge(prefix + ".inserts_per_sec")
+      .Set(static_cast<int64_t>(std::llround(per_sec)));
+  for (int k = 0; k < shards; ++k) {
+    int64_t delta = registry.counter(shard_counter_name(k)).Value() -
+                    before[static_cast<size_t>(k)];
+    state.counters["shard" + std::to_string(k)] =
+        static_cast<double>(delta);
+    registry.gauge(prefix + ".shard" + std::to_string(k) + ".inserts")
+        .Set(delta);
+  }
+
+  connections.clear();
+  server->Stop();
+}
+
 BENCHMARK(BM_PointRead)->Arg(1)->Arg(8)->Arg(64)->UseRealTime()
     ->Iterations(3)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Insert)->Arg(1)->Arg(8)->Arg(64)->UseRealTime()
@@ -600,6 +739,8 @@ BENCHMARK(BM_ReadUnderWrites)->UseRealTime()->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_IdleBurst)->UseRealTime()->Iterations(1)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ShardedInserts)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace bench

@@ -112,6 +112,9 @@ Status DurableDatabase::Recover() {
     ERBIUM_RETURN_NOT_OK(DdlParser::Execute(ddl_, schema_.get()));
   }
   ERBIUM_ASSIGN_OR_RETURN(db_, MappedDatabase::Create(schema_.get(), spec_));
+  if (options_.remote_check) {
+    db_->set_remote_entity_check(options_.remote_check);
+  }
   if (recovery_.had_snapshot) {
     ERBIUM_RETURN_NOT_OK(LoadIntoDatabase(snapshot, db_.get()));
   }
@@ -165,6 +168,9 @@ Status DurableDatabase::Rebuild(std::shared_ptr<ERSchema> next_schema) {
     return fresh_result.status();
   }
   std::unique_ptr<MappedDatabase> fresh = std::move(fresh_result).value();
+  if (options_.remote_check) {
+    fresh->set_remote_entity_check(options_.remote_check);
+  }
   if (db_ != nullptr) {
     // Migration reads through the old instance's logical interface; make
     // sure it does not try to log.

@@ -45,6 +45,12 @@ class DurableDatabase : public DurabilityHook {
     WalWriter::SyncMode sync = WalWriter::SyncMode::kNone;
     /// Crash-point hooks for tests; not owned, may be null.
     FaultInjector* faults = nullptr;
+    /// Sharded engines install a remote-existence probe so relationship
+    /// participation checks can consult sibling shards. Re-applied to
+    /// every fresh MappedDatabase this instance builds (recovery and
+    /// DDL/REMAP rebuilds), which a caller-side set_remote_entity_check
+    /// on db() would not survive.
+    MappedDatabase::RemoteEntityCheck remote_check;
   };
 
   /// What recovery found and did, for logs/tests.
@@ -75,6 +81,9 @@ class DurableDatabase : public DurabilityHook {
   const RecoveryInfo& recovery_info() const { return recovery_; }
   uint64_t wal_bytes() const { return wal_->bytes(); }
   uint64_t next_lsn() const { return wal_->next_lsn(); }
+  /// Newest on-disk snapshot generation (recovered, then advanced by
+  /// every finished checkpoint).
+  uint64_t latest_snapshot_gen() const { return latest_snapshot_gen_; }
 
   /// Applies DDL to the live schema, rebuilds the physical database
   /// (migrating data), and logs the statement so reopen replays it.

@@ -1,5 +1,6 @@
 #include "exec/parallel.h"
 
+#include "exec/exchange.h"
 #include "exec/snapshot.h"
 
 #include <cerrno>
@@ -372,83 +373,6 @@ bool HashJoinProbeOp::NextImpl(Row* out) {
 
 // ---- GatherOp ---------------------------------------------------------------
 
-/// Merges per-worker bounded batch queues under one mutex: producers wait
-/// for space in their own queue, the single consumer waits for any batch.
-class GatherOp::Exchange {
- public:
-  explicit Exchange(size_t num_producers) : slots_(num_producers) {}
-
-  bool cancelled() const {
-    return cancelled_.load(std::memory_order_relaxed);
-  }
-
-  // Returns false when cancelled (the batch is dropped).
-  bool Push(size_t producer, std::vector<Row> batch) {
-    std::unique_lock<std::mutex> lock(mu_);
-    producer_cv_.wait(lock, [&] {
-      return cancelled() ||
-             slots_[producer].batches.size() < kMaxQueuedBatchesPerWorker;
-    });
-    if (cancelled()) return false;
-    slots_[producer].batches.push_back(std::move(batch));
-    consumer_cv_.notify_one();
-    return true;
-  }
-
-  // Returns true if this producer was the last one to finish.
-  bool MarkDone(size_t producer) {
-    std::lock_guard<std::mutex> lock(mu_);
-    slots_[producer].done = true;
-    ++done_count_;
-    consumer_cv_.notify_one();
-    return done_count_ == slots_.size();
-  }
-
-  // Blocks for the next batch; false when every producer is done and all
-  // queues are drained (or the exchange was cancelled).
-  bool PopBatch(std::vector<Row>* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    while (true) {
-      if (cancelled()) return false;
-      for (size_t i = 0; i < slots_.size(); ++i) {
-        Slot& slot = slots_[(rr_ + i) % slots_.size()];
-        if (!slot.batches.empty()) {
-          *out = std::move(slot.batches.front());
-          slot.batches.pop_front();
-          rr_ = (rr_ + i + 1) % slots_.size();
-          producer_cv_.notify_all();
-          return true;
-        }
-      }
-      if (done_count_ == slots_.size()) return false;
-      consumer_cv_.wait(lock);
-    }
-  }
-
-  void Cancel() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      cancelled_.store(true, std::memory_order_relaxed);
-    }
-    producer_cv_.notify_all();
-    consumer_cv_.notify_all();
-  }
-
- private:
-  struct Slot {
-    std::deque<std::vector<Row>> batches;
-    bool done = false;
-  };
-
-  std::mutex mu_;
-  std::condition_variable producer_cv_;
-  std::condition_variable consumer_cv_;
-  std::vector<Slot> slots_;
-  size_t done_count_ = 0;
-  size_t rr_ = 0;
-  std::atomic<bool> cancelled_{false};
-};
-
 GatherOp::GatherOp(OperatorPtr serial_plan, std::vector<OperatorPtr> workers,
                    std::shared_ptr<ParallelContext> ctx)
     : serial_plan_(std::move(serial_plan)),
@@ -485,7 +409,8 @@ Status GatherOp::OpenImpl() {
     }
   }
   ctx_->pool()->EnsureWorkers(static_cast<int>(workers_.size()));
-  exchange_ = std::make_unique<Exchange>(workers_.size());
+  exchange_ = std::make_unique<RowExchange>(workers_.size(),
+                                           kMaxQueuedBatchesPerWorker);
   futures_.reserve(workers_.size());
   for (size_t i = 0; i < workers_.size(); ++i) {
     futures_.push_back(ctx_->pool()->Submit([this, i] { WorkerMain(i); }));
@@ -496,7 +421,7 @@ Status GatherOp::OpenImpl() {
 }
 
 void GatherOp::WorkerMain(size_t worker) {
-  Exchange* ex = exchange_.get();
+  RowExchange* ex = exchange_.get();
   std::vector<Row> batch;
   batch.reserve(kGatherBatchRows);
   Row row;

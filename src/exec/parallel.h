@@ -16,6 +16,10 @@
 
 namespace erbium {
 
+namespace shard {
+struct ShardPlanContext;
+}  // namespace shard
+
 // Morsel-driven parallel execution (Leis et al., SIGMOD'14) over the
 // Volcano operators. A serial plan is cloned into N identical worker
 // pipelines whose leaf scans share an atomic morsel cursor; a GatherOp (or
@@ -33,6 +37,12 @@ struct ExecOptions {
   /// Minimum total base-table slots feeding a plan before the translator
   /// inserts parallel operators; smaller plans keep their serial shape.
   size_t parallel_row_threshold = 8192;
+  /// Non-null when the statement compiles against a sharded engine: the
+  /// translator builds one branch pipeline per shard and combines them
+  /// with a cross-shard gather / partial-aggregate merge. Not owned;
+  /// valid for the statement's lifetime (the runner rebuilds it under
+  /// the exclusive lock on DDL/REMAP).
+  const shard::ShardPlanContext* shards = nullptr;
 
   static ExecOptions Serial() { return ExecOptions(); }
   /// num_threads from ERBIUM_THREADS (default: hardware concurrency) and
@@ -70,6 +80,7 @@ struct MorselCursor {
 };
 
 class JoinBuildState;
+class RowExchange;
 
 /// Shared state of one parallelized plan: the morsel cursors and join
 /// build states keyed by the address of the serial node they were cloned
@@ -274,15 +285,13 @@ class GatherOp : public Operator {
   const std::vector<OperatorPtr>& workers() const { return workers_; }
 
  private:
-  class Exchange;
-
   void WorkerMain(size_t worker);
   void Shutdown();
 
   OperatorPtr serial_plan_;
   std::vector<OperatorPtr> workers_;
   std::shared_ptr<ParallelContext> ctx_;
-  std::unique_ptr<Exchange> exchange_;
+  std::unique_ptr<RowExchange> exchange_;
   std::vector<std::future<void>> futures_;
   std::vector<Row> current_batch_;
   size_t batch_pos_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/union_find.h"
 #include "obs/metrics.h"
 
 namespace erbium {
@@ -156,38 +157,25 @@ Status MappedDatabase::Initialize() {
 }
 
 void MappedDatabase::BuildLockDomains() {
-  // Union-find over construct names. Path-halving find; no ranks — the
-  // schema graph is tiny and this runs once.
-  std::unordered_map<std::string, std::string> parent;
-  auto find = [&parent](std::string name) {
-    parent.emplace(name, name);
-    while (parent[name] != name) {
-      parent[name] = parent[parent[name]];
-      name = parent[name];
-    }
-    return name;
-  };
-  auto unite = [&](const std::string& a, const std::string& b) {
-    parent[find(a)] = find(b);
-  };
-
+  UnionFind components;
   for (const std::string& name : schema().EntitySetNames()) {
     const EntitySetDef* def = schema().FindEntitySet(name);
-    find(name);
-    if (!def->parent.empty()) unite(name, def->parent);
-    if (def->weak && !def->owner.empty()) unite(name, def->owner);
+    components.Find(name);
+    if (!def->parent.empty()) components.Unite(name, def->parent);
+    if (def->weak && !def->owner.empty()) components.Unite(name, def->owner);
   }
   for (const std::string& name : schema().RelationshipSetNames()) {
     const RelationshipSetDef* def = schema().FindRelationshipSet(name);
-    unite(name, def->left.entity);
-    unite(name, def->right.entity);
+    components.Unite(name, def->left.entity);
+    components.Unite(name, def->right.entity);
   }
 
   std::unordered_map<std::string, std::shared_ptr<std::recursive_mutex>>
       by_root;
   lock_domains_.clear();
-  for (const auto& [name, unused] : parent) {
-    std::shared_ptr<std::recursive_mutex>& mu = by_root[find(name)];
+  for (const std::string& name : components.Names()) {
+    std::shared_ptr<std::recursive_mutex>& mu =
+        by_root[components.Find(name)];
     if (mu == nullptr) mu = std::make_shared<std::recursive_mutex>();
     lock_domains_.emplace(name, mu);
   }

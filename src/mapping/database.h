@@ -1,6 +1,7 @@
 #ifndef ERBIUM_MAPPING_DATABASE_H_
 #define ERBIUM_MAPPING_DATABASE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -57,6 +58,21 @@ class MappedDatabase {
   /// through. Not owned.
   void set_durability_hook(DurabilityHook* hook) { durability_ = hook; }
   DurabilityHook* durability_hook() const { return durability_; }
+
+  /// Cross-shard referential existence. When this database is one shard
+  /// of a partitioned engine, a relationship participant may legitimately
+  /// live on a sibling shard: InsertRelationship consults the hook after
+  /// a local EntityExists miss before declaring a constraint violation.
+  /// The hook must be a pure read (sibling EntityExists is a versioned
+  /// read taking no writer locks, so cross-shard probes cannot deadlock).
+  using RemoteEntityCheck =
+      std::function<Result<bool>(const std::string&, const IndexKey&)>;
+  void set_remote_entity_check(RemoteEntityCheck check) {
+    remote_entity_check_ = std::move(check);
+  }
+  bool has_remote_entity_check() const {
+    return static_cast<bool>(remote_entity_check_);
+  }
 
   // ---- Entity CRUD -----------------------------------------------------------
 
@@ -241,6 +257,7 @@ class MappedDatabase {
       lock_domains_;
   std::shared_ptr<std::recursive_mutex> fallback_domain_ =
       std::make_shared<std::recursive_mutex>();
+  RemoteEntityCheck remote_entity_check_;
 };
 
 }  // namespace erbium

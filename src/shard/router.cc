@@ -1,0 +1,34 @@
+#include "shard/router.h"
+
+#include <cctype>
+
+namespace erbium {
+namespace shard {
+
+Result<std::unique_ptr<ShardRouter>> ShardRouter::Create(
+    const ERSchema& schema, const MappingSpec& spec, int shards) {
+  ERBIUM_RETURN_NOT_OK(ValidateShardable(schema, spec, shards));
+  ERBIUM_ASSIGN_OR_RETURN(CoPartitionMap map,
+                          CoPartitionMap::Build(schema, spec, shards));
+  return std::unique_ptr<ShardRouter>(new ShardRouter(std::move(map)));
+}
+
+bool ShardRouter::FansOut(const std::string& statement) {
+  size_t i = 0;
+  while (i < statement.size() &&
+         std::isspace(static_cast<unsigned char>(statement[i]))) {
+    ++i;
+  }
+  std::string keyword;
+  while (i < statement.size() &&
+         std::isalpha(static_cast<unsigned char>(statement[i]))) {
+    keyword.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(statement[i]))));
+    ++i;
+  }
+  return keyword == "create" || keyword == "remap" || keyword == "attach" ||
+         keyword == "checkpoint";
+}
+
+}  // namespace shard
+}  // namespace erbium

@@ -1,0 +1,63 @@
+#ifndef ERBIUM_SHARD_ROUTER_H_
+#define ERBIUM_SHARD_ROUTER_H_
+
+#include <memory>
+#include <string>
+
+#include "shard/co_partition.h"
+
+namespace erbium {
+namespace shard {
+
+/// The statement-routing half of the shard subsystem: owns the
+/// co-partition map for the current schema/mapping generation and
+/// answers "which shard(s) does this statement touch". CRUD routes by
+/// key hash; structural statements (DDL / REMAP / ATTACH / CHECKPOINT)
+/// fan out to every shard under the runner's exclusive statement class;
+/// SELECT classification happens in the translator, which consumes the
+/// same CoPartitionMap through ShardPlanContext.
+///
+/// Immutable after construction — the statement runner rebuilds the
+/// router under the exclusive lock whenever DDL or REMAP changes the
+/// schema or the mapping (relationship storage decides edge dominance).
+class ShardRouter {
+ public:
+  static Result<std::unique_ptr<ShardRouter>> Create(const ERSchema& schema,
+                                                     const MappingSpec& spec,
+                                                     int shards);
+
+  int shards() const { return map_.shards(); }
+  const CoPartitionMap& map() const { return map_; }
+
+  /// Shard of one INSERT <Entity> (...) statement's instance.
+  Result<int> RouteInsert(const std::string& entity,
+                         const Value& fields) const {
+    return map_.RouteEntityValue(entity, fields);
+  }
+  /// Shard of one relationship edge (dominant participant's key).
+  Result<int> RouteRelationship(const std::string& rel,
+                                const IndexKey& left_key,
+                                const IndexKey& right_key) const {
+    return map_.RouteRelationship(rel, left_key, right_key);
+  }
+  /// Shard of an entity instance by full key (point reads, deletes).
+  Result<int> RouteKey(const std::string& entity,
+                       const IndexKey& full_key) const {
+    return map_.RouteKey(entity, full_key);
+  }
+
+  /// True for statements that must apply to every shard (structural:
+  /// CREATE / REMAP / ATTACH, and CHECKPOINT). Leading keyword match,
+  /// case- and whitespace-insensitive, mirroring StatementRunner's
+  /// classifier.
+  static bool FansOut(const std::string& statement);
+
+ private:
+  explicit ShardRouter(CoPartitionMap map) : map_(std::move(map)) {}
+  CoPartitionMap map_;
+};
+
+}  // namespace shard
+}  // namespace erbium
+
+#endif  // ERBIUM_SHARD_ROUTER_H_

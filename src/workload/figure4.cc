@@ -125,6 +125,20 @@ Value RandomStringArray(std::mt19937_64& rng, int min_count, int max_count,
 }  // namespace
 
 Status PopulateFigure4(MappedDatabase* db, const Figure4Config& config) {
+  Figure4Sinks sinks;
+  sinks.insert_entity = [db](const std::string& cls, Value fields) {
+    return db->InsertEntity(cls, std::move(fields));
+  };
+  sinks.insert_relationship = [db](const std::string& rel, IndexKey left,
+                                   IndexKey right, Value attrs) {
+    return db->InsertRelationship(rel, std::move(left), std::move(right),
+                                  std::move(attrs));
+  };
+  return PopulateFigure4(sinks, config);
+}
+
+Status PopulateFigure4(const Figure4Sinks& sinks,
+                       const Figure4Config& config) {
   std::mt19937_64 rng(config.seed);
   std::uniform_real_distribution<double> unit(0.0, 1.0);
 
@@ -186,7 +200,8 @@ Status PopulateFigure4(MappedDatabase* db, const Figure4Config& config) {
       fields.emplace_back("r4_a1",
                           Value::Int64(static_cast<int64_t>(rng() % 1000)));
     }
-    ERBIUM_RETURN_NOT_OK(db->InsertEntity(cls, Value::Struct(std::move(fields))));
+    ERBIUM_RETURN_NOT_OK(
+        sinks.insert_entity(cls, Value::Struct(std::move(fields))));
   }
 
   // ---- S and its weak entity sets ---------------------------------------------
@@ -201,7 +216,8 @@ Status PopulateFigure4(MappedDatabase* db, const Figure4Config& config) {
     fields.emplace_back("s_id", Value::Int64(s_id));
     fields.emplace_back("s_a1", Value::Int64(static_cast<int64_t>(rng() % 10000)));
     fields.emplace_back("s_a2", RandomString(rng, "s", 2000));
-    ERBIUM_RETURN_NOT_OK(db->InsertEntity("S", Value::Struct(std::move(fields))));
+    ERBIUM_RETURN_NOT_OK(
+        sinks.insert_entity("S", Value::Struct(std::move(fields))));
     int s1_count = static_cast<int>(rng() % (config.s1_max_per_s + 1));
     for (int k = 0; k < s1_count; ++k) {
       Value::StructData s1_fields;
@@ -211,7 +227,7 @@ Status PopulateFigure4(MappedDatabase* db, const Figure4Config& config) {
                              Value::Int64(static_cast<int64_t>(rng() % 500)));
       s1_fields.emplace_back("s1_a2", RandomString(rng, "s1", 500));
       ERBIUM_RETURN_NOT_OK(
-          db->InsertEntity("S1", Value::Struct(std::move(s1_fields))));
+          sinks.insert_entity("S1", Value::Struct(std::move(s1_fields))));
       s1_keys.push_back(S1Key{s_id, k + 1});
     }
     int s2_count = static_cast<int>(rng() % (config.s2_max_per_s + 1));
@@ -221,7 +237,7 @@ Status PopulateFigure4(MappedDatabase* db, const Figure4Config& config) {
       s2_fields.emplace_back("s2_no", Value::Int64(k + 1));
       s2_fields.emplace_back("s2_a1", Value::Float64(unit(rng) * 100.0));
       ERBIUM_RETURN_NOT_OK(
-          db->InsertEntity("S2", Value::Struct(std::move(s2_fields))));
+          sinks.insert_entity("S2", Value::Struct(std::move(s2_fields))));
     }
   }
 
@@ -237,7 +253,7 @@ Status PopulateFigure4(MappedDatabase* db, const Figure4Config& config) {
         Value::StructData attrs;
         attrs.emplace_back("rs_a1",
                            Value::Int64(static_cast<int64_t>(rng() % 100)));
-        ERBIUM_RETURN_NOT_OK(db->InsertRelationship(
+        ERBIUM_RETURN_NOT_OK(sinks.insert_relationship(
             "RS", {Value::Int64(r_id)}, {Value::Int64(s_id)},
             Value::Struct(std::move(attrs))));
       }
@@ -249,9 +265,9 @@ Status PopulateFigure4(MappedDatabase* db, const Figure4Config& config) {
   for (size_t i = 0; i < pairs; ++i) {
     if (unit(rng) > config.r2s1_link_prob) continue;
     const S1Key& s1 = s1_keys[i];
-    ERBIUM_RETURN_NOT_OK(db->InsertRelationship(
+    ERBIUM_RETURN_NOT_OK(sinks.insert_relationship(
         "R2S1", {Value::Int64(r2_ids[i])},
-        {Value::Int64(s1.s_id), Value::Int64(s1.s1_no)}));
+        {Value::Int64(s1.s_id), Value::Int64(s1.s1_no)}, Value::Null()));
   }
 
   // ---- R1R3: each R3 gets one R1-family parent -----------------------------------
@@ -259,8 +275,8 @@ Status PopulateFigure4(MappedDatabase* db, const Figure4Config& config) {
     if (unit(rng) > config.r1r3_link_prob) continue;
     if (r1_family_ids.empty()) break;
     int64_t parent = r1_family_ids[rng() % r1_family_ids.size()];
-    Status st = db->InsertRelationship("R1R3", {Value::Int64(parent)},
-                                       {Value::Int64(r3_id)});
+    Status st = sinks.insert_relationship(
+        "R1R3", {Value::Int64(parent)}, {Value::Int64(r3_id)}, Value::Null());
     // A random parent may repeat for the same child only if identical
     // keys collide, which the ConstraintViolation below tolerates.
     if (!st.ok() && st.code() != StatusCode::kConstraintViolation) {

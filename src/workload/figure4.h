@@ -2,6 +2,7 @@
 #define ERBIUM_WORKLOAD_FIGURE4_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -62,6 +63,18 @@ struct Figure4Config {
 /// the logical content depends only on `config.seed` and the counts, so
 /// two databases with different mappings hold identical logical data.
 Status PopulateFigure4(MappedDatabase* db, const Figure4Config& config);
+
+/// Insert sinks for hosts that spread the generated stream over several
+/// databases (the sharded engine routes each insert by key). The rng
+/// stream is consumed identically whatever the sinks do, so the logical
+/// dataset for a given seed is the same as the single-database overload.
+struct Figure4Sinks {
+  std::function<Status(const std::string& cls, Value fields)> insert_entity;
+  std::function<Status(const std::string& rel, IndexKey left, IndexKey right,
+                       Value attrs)>
+      insert_relationship;
+};
+Status PopulateFigure4(const Figure4Sinks& sinks, const Figure4Config& config);
 
 /// Convenience: build schema + database + data in one call. The returned
 /// unique_ptr owns the database; `schema_out` receives the schema the
